@@ -1,0 +1,121 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! distance weighting, callee/caller expansion, implicit-IPC detection,
+//! window sizes, and the minimum shared-object requirement.
+//!
+//! These measure *quality* via assertions (pairing recall / decoy count
+//! changes) and *cost* via criterion timing, so a regression in either
+//! shows up in `cargo bench`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ofence::AnalysisConfig;
+use ofence_bench::harness::evaluate_corpus;
+use ofence_corpus::{generate, BugPlan, CorpusSpec};
+
+fn corpus() -> ofence_corpus::Corpus {
+    let spec = CorpusSpec {
+        seed: 21,
+        files: 150,
+        patterns_per_file: 1,
+        noise_per_file: 2,
+        decoy_pairs: 5,
+        far_decoy_pairs: 2,
+        lone_per_file: 1,
+        split_fraction: 0.2,
+        bugs: BugPlan {
+            misplaced: 4,
+            repeated_read: 2,
+            wrong_type: 1,
+            unneeded: 6,
+        },
+    };
+    generate(&spec)
+}
+
+fn variants() -> Vec<(&'static str, AnalysisConfig)> {
+    let base = AnalysisConfig::default();
+    vec![
+        ("baseline", base.clone()),
+        (
+            "no_distance_weighting",
+            AnalysisConfig {
+                distance_weighting: false,
+                ..base.clone()
+            },
+        ),
+        (
+            "no_callee_expansion",
+            AnalysisConfig {
+                callee_expansion: false,
+                caller_expansion: false,
+                ..base.clone()
+            },
+        ),
+        (
+            "no_implicit_ipc",
+            AnalysisConfig {
+                implicit_ipc: false,
+                ..base.clone()
+            },
+        ),
+        (
+            "min_objects_3",
+            AnalysisConfig {
+                min_shared_objects: 3,
+                ..base.clone()
+            },
+        ),
+        (
+            "narrow_windows_2_10",
+            AnalysisConfig {
+                write_window: 2,
+                read_window: 10,
+                ..base.clone()
+            },
+        ),
+        (
+            "wide_windows_20_100",
+            AnalysisConfig {
+                write_window: 20,
+                read_window: 100,
+                ..base.clone()
+            },
+        ),
+        (
+            "pair_with_atomics",
+            AnalysisConfig {
+                pair_with_atomics: true,
+                ..base
+            },
+        ),
+    ]
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let corpus = corpus();
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    for (name, config) in variants() {
+        // Print the quality numbers once per variant so the ablation table
+        // lands in the bench log.
+        let (result, summary) = evaluate_corpus(&corpus, config.clone());
+        println!(
+            "ablation {name:<24} pairings={:<4} recall={:.2} decoys={} bugs={}/{} fps={}",
+            result.stats.pairings,
+            summary.pairing_recall,
+            summary.decoy_pairings_found,
+            summary.bugs_found,
+            summary.bugs_injected,
+            summary.bug_false_positives,
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, config| {
+            b.iter(|| {
+                let (result, _) = evaluate_corpus(&corpus, config.clone());
+                result.stats.pairings
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

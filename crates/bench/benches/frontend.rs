@@ -1,0 +1,99 @@
+//! Front-end benchmarks: lexing, preprocessing, parsing, and CFG
+//! construction throughput on generated kernel-like C.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ofence_corpus::{generate, BugPlan, CorpusSpec};
+
+fn corpus_text() -> String {
+    let spec = CorpusSpec {
+        seed: 5,
+        files: 20,
+        patterns_per_file: 3,
+        noise_per_file: 3,
+        decoy_pairs: 2,
+        far_decoy_pairs: 0,
+        lone_per_file: 1,
+        split_fraction: 0.0,
+        bugs: BugPlan::none(),
+    };
+    generate(&spec)
+        .files
+        .into_iter()
+        .map(|f| f.content)
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn bench_lexer(c: &mut Criterion) {
+    let src = corpus_text();
+    let mut group = c.benchmark_group("lexer");
+    group.throughput(Throughput::Bytes(src.len() as u64));
+    group.bench_function("tokenize", |b| {
+        b.iter(|| ckit::lexer::lex(&src).expect("lexes").len());
+    });
+    group.finish();
+}
+
+fn bench_preprocessor(c: &mut Criterion) {
+    // A macro-heavy file exercising expansion and conditionals.
+    let mut src = String::from(
+        "#define BIT(n) (1 << (n))\n#define FLAGS (BIT(0) | BIT(3))\n#define MAX(a, b) ((a) > (b) ? (a) : (b))\n#define CONFIG_SMP 1\n",
+    );
+    for i in 0..200 {
+        src.push_str(&format!(
+            "#if defined(CONFIG_SMP) && {i} % 2 == 0\nint v{i} = MAX(FLAGS, {i});\n#else\nint w{i} = BIT(2);\n#endif\n"
+        ));
+    }
+    let toks = ckit::lexer::lex(&src).expect("lexes");
+    c.bench_function("preprocess_macro_heavy", |b| {
+        b.iter(|| {
+            ckit::pp::preprocess(toks.clone(), &ckit::PpConfig::default())
+                .expect("preprocesses")
+                .tokens
+                .len()
+        });
+    });
+}
+
+fn bench_parser(c: &mut Criterion) {
+    let src = corpus_text();
+    let mut group = c.benchmark_group("parser");
+    group.throughput(Throughput::Bytes(src.len() as u64));
+    group.bench_function("parse_translation_unit", |b| {
+        b.iter(|| {
+            let out = ckit::parse_string("bench.c", &src).expect("front end");
+            assert!(out.errors.is_empty());
+            out.unit.items.len()
+        });
+    });
+    group.finish();
+}
+
+fn bench_cfg(c: &mut Criterion) {
+    let src = corpus_text();
+    let parsed = ckit::parse_string("bench.c", &src).expect("front end");
+    c.bench_function("cfg_lowering", |b| {
+        b.iter(|| {
+            let lowered = cfgir::LoweredFile::lower(&parsed);
+            lowered.cfgs.iter().map(|c| c.nodes.len()).sum::<usize>()
+        });
+    });
+}
+
+fn bench_pretty(c: &mut Criterion) {
+    let src = corpus_text();
+    let parsed = ckit::parse_string("bench.c", &src).expect("front end");
+    c.bench_function("pretty_print", |b| {
+        b.iter(|| ckit::pretty::print_unit(&parsed.unit).len());
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_lexer,
+    bench_preprocessor,
+    bench_parser,
+    bench_cfg,
+    bench_pretty
+);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Pairing-stage benchmarks: Algorithm 1 cost as a function of barrier
+//! count, isolated from parsing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ofence::pairing::pair_barriers;
+use ofence::{AnalysisConfig, BarrierId, BarrierSite};
+use ofence_bench::harness::to_source_files;
+use ofence_corpus::{generate, BugPlan, CorpusSpec};
+
+/// Extract the barrier sites of a corpus once (the benchmark input).
+fn sites_for(files: usize) -> Vec<BarrierSite> {
+    let spec = CorpusSpec {
+        seed: 11,
+        files,
+        patterns_per_file: 1,
+        noise_per_file: 1,
+        decoy_pairs: files / 40,
+        far_decoy_pairs: 0,
+        lone_per_file: 1,
+        split_fraction: 0.2,
+        bugs: BugPlan::none(),
+    };
+    let corpus = generate(&spec);
+    let config = AnalysisConfig::default();
+    let mut sites = Vec::new();
+    for (i, f) in to_source_files(&corpus).iter().enumerate() {
+        let parsed = ckit::parse_string(&f.name, &f.content).expect("corpus parses");
+        let fa = ofence::sites::analyze_file(i, &parsed, &config);
+        for mut s in fa.sites {
+            s.id = BarrierId(sites.len() as u32);
+            sites.push(s);
+        }
+    }
+    sites
+}
+
+fn bench_pairing_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pairing_algorithm1");
+    group.sample_size(20);
+    for files in [100usize, 300, 600] {
+        let sites = sites_for(files);
+        let config = AnalysisConfig::default();
+        group.bench_with_input(
+            BenchmarkId::new("barriers", sites.len()),
+            &sites,
+            |b, sites| {
+                b.iter(|| {
+                    let r = pair_barriers(sites, &config);
+                    r.pairings.len()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_site_extraction(c: &mut Criterion) {
+    // Window extraction for one mid-sized file.
+    let spec = CorpusSpec {
+        seed: 13,
+        files: 1,
+        patterns_per_file: 8,
+        noise_per_file: 4,
+        decoy_pairs: 0,
+        far_decoy_pairs: 0,
+        lone_per_file: 2,
+        split_fraction: 0.0,
+        bugs: BugPlan::none(),
+    };
+    let corpus = generate(&spec);
+    let f = &corpus.files[0];
+    let parsed = ckit::parse_string(&f.name, &f.content).expect("parses");
+    let config = AnalysisConfig::default();
+    c.bench_function("site_extraction_one_file", |b| {
+        b.iter(|| {
+            let fa = ofence::sites::analyze_file(0, &parsed, &config);
+            fa.sites.len()
+        });
+    });
+}
+
+fn bench_deviation_checks(c: &mut Criterion) {
+    let sites = sites_for(300);
+    let config = AnalysisConfig::default();
+    let pairing = pair_barriers(&sites, &config);
+    c.bench_function("deviation_checks", |b| {
+        b.iter(|| {
+            let devs = ofence::deviation::check_all(&sites, &pairing, &config);
+            devs.len()
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_pairing_scaling,
+    bench_site_extraction,
+    bench_deviation_checks
+);
+criterion_main!(benches);

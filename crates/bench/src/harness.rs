@@ -1,0 +1,77 @@
+//! Shared harness: run the analyzer on a generated corpus and convert the
+//! results into the corpus crate's evaluation records.
+
+use ofence::{AnalysisResult, AnalysisConfig, DeviationKind, Engine, SourceFile};
+use ofence_corpus::{evaluate, BugKind, Corpus, EvalSummary, FoundBug, FoundPairing};
+
+/// Convert generated files into engine inputs.
+pub fn to_source_files(corpus: &Corpus) -> Vec<SourceFile> {
+    corpus
+        .files
+        .iter()
+        .map(|f| SourceFile::new(f.name.clone(), f.content.clone()))
+        .collect()
+}
+
+/// Run a full analysis over a corpus.
+pub fn analyze_corpus(corpus: &Corpus, config: AnalysisConfig) -> AnalysisResult {
+    let files = to_source_files(corpus);
+    Engine::new(config).analyze(&files)
+}
+
+/// Map an analyzer deviation class onto the corpus bug taxonomy.
+pub fn bug_kind_of(kind: &DeviationKind) -> Option<BugKind> {
+    Some(match kind {
+        DeviationKind::Misplaced { .. } => BugKind::Misplaced,
+        DeviationKind::RepeatedRead { .. } => BugKind::RepeatedRead,
+        DeviationKind::WrongBarrierType { .. } => BugKind::WrongBarrierType,
+        DeviationKind::UnneededBarrier { .. } => BugKind::UnneededBarrier,
+        DeviationKind::MissingOnce { .. } => return None,
+    })
+}
+
+/// Convert analyzer output into evaluation records.
+pub fn found_records(result: &AnalysisResult) -> (Vec<FoundBug>, Vec<FoundPairing>) {
+    let bugs = result
+        .deviations
+        .iter()
+        .filter_map(|d| {
+            let kind = bug_kind_of(&d.kind)?;
+            Some(FoundBug {
+                function: d.site.function.clone(),
+                kind,
+                strukt: d
+                    .object
+                    .as_ref()
+                    .map(|o| o.strukt.clone())
+                    .unwrap_or_default(),
+                field: d
+                    .object
+                    .as_ref()
+                    .map(|o| o.field.clone())
+                    .unwrap_or_default(),
+            })
+        })
+        .collect();
+    let pairings = result
+        .pairing
+        .pairings
+        .iter()
+        .map(|p| FoundPairing {
+            functions: p
+                .members
+                .iter()
+                .map(|&m| result.site(m).site.function.clone())
+                .collect(),
+        })
+        .collect();
+    (bugs, pairings)
+}
+
+/// Analyze + evaluate in one step.
+pub fn evaluate_corpus(corpus: &Corpus, config: AnalysisConfig) -> (AnalysisResult, EvalSummary) {
+    let result = analyze_corpus(corpus, config);
+    let (bugs, pairings) = found_records(&result);
+    let summary = evaluate(&corpus.manifest, &bugs, &pairings);
+    (result, summary)
+}

@@ -1,0 +1,3 @@
+//! Benchmark/report harness for the OFence reproduction.
+
+pub mod harness;

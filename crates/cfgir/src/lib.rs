@@ -1,0 +1,80 @@
+//! # cfgir — the Smatch-like analysis substrate
+//!
+//! Per-function statement-level control-flow graphs, symbol tables, and
+//! expression type resolution over [`ckit`] ASTs. This is the layer the
+//! OFence analysis (crate `ofence`) is built on, mirroring the role Smatch
+//! plays for the original tool: provide a CFG per function plus enough
+//! type information to identify `(struct, field)` tuples.
+//!
+//! ```
+//! let parsed = ckit::parse_string("t.c", "struct s { int x; };\nvoid f(struct s *p) { p->x = 1; }").unwrap();
+//! let lowered = cfgir::LoweredFile::lower(&parsed);
+//! assert_eq!(lowered.cfgs.len(), 1);
+//! ```
+
+pub mod cfg;
+pub mod symbols;
+pub mod types;
+pub mod walk;
+
+pub use cfg::{Cfg, Node, NodeId, NodeKind};
+pub use symbols::{FileSymbols, FnSig};
+pub use types::TypeEnv;
+pub use walk::{walk, Dir, Step};
+
+use ckit::ParsedFile;
+
+/// A fully lowered translation unit: symbol table plus one CFG per
+/// function with a body.
+pub struct LoweredFile<'a> {
+    pub parsed: &'a ParsedFile,
+    pub symbols: FileSymbols,
+    /// CFGs in source order, aligned with `functions`.
+    pub cfgs: Vec<Cfg>,
+    /// The function definitions, same order as `cfgs`.
+    pub functions: Vec<&'a ckit::ast::FunctionDef>,
+}
+
+impl<'a> LoweredFile<'a> {
+    /// Lower a parsed file: build symbols and all CFGs.
+    pub fn lower(parsed: &'a ParsedFile) -> LoweredFile<'a> {
+        let symbols = FileSymbols::build(&parsed.unit);
+        let functions: Vec<_> = parsed.unit.functions().collect();
+        let cfgs = functions.iter().map(|f| Cfg::build(f)).collect();
+        LoweredFile {
+            parsed,
+            symbols,
+            cfgs,
+            functions,
+        }
+    }
+
+    /// Index of the function named `name`.
+    pub fn function_index(&self, name: &str) -> Option<usize> {
+        self.functions.iter().position(|f| f.sig.name == name)
+    }
+
+    /// Typing environment for function `idx`.
+    pub fn env(&self, idx: usize) -> TypeEnv<'_> {
+        TypeEnv::for_function(&self.symbols, self.functions[idx])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lower_builds_all_cfgs() {
+        let parsed = ckit::parse_string(
+            "t.c",
+            "struct s { int x; };\nvoid a(struct s *p) { p->x = 1; }\nint b(void) { return 2; }",
+        )
+        .unwrap();
+        let lowered = LoweredFile::lower(&parsed);
+        assert_eq!(lowered.cfgs.len(), 2);
+        assert_eq!(lowered.function_index("b"), Some(1));
+        assert_eq!(lowered.function_index("missing"), None);
+        assert!(lowered.symbols.structs.contains_key("s"));
+    }
+}

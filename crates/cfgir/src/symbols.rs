@@ -1,0 +1,269 @@
+//! Per-file symbol tables: struct layouts, typedefs, functions, globals.
+
+use ckit::ast::{self, Item, TranslationUnit, Type};
+use std::collections::HashMap;
+
+/// Symbols of one translation unit.
+#[derive(Clone, Debug, Default)]
+pub struct FileSymbols {
+    /// struct/union name → field name → type.
+    pub structs: HashMap<String, HashMap<String, Type>>,
+    /// typedef name → underlying type.
+    pub typedefs: HashMap<String, Type>,
+    /// function name → signature (params + return type).
+    pub functions: HashMap<String, FnSig>,
+    /// global variable name → type.
+    pub globals: HashMap<String, Type>,
+    /// enum constant names (they type as `int`).
+    pub enum_consts: HashMap<String, String>,
+}
+
+/// A function's type signature, as the type resolver needs it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FnSig {
+    pub ret: Type,
+    pub params: Vec<(String, Type)>,
+    pub is_static: bool,
+    pub has_body: bool,
+}
+
+impl FileSymbols {
+    /// Build the symbol table for a unit.
+    pub fn build(unit: &TranslationUnit) -> FileSymbols {
+        let mut sym = FileSymbols::default();
+        for item in &unit.items {
+            match item {
+                Item::Struct(s) => {
+                    let fields = s
+                        .fields
+                        .iter()
+                        .map(|f| (f.name.clone(), f.ty.clone()))
+                        .collect();
+                    // Anonymous structs get a synthetic name so their fields
+                    // remain reachable (rare around barriers).
+                    let name = if s.name.is_empty() {
+                        format!("<anon@{}>", s.span.lo)
+                    } else {
+                        s.name.clone()
+                    };
+                    sym.structs.insert(name, fields);
+                }
+                Item::Enum(e) => {
+                    for (v, _) in &e.variants {
+                        sym.enum_consts.insert(v.clone(), e.name.clone());
+                    }
+                }
+                Item::Typedef(t) => {
+                    sym.typedefs.insert(t.name.clone(), t.ty.clone());
+                }
+                Item::Function(f) => {
+                    sym.functions.insert(
+                        f.sig.name.clone(),
+                        FnSig {
+                            ret: f.sig.ret.clone(),
+                            params: f
+                                .sig
+                                .params
+                                .iter()
+                                .map(|p| (p.name.clone(), p.ty.clone()))
+                                .collect(),
+                            is_static: f.sig.is_static,
+                            has_body: true,
+                        },
+                    );
+                }
+                Item::Prototype(sig) => {
+                    // A body seen earlier wins over a later prototype.
+                    sym.functions
+                        .entry(sig.name.clone())
+                        .or_insert_with(|| FnSig {
+                            ret: sig.ret.clone(),
+                            params: sig
+                                .params
+                                .iter()
+                                .map(|p| (p.name.clone(), p.ty.clone()))
+                                .collect(),
+                            is_static: sig.is_static,
+                            has_body: false,
+                        });
+                }
+                Item::Global(g) => {
+                    for d in &g.decls {
+                        sym.globals.insert(d.name.clone(), d.ty.clone());
+                    }
+                }
+            }
+        }
+        sym
+    }
+
+    /// Resolve typedef chains down to a concrete type. Cycle-safe.
+    pub fn resolve(&self, ty: &Type) -> Type {
+        let mut current = ty.clone();
+        let mut fuel = 16;
+        loop {
+            match current {
+                Type::Named(ref name) => {
+                    if fuel == 0 {
+                        return current;
+                    }
+                    fuel -= 1;
+                    match self.typedefs.get(name) {
+                        Some(inner) => current = inner.clone(),
+                        None => return current,
+                    }
+                }
+                Type::Ptr(inner) => return self.resolve(&inner).ptr(),
+                Type::Array(inner, len) => {
+                    return Type::Array(Box::new(self.resolve(&inner)), len)
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Type of `strukt.field`, resolving typedefs on the field type.
+    pub fn field_type(&self, strukt: &str, field: &str) -> Option<Type> {
+        self.structs.get(strukt)?.get(field).cloned()
+    }
+
+    /// Struct that an expression of type `ty` points at / is, after
+    /// resolving typedefs and stripping pointers/arrays.
+    pub fn pointee_struct(&self, ty: &Type) -> Option<String> {
+        let resolved = self.resolve(ty);
+        match resolved.base() {
+            Type::Struct { name, .. } => Some(name.clone()),
+            _ => None,
+        }
+    }
+}
+
+/// Collect every local declaration in a function body into a flat map.
+///
+/// OFence's walks are not lexically scoped, so a flat last-declaration-wins
+/// map is the right fidelity: kernel functions essentially never shadow a
+/// local with a *different struct type*, and the analysis only consumes
+/// struct identities.
+pub fn collect_locals(body: &[ast::Stmt]) -> HashMap<String, Type> {
+    let mut locals = HashMap::new();
+    fn go(stmts: &[ast::Stmt], locals: &mut HashMap<String, Type>) {
+        for s in stmts {
+            visit(s, locals);
+        }
+    }
+    fn visit(s: &ast::Stmt, locals: &mut HashMap<String, Type>) {
+        use ast::StmtKind::*;
+        match &s.kind {
+            Decl(d) => {
+                for decl in &d.decls {
+                    if !decl.name.is_empty() {
+                        locals.insert(decl.name.clone(), decl.ty.clone());
+                    }
+                }
+            }
+            Block(stmts) => go(stmts, locals),
+            If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                visit(then_branch, locals);
+                if let Some(e) = else_branch {
+                    visit(e, locals);
+                }
+            }
+            While { body, .. } | DoWhile { body, .. } | Switch { body, .. } => {
+                visit(body, locals)
+            }
+            For { init, body, .. } => {
+                if let Some(i) = init {
+                    visit(i, locals);
+                }
+                visit(body, locals);
+            }
+            Case { stmt, .. } | Label { stmt, .. } => visit(stmt, locals),
+            _ => {}
+        }
+    }
+    go(body, &mut locals);
+    locals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ckit::parse_string;
+
+    fn symbols(src: &str) -> FileSymbols {
+        let out = parse_string("t.c", src).unwrap();
+        assert!(out.errors.is_empty(), "{:?}", out.errors);
+        FileSymbols::build(&out.unit)
+    }
+
+    #[test]
+    fn struct_fields_indexed() {
+        let sym = symbols("struct req { int len; struct buf *b; };");
+        assert_eq!(sym.field_type("req", "len"), Some(Type::int()));
+        assert_eq!(
+            sym.field_type("req", "b"),
+            Some(Type::strukt("buf").ptr())
+        );
+        assert_eq!(sym.field_type("req", "missing"), None);
+    }
+
+    #[test]
+    fn typedef_chain_resolution() {
+        let sym = symbols(
+            "struct raw { int x; };\ntypedef struct raw raw_t;\ntypedef raw_t alias_t;",
+        );
+        let resolved = sym.resolve(&Type::Named("alias_t".into()));
+        assert_eq!(resolved, Type::strukt("raw"));
+    }
+
+    #[test]
+    fn typedef_pointer_resolution() {
+        let sym = symbols("struct raw { int x; };\ntypedef struct raw *raw_p;");
+        assert_eq!(
+            sym.pointee_struct(&Type::Named("raw_p".into())),
+            Some("raw".to_string())
+        );
+    }
+
+    #[test]
+    fn functions_indexed() {
+        let sym = symbols(
+            "static struct req *get_req(int id);\nint handle(struct req *r) { return 0; }",
+        );
+        let get = sym.functions.get("get_req").unwrap();
+        assert!(!get.has_body);
+        assert_eq!(get.ret, Type::strukt("req").ptr());
+        let handle = sym.functions.get("handle").unwrap();
+        assert!(handle.has_body);
+        assert_eq!(handle.params[0].0, "r");
+    }
+
+    #[test]
+    fn globals_and_enums() {
+        let sym = symbols("enum mode { OFF, ON };\nstatic struct req *pending;");
+        assert_eq!(sym.enum_consts.get("ON"), Some(&"mode".to_string()));
+        assert_eq!(
+            sym.globals.get("pending"),
+            Some(&Type::strukt("req").ptr())
+        );
+    }
+
+    #[test]
+    fn locals_collected_from_nested_blocks() {
+        let out = parse_string(
+            "t.c",
+            "void f(void) { int a; if (a) { struct s *p; } for (int i = 0; i < 2; i++) { long q; } }",
+        )
+        .unwrap();
+        let f = out.unit.functions().next().unwrap();
+        let locals = collect_locals(&f.body);
+        assert_eq!(locals.get("a"), Some(&Type::int()));
+        assert_eq!(locals.get("p"), Some(&Type::strukt("s").ptr()));
+        assert!(locals.contains_key("i"));
+        assert!(locals.contains_key("q"));
+    }
+}

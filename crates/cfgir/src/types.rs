@@ -1,0 +1,298 @@
+//! Expression type resolution.
+//!
+//! Resolves the struct identity behind member accesses — the heart of the
+//! paper's `(typeof(struct), nameof(field))` shared-object tuples. Aliasing
+//! through local pointer variables is handled by tracking declaration
+//! types; typedef chains are resolved through [`FileSymbols`].
+
+use crate::symbols::FileSymbols;
+use ckit::ast::{BinOp, Expr, ExprKind, Type, UnOp};
+use std::collections::HashMap;
+
+/// Typing environment of one function.
+pub struct TypeEnv<'a> {
+    pub file: &'a FileSymbols,
+    /// Parameter and local variable types (flat; see
+    /// [`crate::symbols::collect_locals`]).
+    pub vars: HashMap<String, Type>,
+}
+
+impl<'a> TypeEnv<'a> {
+    /// Build the environment for a function definition.
+    pub fn for_function(file: &'a FileSymbols, func: &ckit::ast::FunctionDef) -> TypeEnv<'a> {
+        let mut vars = crate::symbols::collect_locals(&func.body);
+        for p in &func.sig.params {
+            vars.entry(p.name.clone()).or_insert_with(|| p.ty.clone());
+        }
+        TypeEnv { file, vars }
+    }
+
+    /// Type of an expression, if derivable.
+    pub fn type_of(&self, e: &Expr) -> Option<Type> {
+        match &e.kind {
+            ExprKind::Ident(name) => {
+                if let Some(t) = self.vars.get(name) {
+                    return Some(t.clone());
+                }
+                if let Some(t) = self.file.globals.get(name) {
+                    return Some(t.clone());
+                }
+                if self.file.enum_consts.contains_key(name) {
+                    return Some(Type::int());
+                }
+                None
+            }
+            ExprKind::IntLit { .. } | ExprKind::CharLit(_) => Some(Type::int()),
+            ExprKind::FloatLit(_) => Some(Type::Double),
+            ExprKind::StrLit(_) => Some(
+                Type::Int {
+                    unsigned: false,
+                    rank: ckit::ast::IntRank::Char,
+                }
+                .ptr(),
+            ),
+            ExprKind::Member { base, field, arrow } => {
+                let base_ty = self.type_of(base)?;
+                let resolved = self.file.resolve(&base_ty);
+                // For `->` the base must be a pointer; for `.` it must not.
+                // We don't enforce this (macro-expanded code lies), we just
+                // strip as needed.
+                let _ = arrow;
+                let strukt = match resolved.base() {
+                    Type::Struct { name, .. } => name.clone(),
+                    _ => return None,
+                };
+                let fty = self.file.field_type(&strukt, field)?;
+                Some(self.file.resolve(&fty))
+            }
+            ExprKind::Index(base, _) => {
+                let base_ty = self.type_of(base)?;
+                match self.file.resolve(&base_ty) {
+                    Type::Ptr(inner) | Type::Array(inner, _) => Some(*inner),
+                    _ => None,
+                }
+            }
+            ExprKind::Unary(UnOp::Deref, inner) => {
+                let t = self.type_of(inner)?;
+                match self.file.resolve(&t) {
+                    Type::Ptr(inner) | Type::Array(inner, _) => Some(*inner),
+                    _ => None,
+                }
+            }
+            ExprKind::Unary(UnOp::Addr, inner) => Some(self.type_of(inner)?.ptr()),
+            ExprKind::Unary(_, inner) | ExprKind::Post(_, inner) => self.type_of(inner),
+            ExprKind::Binary(op, a, b) => match op {
+                BinOp::Eq
+                | BinOp::Ne
+                | BinOp::Lt
+                | BinOp::Gt
+                | BinOp::Le
+                | BinOp::Ge
+                | BinOp::And
+                | BinOp::Or => Some(Type::int()),
+                // Pointer arithmetic keeps the pointer type.
+                _ => {
+                    let ta = self.type_of(a);
+                    if let Some(Type::Ptr(_)) = ta.as_ref().map(|t| self.file.resolve(t)) {
+                        ta
+                    } else {
+                        self.type_of(b).or(ta)
+                    }
+                }
+            },
+            ExprKind::Assign(_, lhs, _) => self.type_of(lhs),
+            ExprKind::Ternary {
+                then_expr,
+                else_expr,
+                ..
+            } => self.type_of(then_expr).or_else(|| self.type_of(else_expr)),
+            ExprKind::Call { callee, args } => {
+                if let Some(name) = callee.as_ident() {
+                    // READ_ONCE/WRITE_ONCE/smp_load_acquire return their
+                    // target's type.
+                    if matches!(
+                        name,
+                        "READ_ONCE" | "WRITE_ONCE" | "smp_load_acquire" | "rcu_dereference"
+                            | "rcu_dereference_check" | "rcu_dereference_protected"
+                            | "rcu_dereference_raw" | "srcu_dereference"
+                            | "rcu_access_pointer"
+                    ) {
+                        let target = args.first()?;
+                        // smp_load_acquire takes &x.
+                        let t = self.type_of(target)?;
+                        return match (name, self.file.resolve(&t)) {
+                            ("smp_load_acquire", Type::Ptr(inner)) => Some(*inner),
+                            (_, other) => Some(other),
+                        };
+                    }
+                    if let Some(sig) = self.file.functions.get(name) {
+                        return Some(self.file.resolve(&sig.ret));
+                    }
+                }
+                None
+            }
+            ExprKind::Cast(ty, _) => Some(self.file.resolve(ty)),
+            ExprKind::SizeofType(_) | ExprKind::SizeofExpr(_) => Some(Type::Int {
+                unsigned: true,
+                rank: ckit::ast::IntRank::Long,
+            }),
+            ExprKind::Comma(_, b) => self.type_of(b),
+            ExprKind::InitList(_) => None,
+            ExprKind::StmtExpr(stmts) => {
+                // The value is the last expression statement.
+                for s in stmts.iter().rev() {
+                    if let ckit::ast::StmtKind::Expr(e) = &s.kind {
+                        return self.type_of(e);
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Struct name of the object a member access touches:
+    /// for `a->b.c`, asked about the `.c` member, returns the struct that
+    /// contains field `c`.
+    pub fn member_struct(&self, base: &Expr) -> Option<String> {
+        let t = self.type_of(base)?;
+        self.file.pointee_struct(&t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ckit::parse_string;
+
+    fn env_and_fn(src: &str) -> (FileSymbols, ckit::ast::FunctionDef) {
+        let out = parse_string("t.c", src).unwrap();
+        assert!(out.errors.is_empty(), "{:?}", out.errors);
+        let sym = FileSymbols::build(&out.unit);
+        let f = out.unit.functions().next().unwrap().clone();
+        (sym, f)
+    }
+
+    /// Find the first expression in the function satisfying `pred` and
+    /// return its resolved type.
+    fn type_of_first(
+        src: &str,
+        pred: impl Fn(&Expr) -> bool,
+    ) -> Option<Type> {
+        let (sym, f) = env_and_fn(src);
+        let env = TypeEnv::for_function(&sym, &f);
+        let mut found = None;
+        for s in &f.body {
+            s.walk_exprs(&mut |e| {
+                if found.is_none() && pred(e) {
+                    found = Some(env.type_of(e));
+                }
+            });
+        }
+        found.flatten()
+    }
+
+    #[test]
+    fn param_member_type() {
+        let t = type_of_first(
+            "struct req { int len; };\nvoid f(struct req *r) { r->len = 1; }",
+            |e| matches!(&e.kind, ExprKind::Member { .. }),
+        );
+        assert_eq!(t, Some(Type::int()));
+    }
+
+    #[test]
+    fn local_pointer_alias() {
+        let t = type_of_first(
+            "struct req { int len; };\nvoid f(struct req *r) { struct req *alias = r; alias->len = 1; }",
+            |e| matches!(&e.kind, ExprKind::Member { .. }),
+        );
+        assert_eq!(t, Some(Type::int()));
+    }
+
+    #[test]
+    fn nested_member_chain() {
+        let src = "struct buf { int len; };\nstruct req { struct buf b; };\nvoid f(struct req *r) { r->b.len = 1; }";
+        let t = type_of_first(src, |e| {
+            matches!(&e.kind, ExprKind::Member { field, .. } if field == "len")
+        });
+        assert_eq!(t, Some(Type::int()));
+    }
+
+    #[test]
+    fn member_struct_of_nested_chain() {
+        let src = "struct buf { int len; };\nstruct req { struct buf b; };\nvoid f(struct req *r) { r->b.len = 1; }";
+        let (sym, f) = env_and_fn(src);
+        let env = TypeEnv::for_function(&sym, &f);
+        let mut strukt = None;
+        for s in &f.body {
+            s.walk_exprs(&mut |e| {
+                if let ExprKind::Member { base, field, .. } = &e.kind {
+                    if field == "len" {
+                        strukt = env.member_struct(base);
+                    }
+                }
+            });
+        }
+        assert_eq!(strukt, Some("buf".to_string()));
+    }
+
+    #[test]
+    fn typedef_pointer_member() {
+        let src = "struct raw { int x; };\ntypedef struct raw raw_t;\nvoid f(raw_t *p) { p->x = 1; }";
+        let t = type_of_first(src, |e| matches!(&e.kind, ExprKind::Member { .. }));
+        assert_eq!(t, Some(Type::int()));
+    }
+
+    #[test]
+    fn array_index_of_struct_ptrs() {
+        let src = "struct sock { int id; };\nstruct reuse { struct sock *socks[16]; };\nvoid f(struct reuse *r) { r->socks[0]->id = 1; }";
+        let t = type_of_first(src, |e| {
+            matches!(&e.kind, ExprKind::Member { field, .. } if field == "id")
+        });
+        assert_eq!(t, Some(Type::int()));
+    }
+
+    #[test]
+    fn call_return_type() {
+        let src = "struct req { int len; };\nstruct req *get(void);\nvoid f(void) { get()->len = 1; }";
+        let t = type_of_first(src, |e| matches!(&e.kind, ExprKind::Member { .. }));
+        assert_eq!(t, Some(Type::int()));
+    }
+
+    #[test]
+    fn read_once_preserves_type() {
+        let src = "struct ev { struct task *t; };\nstruct task { int pid; };\nvoid f(struct ev *e) { struct task *x = READ_ONCE(e->t); x->pid = 1; }";
+        let t = type_of_first(src, |e| {
+            matches!(&e.kind, ExprKind::Member { field, .. } if field == "pid")
+        });
+        assert_eq!(t, Some(Type::int()));
+    }
+
+    #[test]
+    fn cast_type() {
+        let src = "struct req { int len; };\nvoid f(void *p) { ((struct req *)p)->len = 1; }";
+        let t = type_of_first(src, |e| matches!(&e.kind, ExprKind::Member { .. }));
+        assert_eq!(t, Some(Type::int()));
+    }
+
+    #[test]
+    fn deref_member() {
+        let src = "struct req { int len; };\nvoid f(struct req **pp) { (*pp)->len = 1; }";
+        let t = type_of_first(src, |e| matches!(&e.kind, ExprKind::Member { .. }));
+        assert_eq!(t, Some(Type::int()));
+    }
+
+    #[test]
+    fn unknown_base_is_none() {
+        let src = "void f(void *p) { int x = mystery()->len; }";
+        let t = type_of_first(src, |e| matches!(&e.kind, ExprKind::Member { .. }));
+        assert_eq!(t, None);
+    }
+
+    #[test]
+    fn global_variable_type() {
+        let src = "struct cfg { int mode; };\nstatic struct cfg global_cfg;\nvoid f(void) { global_cfg.mode = 1; }";
+        let t = type_of_first(src, |e| matches!(&e.kind, ExprKind::Member { .. }));
+        assert_eq!(t, Some(Type::int()));
+    }
+}

@@ -1,0 +1,218 @@
+//! Bounded breadth-first walks over a CFG.
+//!
+//! OFence explores a bounded number of *statements* before/after a barrier
+//! (§4.2): 5 around write barriers, 50 around read barriers, stopping at
+//! other barriers and at atomics with barrier semantics. This module
+//! provides the distance-annotated BFS those explorations are built on.
+
+use crate::cfg::{Cfg, NodeId};
+use std::collections::VecDeque;
+
+/// Walk direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dir {
+    /// Follow successor edges (statements after the start).
+    Fwd,
+    /// Follow predecessor edges (statements before the start).
+    Bwd,
+}
+
+/// Per-node verdict from the visit callback.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Step {
+    /// Keep going through this node.
+    Continue,
+    /// Visit this node but do not walk past it (e.g. another barrier).
+    Stop,
+    /// Skip this node entirely and do not walk past it.
+    Prune,
+}
+
+/// Breadth-first walk from `start` (exclusive) up to `max_dist` statements
+/// away. The callback receives each node with its statement distance
+/// (1-based: the adjacent statement has distance 1). Nodes that do not
+/// count for distance (labels, case markers) are traversed for free.
+pub fn walk(cfg: &Cfg, start: NodeId, dir: Dir, max_dist: u32, mut f: impl FnMut(NodeId, u32) -> Step) {
+    let mut seen = vec![false; cfg.nodes.len()];
+    seen[start] = true;
+    let mut queue: VecDeque<(NodeId, u32)> = VecDeque::new();
+    enqueue_neighbors(cfg, start, dir, 0, &mut queue, &mut seen);
+    while let Some((node, dist_so_far)) = queue.pop_front() {
+        let counts = cfg.node(node).kind.counts_for_distance();
+        let dist = if counts { dist_so_far + 1 } else { dist_so_far };
+        if dist > max_dist {
+            continue;
+        }
+        let verdict = if counts {
+            f(node, dist)
+        } else {
+            Step::Continue
+        };
+        match verdict {
+            Step::Continue => enqueue_neighbors(cfg, node, dir, dist, &mut queue, &mut seen),
+            Step::Stop | Step::Prune => {}
+        }
+    }
+}
+
+fn enqueue_neighbors(
+    cfg: &Cfg,
+    node: NodeId,
+    dir: Dir,
+    dist: u32,
+    queue: &mut VecDeque<(NodeId, u32)>,
+    seen: &mut [bool],
+) {
+    let neighbors = match dir {
+        Dir::Fwd => &cfg.node(node).succs,
+        Dir::Bwd => &cfg.node(node).preds,
+    };
+    for &n in neighbors {
+        if !seen[n] {
+            seen[n] = true;
+            queue.push_back((n, dist));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::NodeKind;
+    use ckit::parse_string;
+
+    fn cfg_of(src: &str) -> Cfg {
+        let out = parse_string("t.c", src).unwrap();
+        assert!(out.errors.is_empty());
+        let cfg = Cfg::build(out.unit.functions().next().unwrap());
+        cfg
+    }
+
+    /// Node id of the statement whose printed expression contains `text`.
+    fn node_containing(cfg: &Cfg, src: &str, text: &str) -> NodeId {
+        cfg.ids()
+            .find(|&i| {
+                let n = cfg.node(i);
+                !matches!(n.kind, NodeKind::Entry | NodeKind::Exit)
+                    && n.span.slice(src).contains(text)
+            })
+            .unwrap_or_else(|| panic!("no node containing {text:?}"))
+    }
+
+    #[test]
+    fn forward_distances_linear() {
+        let src = "void f(int a) { a = 1; a = 2; a = 3; a = 4; }";
+        let cfg = cfg_of(src);
+        let start = node_containing(&cfg, src, "a = 1");
+        let mut dists = Vec::new();
+        walk(&cfg, start, Dir::Fwd, 10, |n, d| {
+            if matches!(cfg.node(n).kind, NodeKind::Expr(_)) {
+                dists.push((cfg.node(n).span.slice(src).to_string(), d));
+            }
+            Step::Continue
+        });
+        assert_eq!(
+            dists,
+            vec![
+                ("a = 2;".to_string(), 1),
+                ("a = 3;".to_string(), 2),
+                ("a = 4;".to_string(), 3),
+            ]
+        );
+    }
+
+    #[test]
+    fn backward_distances_linear() {
+        let src = "void f(int a) { a = 1; a = 2; a = 3; }";
+        let cfg = cfg_of(src);
+        let start = node_containing(&cfg, src, "a = 3");
+        let mut dists = Vec::new();
+        walk(&cfg, start, Dir::Bwd, 10, |n, d| {
+            if matches!(cfg.node(n).kind, NodeKind::Expr(_)) {
+                dists.push((cfg.node(n).span.slice(src).to_string(), d));
+            }
+            Step::Continue
+        });
+        assert_eq!(
+            dists,
+            vec![("a = 2;".to_string(), 1), ("a = 1;".to_string(), 2)]
+        );
+    }
+
+    #[test]
+    fn max_dist_bounds_walk() {
+        let src = "void f(int a) { a = 1; a = 2; a = 3; a = 4; a = 5; }";
+        let cfg = cfg_of(src);
+        let start = node_containing(&cfg, src, "a = 1");
+        let mut count = 0;
+        walk(&cfg, start, Dir::Fwd, 2, |_, _| {
+            count += 1;
+            Step::Continue
+        });
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn stop_blocks_expansion() {
+        let src = "void f(int a) { a = 1; a = 2; a = 3; }";
+        let cfg = cfg_of(src);
+        let start = node_containing(&cfg, src, "a = 1");
+        let mut seen = Vec::new();
+        walk(&cfg, start, Dir::Fwd, 10, |n, _| {
+            seen.push(cfg.node(n).span.slice(src).to_string());
+            if cfg.node(n).span.slice(src).contains("a = 2") {
+                Step::Stop
+            } else {
+                Step::Continue
+            }
+        });
+        assert_eq!(seen, vec!["a = 2;".to_string()]);
+    }
+
+    #[test]
+    fn branches_explored_both_sides() {
+        let src = "void f(int a) { a = 0; if (a) { a = 1; } else { a = 2; } }";
+        let cfg = cfg_of(src);
+        let start = node_containing(&cfg, src, "a = 0");
+        let mut stmts = Vec::new();
+        walk(&cfg, start, Dir::Fwd, 10, |n, d| {
+            if matches!(cfg.node(n).kind, NodeKind::Expr(_)) {
+                stmts.push((cfg.node(n).span.slice(src).to_string(), d));
+            }
+            Step::Continue
+        });
+        // Both branch arms are distance 2 (condition is distance 1).
+        assert!(stmts.contains(&("a = 1;".to_string(), 2)));
+        assert!(stmts.contains(&("a = 2;".to_string(), 2)));
+    }
+
+    #[test]
+    fn loop_does_not_revisit() {
+        let src = "void f(int n) { n = 0; while (n < 3) { n++; } n = 9; }";
+        let cfg = cfg_of(src);
+        let start = node_containing(&cfg, src, "n = 0");
+        let mut count = 0;
+        walk(&cfg, start, Dir::Fwd, 100, |_, _| {
+            count += 1;
+            Step::Continue
+        });
+        // cond, n++, n = 9 — each exactly once.
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn labels_are_free() {
+        let src = "void f(int a) { a = 1; goto out; out: a = 2; }";
+        let cfg = cfg_of(src);
+        let start = node_containing(&cfg, src, "a = 1");
+        let mut dists = Vec::new();
+        walk(&cfg, start, Dir::Fwd, 10, |n, d| {
+            if matches!(cfg.node(n).kind, NodeKind::Expr(_)) {
+                dists.push(d);
+            }
+            Step::Continue
+        });
+        // goto + label don't count: a = 2 is at distance 1.
+        assert_eq!(dists, vec![1]);
+    }
+}

@@ -1,0 +1,94 @@
+//! Front-end error types.
+//!
+//! All front-end entry points return `Result<_, Error>`; nothing in this
+//! crate panics on malformed input (the corpus generator and the paper
+//! fixtures are well-formed, but a real kernel tree is not, and a static
+//! analyzer must keep going).
+
+use crate::span::{LineCol, SourceMap, Span};
+use std::fmt;
+
+/// Phase of the front end that produced an error.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    Lex,
+    Preprocess,
+    Parse,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Phase::Lex => write!(f, "lex"),
+            Phase::Preprocess => write!(f, "preprocess"),
+            Phase::Parse => write!(f, "parse"),
+        }
+    }
+}
+
+/// A front-end diagnostic with a source location.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error {
+    pub phase: Phase,
+    pub message: String,
+    pub span: Span,
+}
+
+impl Error {
+    pub fn new(phase: Phase, message: impl Into<String>, span: Span) -> Self {
+        Error {
+            phase,
+            message: message.into(),
+            span,
+        }
+    }
+
+    pub fn lex(message: impl Into<String>, span: Span) -> Self {
+        Error::new(Phase::Lex, message, span)
+    }
+
+    pub fn pp(message: impl Into<String>, span: Span) -> Self {
+        Error::new(Phase::Preprocess, message, span)
+    }
+
+    pub fn parse(message: impl Into<String>, span: Span) -> Self {
+        Error::new(Phase::Parse, message, span)
+    }
+
+    /// Render with file/line/column against the file's source map.
+    pub fn render(&self, map: &SourceMap) -> String {
+        let LineCol { line, col } = map.lookup(self.span.lo);
+        format!(
+            "{}:{}:{}: {} error: {}",
+            map.file, line, col, self.phase, self.message
+        )
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} error at {:?}: {}", self.phase, self.span, self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_points_at_line() {
+        let map = SourceMap::new("foo.c", "int x;\nint y@;\n");
+        let err = Error::parse("unexpected `@`", Span::new(12, 13));
+        assert_eq!(err.render(&map), "foo.c:2:6: parse error: unexpected `@`");
+    }
+
+    #[test]
+    fn display_without_map() {
+        let err = Error::lex("bad char", Span::new(3, 4));
+        assert_eq!(err.to_string(), "lex error at 3..4: bad char");
+    }
+}

@@ -1,0 +1,68 @@
+//! # ckit — a kernel-C front end
+//!
+//! Lexer, preprocessor-lite, recursive-descent parser, AST, and
+//! pretty-printer for the subset of C used by Linux kernel code around
+//! memory barriers. This crate is the substrate that replaces Smatch's C
+//! front end in the OFence reproduction (see the workspace `DESIGN.md`).
+//!
+//! ```
+//! let out = ckit::parse_string("example.c", "int f(void) { return 1; }").unwrap();
+//! assert!(out.errors.is_empty());
+//! assert_eq!(out.unit.functions().count(), 1);
+//! ```
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod pp;
+pub mod pretty;
+pub mod span;
+pub mod token;
+
+pub use ast::TranslationUnit;
+pub use error::{Error, Result};
+pub use parser::{ParseOutput, ParserConfig};
+pub use pp::{PpConfig, PpOutput};
+pub use span::{SourceMap, Span};
+
+/// A fully parsed source file: AST, source map, recovered errors, and the
+/// original text (kept for span-based patch synthesis).
+#[derive(Clone, Debug)]
+pub struct ParsedFile {
+    pub unit: TranslationUnit,
+    pub map: SourceMap,
+    pub source: String,
+    pub errors: Vec<Error>,
+    pub includes: Vec<String>,
+}
+
+/// Front-end options bundling preprocessor and parser configuration.
+#[derive(Clone, Debug, Default)]
+pub struct FrontendConfig {
+    pub pp: PpConfig,
+    pub parser: ParserConfig,
+}
+
+/// Parse a source string with default configuration.
+///
+/// Returns `Err` only on unrecoverable lexer/preprocessor failures;
+/// item-level parse errors are recovered from and reported in
+/// [`ParseOutput::errors`] / [`ParsedFile::errors`].
+pub fn parse_string(file: &str, src: &str) -> Result<ParsedFile> {
+    parse_with(file, src, &FrontendConfig::default())
+}
+
+/// Parse a source string with explicit configuration.
+pub fn parse_with(file: &str, src: &str, config: &FrontendConfig) -> Result<ParsedFile> {
+    let tokens = lexer::lex(src)?;
+    let ppo = pp::preprocess(tokens, &config.pp)?;
+    let out = parser::parse_tokens(ppo.tokens, &config.parser);
+    Ok(ParsedFile {
+        unit: out.unit,
+        map: SourceMap::new(file, src),
+        source: src.to_string(),
+        errors: out.errors,
+        includes: ppo.includes,
+    })
+}

@@ -1,0 +1,423 @@
+//! Expression parsing — precedence climbing over the full C operator set.
+
+use super::Parser;
+use crate::ast::*;
+use crate::error::{Error, Result};
+#[cfg(test)]
+use crate::span::Span;
+use crate::token::TokenKind;
+
+impl Parser {
+    /// Full expression, including the comma operator.
+    pub(crate) fn parse_expr(&mut self) -> Result<Expr> {
+        let first = self.parse_assignment()?;
+        if self.at(&TokenKind::Comma) {
+            let mut expr = first;
+            while self.eat(&TokenKind::Comma) {
+                let rhs = self.parse_assignment()?;
+                let span = expr.span.to(rhs.span);
+                expr = Expr {
+                    kind: ExprKind::Comma(Box::new(expr), Box::new(rhs)),
+                    span,
+                };
+            }
+            return Ok(expr);
+        }
+        Ok(first)
+    }
+
+    /// Assignment expression (no top-level comma) — the grammar production
+    /// used for call arguments and initializers.
+    pub(crate) fn parse_assignment(&mut self) -> Result<Expr> {
+        let lhs = self.parse_conditional()?;
+        let op = match self.peek() {
+            TokenKind::Assign => AssignOp::Assign,
+            TokenKind::PlusEq => AssignOp::Add,
+            TokenKind::MinusEq => AssignOp::Sub,
+            TokenKind::StarEq => AssignOp::Mul,
+            TokenKind::SlashEq => AssignOp::Div,
+            TokenKind::PercentEq => AssignOp::Rem,
+            TokenKind::AmpEq => AssignOp::BitAnd,
+            TokenKind::PipeEq => AssignOp::BitOr,
+            TokenKind::CaretEq => AssignOp::BitXor,
+            TokenKind::ShlEq => AssignOp::Shl,
+            TokenKind::ShrEq => AssignOp::Shr,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.parse_assignment()?; // right-associative
+        let span = lhs.span.to(rhs.span);
+        Ok(Expr {
+            kind: ExprKind::Assign(op, Box::new(lhs), Box::new(rhs)),
+            span,
+        })
+    }
+
+    /// Conditional (ternary) expression; also the "constant expression"
+    /// production used by enum values, case labels, bitfields.
+    pub(crate) fn parse_conditional(&mut self) -> Result<Expr> {
+        let cond = self.parse_binary(0)?;
+        if !self.eat(&TokenKind::Question) {
+            return Ok(cond);
+        }
+        let then_expr = self.parse_expr()?;
+        self.expect(&TokenKind::Colon)?;
+        let else_expr = self.parse_assignment()?;
+        let span = cond.span.to(else_expr.span);
+        Ok(Expr {
+            kind: ExprKind::Ternary {
+                cond: Box::new(cond),
+                then_expr: Box::new(then_expr),
+                else_expr: Box::new(else_expr),
+            },
+            span,
+        })
+    }
+
+    fn binop(kind: &TokenKind) -> Option<(BinOp, u8)> {
+        use TokenKind::*;
+        Some(match kind {
+            PipePipe => (BinOp::Or, 1),
+            AmpAmp => (BinOp::And, 2),
+            Pipe => (BinOp::BitOr, 3),
+            Caret => (BinOp::BitXor, 4),
+            Amp => (BinOp::BitAnd, 5),
+            EqEq => (BinOp::Eq, 6),
+            Ne => (BinOp::Ne, 6),
+            Lt => (BinOp::Lt, 7),
+            Gt => (BinOp::Gt, 7),
+            Le => (BinOp::Le, 7),
+            Ge => (BinOp::Ge, 7),
+            Shl => (BinOp::Shl, 8),
+            Shr => (BinOp::Shr, 8),
+            Plus => (BinOp::Add, 9),
+            Minus => (BinOp::Sub, 9),
+            Star => (BinOp::Mul, 10),
+            Slash => (BinOp::Div, 10),
+            Percent => (BinOp::Rem, 10),
+            _ => return None,
+        })
+    }
+
+    fn parse_binary(&mut self, min_bp: u8) -> Result<Expr> {
+        let mut lhs = self.parse_unary()?;
+        while let Some((op, bp)) = Self::binop(self.peek()) {
+            if bp < min_bp {
+                break;
+            }
+            self.bump();
+            let rhs = self.parse_binary(bp + 1)?;
+            let span = lhs.span.to(rhs.span);
+            lhs = Expr {
+                kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)),
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr> {
+        let start = self.span();
+        let op = match self.peek() {
+            TokenKind::Minus => Some(UnOp::Neg),
+            TokenKind::Plus => Some(UnOp::Plus),
+            TokenKind::Bang => Some(UnOp::Not),
+            TokenKind::Tilde => Some(UnOp::BitNot),
+            TokenKind::Star => Some(UnOp::Deref),
+            TokenKind::Amp => Some(UnOp::Addr),
+            TokenKind::PlusPlus => Some(UnOp::PreInc),
+            TokenKind::MinusMinus => Some(UnOp::PreDec),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let operand = self.parse_unary()?;
+            let span = start.to(operand.span);
+            return Ok(Expr {
+                kind: ExprKind::Unary(op, Box::new(operand)),
+                span,
+            });
+        }
+        if self.at_ident("sizeof") {
+            self.bump();
+            if self.at(&TokenKind::LParen) && self.type_in_parens() {
+                self.bump();
+                let (base, _) = self.parse_decl_specifiers()?;
+                let (_, ty, _) = self.parse_declarator(base)?;
+                let end = self.expect(&TokenKind::RParen)?;
+                return Ok(Expr {
+                    kind: ExprKind::SizeofType(ty),
+                    span: start.to(end),
+                });
+            }
+            let operand = self.parse_unary()?;
+            let span = start.to(operand.span);
+            return Ok(Expr {
+                kind: ExprKind::SizeofExpr(Box::new(operand)),
+                span,
+            });
+        }
+        // Cast or compound literal: `(type) expr` / `(type){...}`.
+        if self.at(&TokenKind::LParen) && self.type_in_parens() {
+            self.bump();
+            let (base, _) = self.parse_decl_specifiers()?;
+            let (_, ty, _) = self.parse_declarator(base)?;
+            self.expect(&TokenKind::RParen)?;
+            if self.at(&TokenKind::LBrace) {
+                let init = self.parse_initializer()?;
+                let span = start.to(init.span);
+                return Ok(Expr {
+                    kind: ExprKind::Cast(ty, Box::new(init)),
+                    span,
+                });
+            }
+            let operand = self.parse_unary()?;
+            let span = start.to(operand.span);
+            return Ok(Expr {
+                kind: ExprKind::Cast(ty, Box::new(operand)),
+                span,
+            });
+        }
+        self.parse_postfix()
+    }
+
+    /// Lookahead: do the tokens after the current `(` start a type?
+    fn type_in_parens(&self) -> bool {
+        let next = self.peek_n(1);
+        let Some(name) = next.ident() else {
+            return false;
+        };
+        let typeish = matches!(
+            name,
+            "void" | "char" | "short" | "int" | "long" | "float" | "double"
+                | "signed" | "unsigned" | "bool" | "_Bool" | "struct" | "union"
+                | "enum" | "const" | "volatile"
+        ) || self.typedefs.contains(name);
+        if !typeish {
+            return false;
+        }
+        // Guard against a parenthesized expression whose first identifier
+        // happens to be a shadowing variable: a cast's type is followed by
+        // `*`, `)`, an identifier (struct tag), or another specifier.
+        match name {
+            "struct" | "union" | "enum" => true,
+            _ => !matches!(
+                self.peek_n(2),
+                TokenKind::Dot
+                    | TokenKind::Arrow
+                    | TokenKind::LBracket
+                    | TokenKind::PlusPlus
+                    | TokenKind::MinusMinus
+                    | TokenKind::Assign
+                    | TokenKind::Plus
+                    | TokenKind::Minus
+                    | TokenKind::Slash
+                    | TokenKind::Percent
+                    | TokenKind::EqEq
+                    | TokenKind::Ne
+                    | TokenKind::Lt
+                    | TokenKind::Gt
+                    | TokenKind::Le
+                    | TokenKind::Ge
+                    | TokenKind::AmpAmp
+                    | TokenKind::PipePipe
+                    | TokenKind::Question
+                    | TokenKind::Comma
+            ),
+        }
+    }
+
+    fn parse_postfix(&mut self) -> Result<Expr> {
+        let mut expr = self.parse_primary()?;
+        loop {
+            match self.peek() {
+                TokenKind::LParen => {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if !self.at(&TokenKind::RParen) {
+                        loop {
+                            args.push(self.parse_assignment()?);
+                            if !self.eat(&TokenKind::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    let end = self.expect(&TokenKind::RParen)?;
+                    let span = expr.span.to(end);
+                    expr = Expr {
+                        kind: ExprKind::Call {
+                            callee: Box::new(expr),
+                            args,
+                        },
+                        span,
+                    };
+                }
+                TokenKind::LBracket => {
+                    self.bump();
+                    let index = self.parse_expr()?;
+                    let end = self.expect(&TokenKind::RBracket)?;
+                    let span = expr.span.to(end);
+                    expr = Expr {
+                        kind: ExprKind::Index(Box::new(expr), Box::new(index)),
+                        span,
+                    };
+                }
+                TokenKind::Dot | TokenKind::Arrow => {
+                    let arrow = self.at(&TokenKind::Arrow);
+                    self.bump();
+                    let (field, fspan) = self.expect_ident()?;
+                    let span = expr.span.to(fspan);
+                    expr = Expr {
+                        kind: ExprKind::Member {
+                            base: Box::new(expr),
+                            field,
+                            arrow,
+                        },
+                        span,
+                    };
+                }
+                TokenKind::PlusPlus => {
+                    let end = self.span();
+                    self.bump();
+                    let span = expr.span.to(end);
+                    expr = Expr {
+                        kind: ExprKind::Post(PostOp::Inc, Box::new(expr)),
+                        span,
+                    };
+                }
+                TokenKind::MinusMinus => {
+                    let end = self.span();
+                    self.bump();
+                    let span = expr.span.to(end);
+                    expr = Expr {
+                        kind: ExprKind::Post(PostOp::Dec, Box::new(expr)),
+                        span,
+                    };
+                }
+                _ => break,
+            }
+        }
+        Ok(expr)
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr> {
+        let span = self.span();
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                if crate::token::is_keyword(&name) && name != "sizeof" {
+                    return Err(Error::parse(
+                        format!("unexpected keyword `{name}` in expression"),
+                        span,
+                    ));
+                }
+                self.bump();
+                Ok(Expr {
+                    kind: ExprKind::Ident(name),
+                    span,
+                })
+            }
+            TokenKind::Int { raw, value } => {
+                self.bump();
+                Ok(Expr {
+                    kind: ExprKind::IntLit { raw, value },
+                    span,
+                })
+            }
+            TokenKind::Float(raw) => {
+                self.bump();
+                Ok(Expr {
+                    kind: ExprKind::FloatLit(raw),
+                    span,
+                })
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                // Adjacent string literals concatenate.
+                let mut text = s;
+                while let TokenKind::Str(next) = self.peek() {
+                    text.push_str(next);
+                    self.bump();
+                }
+                Ok(Expr {
+                    kind: ExprKind::StrLit(text),
+                    span: span.to(self.prev_span()),
+                })
+            }
+            TokenKind::Char(c) => {
+                self.bump();
+                Ok(Expr {
+                    kind: ExprKind::CharLit(c),
+                    span,
+                })
+            }
+            TokenKind::LParen => {
+                self.bump();
+                // GNU statement expression `({ ... })`.
+                if self.at(&TokenKind::LBrace) {
+                    self.bump();
+                    let stmts = self.parse_block_stmts()?;
+                    let end = self.expect(&TokenKind::RParen)?;
+                    return Ok(Expr {
+                        kind: ExprKind::StmtExpr(stmts),
+                        span: span.to(end),
+                    });
+                }
+                let inner = self.parse_expr()?;
+                let end = self.expect(&TokenKind::RParen)?;
+                Ok(Expr {
+                    kind: inner.kind,
+                    span: span.to(end),
+                })
+            }
+            TokenKind::LBrace => self.parse_initializer(),
+            other => Err(Error::parse(
+                format!("expected expression, found {}", other.describe()),
+                span,
+            )),
+        }
+    }
+
+    /// Initializer: either a plain assignment expression or a brace list
+    /// with optional designators.
+    pub(crate) fn parse_initializer(&mut self) -> Result<Expr> {
+        if !self.at(&TokenKind::LBrace) {
+            return self.parse_assignment();
+        }
+        let start = self.span();
+        self.bump();
+        let mut inits = Vec::new();
+        while !self.at(&TokenKind::RBrace) && !self.at_eof() {
+            let designator = if self.at(&TokenKind::Dot) {
+                self.bump();
+                let (name, _) = self.expect_ident()?;
+                self.expect(&TokenKind::Assign)?;
+                Some(name)
+            } else if self.at(&TokenKind::LBracket) {
+                // `[idx] = val` array designator: record no field name.
+                self.bump();
+                let _ = self.parse_conditional()?;
+                self.expect(&TokenKind::RBracket)?;
+                self.expect(&TokenKind::Assign)?;
+                None
+            } else {
+                None
+            };
+            let value = self.parse_initializer()?;
+            inits.push(Initializer { designator, value });
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        let end = self.expect(&TokenKind::RBrace)?;
+        Ok(Expr {
+            kind: ExprKind::InitList(inits),
+            span: start.to(end),
+        })
+    }
+
+    /// Span helper for tests.
+    #[cfg(test)]
+    pub(crate) fn _span_of(e: &Expr) -> Span {
+        e.span
+    }
+}

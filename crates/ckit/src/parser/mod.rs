@@ -1,0 +1,559 @@
+//! Recursive-descent parser for the kernel-C subset.
+//!
+//! Top-level recovery: if an item fails to parse, the error is recorded and
+//! the parser skips to a synchronization point (`;` or a balanced `}`) and
+//! continues — a static analyzer must survive files it only half
+//! understands, the way Smatch does.
+
+mod expr;
+mod stmt;
+mod types;
+
+#[cfg(test)]
+mod tests;
+
+use crate::ast::*;
+use crate::error::{Error, Result};
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+use std::collections::HashSet;
+
+/// Typedef names assumed known even without their headers: the common
+/// kernel and libc type vocabulary. Anything else can be registered through
+/// [`ParserConfig::typedefs`].
+const BUILTIN_TYPEDEFS: &[&str] = &[
+    "u8", "u16", "u32", "u64", "s8", "s16", "s32", "s64",
+    "__u8", "__u16", "__u32", "__u64", "__s8", "__s16", "__s32", "__s64",
+    "uint8_t", "uint16_t", "uint32_t", "uint64_t",
+    "int8_t", "int16_t", "int32_t", "int64_t",
+    "size_t", "ssize_t", "ptrdiff_t", "uintptr_t", "intptr_t",
+    "loff_t", "off_t", "pid_t", "gfp_t", "dma_addr_t", "phys_addr_t",
+    "atomic_t", "atomic64_t", "atomic_long_t",
+    "seqcount_t", "seqlock_t", "spinlock_t", "raw_spinlock_t", "rwlock_t",
+    "wait_queue_head_t", "completion_t", "ktime_t", "cpumask_t",
+    "bool_t", "uint", "ulong", "ushort", "uchar",
+];
+
+/// Declaration-specifier keywords and kernel annotations that we accept and
+/// discard (they never affect the barrier analysis).
+const SKIPPED_ATTRS: &[&str] = &[
+    "__rcu", "__percpu", "__user", "__iomem", "__kernel", "__force",
+    "__init", "__exit", "__initdata", "__exitdata", "__read_mostly",
+    "__always_inline", "__maybe_unused", "__must_check", "__used",
+    "__cold", "__hot", "__weak", "__packed", "__pure", "__noreturn",
+    "noinline", "asmlinkage", "__cacheline_aligned",
+    "__cacheline_aligned_in_smp", "__randomize_layout", "__visible",
+    "__ref", "__refdata", "__sched", "__latent_entropy", "__private",
+];
+
+/// Parser options.
+#[derive(Clone, Debug, Default)]
+pub struct ParserConfig {
+    /// Additional typedef names to recognize.
+    pub typedefs: Vec<String>,
+}
+
+/// Parse outcome: the (possibly partial) unit and item-level errors that
+/// were recovered from.
+#[derive(Clone, Debug)]
+pub struct ParseOutput {
+    pub unit: TranslationUnit,
+    pub errors: Vec<Error>,
+}
+
+/// Parse a preprocessed token stream.
+pub fn parse_tokens(tokens: Vec<Token>, config: &ParserConfig) -> ParseOutput {
+    let mut typedefs: HashSet<String> =
+        BUILTIN_TYPEDEFS.iter().map(|s| s.to_string()).collect();
+    typedefs.extend(config.typedefs.iter().cloned());
+    let mut p = Parser {
+        toks: tokens,
+        pos: 0,
+        typedefs,
+        errors: Vec::new(),
+        last_params: Vec::new(),
+    };
+    let unit = p.parse_unit();
+    ParseOutput {
+        unit,
+        errors: p.errors,
+    }
+}
+
+pub(crate) struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+    pub(crate) typedefs: HashSet<String>,
+    errors: Vec<Error>,
+    /// Parameters of the most recently parsed function declarator; consumed
+    /// by `take_last_params` when a declarator turns out to be a function
+    /// definition or prototype.
+    pub(crate) last_params: Vec<Param>,
+}
+
+impl Parser {
+    // ---- cursor -------------------------------------------------------
+
+    pub(crate) fn peek(&self) -> &TokenKind {
+        &self.toks[self.pos.min(self.toks.len() - 1)].kind
+    }
+
+    pub(crate) fn peek_n(&self, n: usize) -> &TokenKind {
+        &self.toks[(self.pos + n).min(self.toks.len() - 1)].kind
+    }
+
+    pub(crate) fn span(&self) -> Span {
+        self.toks[self.pos.min(self.toks.len() - 1)].span
+    }
+
+    pub(crate) fn prev_span(&self) -> Span {
+        self.toks[self.pos.saturating_sub(1).min(self.toks.len() - 1)].span
+    }
+
+    pub(crate) fn bump(&mut self) -> TokenKind {
+        let k = self.peek().clone();
+        if self.pos < self.toks.len() - 1 {
+            self.pos += 1;
+        }
+        k
+    }
+
+    pub(crate) fn at(&self, kind: &TokenKind) -> bool {
+        self.peek() == kind
+    }
+
+    pub(crate) fn at_ident(&self, name: &str) -> bool {
+        self.peek().ident() == Some(name)
+    }
+
+    pub(crate) fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.at(kind) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    pub(crate) fn eat_ident(&mut self, name: &str) -> bool {
+        if self.at_ident(name) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    pub(crate) fn expect(&mut self, kind: &TokenKind) -> Result<Span> {
+        if self.at(kind) {
+            let sp = self.span();
+            self.bump();
+            Ok(sp)
+        } else {
+            Err(Error::parse(
+                format!("expected `{}`, found {}", kind.lexeme(), self.peek().describe()),
+                self.span(),
+            ))
+        }
+    }
+
+    pub(crate) fn expect_ident(&mut self) -> Result<(String, Span)> {
+        match self.peek().clone() {
+            TokenKind::Ident(s) => {
+                let sp = self.span();
+                self.bump();
+                Ok((s, sp))
+            }
+            other => Err(Error::parse(
+                format!("expected identifier, found {}", other.describe()),
+                self.span(),
+            )),
+        }
+    }
+
+    pub(crate) fn at_eof(&self) -> bool {
+        self.peek().is_eof()
+    }
+
+    /// Skip `__attribute__((...))` and bare kernel annotation identifiers.
+    pub(crate) fn skip_attributes(&mut self) {
+        loop {
+            if self.at_ident("__attribute__") || self.at_ident("__attribute") {
+                self.bump();
+                if self.at(&TokenKind::LParen) {
+                    self.skip_balanced_parens();
+                }
+                continue;
+            }
+            // `__aligned(8)`, `__section("...")`-style annotations.
+            if let Some(name) = self.peek().ident() {
+                if matches!(name, "__aligned" | "__section" | "____cacheline_aligned")
+                    && self.peek_n(1) == &TokenKind::LParen
+                {
+                    self.bump();
+                    self.skip_balanced_parens();
+                    continue;
+                }
+                if SKIPPED_ATTRS.contains(&name) {
+                    self.bump();
+                    continue;
+                }
+            }
+            break;
+        }
+    }
+
+    fn skip_balanced_parens(&mut self) {
+        debug_assert!(self.at(&TokenKind::LParen));
+        let mut depth = 0usize;
+        loop {
+            match self.peek() {
+                TokenKind::LParen => depth += 1,
+                TokenKind::RParen => {
+                    depth -= 1;
+                    if depth == 0 {
+                        self.bump();
+                        return;
+                    }
+                }
+                TokenKind::Eof => return,
+                _ => {}
+            }
+            self.bump();
+        }
+    }
+
+    // ---- items --------------------------------------------------------
+
+    fn parse_unit(&mut self) -> TranslationUnit {
+        let mut items = Vec::new();
+        while !self.at_eof() {
+            let before = self.pos;
+            match self.parse_item() {
+                Ok(mut new_items) => items.append(&mut new_items),
+                Err(e) => {
+                    self.errors.push(e);
+                    self.recover_item(before);
+                }
+            }
+        }
+        TranslationUnit { items }
+    }
+
+    /// Skip to the next plausible item start after a parse error.
+    fn recover_item(&mut self, before: usize) {
+        if self.pos == before {
+            self.bump(); // guarantee progress
+        }
+        let mut depth = 0usize;
+        while !self.at_eof() {
+            match self.peek() {
+                TokenKind::LBrace => depth += 1,
+                TokenKind::RBrace => {
+                    if depth <= 1 {
+                        self.bump();
+                        self.eat(&TokenKind::Semi);
+                        return;
+                    }
+                    depth -= 1;
+                }
+                TokenKind::Semi if depth == 0 => {
+                    self.bump();
+                    return;
+                }
+                _ => {}
+            }
+            self.bump();
+        }
+    }
+
+    /// Parse one top-level item. May produce several AST items (e.g.
+    /// `struct s { ... } v;` yields a struct def and a global).
+    fn parse_item(&mut self) -> Result<Vec<Item>> {
+        self.skip_attributes();
+        if self.eat(&TokenKind::Semi) {
+            return Ok(vec![]);
+        }
+        // `typedef ...`
+        if self.at_ident("typedef") {
+            return self.parse_typedef().map(|t| vec![Item::Typedef(t)]);
+        }
+        // struct/union/enum definitions (possibly with trailing declarators).
+        if self.at_ident("struct") || self.at_ident("union") || self.at_ident("enum") {
+            if let Some(items) = self.try_parse_tag_definition()? {
+                return Ok(items);
+            }
+        }
+        // Everything else: specifiers + declarator(s) → function or global.
+        self.parse_function_or_global()
+    }
+
+    fn parse_typedef(&mut self) -> Result<Typedef> {
+        let start = self.span();
+        self.bump(); // typedef
+        let (base, _flags) = self.parse_decl_specifiers()?;
+        let (name, ty, _dspan) = self.parse_declarator(base.clone())?;
+        let span = start.to(self.span());
+        self.expect(&TokenKind::Semi)?;
+        if name.is_empty() {
+            return Err(Error::parse("typedef without a name", span));
+        }
+        self.typedefs.insert(name.clone());
+        Ok(Typedef { name, ty, span })
+    }
+
+    /// Try to parse `struct X { ... } [declarators] ;` or `enum X { ... };`.
+    /// Returns `None` if this is just a type reference (`struct X *p = ...`),
+    /// letting the general declaration path handle it.
+    fn try_parse_tag_definition(&mut self) -> Result<Option<Vec<Item>>> {
+        let start = self.span();
+        let keyword = self.peek().ident().unwrap_or("").to_string();
+        // Lookahead: `struct [name] {` is a definition.
+        let (name_off, has_name) = match self.peek_n(1) {
+            TokenKind::Ident(_) => (1, true),
+            _ => (0, false),
+        };
+        let brace_off = if has_name { 2 } else { 1 };
+        if self.peek_n(brace_off) != &TokenKind::LBrace {
+            return Ok(None);
+        }
+        self.bump(); // struct/union/enum
+        let name = if has_name {
+            let _ = name_off;
+            let (n, _) = self.expect_ident()?;
+            n
+        } else {
+            String::new()
+        };
+        self.expect(&TokenKind::LBrace)?;
+        let mut items = Vec::new();
+        if keyword == "enum" {
+            let variants = self.parse_enum_body()?;
+            let span = start.to(self.prev_span());
+            items.push(Item::Enum(EnumDef {
+                name: name.clone(),
+                variants,
+                span,
+            }));
+        } else {
+            let fields = self.parse_struct_body()?;
+            let span = start.to(self.prev_span());
+            items.push(Item::Struct(StructDef {
+                name: name.clone(),
+                is_union: keyword == "union",
+                fields,
+                span,
+            }));
+        }
+        self.skip_attributes();
+        // Optional trailing declarators: `struct s { ... } a, *b;`
+        if !self.at(&TokenKind::Semi) {
+            let base = if keyword == "enum" {
+                Type::Enum(name)
+            } else {
+                Type::Struct {
+                    name,
+                    is_union: keyword == "union",
+                }
+            };
+            let decl = self.parse_declarator_list(base, start)?;
+            items.push(Item::Global(decl));
+        }
+        self.expect(&TokenKind::Semi)?;
+        Ok(Some(items))
+    }
+
+    pub(crate) fn parse_struct_body(&mut self) -> Result<Vec<FieldDecl>> {
+        let mut fields = Vec::new();
+        while !self.at(&TokenKind::RBrace) && !self.at_eof() {
+            self.skip_attributes();
+            if self.eat(&TokenKind::Semi) {
+                continue;
+            }
+            // Anonymous nested struct/union: flatten its fields, matching
+            // how C name lookup works for anonymous members.
+            if (self.at_ident("struct") || self.at_ident("union"))
+                && self.peek_n(1) == &TokenKind::LBrace
+            {
+                self.bump();
+                self.expect(&TokenKind::LBrace)?;
+                let inner = self.parse_struct_body()?;
+                self.skip_attributes();
+                if self.at(&TokenKind::Semi) {
+                    // truly anonymous: flatten
+                    fields.extend(inner);
+                    self.bump();
+                } else {
+                    // named member of anonymous struct type: keep the member
+                    let (mname, msp) = self.expect_ident()?;
+                    fields.push(FieldDecl {
+                        name: mname,
+                        ty: Type::Struct {
+                            name: String::new(),
+                            is_union: false,
+                        },
+                        span: msp,
+                    });
+                    self.expect(&TokenKind::Semi)?;
+                }
+                continue;
+            }
+            let (base, _) = self.parse_decl_specifiers()?;
+            loop {
+                let (name, ty, dspan) = self.parse_declarator(base.clone())?;
+                // Bitfield `int x : 3;`
+                if self.eat(&TokenKind::Colon) {
+                    let _width = self.parse_conditional()?;
+                }
+                if !name.is_empty() {
+                    fields.push(FieldDecl {
+                        name,
+                        ty,
+                        span: dspan,
+                    });
+                }
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(&TokenKind::Semi)?;
+        }
+        self.expect(&TokenKind::RBrace)?;
+        Ok(fields)
+    }
+
+    fn parse_enum_body(&mut self) -> Result<Vec<(String, Option<Expr>)>> {
+        let mut variants = Vec::new();
+        while !self.at(&TokenKind::RBrace) && !self.at_eof() {
+            let (name, _) = self.expect_ident()?;
+            let value = if self.eat(&TokenKind::Assign) {
+                Some(self.parse_conditional()?)
+            } else {
+                None
+            };
+            variants.push((name, value));
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(&TokenKind::RBrace)?;
+        Ok(variants)
+    }
+
+    fn parse_function_or_global(&mut self) -> Result<Vec<Item>> {
+        let start = self.span();
+        let (base, flags) = self.parse_decl_specifiers()?;
+        // `int;` — pointless but legal-ish; skip.
+        if self.eat(&TokenKind::Semi) {
+            return Ok(vec![]);
+        }
+        let (name, ty, _dspan) = self.parse_declarator(base.clone())?;
+        self.skip_attributes();
+        // Function definition?
+        if let Type::Func {
+            ret,
+            params: ptypes,
+            variadic,
+        } = &ty
+        {
+            if self.at(&TokenKind::LBrace) {
+                let params = self.take_last_params(ptypes.len());
+                let sig = FunctionSig {
+                    name,
+                    ret: (**ret).clone(),
+                    params,
+                    variadic: *variadic,
+                    is_static: flags.is_static,
+                    is_inline: flags.is_inline,
+                    span: start.to(self.prev_span()),
+                };
+                let body_start = self.span();
+                self.expect(&TokenKind::LBrace)?;
+                let body = self.parse_block_stmts()?;
+                let span = start.to(self.prev_span());
+                let _ = body_start;
+                return Ok(vec![Item::Function(FunctionDef { sig, body, span })]);
+            }
+            // Prototype.
+            if self.at(&TokenKind::Semi) {
+                self.bump();
+                let params = self.take_last_params(ptypes.len());
+                return Ok(vec![Item::Prototype(FunctionSig {
+                    name,
+                    ret: (**ret).clone(),
+                    params,
+                    variadic: *variadic,
+                    is_static: flags.is_static,
+                    is_inline: flags.is_inline,
+                    span: start.to(self.prev_span()),
+                })]);
+            }
+        }
+        // Global variable(s).
+        let init = if self.eat(&TokenKind::Assign) {
+            Some(self.parse_initializer()?)
+        } else {
+            None
+        };
+        let mut decls = vec![Declarator {
+            name,
+            ty,
+            init,
+            span: start.to(self.prev_span()),
+        }];
+        while self.eat(&TokenKind::Comma) {
+            let (n2, t2, sp2) = self.parse_declarator(base.clone())?;
+            let init2 = if self.eat(&TokenKind::Assign) {
+                Some(self.parse_initializer()?)
+            } else {
+                None
+            };
+            decls.push(Declarator {
+                name: n2,
+                ty: t2,
+                init: init2,
+                span: sp2,
+            });
+        }
+        self.expect(&TokenKind::Semi)?;
+        Ok(vec![Item::Global(DeclStmt {
+            decls,
+            span: start.to(self.prev_span()),
+        })])
+    }
+
+    /// Parse `base d1 [, d2]* ;`-style declarator lists (used after a tag
+    /// definition). Does not consume the trailing `;`.
+    fn parse_declarator_list(&mut self, base: Type, start: Span) -> Result<DeclStmt> {
+        let mut decls = Vec::new();
+        loop {
+            let (name, ty, dspan) = self.parse_declarator(base.clone())?;
+            let init = if self.eat(&TokenKind::Assign) {
+                Some(self.parse_initializer()?)
+            } else {
+                None
+            };
+            decls.push(Declarator {
+                name,
+                ty,
+                init,
+                span: dspan,
+            });
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        Ok(DeclStmt {
+            decls,
+            span: start.to(self.prev_span()),
+        })
+    }
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct SpecFlags {
+    pub is_static: bool,
+    pub is_inline: bool,
+    pub is_extern: bool,
+    pub is_typedef: bool,
+}

@@ -1,0 +1,393 @@
+//! Statement parsing.
+
+use super::Parser;
+use crate::ast::*;
+use crate::error::Result;
+use crate::token::TokenKind;
+
+impl Parser {
+    /// Parse statements until the closing `}` of the current block (the
+    /// opening brace has been consumed by the caller).
+    pub(crate) fn parse_block_stmts(&mut self) -> Result<Vec<Stmt>> {
+        let mut stmts = Vec::new();
+        while !self.at(&TokenKind::RBrace) && !self.at_eof() {
+            stmts.push(self.parse_stmt()?);
+        }
+        self.expect(&TokenKind::RBrace)?;
+        Ok(stmts)
+    }
+
+    pub(crate) fn parse_stmt(&mut self) -> Result<Stmt> {
+        let start = self.span();
+        // Label: `name: stmt` (but not `default:` which is handled below,
+        // and not ternary — a label is an identifier directly followed by
+        // `:` at statement position).
+        if let TokenKind::Ident(name) = self.peek() {
+            if !crate::token::is_keyword(name) && self.peek_n(1) == &TokenKind::Colon {
+                let name = name.clone();
+                self.bump();
+                self.bump();
+                // A label can end a block: `out: ;` or `out: }`. Treat a
+                // following `}` as labeling an empty statement.
+                let stmt = if self.at(&TokenKind::RBrace) {
+                    Stmt {
+                        kind: StmtKind::Empty,
+                        span: self.prev_span(),
+                    }
+                } else {
+                    self.parse_stmt()?
+                };
+                let span = start.to(stmt.span);
+                return Ok(Stmt {
+                    kind: StmtKind::Label {
+                        name,
+                        stmt: Box::new(stmt),
+                    },
+                    span,
+                });
+            }
+        }
+        if self.at(&TokenKind::LBrace) {
+            self.bump();
+            let stmts = self.parse_block_stmts()?;
+            return Ok(Stmt {
+                kind: StmtKind::Block(stmts),
+                span: start.to(self.prev_span()),
+            });
+        }
+        if self.eat(&TokenKind::Semi) {
+            return Ok(Stmt {
+                kind: StmtKind::Empty,
+                span: start,
+            });
+        }
+        if let Some(kw) = self.peek().ident() {
+            match kw {
+                "asm" | "__asm__" | "__asm" => return self.parse_asm(),
+                "if" => return self.parse_if(),
+                "while" => return self.parse_while(),
+                "do" => return self.parse_do_while(),
+                "for" => return self.parse_for(),
+                "switch" => return self.parse_switch(),
+                "case" => {
+                    self.bump();
+                    let value = self.parse_conditional()?;
+                    // GNU case ranges `case A ... B:` — keep the low bound.
+                    if self.at(&TokenKind::Ellipsis) {
+                        self.bump();
+                        let _ = self.parse_conditional()?;
+                    }
+                    self.expect(&TokenKind::Colon)?;
+                    let stmt = if self.at(&TokenKind::RBrace) {
+                        Stmt {
+                            kind: StmtKind::Empty,
+                            span: self.prev_span(),
+                        }
+                    } else {
+                        self.parse_stmt()?
+                    };
+                    let span = start.to(stmt.span);
+                    return Ok(Stmt {
+                        kind: StmtKind::Case {
+                            value: Some(value),
+                            stmt: Box::new(stmt),
+                        },
+                        span,
+                    });
+                }
+                "default" => {
+                    self.bump();
+                    self.expect(&TokenKind::Colon)?;
+                    let stmt = if self.at(&TokenKind::RBrace) {
+                        Stmt {
+                            kind: StmtKind::Empty,
+                            span: self.prev_span(),
+                        }
+                    } else {
+                        self.parse_stmt()?
+                    };
+                    let span = start.to(stmt.span);
+                    return Ok(Stmt {
+                        kind: StmtKind::Case {
+                            value: None,
+                            stmt: Box::new(stmt),
+                        },
+                        span,
+                    });
+                }
+                "goto" => {
+                    self.bump();
+                    let (label, _) = self.expect_ident()?;
+                    let span = start.to(self.span());
+                    self.expect(&TokenKind::Semi)?;
+                    return Ok(Stmt {
+                        kind: StmtKind::Goto(label),
+                        span,
+                    });
+                }
+                "return" => {
+                    self.bump();
+                    let value = if self.at(&TokenKind::Semi) {
+                        None
+                    } else {
+                        Some(self.parse_expr()?)
+                    };
+                    let span = start.to(self.span());
+                    self.expect(&TokenKind::Semi)?;
+                    return Ok(Stmt {
+                        kind: StmtKind::Return(value),
+                        span,
+                    });
+                }
+                "break" => {
+                    self.bump();
+                    let span = start.to(self.span());
+                    self.expect(&TokenKind::Semi)?;
+                    return Ok(Stmt {
+                        kind: StmtKind::Break,
+                        span,
+                    });
+                }
+                "continue" => {
+                    self.bump();
+                    let span = start.to(self.span());
+                    self.expect(&TokenKind::Semi)?;
+                    return Ok(Stmt {
+                        kind: StmtKind::Continue,
+                        span,
+                    });
+                }
+                _ => {}
+            }
+        }
+        // Declaration?
+        if self.at_decl_start() && !self.at_ident("sizeof") {
+            let decl = self.parse_local_decl()?;
+            let span = decl.span;
+            return Ok(Stmt {
+                kind: StmtKind::Decl(decl),
+                span,
+            });
+        }
+        // Expression statement.
+        let expr = self.parse_expr()?;
+        let span = start.to(self.span());
+        self.expect(&TokenKind::Semi)?;
+        Ok(Stmt {
+            kind: StmtKind::Expr(expr),
+            span,
+        })
+    }
+
+    pub(crate) fn parse_local_decl(&mut self) -> Result<DeclStmt> {
+        let start = self.span();
+        let (base, _flags) = self.parse_decl_specifiers()?;
+        let mut decls = Vec::new();
+        loop {
+            let (name, ty, dspan) = self.parse_declarator(base.clone())?;
+            let init = if self.eat(&TokenKind::Assign) {
+                Some(self.parse_initializer()?)
+            } else {
+                None
+            };
+            decls.push(Declarator {
+                name,
+                ty,
+                init,
+                span: dspan,
+            });
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        let span = start.to(self.span());
+        self.expect(&TokenKind::Semi)?;
+        Ok(DeclStmt { decls, span })
+    }
+
+    /// `asm [volatile|goto] ( ... ) ;` — the parenthesized blob is kept as
+    /// raw token text.
+    fn parse_asm(&mut self) -> Result<Stmt> {
+        let start = self.span();
+        self.bump(); // asm
+        let mut volatile = false;
+        while let Some(q) = self.peek().ident() {
+            match q {
+                "volatile" | "__volatile__" | "__volatile" => {
+                    volatile = true;
+                    self.bump();
+                }
+                "goto" | "inline" => {
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+        self.expect(&TokenKind::LParen)?;
+        let mut body = String::new();
+        let mut depth = 1usize;
+        loop {
+            match self.peek() {
+                TokenKind::LParen => depth += 1,
+                TokenKind::RParen => {
+                    depth -= 1;
+                    if depth == 0 {
+                        self.bump();
+                        break;
+                    }
+                }
+                TokenKind::Eof => {
+                    return Err(crate::error::Error::parse(
+                        "unterminated asm statement",
+                        start,
+                    ))
+                }
+                _ => {}
+            }
+            let span = self.span();
+            let k = self.bump();
+            if !body.is_empty() {
+                body.push(' ');
+            }
+            match &k {
+                TokenKind::Ident(s) => body.push_str(s),
+                TokenKind::Str(s) => body.push_str(s),
+                TokenKind::Int { raw, .. } => body.push_str(raw),
+                other => body.push_str(other.lexeme()),
+            }
+            let _ = span;
+        }
+        let span = start.to(self.span());
+        self.expect(&TokenKind::Semi)?;
+        Ok(Stmt {
+            kind: StmtKind::Asm { volatile, body },
+            span,
+        })
+    }
+
+    fn parse_if(&mut self) -> Result<Stmt> {
+        let start = self.span();
+        self.bump(); // if
+        self.expect(&TokenKind::LParen)?;
+        let cond = self.parse_expr()?;
+        self.expect(&TokenKind::RParen)?;
+        let then_branch = Box::new(self.parse_stmt()?);
+        let else_branch = if self.at_ident("else") {
+            self.bump();
+            Some(Box::new(self.parse_stmt()?))
+        } else {
+            None
+        };
+        let span = start.to(
+            else_branch
+                .as_ref()
+                .map(|e| e.span)
+                .unwrap_or(then_branch.span),
+        );
+        Ok(Stmt {
+            kind: StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            },
+            span,
+        })
+    }
+
+    fn parse_while(&mut self) -> Result<Stmt> {
+        let start = self.span();
+        self.bump(); // while
+        self.expect(&TokenKind::LParen)?;
+        let cond = self.parse_expr()?;
+        self.expect(&TokenKind::RParen)?;
+        let body = Box::new(self.parse_stmt()?);
+        let span = start.to(body.span);
+        Ok(Stmt {
+            kind: StmtKind::While { cond, body },
+            span,
+        })
+    }
+
+    fn parse_do_while(&mut self) -> Result<Stmt> {
+        let start = self.span();
+        self.bump(); // do
+        let body = Box::new(self.parse_stmt()?);
+        if !self.eat_ident("while") {
+            return Err(crate::error::Error::parse(
+                "expected `while` after do-block",
+                self.span(),
+            ));
+        }
+        self.expect(&TokenKind::LParen)?;
+        let cond = self.parse_expr()?;
+        self.expect(&TokenKind::RParen)?;
+        let span = start.to(self.span());
+        self.expect(&TokenKind::Semi)?;
+        Ok(Stmt {
+            kind: StmtKind::DoWhile { body, cond },
+            span,
+        })
+    }
+
+    fn parse_for(&mut self) -> Result<Stmt> {
+        let start = self.span();
+        self.bump(); // for
+        self.expect(&TokenKind::LParen)?;
+        let init = if self.at(&TokenKind::Semi) {
+            self.bump();
+            None
+        } else if self.at_decl_start() {
+            let d = self.parse_local_decl()?;
+            let span = d.span;
+            Some(Box::new(Stmt {
+                kind: StmtKind::Decl(d),
+                span,
+            }))
+        } else {
+            let e = self.parse_expr()?;
+            let span = e.span;
+            self.expect(&TokenKind::Semi)?;
+            Some(Box::new(Stmt {
+                kind: StmtKind::Expr(e),
+                span,
+            }))
+        };
+        let cond = if self.at(&TokenKind::Semi) {
+            None
+        } else {
+            Some(self.parse_expr()?)
+        };
+        self.expect(&TokenKind::Semi)?;
+        let step = if self.at(&TokenKind::RParen) {
+            None
+        } else {
+            Some(self.parse_expr()?)
+        };
+        self.expect(&TokenKind::RParen)?;
+        let body = Box::new(self.parse_stmt()?);
+        let span = start.to(body.span);
+        Ok(Stmt {
+            kind: StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            },
+            span,
+        })
+    }
+
+    fn parse_switch(&mut self) -> Result<Stmt> {
+        let start = self.span();
+        self.bump(); // switch
+        self.expect(&TokenKind::LParen)?;
+        let cond = self.parse_expr()?;
+        self.expect(&TokenKind::RParen)?;
+        let body = Box::new(self.parse_stmt()?);
+        let span = start.to(body.span);
+        Ok(Stmt {
+            kind: StmtKind::Switch { cond, body },
+            span,
+        })
+    }
+}

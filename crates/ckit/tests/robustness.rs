@@ -1,0 +1,84 @@
+//! Robustness properties of the front end: a static analyzer's parser
+//! must never panic, whatever bytes it is fed, and must be a projection
+//! on code it accepts.
+
+use proptest::prelude::*;
+
+/// Source-ish strings: printable ASCII with C-flavoured punctuation
+/// heavily represented.
+fn arb_source() -> impl Strategy<Value = String> {
+    let token = prop_oneof![
+        Just("int".to_string()),
+        Just("struct".to_string()),
+        Just("if".to_string()),
+        Just("return".to_string()),
+        Just("smp_wmb".to_string()),
+        Just("(".to_string()),
+        Just(")".to_string()),
+        Just("{".to_string()),
+        Just("}".to_string()),
+        Just(";".to_string()),
+        Just("*".to_string()),
+        Just("->".to_string()),
+        Just("=".to_string()),
+        Just("#define".to_string()),
+        Just("#if".to_string()),
+        Just("#endif".to_string()),
+        Just("\n".to_string()),
+        "[a-z]{1,6}",
+        "[0-9]{1,4}",
+        Just("\"str\"".to_string()),
+    ];
+    proptest::collection::vec(token, 0..60).prop_map(|v| v.join(" "))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The full front end returns Ok or Err — it never panics, loops, or
+    /// overflows on adversarial input.
+    #[test]
+    fn front_end_never_panics(src in arb_source()) {
+        let _ = ckit::parse_string("fuzz.c", &src);
+    }
+
+    /// Raw bytes (valid UTF-8 printable) are equally safe.
+    #[test]
+    fn lexer_never_panics(src in "[ -~\\n\\t]{0,200}") {
+        let _ = ckit::lexer::lex(&src);
+    }
+
+    /// Whatever parses, pretty-prints, and reparses to the same AST shape.
+    #[test]
+    fn accepted_code_roundtrips(src in arb_source()) {
+        let Ok(out) = ckit::parse_string("fuzz.c", &src) else { return Ok(()) };
+        if !out.errors.is_empty() {
+            return Ok(());
+        }
+        let printed = ckit::pretty::print_unit(&out.unit);
+        let Ok(again) = ckit::parse_string("fuzz.c", &printed) else {
+            return Err(TestCaseError::fail(format!(
+                "printed output failed the front end:\n{printed}"
+            )));
+        };
+        prop_assert!(
+            again.errors.is_empty(),
+            "printed output has parse errors: {:?}\nfrom:\n{printed}",
+            again.errors
+        );
+        let twice = ckit::pretty::print_unit(&again.unit);
+        prop_assert_eq!(printed, twice);
+    }
+
+    /// Span invariants: every top-level item's span is inside the file and
+    /// non-inverted.
+    #[test]
+    fn spans_stay_in_bounds(src in arb_source()) {
+        let Ok(out) = ckit::parse_string("fuzz.c", &src) else { return Ok(()) };
+        for item in &out.unit.items {
+            let span = item.span();
+            prop_assert!(span.lo <= span.hi);
+            prop_assert!((span.hi as usize) <= src.len());
+        }
+    }
+}

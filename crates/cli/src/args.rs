@@ -1,0 +1,215 @@
+//! Argument parsing (hand-rolled; the tool has a small, stable surface).
+
+use ofence::AnalysisConfig;
+
+pub const USAGE: &str = "\
+usage:
+  ofence analyze  <paths...> [--json] [window options]
+  ofence patch    <paths...> [--apply] [--json] [window options]
+  ofence annotate <paths...> [--apply] [--json] [window options]
+  ofence stats    <paths...> [--json] [window options]
+  ofence gen      --out DIR [--files N] [--seed S] [--bugs]
+
+window options:
+  --write-window N   statements explored around write barriers (default 5)
+  --read-window N    statements explored around read barriers (default 50)
+  --no-ipc           disable implicit wake-up barrier detection
+  --no-expand        disable callee/caller expansion";
+
+/// A parsed invocation.
+#[derive(Debug, PartialEq)]
+pub enum Command {
+    Analyze(RunOpts),
+    Patch(RunOpts),
+    Annotate(RunOpts),
+    Stats(RunOpts),
+    Gen(GenOpts),
+}
+
+/// Options shared by the analysis subcommands.
+#[derive(Debug, PartialEq)]
+pub struct RunOpts {
+    pub paths: Vec<String>,
+    pub json: bool,
+    pub apply: bool,
+    pub config: AnalysisConfig,
+}
+
+#[derive(Debug, PartialEq)]
+pub struct GenOpts {
+    pub out: String,
+    pub files: usize,
+    pub seed: u64,
+    pub with_bugs: bool,
+}
+
+pub fn parse(argv: &[String]) -> Result<Command, String> {
+    let Some(sub) = argv.first() else {
+        return Err("missing subcommand".into());
+    };
+    let rest = &argv[1..];
+    match sub.as_str() {
+        "analyze" => Ok(Command::Analyze(parse_run(rest)?)),
+        "patch" => Ok(Command::Patch(parse_run(rest)?)),
+        "annotate" => Ok(Command::Annotate(parse_run(rest)?)),
+        "stats" => Ok(Command::Stats(parse_run(rest)?)),
+        "gen" => Ok(Command::Gen(parse_gen(rest)?)),
+        "--help" | "-h" | "help" => Err("".into()),
+        other => Err(format!("unknown subcommand `{other}`")),
+    }
+}
+
+fn parse_run(argv: &[String]) -> Result<RunOpts, String> {
+    let mut opts = RunOpts {
+        paths: Vec::new(),
+        json: false,
+        apply: false,
+        config: AnalysisConfig::default(),
+    };
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--json" => opts.json = true,
+            "--apply" => opts.apply = true,
+            "--no-ipc" => opts.config.implicit_ipc = false,
+            "--no-expand" => {
+                opts.config.callee_expansion = false;
+                opts.config.caller_expansion = false;
+            }
+            "--write-window" => {
+                i += 1;
+                opts.config.write_window = num(argv.get(i), "--write-window")?;
+            }
+            "--read-window" => {
+                i += 1;
+                opts.config.read_window = num(argv.get(i), "--read-window")?;
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown option `{flag}`"));
+            }
+            path => opts.paths.push(path.to_string()),
+        }
+        i += 1;
+    }
+    if opts.paths.is_empty() {
+        return Err("no input paths given".into());
+    }
+    Ok(opts)
+}
+
+fn parse_gen(argv: &[String]) -> Result<GenOpts, String> {
+    let mut opts = GenOpts {
+        out: String::new(),
+        files: 20,
+        seed: 1,
+        with_bugs: false,
+    };
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--out" => {
+                i += 1;
+                opts.out = argv
+                    .get(i)
+                    .ok_or("--out needs a directory")?
+                    .to_string();
+            }
+            "--files" => {
+                i += 1;
+                opts.files = num(argv.get(i), "--files")? as usize;
+            }
+            "--seed" => {
+                i += 1;
+                opts.seed = num64(argv.get(i), "--seed")?;
+            }
+            "--bugs" => opts.with_bugs = true,
+            other => return Err(format!("unknown gen option `{other}`")),
+        }
+        i += 1;
+    }
+    if opts.out.is_empty() {
+        return Err("gen requires --out DIR".into());
+    }
+    Ok(opts)
+}
+
+fn num(v: Option<&String>, flag: &str) -> Result<u32, String> {
+    v.ok_or_else(|| format!("{flag} needs a number"))?
+        .parse()
+        .map_err(|_| format!("{flag} needs a number"))
+}
+
+fn num64(v: Option<&String>, flag: &str) -> Result<u64, String> {
+    v.ok_or_else(|| format!("{flag} needs a number"))?
+        .parse()
+        .map_err(|_| format!("{flag} needs a number"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn analyze_with_paths() {
+        let cmd = parse(&argv("analyze a.c dir/")).unwrap();
+        match cmd {
+            Command::Analyze(o) => {
+                assert_eq!(o.paths, vec!["a.c", "dir/"]);
+                assert!(!o.json);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn windows_override_config() {
+        let cmd = parse(&argv("stats x.c --write-window 3 --read-window 20")).unwrap();
+        match cmd {
+            Command::Stats(o) => {
+                assert_eq!(o.config.write_window, 3);
+                assert_eq!(o.config.read_window, 20);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn toggles() {
+        let cmd = parse(&argv("patch x.c --apply --no-ipc --no-expand --json")).unwrap();
+        match cmd {
+            Command::Patch(o) => {
+                assert!(o.apply && o.json);
+                assert!(!o.config.implicit_ipc);
+                assert!(!o.config.callee_expansion);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn gen_options() {
+        let cmd = parse(&argv("gen --out /tmp/x --files 5 --seed 9 --bugs")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Gen(GenOpts {
+                out: "/tmp/x".into(),
+                files: 5,
+                seed: 9,
+                with_bugs: true
+            })
+        );
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse(&argv("")).is_err());
+        assert!(parse(&argv("bogus")).is_err());
+        assert!(parse(&argv("analyze")).is_err());
+        assert!(parse(&argv("analyze x.c --write-window")).is_err());
+        assert!(parse(&argv("gen --files 3")).is_err());
+    }
+}

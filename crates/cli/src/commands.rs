@@ -1,0 +1,229 @@
+//! Subcommand implementations.
+
+use crate::args::{Command, GenOpts, RunOpts};
+use crate::walk::collect_sources;
+use ofence::{AnalysisResult, Engine, Patch};
+use std::process::ExitCode;
+
+pub fn run(cmd: Command) -> Result<ExitCode, String> {
+    match cmd {
+        Command::Analyze(o) => analyze(o),
+        Command::Patch(o) => patch(o),
+        Command::Annotate(o) => annotate(o),
+        Command::Stats(o) => stats(o),
+        Command::Gen(o) => gen(o),
+    }
+}
+
+fn run_engine(opts: &RunOpts) -> Result<AnalysisResult, String> {
+    let sources = collect_sources(&opts.paths)?;
+    Ok(Engine::new(opts.config.clone()).analyze(&sources))
+}
+
+/// `ofence analyze` — findings + pairing summary. Exit code 1 when any
+/// deviation was found (CI-friendly).
+fn analyze(opts: RunOpts) -> Result<ExitCode, String> {
+    let result = run_engine(&opts)?;
+    if opts.json {
+        let payload = serde_json::json!({
+            "stats": result.stats,
+            "pairings": result.pairing.pairings,
+            "deviations": result.deviations,
+        });
+        println!("{}", serde_json::to_string_pretty(&payload).unwrap());
+    } else {
+        println!("{}", result.stats.render());
+        if !result.pairing.pairings.is_empty() {
+            println!("pairings:");
+            for p in &result.pairing.pairings {
+                let fns: Vec<String> = p
+                    .members
+                    .iter()
+                    .map(|&m| {
+                        let s = result.site(m);
+                        format!("{}:{}", s.site.file_name, s.site.function)
+                    })
+                    .collect();
+                println!("  {} on {:?}", fns.join(" <-> "), p.objects);
+            }
+        }
+        if result.deviations.is_empty() {
+            println!("\nno barrier-ordering issues found.");
+        } else {
+            println!();
+            for d in &result.deviations {
+                println!("{}", d.render(&result.files[d.site.file].source));
+            }
+        }
+    }
+    Ok(if result.deviations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
+}
+
+/// `ofence patch` — print (or apply) the generated fixes.
+fn patch(opts: RunOpts) -> Result<ExitCode, String> {
+    let result = run_engine(&opts)?;
+    let patches: Vec<(usize, Patch)> = result
+        .deviations
+        .iter()
+        .filter_map(|d| {
+            ofence::patch::synthesize(d, &result.files[d.site.file]).map(|p| (d.site.file, p))
+        })
+        .collect();
+    if opts.json {
+        let payload: Vec<_> = patches.iter().map(|(_, p)| p).collect();
+        println!("{}", serde_json::to_string_pretty(&payload).unwrap());
+    } else {
+        for (_, p) in &patches {
+            println!("{}", p.title);
+            println!("    {}", p.explanation);
+            println!("{}", p.diff);
+        }
+        if patches.is_empty() {
+            println!("nothing to patch.");
+        }
+    }
+    if opts.apply {
+        apply_grouped(&result, patches.iter().map(|(f, p)| (*f, p.edits.clone())))?;
+    }
+    Ok(if patches.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
+}
+
+/// `ofence annotate` — §7 READ_ONCE/WRITE_ONCE patches.
+fn annotate(opts: RunOpts) -> Result<ExitCode, String> {
+    let result = run_engine(&opts)?;
+    // Compose per file so nested read/write annotations merge.
+    let mut by_file: std::collections::BTreeMap<usize, Vec<&ofence::Deviation>> =
+        Default::default();
+    for d in &result.annotations {
+        by_file.entry(d.site.file).or_default().push(d);
+    }
+    let mut grouped: Vec<(usize, Vec<ofence::patch::Edit>)> = Vec::new();
+    for (&file, devs) in &by_file {
+        let fa = &result.files[file];
+        let edits = ofence::annotate::file_annotation_edits(devs, fa);
+        if !edits.is_empty() {
+            grouped.push((file, edits));
+        }
+    }
+    if opts.json {
+        let payload: Vec<_> = result.annotations.iter().collect();
+        println!("{}", serde_json::to_string_pretty(&payload).unwrap());
+    } else {
+        for (file, edits) in &grouped {
+            let fa = &result.files[*file];
+            if let Some(fixed) = ofence::apply_edits(&fa.source, edits) {
+                println!("{}", ofence::patch::line_diff(&fa.source, &fixed, &fa.name));
+            }
+        }
+        if grouped.is_empty() {
+            println!("all concurrent accesses are already annotated.");
+        }
+    }
+    if opts.apply {
+        apply_grouped(&result, grouped.into_iter())?;
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `ofence stats` — statistics only.
+fn stats(opts: RunOpts) -> Result<ExitCode, String> {
+    let result = run_engine(&opts)?;
+    if opts.json {
+        println!("{}", serde_json::to_string_pretty(&result.stats).unwrap());
+    } else {
+        println!("{}", result.stats.render());
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `ofence gen` — write a synthetic corpus to disk for experimentation.
+fn gen(opts: GenOpts) -> Result<ExitCode, String> {
+    let spec = ofence_corpus::CorpusSpec {
+        seed: opts.seed,
+        files: opts.files,
+        patterns_per_file: 1,
+        noise_per_file: 2,
+        decoy_pairs: (opts.files / 20).max(1),
+        far_decoy_pairs: 0,
+        lone_per_file: 1,
+        split_fraction: 0.2,
+        bugs: if opts.with_bugs {
+            ofence_corpus::BugPlan {
+                misplaced: (opts.files / 10).max(1),
+                repeated_read: (opts.files / 20).max(1),
+                wrong_type: 1,
+                unneeded: (opts.files / 10).max(1),
+            }
+        } else {
+            ofence_corpus::BugPlan::none()
+        },
+    };
+    let corpus = ofence_corpus::generate(&spec);
+    let out = std::path::Path::new(&opts.out);
+    for f in &corpus.files {
+        let path = out.join(&f.name);
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent).map_err(|e| format!("{}: {e}", parent.display()))?;
+        }
+        std::fs::write(&path, &f.content).map_err(|e| format!("{}: {e}", path.display()))?;
+    }
+    let manifest = serde_json::to_string_pretty(&corpus.manifest).unwrap();
+    std::fs::write(out.join("manifest.json"), manifest)
+        .map_err(|e| format!("manifest: {e}"))?;
+    println!(
+        "wrote {} files (+ manifest.json with ground truth) to {}",
+        corpus.files.len(),
+        out.display()
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Apply grouped edits to the files on disk.
+fn apply_grouped(
+    result: &AnalysisResult,
+    groups: impl Iterator<Item = (usize, Vec<ofence::patch::Edit>)>,
+) -> Result<(), String> {
+    // Merge all edits per file, dropping conflicts conservatively.
+    let mut by_file: std::collections::BTreeMap<usize, Vec<ofence::patch::Edit>> =
+        Default::default();
+    for (file, edits) in groups {
+        by_file.entry(file).or_default().extend(edits);
+    }
+    for (file, mut edits) in by_file {
+        let fa = &result.files[file];
+        edits.sort_by_key(|e| (e.span.lo, e.span.hi));
+        edits.dedup();
+        let mut kept: Vec<ofence::patch::Edit> = Vec::new();
+        let mut dropped = 0;
+        for e in edits {
+            if kept
+                .last()
+                .map(|prev| e.span.lo >= prev.span.hi)
+                .unwrap_or(true)
+            {
+                kept.push(e);
+            } else {
+                dropped += 1;
+            }
+        }
+        if dropped > 0 {
+            eprintln!(
+                "{}: {dropped} conflicting edit(s) skipped — re-run after applying",
+                fa.name
+            );
+        }
+        let fixed = ofence::apply_edits(&fa.source, &kept)
+            .ok_or_else(|| format!("{}: edits failed to apply", fa.name))?;
+        std::fs::write(&fa.name, fixed).map_err(|e| format!("{}: {e}", fa.name))?;
+        println!("patched {}", fa.name);
+    }
+    Ok(())
+}

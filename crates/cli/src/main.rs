@@ -1,0 +1,44 @@
+//! `ofence` — the command-line front end.
+//!
+//! ```text
+//! ofence analyze  <paths...> [options]   findings + pairings summary
+//! ofence patch    <paths...> [options]   print unified-diff patches
+//!                            --apply     write the fixes back to disk
+//! ofence annotate <paths...> [options]   READ_ONCE/WRITE_ONCE patches (§7)
+//! ofence stats    <paths...> [options]   corpus statistics only
+//! ofence gen      --out DIR [--files N] [--seed S] [--bugs]
+//!                                        emit a synthetic demo corpus
+//!
+//! options:
+//!   --json                 machine-readable output
+//!   --write-window N       statements explored around write barriers (5)
+//!   --read-window N        statements explored around read barriers (50)
+//!   --no-ipc               disable implicit wake-up barrier detection
+//!   --no-expand            disable callee/caller expansion
+//! ```
+//!
+//! Paths may be files or directories (searched recursively for `*.c`).
+
+mod args;
+mod commands;
+mod walk;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match args::parse(&argv) {
+        Ok(cmd) => match commands::run(cmd) {
+            Ok(code) => code,
+            Err(e) => {
+                eprintln!("ofence: {e}");
+                ExitCode::from(2)
+            }
+        },
+        Err(e) => {
+            eprintln!("ofence: {e}");
+            eprintln!("{}", args::USAGE);
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Analysis configuration — the paper's tunables plus ablation switches.
+
+use serde::{Deserialize, Serialize};
+
+/// Tunable parameters of the analysis.
+///
+/// Defaults are the paper's choices (§4.2): explore 5 statements around
+/// write barriers and 50 around read barriers, require 2 common shared
+/// objects to pair, detect implicit IPC barriers, expand one call level.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AnalysisConfig {
+    /// Statements explored on each side of a write barrier.
+    pub write_window: u32,
+    /// Statements explored on each side of a read barrier.
+    pub read_window: u32,
+    /// Minimum number of common shared objects required to pair two
+    /// barriers.
+    pub min_shared_objects: usize,
+    /// Treat wake-up/IPC calls after a write barrier as implicit read
+    /// barriers and leave such writers unpaired (§4.2).
+    pub implicit_ipc: bool,
+    /// Merge accesses of same-file callees at call sites (±1 call level,
+    /// §4.2).
+    pub callee_expansion: bool,
+    /// Also look at immediate same-file callers of the barrier's function.
+    pub caller_expansion: bool,
+    /// Weight candidate pairings by the product of object distances
+    /// (Algorithm 1). Disabling is an ablation: first match wins.
+    pub distance_weighting: bool,
+    /// Exclude "generic" container types (list heads etc.) from pairing
+    /// objects. The paper reports these cause most incorrect pairings;
+    /// off by default to match the published false-positive behaviour.
+    pub filter_generic_types: bool,
+    /// §6.4's proposed extension: also treat fully-ordered atomic RMW
+    /// operations (`atomic_dec_and_test`, `test_and_set_bit`, …) as
+    /// pairable barrier sites, so barriers that synchronize with
+    /// atomics-based code get paired. Off by default (paper behaviour).
+    pub pair_with_atomics: bool,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> Self {
+        AnalysisConfig {
+            write_window: 5,
+            read_window: 50,
+            min_shared_objects: 2,
+            implicit_ipc: true,
+            callee_expansion: true,
+            caller_expansion: true,
+            distance_weighting: true,
+            filter_generic_types: false,
+            pair_with_atomics: false,
+        }
+    }
+}
+
+impl AnalysisConfig {
+    /// Window for a barrier playing the given role.
+    pub fn window_for(&self, write_side: bool) -> u32 {
+        if write_side {
+            self.write_window
+        } else {
+            self.read_window
+        }
+    }
+
+    /// Struct names considered "generic" when [`Self::filter_generic_types`]
+    /// is on — containers shared by unrelated subsystems.
+    pub fn is_generic_type(&self, strukt: &str) -> bool {
+        self.filter_generic_types
+            && matches!(
+                strukt,
+                "list_head" | "hlist_head" | "hlist_node" | "rb_node" | "rb_root"
+                    | "llist_node" | "llist_head" | "kref" | "refcount_struct"
+            )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let c = AnalysisConfig::default();
+        assert_eq!(c.write_window, 5);
+        assert_eq!(c.read_window, 50);
+        assert_eq!(c.min_shared_objects, 2);
+        assert!(c.implicit_ipc);
+    }
+
+    #[test]
+    fn window_selection() {
+        let c = AnalysisConfig::default();
+        assert_eq!(c.window_for(true), 5);
+        assert_eq!(c.window_for(false), 50);
+    }
+
+    #[test]
+    fn generic_filter_respects_flag() {
+        let mut c = AnalysisConfig::default();
+        assert!(!c.is_generic_type("list_head"));
+        c.filter_generic_types = true;
+        assert!(c.is_generic_type("list_head"));
+        assert!(!c.is_generic_type("sock_reuseport"));
+    }
+}

@@ -1,0 +1,470 @@
+//! The whole-corpus analysis engine.
+//!
+//! Parses and analyzes files in parallel (one worker per core, like
+//! OFence's 16-core 8-minute kernel runs), performs the global pairing,
+//! runs the checkers, synthesizes patches, and computes statistics.
+//! A per-file cache keyed by content hash gives the paper's <30 s
+//! single-file incremental re-analysis (§6.1).
+
+use crate::annotate;
+use crate::config::AnalysisConfig;
+use crate::deviation::{check_all, Deviation};
+use crate::ir::*;
+use crate::pairing::{pair_barriers, PairingResult};
+use crate::patch::{synthesize, Patch};
+use crate::report::{DistanceHistogram, Stats};
+use crate::sites::{analyze_file, FileAnalysis};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// An input file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SourceFile {
+    pub name: String,
+    pub content: String,
+}
+
+impl SourceFile {
+    pub fn new(name: impl Into<String>, content: impl Into<String>) -> Self {
+        SourceFile {
+            name: name.into(),
+            content: content.into(),
+        }
+    }
+}
+
+/// Complete result of one analysis run.
+#[derive(Debug)]
+pub struct AnalysisResult {
+    pub files: Vec<FileAnalysis>,
+    /// All barrier sites, globally numbered.
+    pub sites: Vec<BarrierSite>,
+    pub pairing: PairingResult,
+    pub deviations: Vec<Deviation>,
+    pub patches: Vec<Patch>,
+    /// §7 annotation findings and patches, kept separate from bug fixes.
+    pub annotations: Vec<Deviation>,
+    pub annotation_patches: Vec<Patch>,
+    pub stats: Stats,
+}
+
+impl AnalysisResult {
+    /// The site with a given id (ids are dense indices into `sites`).
+    pub fn site(&self, id: BarrierId) -> &BarrierSite {
+        &self.sites[id.0 as usize]
+    }
+
+    /// Figure 7 data: distances of read accesses around read barriers.
+    pub fn read_distance_histogram(&self) -> DistanceHistogram {
+        let mut h = DistanceHistogram::default();
+        for s in &self.sites {
+            if !s.is_read_barrier() {
+                continue;
+            }
+            for a in &s.accesses {
+                if a.kind == AccessKind::Read {
+                    h.record(a.distance);
+                }
+            }
+        }
+        h
+    }
+
+    /// Figure 6 companion: distances of write accesses around write
+    /// barriers.
+    pub fn write_distance_histogram(&self) -> DistanceHistogram {
+        let mut h = DistanceHistogram::default();
+        for s in &self.sites {
+            if !s.is_write_barrier() {
+                continue;
+            }
+            for a in &s.accesses {
+                if a.kind == AccessKind::Write {
+                    h.record(a.distance);
+                }
+            }
+        }
+        h
+    }
+}
+
+/// The analysis engine. Holds configuration and the incremental cache.
+pub struct Engine {
+    pub config: AnalysisConfig,
+    /// file name -> (content hash, cached per-file analysis).
+    cache: HashMap<String, (u64, FileAnalysis)>,
+}
+
+impl Engine {
+    pub fn new(config: AnalysisConfig) -> Engine {
+        Engine {
+            config,
+            cache: HashMap::new(),
+        }
+    }
+
+    /// Analyze a corpus from scratch (cache is still populated for
+    /// subsequent incremental runs).
+    pub fn analyze(&mut self, files: &[SourceFile]) -> AnalysisResult {
+        let start = Instant::now();
+        let analyses = self.analyze_files(files);
+        self.finish(analyses, start)
+    }
+
+    /// Re-analyze after edits: unchanged files come from the cache, only
+    /// changed files are re-parsed; pairing and checking always re-run
+    /// globally (they are cheap relative to parsing).
+    pub fn analyze_incremental(&mut self, files: &[SourceFile]) -> AnalysisResult {
+        self.analyze(files)
+    }
+
+    fn analyze_files(&mut self, files: &[SourceFile]) -> Vec<FileAnalysis> {
+        // Split into cached and to-do.
+        let mut results: Vec<Option<FileAnalysis>> = vec![None; files.len()];
+        let mut todo: Vec<usize> = Vec::new();
+        for (i, f) in files.iter().enumerate() {
+            let h = fnv1a(f.content.as_bytes());
+            match self.cache.get(&f.name) {
+                Some((ch, fa)) if *ch == h => {
+                    let mut fa = fa.clone();
+                    fa.file = i;
+                    for s in &mut fa.sites {
+                        s.site.file = i;
+                    }
+                    results[i] = Some(fa);
+                }
+                _ => todo.push(i),
+            }
+        }
+        // Parallel per-file analysis of the remainder.
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(todo.len().max(1));
+        let next = AtomicUsize::new(0);
+        let done: Mutex<Vec<(usize, FileAnalysis)>> = Mutex::new(Vec::new());
+        let config = &self.config;
+        crossbeam::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|_| loop {
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    if k >= todo.len() {
+                        break;
+                    }
+                    let i = todo[k];
+                    let f = &files[i];
+                    let fa = match ckit::parse_string(&f.name, &f.content) {
+                        Ok(parsed) => analyze_file(i, &parsed, config),
+                        Err(_) => FileAnalysis {
+                            file: i,
+                            name: f.name.clone(),
+                            source: f.content.clone(),
+                            sites: Vec::new(),
+                            functions: Vec::new(),
+                            parse_error_count: 1,
+                        },
+                    };
+                    done.lock().expect("worker poisoned").push((i, fa));
+                });
+            }
+        })
+        .expect("analysis worker panicked");
+        for (i, fa) in done.into_inner().expect("poisoned") {
+            self.cache
+                .insert(files[i].name.clone(), (fnv1a(files[i].content.as_bytes()), fa.clone()));
+            results[i] = Some(fa);
+        }
+        results.into_iter().map(|r| r.expect("every file analyzed")).collect()
+    }
+
+    fn finish(&self, mut files: Vec<FileAnalysis>, start: Instant) -> AnalysisResult {
+        // Assign global barrier ids, deterministic in file order.
+        let mut sites: Vec<BarrierSite> = Vec::new();
+        for fa in &mut files {
+            for site in &mut fa.sites {
+                site.id = BarrierId(sites.len() as u32);
+                sites.push(site.clone());
+            }
+        }
+        let pairing = pair_barriers(&sites, &self.config);
+        let deviations = check_all(&sites, &pairing, &self.config);
+        let patches: Vec<Patch> = deviations
+            .iter()
+            .filter_map(|d| synthesize(d, &files[d.site.file]))
+            .collect();
+        let annotations = annotate::find_missing_annotations(&sites, &pairing);
+        let annotation_patches: Vec<Patch> = annotations
+            .iter()
+            .filter_map(|d| annotate::synthesize_annotation(d, &files[d.site.file]))
+            .collect();
+        let elapsed_ms = start.elapsed().as_millis() as u64;
+        let stats = Stats::compute(
+            &files,
+            &sites,
+            &pairing,
+            &deviations,
+            patches.len(),
+            elapsed_ms,
+        );
+        AnalysisResult {
+            files,
+            sites,
+            pairing,
+            deviations,
+            patches,
+            annotations,
+            annotation_patches,
+            stats,
+        }
+    }
+
+    /// Figure 6: number of pairings as a function of the write-barrier
+    /// exploration window.
+    pub fn sweep_write_window(
+        files: &[SourceFile],
+        base: &AnalysisConfig,
+        windows: impl IntoIterator<Item = u32>,
+    ) -> Vec<(u32, usize)> {
+        windows
+            .into_iter()
+            .map(|w| {
+                let mut engine = Engine::new(AnalysisConfig {
+                    write_window: w,
+                    ..base.clone()
+                });
+                let r = engine.analyze(files);
+                (w, r.stats.pairings)
+            })
+            .collect()
+    }
+}
+
+/// FNV-1a content hash for the incremental cache.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn listing1_files() -> Vec<SourceFile> {
+        vec![
+            SourceFile::new(
+                "reader.c",
+                r#"struct my_struct { int init; int y; };
+void reader(struct my_struct *a) {
+    if (!a->init)
+        return;
+    smp_rmb();
+    f(a->y);
+}
+"#,
+            ),
+            SourceFile::new(
+                "writer.c",
+                r#"struct my_struct { int init; int y; };
+void writer(struct my_struct *b) {
+    b->y = 1;
+    smp_wmb();
+    b->init = 1;
+}
+"#,
+            ),
+        ]
+    }
+
+    #[test]
+    fn cross_file_pairing() {
+        let mut engine = Engine::new(AnalysisConfig::default());
+        let r = engine.analyze(&listing1_files());
+        assert_eq!(r.sites.len(), 2);
+        assert_eq!(r.pairing.pairings.len(), 1);
+        let p = &r.pairing.pairings[0];
+        let files: Vec<usize> = p
+            .members
+            .iter()
+            .map(|&m| r.site(m).site.file)
+            .collect();
+        assert!(files.contains(&0) && files.contains(&1));
+    }
+
+    #[test]
+    fn site_ids_are_dense_and_ordered() {
+        let mut engine = Engine::new(AnalysisConfig::default());
+        let r = engine.analyze(&listing1_files());
+        for (i, s) in r.sites.iter().enumerate() {
+            assert_eq!(s.id.0 as usize, i);
+        }
+    }
+
+    #[test]
+    fn incremental_reuses_cache() {
+        let files = listing1_files();
+        let mut engine = Engine::new(AnalysisConfig::default());
+        let r1 = engine.analyze(&files);
+        // Unchanged re-run: identical results.
+        let r2 = engine.analyze_incremental(&files);
+        assert_eq!(r1.stats.pairings, r2.stats.pairings);
+        assert_eq!(r1.sites.len(), r2.sites.len());
+    }
+
+    #[test]
+    fn incremental_picks_up_edits() {
+        let mut files = listing1_files();
+        let mut engine = Engine::new(AnalysisConfig::default());
+        let r1 = engine.analyze(&files);
+        assert_eq!(r1.pairing.pairings.len(), 1);
+        // Break the reader: remove its barrier.
+        files[0].content = files[0].content.replace("smp_rmb();", ";");
+        let r2 = engine.analyze_incremental(&files);
+        assert_eq!(r2.sites.len(), 1);
+        assert!(r2.pairing.pairings.is_empty());
+    }
+
+    #[test]
+    fn stats_reflect_run() {
+        let mut engine = Engine::new(AnalysisConfig::default());
+        let r = engine.analyze(&listing1_files());
+        assert_eq!(r.stats.files_total, 2);
+        assert_eq!(r.stats.files_with_barriers, 2);
+        assert_eq!(r.stats.barriers_total, 2);
+        assert_eq!(r.stats.barriers_by_kind["smp_rmb"], 1);
+        assert_eq!(r.stats.barriers_by_kind["smp_wmb"], 1);
+        assert_eq!(r.stats.pairings, 1);
+        assert!((r.stats.coverage - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unparseable_file_does_not_abort_run() {
+        let mut files = listing1_files();
+        files.push(SourceFile::new("broken.c", "int @ garbage"));
+        let mut engine = Engine::new(AnalysisConfig::default());
+        let r = engine.analyze(&files);
+        assert_eq!(r.stats.files_total, 3);
+        assert!(r.stats.parse_errors > 0);
+        assert_eq!(r.pairing.pairings.len(), 1);
+    }
+
+    #[test]
+    fn histograms_populated() {
+        let mut engine = Engine::new(AnalysisConfig::default());
+        let r = engine.analyze(&listing1_files());
+        assert!(r.read_distance_histogram().total() > 0);
+        assert!(r.write_distance_histogram().total() > 0);
+    }
+
+    #[test]
+    fn window_sweep_monotone_until_plateau() {
+        let files = listing1_files();
+        let sweep =
+            Engine::sweep_write_window(&files, &AnalysisConfig::default(), [1, 2, 5, 10]);
+        assert_eq!(sweep.len(), 4);
+        // Pairings never decrease with a larger window on this corpus.
+        for w in sweep.windows(2) {
+            assert!(w[1].1 >= w[0].1, "{sweep:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let files = listing1_files();
+        let r1 = Engine::new(AnalysisConfig::default()).analyze(&files);
+        let r2 = Engine::new(AnalysisConfig::default()).analyze(&files);
+        assert_eq!(format!("{:?}", r1.pairing.pairings), format!("{:?}", r2.pairing.pairings));
+        assert_eq!(r1.deviations.len(), r2.deviations.len());
+    }
+}
+
+#[cfg(test)]
+mod extension_tests {
+    use super::*;
+
+    #[test]
+    fn pair_with_atomics_end_to_end() {
+        let files = vec![SourceFile::new(
+            "refcount.c",
+            r#"struct obj { int data; atomic_t refs; };
+void producer(struct obj *p, int v) {
+    p->data = v;
+    smp_wmb();
+    atomic_inc(&p->refs);
+}
+void consumer(struct obj *p) {
+    if (atomic_dec_and_test(&p->refs))
+        release(p->data);
+}
+"#,
+        )];
+        let off = Engine::new(AnalysisConfig::default()).analyze(&files);
+        assert!(off.pairing.pairings.is_empty());
+        assert_eq!(off.stats.barriers_total, 1);
+
+        let on = Engine::new(AnalysisConfig {
+            pair_with_atomics: true,
+            ..Default::default()
+        })
+        .analyze(&files);
+        assert_eq!(on.pairing.pairings.len(), 1);
+        assert_eq!(on.stats.barriers_total, 2);
+        assert!(on
+            .stats
+            .barriers_by_kind
+            .contains_key("atomic-rmw (pair_with_atomics)"));
+        // Promoted atomics must never be reported as removable barriers.
+        assert!(on
+            .deviations
+            .iter()
+            .all(|d| !matches!(d.kind, crate::DeviationKind::UnneededBarrier { .. })));
+    }
+
+    #[test]
+    fn annotations_exposed_on_result() {
+        let files = vec![SourceFile::new(
+            "m.c",
+            r#"struct m { int init; int y; };
+void reader(struct m *a) { if (!a->init) return; smp_rmb(); f(a->y); }
+void writer(struct m *b) { b->y = 1; smp_wmb(); b->init = 1; }
+"#,
+        )];
+        let r = Engine::new(AnalysisConfig::default()).analyze(&files);
+        assert_eq!(r.annotations.len(), 4); // init + y, both sides
+        assert_eq!(r.annotation_patches.len(), 4);
+        for p in &r.annotation_patches {
+            assert!(p.diff.contains("ONCE("), "{}", p.diff);
+        }
+    }
+
+    #[test]
+    fn read_window_zero_sees_only_implied_accesses() {
+        let files = vec![SourceFile::new(
+            "m.c",
+            r#"struct s { int data; int flag; };
+void w(struct s *p) { p->data = 1; smp_store_release(&p->flag, 1); }
+int r(struct s *p) { if (!smp_load_acquire(&p->flag)) return 0; return p->data; }
+"#,
+        )];
+        let r = Engine::new(AnalysisConfig {
+            read_window: 0,
+            write_window: 0,
+            ..Default::default()
+        })
+        .analyze(&files);
+        // The primitives' own accesses (flag) remain; data is outside.
+        for s in &r.sites {
+            assert!(s
+                .accesses
+                .iter()
+                .all(|a| a.object == crate::SharedObject::new("s", "flag")));
+        }
+        // One common object < 2 minimum: no pairing.
+        assert!(r.pairing.pairings.is_empty());
+    }
+}

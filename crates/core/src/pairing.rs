@@ -1,0 +1,660 @@
+//! The barrier pairing algorithm — paper §4.2, Algorithm 1.
+//!
+//! Pairing is performed from the point of view of write barriers: a write
+//! barrier pairs with the barrier that shares at least two shared objects
+//! with it, where at least one of the two barriers *orders* the object
+//! pair (one object before it, the other after). Among multiple
+//! candidates, the one whose shared objects sit closest to both barriers
+//! (lowest product of distances) wins. Pairings are then extended with
+//! other barriers that cover the same object set (the seqcount "double
+//! pairing" of §5.3), and write barriers followed immediately by a
+//! wake-up/IPC call are deliberately left unpaired (§4.2).
+
+use crate::config::AnalysisConfig;
+use crate::ir::*;
+use std::collections::{HashMap, HashSet};
+
+/// Outcome of the global pairing pass.
+#[derive(Clone, Debug, Default)]
+pub struct PairingResult {
+    pub pairings: Vec<Pairing>,
+    /// Barriers not in any pairing, with the reason.
+    pub unpaired: Vec<(BarrierId, UnpairedReason)>,
+}
+
+impl PairingResult {
+    /// The pairing containing a given barrier, if any.
+    pub fn pairing_of(&self, id: BarrierId) -> Option<&Pairing> {
+        self.pairings.iter().find(|p| p.members.contains(&id))
+    }
+}
+
+/// Candidate pairing of one write barrier.
+struct Candidate {
+    partner: usize,
+    weight: u64,
+    objects: [SharedObject; 2],
+}
+
+/// Run Algorithm 1 over all barrier sites of the corpus.
+pub fn pair_barriers(sites: &[BarrierSite], config: &AnalysisConfig) -> PairingResult {
+    // Line 2-8: shared object -> barriers that access it.
+    let mut obj_to_barriers: HashMap<&SharedObject, Vec<usize>> = HashMap::new();
+    let objects: Vec<Vec<(SharedObject, u32)>> = sites.iter().map(|s| s.objects()).collect();
+    // O(1) distance lookup per (site, object) for the hot pairing loop.
+    let object_maps: Vec<HashMap<&SharedObject, u32>> = objects
+        .iter()
+        .map(|objs| objs.iter().map(|(o, d)| (o, *d)).collect())
+        .collect();
+    for (i, objs) in objects.iter().enumerate() {
+        for (o, _) in objs {
+            obj_to_barriers.entry(o).or_default().push(i);
+        }
+    }
+
+    // Line 10-27: per write barrier, find the lowest-weight candidate.
+    // `proposals[i]` collects (partner, weight) edges touching barrier i.
+    let mut proposals: Vec<Vec<(usize, u64, [SharedObject; 2])>> =
+        vec![Vec::new(); sites.len()];
+    let mut implicit_ipc: HashSet<usize> = HashSet::new();
+
+    for (bi, b) in sites.iter().enumerate() {
+        // Anchor on write barriers — plus the salvage case: a read barrier
+        // whose window contains only writes is a *miswritten* write
+        // barrier (deviation #2) and must still pair to be detected.
+        let all_writes = !b.accesses.is_empty()
+            && b.accesses.iter().all(|a| a.kind == AccessKind::Write);
+        if !b.is_write_barrier() && !all_writes {
+            continue;
+        }
+        let mut best: Option<Candidate> = None;
+        for (i1, (o1, d1)) in objects[bi].iter().enumerate() {
+            for (o2, d2) in objects[bi].iter().skip(i1 + 1) {
+                if o1 == o2 {
+                    continue;
+                }
+                let my_weight = u64::from(*d1) * u64::from(*d2);
+                let Some((pi, pair_weight)) =
+                    get_pair(bi, o1, o2, sites, &object_maps, &obj_to_barriers)
+                else {
+                    continue;
+                };
+                let weight = if config.distance_weighting {
+                    my_weight.saturating_mul(pair_weight)
+                } else {
+                    1
+                };
+                // Line 19-20: the object pair must be ordered by b or by
+                // the candidate.
+                if !(b.orders(o1, o2) || sites[pi].orders(o1, o2)) {
+                    continue;
+                }
+                let better = match &best {
+                    None => true,
+                    Some(c) => weight < c.weight,
+                };
+                if better {
+                    best = Some(Candidate {
+                        partner: pi,
+                        weight,
+                        objects: [o1.clone(), o2.clone()],
+                    });
+                }
+            }
+        }
+        let Some(c) = best else {
+            // No candidate at all: if a wake-up follows, the barrier
+            // orders the wake-up — an intentionally unpaired writer.
+            if config.implicit_ipc && b.wakeup_after.is_some() {
+                implicit_ipc.insert(bi);
+            }
+            continue;
+        };
+        // §4.2 implicit barriers: a wake-up call closer than the pairing
+        // objects means the barrier orders the wake-up, not a reader.
+        if config.implicit_ipc {
+            if let Some(wd) = b.wakeup_after {
+                let min_obj_dist = c
+                    .objects
+                    .iter()
+                    .filter_map(|o| b.distance_of(o))
+                    .min()
+                    .unwrap_or(u32::MAX);
+                if wd <= min_obj_dist {
+                    implicit_ipc.insert(bi);
+                    continue;
+                }
+            }
+        }
+        proposals[bi].push((c.partner, c.weight, c.objects.clone()));
+        proposals[c.partner].push((bi, c.weight, c.objects));
+    }
+
+    // Line 29-37: if a barrier is in multiple pairings, keep the lowest
+    // weight; remove it from the losers' lists.
+    for bi in 0..sites.len() {
+        if proposals[bi].len() <= 1 {
+            continue;
+        }
+        proposals[bi].sort_by_key(|&(_, w, _)| w);
+        let losers: Vec<(usize, u64, [SharedObject; 2])> = proposals[bi].split_off(1);
+        for (other, _, _) in losers {
+            proposals[other].retain(|&(p, _, _)| p != bi);
+        }
+    }
+
+    // Line 39-44: build the pairings array.
+    let mut paired: vec::BitVec = vec::BitVec::new(sites.len());
+    let mut pairings: Vec<(usize, usize, u64, [SharedObject; 2])> = Vec::new();
+    for bi in 0..sites.len() {
+        if paired.get(bi) {
+            continue;
+        }
+        if let Some(&(partner, weight, ref objs)) = proposals[bi].first() {
+            if paired.get(partner) {
+                continue;
+            }
+            paired.set(bi);
+            paired.set(partner);
+            pairings.push((bi, partner, weight, objs.clone()));
+        }
+    }
+
+    // Line 46-54: extend pairings with unpaired barriers that cover the
+    // common object set.
+    let mut result = Vec::new();
+    for (b1, b2, weight, seed) in pairings {
+        let set1: HashSet<&SharedObject> = objects[b1].iter().map(|(o, _)| o).collect();
+        let common: Vec<SharedObject> = objects[b2]
+            .iter()
+            .map(|(o, _)| o.clone())
+            .filter(|o| set1.contains(o))
+            .collect();
+        let mut members = vec![b1, b2];
+        for (bi, objs) in objects.iter().enumerate() {
+            if paired.get(bi) || implicit_ipc.contains(&bi) {
+                continue;
+            }
+            let objset: HashSet<&SharedObject> = objs.iter().map(|(o, _)| o).collect();
+            let covers = common.iter().all(|o| objset.contains(o)) && !common.is_empty();
+            if covers {
+                members.push(bi);
+                paired.set(bi);
+            }
+        }
+        // Enforce the minimum common-object requirement.
+        let mut objects_for_pairing = common;
+        for o in seed {
+            if !objects_for_pairing.contains(&o) {
+                objects_for_pairing.push(o);
+            }
+        }
+        if objects_for_pairing.len() < config.min_shared_objects {
+            // Un-pair: too few shared objects.
+            for &m in &members {
+                paired.unset(m);
+            }
+            continue;
+        }
+        let writer = if sites[b1].is_write_barrier() { b1 } else { b2 };
+        let shape = if members.len() > 2 {
+            PairingShape::Multi
+        } else {
+            PairingShape::Single
+        };
+        result.push(Pairing {
+            writer: sites[writer].id,
+            members: members.iter().map(|&m| sites[m].id).collect(),
+            objects: objects_for_pairing,
+            weight,
+            shape,
+        });
+    }
+
+    // Merge pairings over the same object set: four seqcount barriers form
+    // two base pairs (begin/retry, end/begin) on identical objects — they
+    // are one concurrency group (§5.3, Figure 5).
+    let result = merge_equal_object_sets(result);
+
+    let unpaired = sites
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !paired.get(*i))
+        .map(|(i, s)| {
+            let reason = if implicit_ipc.contains(&i) {
+                UnpairedReason::ImplicitIpc
+            } else {
+                UnpairedReason::NoMatch
+            };
+            (s.id, reason)
+        })
+        .collect();
+
+    PairingResult {
+        pairings: result,
+        unpaired,
+    }
+}
+
+/// Merge pairings whose shared-object sets are equal (as sets).
+fn merge_equal_object_sets(pairings: Vec<Pairing>) -> Vec<Pairing> {
+    let mut out: Vec<Pairing> = Vec::new();
+    for p in pairings {
+        let pset: HashSet<&SharedObject> = p.objects.iter().collect();
+        if let Some(existing) = out.iter_mut().find(|e| {
+            e.objects.len() == p.objects.len()
+                && e.objects.iter().all(|o| pset.contains(o))
+        }) {
+            for m in p.members {
+                if !existing.members.contains(&m) {
+                    existing.members.push(m);
+                }
+            }
+            existing.weight = existing.weight.min(p.weight);
+            existing.shape = if existing.members.len() > 2 {
+                PairingShape::Multi
+            } else {
+                PairingShape::Single
+            };
+        } else {
+            out.push(p);
+        }
+    }
+    out
+}
+
+/// Paper Algorithm 1, `get_pair`: the best other barrier that accesses
+/// both `o1` and `o2`, weighted by its distances to them.
+fn get_pair(
+    bi: usize,
+    o1: &SharedObject,
+    o2: &SharedObject,
+    sites: &[BarrierSite],
+    object_maps: &[HashMap<&SharedObject, u32>],
+    obj_to_barriers: &HashMap<&SharedObject, Vec<usize>>,
+) -> Option<(usize, u64)> {
+    let l1 = obj_to_barriers.get(o1)?;
+    let l2 = obj_to_barriers.get(o2)?;
+    // Iterate the shorter list; membership of the other object is an O(1)
+    // lookup in the candidate's own object map.
+    let shorter = if l1.len() <= l2.len() { l1 } else { l2 };
+    let mut best: Option<(usize, u64)> = None;
+    for &cand in shorter {
+        if cand == bi {
+            continue;
+        }
+        // Pairing infers concurrency between functions: a barrier does not
+        // pair with another barrier of the same function (those are added
+        // later by the multi-pairing extension).
+        if sites[cand].site.function == sites[bi].site.function
+            && sites[cand].site.file == sites[bi].site.file
+        {
+            continue;
+        }
+        let (Some(&d1), Some(&d2)) = (object_maps[cand].get(o1), object_maps[cand].get(o2))
+        else {
+            continue;
+        };
+        let w = u64::from(d1) * u64::from(d2);
+        if best.map_or(true, |(_, bw)| w < bw) {
+            best = Some((cand, w));
+        }
+    }
+    best
+}
+
+/// Tiny growable bit set (keeps the hot loop allocation-free).
+mod vec {
+    pub struct BitVec(Vec<bool>);
+
+    impl BitVec {
+        pub fn new(n: usize) -> Self {
+            BitVec(vec![false; n])
+        }
+        pub fn get(&self, i: usize) -> bool {
+            self.0[i]
+        }
+        pub fn set(&mut self, i: usize) {
+            self.0[i] = true;
+        }
+        pub fn unset(&mut self, i: usize) {
+            self.0[i] = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sites::analyze_file;
+
+    fn pair_src(src: &str) -> (Vec<BarrierSite>, PairingResult) {
+        pair_src_with(src, &AnalysisConfig::default())
+    }
+
+    fn pair_src_with(src: &str, config: &AnalysisConfig) -> (Vec<BarrierSite>, PairingResult) {
+        let parsed = ckit::parse_string("t.c", src).unwrap();
+        assert!(parsed.errors.is_empty(), "{:?}", parsed.errors);
+        let mut fa = analyze_file(0, &parsed, config);
+        for (i, s) in fa.sites.iter_mut().enumerate() {
+            s.id = BarrierId(i as u32);
+        }
+        let result = pair_barriers(&fa.sites, config);
+        (fa.sites, result)
+    }
+
+    const LISTING1: &str = r#"
+struct my_struct { int init; int y; };
+void reader(struct my_struct *a) {
+    if (!a->init)
+        return;
+    smp_rmb();
+    f(a->y);
+}
+void writer(struct my_struct *b) {
+    b->y = 1;
+    smp_wmb();
+    b->init = 1;
+}
+"#;
+
+    #[test]
+    fn listing1_pairs() {
+        let (sites, result) = pair_src(LISTING1);
+        assert_eq!(result.pairings.len(), 1, "{result:?}");
+        let p = &result.pairings[0];
+        assert_eq!(p.members.len(), 2);
+        assert_eq!(p.shape, PairingShape::Single);
+        // Writer anchor is the wmb.
+        let writer_site = sites.iter().find(|s| s.id == p.writer).unwrap();
+        assert_eq!(writer_site.site.function, "writer");
+        // Matched on both objects.
+        assert!(p.objects.contains(&SharedObject::new("my_struct", "init")));
+        assert!(p.objects.contains(&SharedObject::new("my_struct", "y")));
+    }
+
+    #[test]
+    fn single_common_object_does_not_pair() {
+        let src = r#"
+struct a { int x; int y; };
+struct b { int u; int v; };
+void reader(struct a *p, struct b *q) {
+    if (!p->x)
+        return;
+    smp_rmb();
+    f(q->u);
+}
+void writer(struct a *p, struct b *q) {
+    p->x = 1;
+    smp_wmb();
+    q->v = 2;
+}
+"#;
+        let (_, result) = pair_src(src);
+        assert!(result.pairings.is_empty(), "{result:?}");
+        assert_eq!(result.unpaired.len(), 2);
+    }
+
+    #[test]
+    fn unordered_objects_do_not_pair() {
+        // Both objects on the same side of both barriers: no ordering.
+        let src = r#"
+struct s { int a; int b; int c; int d; };
+void f1(struct s *p) {
+    p->a = 1;
+    p->b = 2;
+    smp_wmb();
+    p->c = 3;
+}
+void f2(struct s *p) {
+    g(p->a + p->b);
+    smp_rmb();
+    g(p->d);
+}
+"#;
+        let (_, result) = pair_src(src);
+        // (a, b) are before both barriers — provides no ordering. The only
+        // ordered pairs involve c (f1) or d (f2), which the other side
+        // doesn't access. But wait: (a, c) is ordered by f1 and f2 doesn't
+        // access c; (a, d): f1 doesn't order it, f2 orders it but f1
+        // doesn't access d. So no pairing.
+        assert!(result.pairings.is_empty(), "{result:?}");
+    }
+
+    #[test]
+    fn closest_candidate_wins() {
+        // Two readers; the one whose accesses hug the barrier should win.
+        let src = r#"
+struct s { int flag; int data; };
+void reader_far(struct s *p) {
+    if (!p->flag)
+        return;
+    smp_rmb();
+    g(1);
+    g(2);
+    g(3);
+    g(p->data);
+}
+void reader_near(struct s *p) {
+    if (!p->flag)
+        return;
+    smp_rmb();
+    g(p->data);
+}
+void writer(struct s *p) {
+    p->data = 1;
+    smp_wmb();
+    p->flag = 1;
+}
+"#;
+        let (sites, result) = pair_src(src);
+        let p = result
+            .pairings
+            .iter()
+            .find(|p| {
+                sites
+                    .iter()
+                    .any(|s| s.id == p.writer && s.site.function == "writer")
+            })
+            .expect("writer paired");
+        let partner_fns: Vec<_> = p
+            .members
+            .iter()
+            .map(|&m| sites.iter().find(|s| s.id == m).unwrap().site.function.clone())
+            .collect();
+        assert!(
+            partner_fns.contains(&"reader_near".to_string()),
+            "{partner_fns:?}"
+        );
+    }
+
+    #[test]
+    fn wakeup_leaves_writer_unpaired() {
+        let src = r#"
+struct d { int token; int extra; struct task *t; };
+void waker(struct d *p) {
+    p->token = 1;
+    p->extra = 2;
+    smp_wmb();
+    wake_up_process(p->t);
+}
+void reader(struct d *p) {
+    if (!p->token)
+        return;
+    smp_rmb();
+    g(p->extra);
+}
+"#;
+        let (sites, result) = pair_src(src);
+        let waker_site = sites.iter().find(|s| s.site.function == "waker").unwrap();
+        assert!(
+            result
+                .unpaired
+                .iter()
+                .any(|(id, r)| *id == waker_site.id && *r == UnpairedReason::ImplicitIpc),
+            "{result:?}"
+        );
+    }
+
+    #[test]
+    fn wakeup_detection_disabled_by_config() {
+        let src = r#"
+struct d { int token; int extra; struct task *t; };
+void waker(struct d *p) {
+    p->token = 1;
+    p->extra = 2;
+    smp_wmb();
+    wake_up_process(p->t);
+}
+void reader(struct d *p) {
+    if (!p->token)
+        return;
+    smp_rmb();
+    g(p->extra);
+}
+"#;
+        let config = AnalysisConfig {
+            implicit_ipc: false,
+            ..Default::default()
+        };
+        let (_, result) = pair_src_with(src, &config);
+        assert_eq!(result.pairings.len(), 1);
+    }
+
+    #[test]
+    fn seqcount_forms_multi_pairing() {
+        let src = r#"
+static seqcount_t rs;
+struct counters { long bcnt; long pcnt; };
+void get_counters(struct counters *c, struct counters *tmp) {
+    unsigned int v;
+    do {
+        v = read_seqcount_begin(&rs);
+        c->bcnt = tmp->bcnt;
+        c->pcnt = tmp->pcnt;
+    } while (read_seqcount_retry(&rs, v));
+}
+void add_counters(struct counters *t, struct counters *paddc) {
+    write_seqcount_begin(&rs);
+    t->bcnt += paddc->bcnt;
+    t->pcnt += paddc->pcnt;
+    write_seqcount_end(&rs);
+}
+"#;
+        let (sites, result) = pair_src(src);
+        assert_eq!(sites.len(), 4);
+        assert_eq!(result.pairings.len(), 1, "{result:?}");
+        let p = &result.pairings[0];
+        assert_eq!(p.members.len(), 4, "{p:?}");
+        assert_eq!(p.shape, PairingShape::Multi);
+    }
+
+    #[test]
+    fn one_writer_multiple_readers() {
+        let src = r#"
+struct s { int flag; int data; };
+void reader1(struct s *p) {
+    if (!p->flag) return;
+    smp_rmb();
+    g(p->data);
+}
+void reader2(struct s *p) {
+    if (!p->flag) return;
+    smp_rmb();
+    h(p->data);
+}
+void writer(struct s *p) {
+    p->data = 1;
+    smp_wmb();
+    p->flag = 1;
+}
+"#;
+        let (sites, result) = pair_src(src);
+        assert_eq!(result.pairings.len(), 1, "{result:?}");
+        let p = &result.pairings[0];
+        assert_eq!(p.members.len(), 3, "both readers join the pairing");
+        assert_eq!(p.shape, PairingShape::Multi);
+        let _ = sites;
+    }
+
+    #[test]
+    fn min_shared_objects_config() {
+        let config = AnalysisConfig {
+            min_shared_objects: 3,
+            ..Default::default()
+        };
+        let (_, result) = pair_src_with(LISTING1, &config);
+        // Listing 1 has only 2 common objects.
+        assert!(result.pairings.is_empty());
+    }
+
+    #[test]
+    fn same_function_barriers_do_not_base_pair() {
+        let src = r#"
+struct s { int a; int b; };
+void f(struct s *p) {
+    p->a = 1;
+    smp_wmb();
+    p->b = 2;
+    smp_wmb();
+    p->a = 3;
+}
+"#;
+        let (_, result) = pair_src(src);
+        assert!(result.pairings.is_empty(), "{result:?}");
+        assert_eq!(result.unpaired.len(), 2);
+    }
+
+    #[test]
+    fn pair_with_atomics_extension() {
+        // §6.4: "The pairing heuristic of OFence could be extended to pair
+        // barriers with atomic operations." A writer publishing under a
+        // wmb whose reader synchronizes through atomic_dec_and_test only
+        // pairs when the extension is on.
+        let src = r#"
+struct obj { int data; atomic_t refs; };
+void producer(struct obj *p, int v) {
+    p->data = v;
+    smp_wmb();
+    atomic_inc(&p->refs);
+}
+void consumer(struct obj *p) {
+    if (atomic_dec_and_test(&p->refs))
+        release(p->data);
+}
+"#;
+        let (_, off) = pair_src(src);
+        assert!(off.pairings.is_empty(), "extension off: {off:?}");
+
+        let config = AnalysisConfig {
+            pair_with_atomics: true,
+            ..Default::default()
+        };
+        let (sites, on) = pair_src_with(src, &config);
+        assert_eq!(on.pairings.len(), 1, "extension on: {on:?}");
+        let p = &on.pairings[0];
+        let fns: Vec<_> = p
+            .members
+            .iter()
+            .map(|&m| sites.iter().find(|s| s.id == m).unwrap().site.function.clone())
+            .collect();
+        assert!(fns.contains(&"producer".to_string()), "{fns:?}");
+        assert!(fns.contains(&"consumer".to_string()), "{fns:?}");
+        // The promoted site is marked as such.
+        let atomic_site = sites
+            .iter()
+            .find(|s| s.from_atomic.is_some())
+            .expect("promoted atomic site");
+        assert_eq!(
+            atomic_site.from_atomic.as_deref(),
+            Some("atomic_dec_and_test")
+        );
+    }
+
+    #[test]
+    fn pairing_is_deterministic() {
+        let (_, r1) = pair_src(LISTING1);
+        let (_, r2) = pair_src(LISTING1);
+        assert_eq!(format!("{r1:?}"), format!("{r2:?}"));
+    }
+}

@@ -1,0 +1,754 @@
+//! Patch synthesis — paper §5.4.
+//!
+//! Every deviation becomes a span-based edit list over the original
+//! source, rendered as a unified diff with the paper-style explanation in
+//! the header ("the patch documents which shared objects were used to
+//! pair the barriers and the type of constraint that was fixed").
+
+use crate::deviation::{Deviation, DeviationKind};
+use crate::ir::Side;
+use crate::sites::{FileAnalysis, FunctionInfo};
+use ckit::ast::{Stmt, StmtKind};
+use ckit::span::Span;
+use serde::{Deserialize, Serialize};
+
+/// A single replace-span edit. Deletion is an empty replacement;
+/// insertion is an empty span.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Edit {
+    pub span: Span,
+    pub replacement: String,
+}
+
+/// A generated patch.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Patch {
+    pub file: String,
+    pub title: String,
+    /// Why the original code was erroneous (embedded in the diff header).
+    pub explanation: String,
+    pub edits: Vec<Edit>,
+    /// Rendered unified diff.
+    pub diff: String,
+}
+
+/// Apply edits to a source string. Edits must not overlap; returns `None`
+/// if they do (a bug upstream, surfaced rather than corrupting output).
+pub fn apply_edits(source: &str, edits: &[Edit]) -> Option<String> {
+    let mut sorted: Vec<&Edit> = edits.iter().collect();
+    sorted.sort_by_key(|e| (e.span.lo, e.span.hi));
+    for pair in sorted.windows(2) {
+        if pair[1].span.lo < pair[0].span.hi {
+            return None;
+        }
+    }
+    let mut out = String::with_capacity(source.len());
+    let mut pos = 0usize;
+    for e in sorted {
+        let lo = e.span.lo as usize;
+        let hi = e.span.hi as usize;
+        if lo > source.len() || hi > source.len() || lo < pos {
+            return None;
+        }
+        out.push_str(&source[pos..lo]);
+        out.push_str(&e.replacement);
+        pos = hi;
+    }
+    out.push_str(&source[pos..]);
+    Some(out)
+}
+
+/// Render a unified diff (line-based LCS, 3 lines of context).
+pub fn line_diff(old: &str, new: &str, file: &str) -> String {
+    let a: Vec<&str> = old.lines().collect();
+    let b: Vec<&str> = new.lines().collect();
+    // LCS DP (files are small; O(n*m) is fine, guarded by a cap).
+    if a.len() * b.len() > 4_000_000 {
+        return format!("--- a/{file}\n+++ b/{file}\n(diff too large)\n");
+    }
+    let n = a.len();
+    let m = b.len();
+    let mut dp = vec![0u32; (n + 1) * (m + 1)];
+    let idx = |i: usize, j: usize| i * (m + 1) + j;
+    for i in (0..n).rev() {
+        for j in (0..m).rev() {
+            dp[idx(i, j)] = if a[i] == b[j] {
+                dp[idx(i + 1, j + 1)] + 1
+            } else {
+                dp[idx(i + 1, j)].max(dp[idx(i, j + 1)])
+            };
+        }
+    }
+    // Build op list: (kind, old_line, new_line) where kind ∈ {' ', '-', '+'}.
+    let mut ops: Vec<(char, usize, usize)> = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < n && j < m {
+        if a[i] == b[j] {
+            ops.push((' ', i, j));
+            i += 1;
+            j += 1;
+        } else if dp[idx(i + 1, j)] >= dp[idx(i, j + 1)] {
+            ops.push(('-', i, j));
+            i += 1;
+        } else {
+            ops.push(('+', i, j));
+            j += 1;
+        }
+    }
+    while i < n {
+        ops.push(('-', i, j));
+        i += 1;
+    }
+    while j < m {
+        ops.push(('+', i, j));
+        j += 1;
+    }
+    // Group into hunks with 3 lines of context.
+    const CTX: usize = 3;
+    let mut out = format!("--- a/{file}\n+++ b/{file}\n");
+    let changes: Vec<usize> = ops
+        .iter()
+        .enumerate()
+        .filter(|(_, (k, _, _))| *k != ' ')
+        .map(|(p, _)| p)
+        .collect();
+    if changes.is_empty() {
+        return out;
+    }
+    let mut hunk_start = changes[0].saturating_sub(CTX);
+    let mut hunk_end = (changes[0] + CTX + 1).min(ops.len());
+    let mut hunks: Vec<(usize, usize)> = Vec::new();
+    for &c in &changes[1..] {
+        if c.saturating_sub(CTX) <= hunk_end {
+            hunk_end = (c + CTX + 1).min(ops.len());
+        } else {
+            hunks.push((hunk_start, hunk_end));
+            hunk_start = c.saturating_sub(CTX);
+            hunk_end = (c + CTX + 1).min(ops.len());
+        }
+    }
+    hunks.push((hunk_start, hunk_end));
+    for (s, e) in hunks {
+        let old_start = ops[s].1 + 1;
+        let new_start = ops[s].2 + 1;
+        let old_count = ops[s..e].iter().filter(|(k, _, _)| *k != '+').count();
+        let new_count = ops[s..e].iter().filter(|(k, _, _)| *k != '-').count();
+        out.push_str(&format!(
+            "@@ -{old_start},{old_count} +{new_start},{new_count} @@\n"
+        ));
+        for &(k, oi, nj) in &ops[s..e] {
+            let text = match k {
+                '-' | ' ' => a.get(oi).copied().unwrap_or(""),
+                _ => b.get(nj).copied().unwrap_or(""),
+            };
+            out.push(k);
+            out.push_str(text);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Synthesize a patch for a deviation against its file's analysis.
+///
+/// Returns `None` when a fix cannot be expressed as a safe span edit
+/// (the deviation is still reported, just without an automatic patch).
+pub fn synthesize(dev: &Deviation, fa: &FileAnalysis) -> Option<Patch> {
+    let func = fa
+        .functions
+        .iter()
+        .find(|f| f.name == dev.site.function)?;
+    let edits = match &dev.kind {
+        DeviationKind::Misplaced { correct_side } => {
+            misplaced_edits(dev, fa, func, *correct_side)?
+        }
+        DeviationKind::WrongBarrierType { replacement } => {
+            vec![Edit {
+                span: dev.site.span,
+                replacement: format!("{}()", replacement.name()),
+            }]
+        }
+        DeviationKind::RepeatedRead { first_read_span } => {
+            repeated_read_edits(dev, fa, func, *first_read_span)?
+        }
+        DeviationKind::UnneededBarrier { .. } => {
+            let stmt = enclosing_stmt(&func.def.body, dev.site.span)?;
+            vec![delete_line_edit(&fa.source, stmt.span)]
+        }
+        DeviationKind::MissingOnce { .. } => return None, // handled by annotate
+    };
+    let new_source = apply_edits(&fa.source, &edits)?;
+    let diff = line_diff(&fa.source, &new_source, &fa.name);
+    Some(Patch {
+        file: fa.name.clone(),
+        title: title_for(dev),
+        explanation: dev.explanation.clone(),
+        edits,
+        diff,
+    })
+}
+
+fn title_for(dev: &Deviation) -> String {
+    let what = match &dev.kind {
+        DeviationKind::Misplaced { .. } => "fix misplaced memory access",
+        DeviationKind::WrongBarrierType { .. } => "use the correct barrier type",
+        DeviationKind::RepeatedRead { .. } => "avoid racy re-read",
+        DeviationKind::UnneededBarrier { .. } => "remove unneeded barrier",
+        DeviationKind::MissingOnce { .. } => "annotate concurrent access",
+    };
+    format!("{}: {} in {}()", dev.site.file_name, what, dev.site.function)
+}
+
+/// Move the statement containing the misplaced access to the other side
+/// of the barrier statement.
+fn misplaced_edits(
+    dev: &Deviation,
+    fa: &FileAnalysis,
+    func: &FunctionInfo,
+    correct_side: Side,
+) -> Option<Vec<Edit>> {
+    let access_span = dev.access_span?;
+    let moved = enclosing_stmt(&func.def.body, access_span)?;
+    let barrier_stmt = enclosing_stmt(&func.def.body, dev.site.span)?;
+    if moved.span.contains(barrier_stmt.span) {
+        // The access lives in a construct wrapping the barrier (e.g. the
+        // loop condition); moving it would drag the barrier along.
+        return None;
+    }
+    // Data-dependency guard: moving the statement above code that assigns
+    // a variable it reads (e.g. hoisting `it->a` above
+    // `it = rcu_dereference(...)`) would produce wrong code. Such
+    // deviations are reported without an automatic patch ("may require
+    // manual intervention", §5.4).
+    if correct_side == Side::Before && moved.span.lo > barrier_stmt.span.lo {
+        let gap = Span::new(barrier_stmt.span.lo, moved.span.lo);
+        if moved_reads_assigned_in_gap(&func.def.body, moved, gap) {
+            return None;
+        }
+    }
+    let stmt_text = full_line_text(&fa.source, moved.span);
+    let delete = delete_line_edit(&fa.source, moved.span);
+    // When the barrier sits in a do-while condition (the seqcount retry
+    // idiom), "before the barrier" means the end of the loop body — not
+    // before the whole loop, which would leave the access unprotected.
+    let dowhile = find_dowhile_cond(&func.def.body, dev.site.span);
+    let insert_at = match (correct_side, dowhile) {
+        (Side::Before, Some(dw)) => {
+            // Line of the closing `} while (...)` — insert just above it.
+            line_start(&fa.source, body_end(dw))
+        }
+        (Side::Before, None) => line_start(&fa.source, barrier_stmt.span.lo),
+        (Side::After, _) => line_end(&fa.source, barrier_stmt.span.hi).saturating_add(1),
+    };
+    // Moving into a loop body adds one indentation level ("checking the
+    // orderings and fixing them is easy to perform automatically, but may
+    // require manual intervention to fix styling issues" — §5.4; we fix
+    // the common case).
+    let text = if matches!((correct_side, dowhile), (Side::Before, Some(_))) {
+        stmt_text
+            .lines()
+            .map(|l| format!("\t{l}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    } else {
+        stmt_text
+    };
+    let insert = Edit {
+        span: Span::new(insert_at, insert_at),
+        replacement: format!("{text}\n"),
+    };
+    // Inserting inside the deleted range would corrupt; guard.
+    if delete.span.contains(insert.span) {
+        return None;
+    }
+    Some(vec![delete, insert])
+}
+
+/// Replace the re-read expression with the previously read value.
+fn repeated_read_edits(
+    dev: &Deviation,
+    fa: &FileAnalysis,
+    func: &FunctionInfo,
+    first_read_span: Span,
+) -> Option<Vec<Edit>> {
+    let reread_span = dev.access_span?;
+    if reread_span == first_read_span {
+        return None;
+    }
+    // Find the variable that received the first read.
+    if let Some(var) = receiving_variable(&func.def.body, first_read_span) {
+        return Some(vec![Edit {
+            span: reread_span,
+            replacement: var,
+        }]);
+    }
+    // No variable: hoist the first read into a fresh local before its
+    // statement and reuse it at both sites.
+    let first_stmt = enclosing_stmt(&func.def.body, first_read_span)?;
+    let obj = dev.object.as_ref()?;
+    let var = format!("__{}", obj.field);
+    let read_text = first_read_span.slice(&fa.source).to_string();
+    let indent = line_indent(&fa.source, first_stmt.span.lo);
+    let insert_at = line_start(&fa.source, first_stmt.span.lo);
+    Some(vec![
+        Edit {
+            span: Span::new(insert_at, insert_at),
+            replacement: format!("{indent}typeof({read_text}) {var} = {read_text};\n"),
+        },
+        Edit {
+            span: first_read_span,
+            replacement: var.clone(),
+        },
+        Edit {
+            span: reread_span,
+            replacement: var,
+        },
+    ])
+}
+
+/// The variable a read was stored into: `int n = READ;` or `n = READ;`.
+fn receiving_variable(body: &[Stmt], read_span: Span) -> Option<String> {
+    let stmt = enclosing_stmt(body, read_span)?;
+    match &stmt.kind {
+        StmtKind::Decl(d) => {
+            for decl in &d.decls {
+                if let Some(init) = &decl.init {
+                    if init.span.contains(read_span) && !decl.name.is_empty() {
+                        return Some(decl.name.clone());
+                    }
+                }
+            }
+            None
+        }
+        StmtKind::Expr(e) => {
+            if let ckit::ast::ExprKind::Assign(ckit::ast::AssignOp::Assign, lhs, rhs) = &e.kind {
+                if rhs.span.contains(read_span) {
+                    return lhs.as_ident().map(str::to_string);
+                }
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+/// Does the statement to move read any local variable that is assigned or
+/// declared by statements inside `gap` (the region it would be hoisted
+/// over)?
+fn moved_reads_assigned_in_gap(body: &[Stmt], moved: &Stmt, gap: Span) -> bool {
+    use ckit::ast::ExprKind;
+    // Variables assigned/declared within the gap.
+    let mut assigned: std::collections::HashSet<String> = Default::default();
+    fn collect_assigned(
+        s: &Stmt,
+        gap: Span,
+        out: &mut std::collections::HashSet<String>,
+    ) {
+        if s.span.hi <= gap.lo || s.span.lo >= gap.hi {
+            return;
+        }
+        if let StmtKind::Decl(d) = &s.kind {
+            for decl in &d.decls {
+                out.insert(decl.name.clone());
+            }
+        }
+        s.walk_exprs(&mut |e| {
+            if e.span.lo >= gap.lo && e.span.hi <= gap.hi {
+                if let ckit::ast::ExprKind::Assign(_, lhs, _) = &e.kind {
+                    if let Some(name) = lhs.as_ident() {
+                        out.insert(name.to_string());
+                    }
+                }
+            }
+        });
+        // Recurse into compound statements.
+        match &s.kind {
+            StmtKind::Block(stmts) => {
+                for inner in stmts {
+                    collect_assigned(inner, gap, out);
+                }
+            }
+            StmtKind::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                collect_assigned(then_branch, gap, out);
+                if let Some(e) = else_branch {
+                    collect_assigned(e, gap, out);
+                }
+            }
+            StmtKind::While { body, .. }
+            | StmtKind::DoWhile { body, .. }
+            | StmtKind::For { body, .. }
+            | StmtKind::Switch { body, .. } => collect_assigned(body, gap, out),
+            StmtKind::Case { stmt, .. } | StmtKind::Label { stmt, .. } => {
+                collect_assigned(stmt, gap, out)
+            }
+            _ => {}
+        }
+    }
+    for s in body {
+        collect_assigned(s, gap, &mut assigned);
+    }
+    if assigned.is_empty() {
+        return false;
+    }
+    // Identifiers the moved statement reads.
+    let mut reads_assigned = false;
+    moved.walk_exprs(&mut |e| {
+        if let ExprKind::Ident(name) = &e.kind {
+            if assigned.contains(name) {
+                reads_assigned = true;
+            }
+        }
+    });
+    reads_assigned
+}
+
+/// The deepest `do { … } while (cond)` whose *condition* contains `span`.
+fn find_dowhile_cond<'a>(body: &'a [Stmt], span: Span) -> Option<&'a Stmt> {
+    let mut found: Option<&'a Stmt> = None;
+    fn visit<'a>(s: &'a Stmt, span: Span, found: &mut Option<&'a Stmt>) {
+        if !s.span.contains(span) {
+            return;
+        }
+        match &s.kind {
+            StmtKind::DoWhile { body, cond } => {
+                if cond.span.contains(span) {
+                    *found = Some(s);
+                }
+                visit(body, span, found);
+            }
+            StmtKind::Block(stmts) => {
+                for inner in stmts {
+                    visit(inner, span, found);
+                }
+            }
+            StmtKind::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                visit(then_branch, span, found);
+                if let Some(e) = else_branch {
+                    visit(e, span, found);
+                }
+            }
+            StmtKind::While { body, .. }
+            | StmtKind::For { body, .. }
+            | StmtKind::Switch { body, .. } => visit(body, span, found),
+            StmtKind::Case { stmt, .. } | StmtKind::Label { stmt, .. } => {
+                visit(stmt, span, found)
+            }
+            _ => {}
+        }
+    }
+    for s in body {
+        visit(s, span, &mut found);
+    }
+    found
+}
+
+/// Byte offset of the end of a do-while's body (its closing brace).
+fn body_end(dowhile: &Stmt) -> u32 {
+    match &dowhile.kind {
+        StmtKind::DoWhile { body, .. } => body.span.hi,
+        _ => dowhile.span.hi,
+    }
+}
+
+/// Smallest movable statement (direct child of a block/body) containing
+/// `span`.
+pub fn enclosing_stmt<'a>(body: &'a [Stmt], span: Span) -> Option<&'a Stmt> {
+    for s in body {
+        if !s.span.contains(span) {
+            continue;
+        }
+        // Descend into blocks to find a tighter movable statement.
+        let inner: Option<&Stmt> = match &s.kind {
+            StmtKind::Block(stmts) => enclosing_stmt(stmts, span),
+            StmtKind::If {
+                then_branch,
+                else_branch,
+                cond,
+            } => {
+                if cond.span.contains(span) {
+                    None // condition belongs to the if itself
+                } else {
+                    enclosing_stmt(std::slice::from_ref(then_branch), span).or_else(|| {
+                        else_branch
+                            .as_deref()
+                            .and_then(|e| enclosing_stmt(std::slice::from_ref(e), span))
+                    })
+                }
+            }
+            StmtKind::While { body: b, cond } | StmtKind::DoWhile { body: b, cond } => {
+                if cond.span.contains(span) {
+                    None
+                } else {
+                    enclosing_stmt(std::slice::from_ref(b), span)
+                }
+            }
+            StmtKind::For { body: b, .. } | StmtKind::Switch { body: b, .. } => {
+                enclosing_stmt(std::slice::from_ref(b), span)
+            }
+            StmtKind::Case { stmt, .. } | StmtKind::Label { stmt, .. } => {
+                enclosing_stmt(std::slice::from_ref(stmt), span)
+            }
+            _ => None,
+        };
+        return Some(inner.unwrap_or(s));
+    }
+    None
+}
+
+// ---- text helpers -----------------------------------------------------
+
+fn line_start(src: &str, offset: u32) -> u32 {
+    let bytes = src.as_bytes();
+    let mut i = offset as usize;
+    while i > 0 && bytes[i - 1] != b'\n' {
+        i -= 1;
+    }
+    i as u32
+}
+
+fn line_end(src: &str, offset: u32) -> u32 {
+    let bytes = src.as_bytes();
+    let mut i = offset as usize;
+    while i < bytes.len() && bytes[i] != b'\n' {
+        i += 1;
+    }
+    i as u32
+}
+
+fn line_indent(src: &str, offset: u32) -> String {
+    let start = line_start(src, offset) as usize;
+    src[start..]
+        .chars()
+        .take_while(|c| *c == ' ' || *c == '\t')
+        .collect()
+}
+
+/// The statement's text including full lines (used when moving it).
+fn full_line_text(src: &str, span: Span) -> String {
+    let lo = line_start(src, span.lo);
+    let hi = line_end(src, span.hi);
+    src[lo as usize..hi as usize].to_string()
+}
+
+/// Delete the statement's full lines (including the trailing newline).
+fn delete_line_edit(src: &str, span: Span) -> Edit {
+    let lo = line_start(src, span.lo);
+    let mut hi = line_end(src, span.hi);
+    if (hi as usize) < src.len() {
+        hi += 1; // eat the newline
+    }
+    Edit {
+        span: Span::new(lo, hi),
+        replacement: String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AnalysisConfig;
+    use crate::ir::BarrierId;
+    use crate::pairing::pair_barriers;
+    use crate::sites::analyze_file;
+
+    fn patches_for(src: &str) -> (FileAnalysis, Vec<Patch>) {
+        let config = AnalysisConfig::default();
+        let parsed = ckit::parse_string("t.c", src).unwrap();
+        assert!(parsed.errors.is_empty(), "{:?}", parsed.errors);
+        let mut fa = analyze_file(0, &parsed, &config);
+        for (i, s) in fa.sites.iter_mut().enumerate() {
+            s.id = BarrierId(i as u32);
+        }
+        let pairing = pair_barriers(&fa.sites, &config);
+        let devs = crate::deviation::check_all(&fa.sites, &pairing, &config);
+        let patches = devs
+            .iter()
+            .filter_map(|d| synthesize(d, &fa))
+            .collect();
+        (fa, patches)
+    }
+
+    #[test]
+    fn apply_edits_basic() {
+        let src = "abc def ghi";
+        let out = apply_edits(
+            src,
+            &[
+                Edit {
+                    span: Span::new(4, 7),
+                    replacement: "XYZ".into(),
+                },
+                Edit {
+                    span: Span::new(0, 3),
+                    replacement: "A".into(),
+                },
+            ],
+        )
+        .unwrap();
+        assert_eq!(out, "A XYZ ghi");
+    }
+
+    #[test]
+    fn apply_edits_rejects_overlap() {
+        let src = "abcdef";
+        assert!(apply_edits(
+            src,
+            &[
+                Edit {
+                    span: Span::new(0, 4),
+                    replacement: String::new(),
+                },
+                Edit {
+                    span: Span::new(2, 6),
+                    replacement: String::new(),
+                },
+            ],
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn diff_renders_hunks() {
+        let old = "a\nb\nc\nd\ne\nf\ng\n";
+        let new = "a\nb\nc\nX\ne\nf\ng\n";
+        let diff = line_diff(old, new, "t.c");
+        assert!(diff.contains("--- a/t.c"));
+        assert!(diff.contains("-d"));
+        assert!(diff.contains("+X"));
+        assert!(diff.contains("@@"));
+    }
+
+    #[test]
+    fn diff_empty_when_equal() {
+        let diff = line_diff("same\n", "same\n", "t.c");
+        assert!(!diff.contains("@@"));
+    }
+
+    #[test]
+    fn misplaced_patch_moves_statement() {
+        // Patch 1 shape: flag read after the barrier, moved before it.
+        let src = r#"struct rpc { int len; int recd; int out; };
+void complete(struct rpc *req) {
+    req->len = 4;
+    smp_wmb();
+    req->recd = 1;
+}
+void decode(struct rpc *req) {
+    smp_rmb();
+    if (!req->recd)
+        return;
+    req->out = req->len;
+}
+"#;
+        let (fa, patches) = patches_for(src);
+        assert_eq!(patches.len(), 1, "{patches:?}");
+        let p = &patches[0];
+        let patched = apply_edits(&fa.source, &p.edits).unwrap();
+        // The guard must now appear before the rmb.
+        let rmb_pos = patched.find("smp_rmb").unwrap();
+        let guard_pos = patched.find("if (!req->recd)").unwrap();
+        assert!(guard_pos < rmb_pos, "patched:\n{patched}");
+        // The patch explains itself.
+        assert!(p.explanation.contains("recd"));
+        assert!(p.diff.contains("+"));
+    }
+
+    #[test]
+    fn wrong_type_patch_replaces_barrier() {
+        let src = r#"struct s { int data; int flag; };
+void writer(struct s *p) {
+    p->data = 1;
+    smp_rmb();
+    p->flag = 1;
+}
+void reader(struct s *p) {
+    if (!p->flag)
+        return;
+    smp_rmb();
+    g(p->data);
+}
+"#;
+        let (fa, patches) = patches_for(src);
+        let p = patches
+            .iter()
+            .find(|p| p.title.contains("correct barrier type"))
+            .expect("wrong-type patch");
+        let patched = apply_edits(&fa.source, &p.edits).unwrap();
+        assert!(patched.contains("smp_wmb()"), "{patched}");
+        // Only the writer's barrier changed.
+        assert_eq!(patched.matches("smp_rmb").count(), 1);
+    }
+
+    #[test]
+    fn repeated_read_patch_reuses_variable() {
+        let src = r#"struct reuse { int num; struct sock *socks[8]; int len; };
+void add_sock(struct reuse *r, struct sock *sk) {
+    r->socks[r->num] = sk;
+    r->len = 1;
+    smp_wmb();
+    r->num++;
+}
+void select_sock(struct reuse *r) {
+    int n = r->num;
+    int l = r->len;
+    smp_rmb();
+    if (n) {
+        pick(r->socks[r->num]);
+    }
+}
+"#;
+        let (fa, patches) = patches_for(src);
+        let p = patches
+            .iter()
+            .find(|p| p.title.contains("racy re-read"))
+            .expect("re-read patch");
+        let patched = apply_edits(&fa.source, &p.edits).unwrap();
+        assert!(patched.contains("pick(r->socks[n])"), "{patched}");
+    }
+
+    #[test]
+    fn unneeded_patch_deletes_barrier_line() {
+        let src = r#"struct d { int got_token; struct task *task; };
+void rq_qos_wake(struct d *data) {
+    data->got_token = 1;
+    smp_wmb();
+    wake_up_process(data->task);
+}
+"#;
+        let (fa, patches) = patches_for(src);
+        assert_eq!(patches.len(), 1, "{patches:?}");
+        let patched = apply_edits(&fa.source, &patches[0].edits).unwrap();
+        assert!(!patched.contains("smp_wmb"), "{patched}");
+        assert!(patched.contains("wake_up_process"));
+    }
+
+    #[test]
+    fn patched_file_reanalyzes_clean() {
+        // End-to-end: applying the generated patch removes the diagnostic.
+        let src = r#"struct rpc { int len; int recd; int out; };
+void complete(struct rpc *req) {
+    req->len = 4;
+    smp_wmb();
+    req->recd = 1;
+}
+void decode(struct rpc *req) {
+    smp_rmb();
+    if (!req->recd)
+        return;
+    req->out = req->len;
+}
+"#;
+        let (fa, patches) = patches_for(src);
+        let patched = apply_edits(&fa.source, &patches[0].edits).unwrap();
+        let (_, patches2) = patches_for(&patched);
+        assert!(patches2.is_empty(), "patched code still flagged: {patches2:?}");
+    }
+}

@@ -1,0 +1,252 @@
+//! Analysis statistics and reporting — the numbers §6 of the paper is
+//! built from.
+
+use crate::deviation::{Deviation, DeviationKind};
+use crate::ir::*;
+use crate::pairing::PairingResult;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Corpus-level statistics of one analysis run.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Stats {
+    pub files_total: usize,
+    /// Files containing at least one barrier (the paper's "669 files that
+    /// contain memory barriers" denominator).
+    pub files_with_barriers: usize,
+    pub functions_total: usize,
+    /// Functions containing at least one barrier.
+    pub functions_with_barriers: usize,
+    pub parse_errors: usize,
+
+    /// Barrier occurrences by primitive (Table 1 shape).
+    pub barriers_by_kind: BTreeMap<String, usize>,
+    pub barriers_total: usize,
+
+    pub pairings: usize,
+    pub multi_pairings: usize,
+    pub paired_barriers: usize,
+    pub unpaired_implicit_ipc: usize,
+    pub unpaired_no_match: usize,
+    /// Fraction of barriers in a pairing (the paper's ~50% coverage).
+    pub coverage: f64,
+
+    /// Deviations by class (Table 3 shape).
+    pub deviations_by_kind: BTreeMap<String, usize>,
+    pub deviations_total: usize,
+    pub patches_generated: usize,
+
+    /// Wall-clock analysis time in milliseconds.
+    pub elapsed_ms: u64,
+}
+
+pub(crate) fn deviation_class(kind: &DeviationKind) -> &'static str {
+    match kind {
+        DeviationKind::Misplaced { .. } => "misplaced memory access",
+        DeviationKind::WrongBarrierType { .. } => "wrong barrier type",
+        DeviationKind::RepeatedRead { .. } => "racy variable re-read",
+        DeviationKind::UnneededBarrier { .. } => "unneeded barrier",
+        DeviationKind::MissingOnce { .. } => "missing READ_ONCE/WRITE_ONCE",
+    }
+}
+
+impl Stats {
+    pub(crate) fn compute(
+        files: &[crate::sites::FileAnalysis],
+        sites: &[BarrierSite],
+        pairing: &PairingResult,
+        deviations: &[Deviation],
+        patches_generated: usize,
+        elapsed_ms: u64,
+    ) -> Stats {
+        let mut s = Stats {
+            files_total: files.len(),
+            elapsed_ms,
+            patches_generated,
+            ..Default::default()
+        };
+        for fa in files {
+            s.functions_total += fa.functions.len();
+            s.parse_errors += fa.parse_error_count;
+            if !fa.sites.is_empty() {
+                s.files_with_barriers += 1;
+            }
+            let mut fns: Vec<&str> = fa
+                .sites
+                .iter()
+                .map(|site| site.site.function.as_str())
+                .collect();
+            fns.sort_unstable();
+            fns.dedup();
+            s.functions_with_barriers += fns.len();
+        }
+        for site in sites {
+            let key = if site.from_atomic.is_some() {
+                "atomic-rmw (pair_with_atomics)".to_string()
+            } else {
+                site.kind.name().to_string()
+            };
+            *s.barriers_by_kind.entry(key).or_default() += 1;
+            s.barriers_total += 1;
+        }
+        s.pairings = pairing.pairings.len();
+        s.multi_pairings = pairing
+            .pairings
+            .iter()
+            .filter(|p| p.shape == PairingShape::Multi)
+            .count();
+        s.paired_barriers = pairing.pairings.iter().map(|p| p.members.len()).sum();
+        s.unpaired_implicit_ipc = pairing
+            .unpaired
+            .iter()
+            .filter(|(_, r)| *r == UnpairedReason::ImplicitIpc)
+            .count();
+        s.unpaired_no_match = pairing
+            .unpaired
+            .iter()
+            .filter(|(_, r)| *r == UnpairedReason::NoMatch)
+            .count();
+        s.coverage = if s.barriers_total > 0 {
+            s.paired_barriers as f64 / s.barriers_total as f64
+        } else {
+            0.0
+        };
+        for d in deviations {
+            *s.deviations_by_kind
+                .entry(deviation_class(&d.kind).to_string())
+                .or_default() += 1;
+            s.deviations_total += 1;
+        }
+        s
+    }
+
+    /// Human-readable one-screen summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "files analyzed:        {} ({} with barriers)\n",
+            self.files_total, self.files_with_barriers
+        ));
+        out.push_str(&format!(
+            "functions:             {} ({} with barriers)\n",
+            self.functions_total, self.functions_with_barriers
+        ));
+        out.push_str(&format!("barriers found:        {}\n", self.barriers_total));
+        for (kind, count) in &self.barriers_by_kind {
+            out.push_str(&format!("  {kind:<24} {count}\n"));
+        }
+        out.push_str(&format!(
+            "pairings:              {} ({} multi-barrier)\n",
+            self.pairings, self.multi_pairings
+        ));
+        out.push_str(&format!(
+            "barrier coverage:      {:.1}% paired, {} implicit-IPC, {} unmatched\n",
+            self.coverage * 100.0,
+            self.unpaired_implicit_ipc,
+            self.unpaired_no_match
+        ));
+        out.push_str(&format!(
+            "deviations:            {} ({} patches)\n",
+            self.deviations_total, self.patches_generated
+        ));
+        for (kind, count) in &self.deviations_by_kind {
+            out.push_str(&format!("  {kind:<24} {count}\n"));
+        }
+        out.push_str(&format!("analysis time:         {} ms\n", self.elapsed_ms));
+        out
+    }
+}
+
+/// Distance histogram data for Figures 6/7.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct DistanceHistogram {
+    /// `counts[d]` = number of accesses at distance `d` (index 0 unused).
+    pub counts: Vec<usize>,
+}
+
+impl DistanceHistogram {
+    pub fn record(&mut self, distance: u32) {
+        let d = distance as usize;
+        if self.counts.len() <= d {
+            self.counts.resize(d + 1, 0);
+        }
+        self.counts[d] += 1;
+    }
+
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Cumulative fraction of accesses within `d` statements.
+    pub fn cumulative_at(&self, d: usize) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let within: usize = self.counts.iter().take(d + 1).sum();
+        within as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_records_and_accumulates() {
+        let mut h = DistanceHistogram::default();
+        h.record(1);
+        h.record(1);
+        h.record(3);
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.counts[1], 2);
+        assert!((h.cumulative_at(1) - 2.0 / 3.0).abs() < 1e-9);
+        assert!((h.cumulative_at(3) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_render_is_complete() {
+        let s = Stats {
+            files_total: 3,
+            barriers_total: 5,
+            coverage: 0.5,
+            ..Default::default()
+        };
+        let text = s.render();
+        assert!(text.contains("files analyzed:        3"));
+        assert!(text.contains("50.0% paired"));
+    }
+}
+
+#[cfg(test)]
+mod serde_tests {
+    use super::*;
+
+    #[test]
+    fn stats_json_roundtrip() {
+        let mut s = Stats {
+            files_total: 10,
+            barriers_total: 4,
+            coverage: 0.5,
+            ..Default::default()
+        };
+        s.barriers_by_kind.insert("smp_wmb".into(), 2);
+        s.deviations_by_kind.insert("unneeded barrier".into(), 1);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Stats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.files_total, 10);
+        assert_eq!(back.barriers_by_kind["smp_wmb"], 2);
+        assert!((back.coverage - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_json_roundtrip() {
+        let mut h = DistanceHistogram::default();
+        h.record(3);
+        h.record(7);
+        let json = serde_json::to_string(&h).unwrap();
+        let back: DistanceHistogram = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.total(), 2);
+        assert_eq!(back.counts[7], 1);
+    }
+}

@@ -1,0 +1,1074 @@
+//! Per-file analysis: find barrier sites and the accesses around them.
+//!
+//! Implements §4.1 (finding barriers) and the exploration rules of §4.2:
+//! bounded statement windows (5 for write barriers, 50 for read barriers),
+//! bounding at other barriers and at atomics with barrier semantics,
+//! one-level callee and caller expansion, and wake-up call detection.
+
+use crate::config::AnalysisConfig;
+use crate::extract::{accesses_in_node, plain_calls_in_expr, RawAccess};
+use crate::ir::*;
+use cfgir::{walk, Cfg, Dir, LoweredFile, NodeId, Step, TypeEnv};
+use ckit::ast::{Expr, ExprKind};
+use ckit::span::Span;
+use ckit::ParsedFile;
+use kmodel::{BarrierKind, CallSemantics, ImpliedAccess, SeqcountOp};
+use std::collections::HashMap;
+
+/// A function retained for downstream passes (checkers, patches).
+#[derive(Clone, Debug)]
+pub struct FunctionInfo {
+    pub name: String,
+    pub cfg: Cfg,
+    pub span: Span,
+    /// The AST, kept for statement-level patch synthesis.
+    pub def: ckit::ast::FunctionDef,
+}
+
+/// Analysis result of one file.
+#[derive(Clone, Debug)]
+pub struct FileAnalysis {
+    pub file: usize,
+    pub name: String,
+    pub source: String,
+    pub sites: Vec<BarrierSite>,
+    pub functions: Vec<FunctionInfo>,
+    pub parse_error_count: usize,
+}
+
+/// A barrier call found in a CFG node.
+struct FoundBarrier {
+    func: usize,
+    node: NodeId,
+    kind: BarrierKind,
+    seqcount: Option<SeqcountOp>,
+    /// Callee name when this is a promoted fully-ordered atomic
+    /// (`pair_with_atomics` extension).
+    from_atomic: Option<String>,
+    call_span: Span,
+    args: Vec<Expr>,
+}
+
+/// How a node bounds (or doesn't) a barrier window.
+enum NodeClass {
+    /// Another explicit barrier / seqcount call: skip entirely.
+    Barrier,
+    /// Full-barrier atomic: collect its accesses, then stop.
+    FullAtomic,
+    /// Wake-up / IPC call: collect, record, stop.
+    Wakeup(String),
+    Plain,
+}
+
+/// Analyze one parsed file.
+pub fn analyze_file(file: usize, parsed: &ParsedFile, config: &AnalysisConfig) -> FileAnalysis {
+    let lowered = LoweredFile::lower(parsed);
+    let envs: Vec<TypeEnv<'_>> = (0..lowered.functions.len())
+        .map(|i| lowered.env(i))
+        .collect();
+
+    // Find every barrier call in every function.
+    let mut found: Vec<FoundBarrier> = Vec::new();
+    for (fi, cfg) in lowered.cfgs.iter().enumerate() {
+        for node in cfg.ids() {
+            if let Some(expr) = cfg.node(node).kind.expr() {
+                let before = found.len();
+                find_barrier_calls(expr, &mut |kind, seqcount, span, args| {
+                    found.push(FoundBarrier {
+                        func: fi,
+                        node,
+                        kind,
+                        seqcount,
+                        from_atomic: None,
+                        call_span: span,
+                        args: args.to_vec(),
+                    });
+                });
+                // §6.4 extension: promote fully-ordered atomic RMWs to
+                // pairable sites (unless the node already holds a real
+                // barrier, which subsumes the atomic's ordering role).
+                if config.pair_with_atomics && found.len() == before {
+                    find_full_atomic_calls(expr, &mut |name, span, args| {
+                        found.push(FoundBarrier {
+                            func: fi,
+                            node,
+                            kind: BarrierKind::Mb,
+                            seqcount: None,
+                            from_atomic: Some(name.to_string()),
+                            call_span: span,
+                            args: args.to_vec(),
+                        });
+                    });
+                }
+            }
+        }
+    }
+
+    // Per-function access summaries for callee expansion — only for
+    // barrier-free functions (walking into a function that has its own
+    // barrier would cross a bounding barrier).
+    let has_barrier: Vec<bool> = (0..lowered.functions.len())
+        .map(|fi| found.iter().any(|b| b.func == fi))
+        .collect();
+    let summaries: HashMap<String, Vec<RawAccess>> = lowered
+        .functions
+        .iter()
+        .enumerate()
+        .filter(|(fi, _)| !has_barrier[*fi])
+        .map(|(fi, f)| {
+            let mut acc = Vec::new();
+            for node in lowered.cfgs[fi].ids() {
+                acc.extend(accesses_in_node(&lowered.cfgs[fi].node(node).kind, &envs[fi]));
+            }
+            acc.truncate(64); // helper functions are small; cap the blast radius
+            (f.sig.name.clone(), acc)
+        })
+        .collect();
+
+    // Same-file call graph: callee name -> (caller fn, call node).
+    let mut callers: HashMap<String, Vec<(usize, NodeId)>> = HashMap::new();
+    for (fi, cfg) in lowered.cfgs.iter().enumerate() {
+        for node in cfg.ids() {
+            if let Some(expr) = cfg.node(node).kind.expr() {
+                for (name, _) in plain_calls_in_expr(expr) {
+                    if lowered.function_index(&name).is_some() {
+                        callers.entry(name).or_default().push((fi, node));
+                    }
+                }
+            }
+        }
+    }
+
+    let mut sites = Vec::new();
+    for fb in &found {
+        let site = build_site(fb, &lowered, &envs, &summaries, &callers, config, file, parsed);
+        sites.push(site);
+    }
+
+    FileAnalysis {
+        file,
+        name: parsed.map.file.clone(),
+        source: parsed.source.clone(),
+        sites,
+        functions: lowered
+            .functions
+            .iter()
+            .zip(&lowered.cfgs)
+            .map(|(f, cfg)| FunctionInfo {
+                name: f.sig.name.clone(),
+                cfg: cfg.clone(),
+                span: f.span,
+                def: (*f).clone(),
+            })
+            .collect(),
+        parse_error_count: parsed.errors.len(),
+    }
+}
+
+/// Find barrier/seqcount calls inside an expression.
+fn find_barrier_calls(
+    expr: &Expr,
+    f: &mut impl FnMut(BarrierKind, Option<SeqcountOp>, Span, &[Expr]),
+) {
+    expr.walk(&mut |e| {
+        if let ExprKind::Call { callee, args } = &e.kind {
+            if let Some(name) = callee.as_ident() {
+                match kmodel::classify_call(name) {
+                    CallSemantics::Barrier(kind) => f(kind, None, e.span, args),
+                    CallSemantics::Seqcount(op) => f(op.barrier(), Some(op), e.span, args),
+                    _ => {}
+                }
+            }
+        }
+    });
+}
+
+/// Find fully-ordered atomic RMW calls (for the `pair_with_atomics`
+/// extension).
+fn find_full_atomic_calls(expr: &Expr, f: &mut impl FnMut(&str, Span, &[Expr])) {
+    expr.walk(&mut |e| {
+        if let ExprKind::Call { callee, args } = &e.kind {
+            if let Some(name) = callee.as_ident() {
+                if let CallSemantics::Atomic(sem) = kmodel::classify_call(name) {
+                    if sem.strength == kmodel::BarrierStrength::Full
+                        && (sem.reads || sem.writes)
+                    {
+                        f(name, e.span, args);
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// Classify how a node bounds a window.
+fn classify_node(cfg: &Cfg, node: NodeId) -> NodeClass {
+    let Some(expr) = cfg.node(node).kind.expr() else {
+        return NodeClass::Plain;
+    };
+    let mut class = NodeClass::Plain;
+    expr.walk(&mut |e| {
+        if let ExprKind::Call { callee, .. } = &e.kind {
+            if let Some(name) = callee.as_ident() {
+                match kmodel::classify_call(name) {
+                    CallSemantics::Barrier(_) | CallSemantics::Seqcount(_) => {
+                        class = NodeClass::Barrier;
+                    }
+                    CallSemantics::WakeUp => {
+                        if !matches!(class, NodeClass::Barrier) {
+                            class = NodeClass::Wakeup(name.to_string());
+                        }
+                    }
+                    CallSemantics::Atomic(sem)
+                        if sem.strength == kmodel::BarrierStrength::Full =>
+                    {
+                        if matches!(class, NodeClass::Plain) {
+                            class = NodeClass::FullAtomic;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    });
+    class
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_site(
+    fb: &FoundBarrier,
+    lowered: &LoweredFile<'_>,
+    envs: &[TypeEnv<'_>],
+    summaries: &HashMap<String, Vec<RawAccess>>,
+    callers: &HashMap<String, Vec<(usize, NodeId)>>,
+    config: &AnalysisConfig,
+    file: usize,
+    parsed: &ParsedFile,
+) -> BarrierSite {
+    let cfg = &lowered.cfgs[fb.func];
+    let env = &envs[fb.func];
+    let fname = &lowered.functions[fb.func].sig.name;
+
+    // Window size by barrier role (the paper keys this off write vs read
+    // barriers; full barriers get the wider read window).
+    let write_only = fb.kind.is_write_side() && !fb.kind.is_read_side();
+    let window = config.window_for(write_only);
+
+    let mut accesses: Vec<Access> = Vec::new();
+    let mut wakeup_after: Option<u32> = None;
+    let mut adjacent: Option<AdjacentBarrier> = None;
+
+    // The barrier primitive's own access (store_release & co, seqcount
+    // counter accesses).
+    push_implied_accesses(fb, env, &mut accesses, config);
+    // For seqcount calls, the implied access *is* the counter.
+    let counter = if fb.seqcount.is_some() {
+        accesses.first().map(|a| a.object.clone())
+    } else {
+        None
+    };
+
+    // Accesses in the barrier's own statement that are not part of the
+    // barrier call (e.g. `v = read_seqcount_begin(s)` — v is usually a
+    // local, but be thorough).
+    for raw in accesses_in_node(&cfg.node(fb.node).kind, env) {
+        if !fb.call_span.contains(raw.span) {
+            push_access(&mut accesses, raw, Side::Before, 1, false, config);
+        }
+    }
+
+    // Walk both directions.
+    for (dir, side) in [(Dir::Bwd, Side::Before), (Dir::Fwd, Side::After)] {
+        walk(cfg, fb.node, dir, window, |node, dist| {
+            match classify_node(cfg, node) {
+                NodeClass::Barrier => Step::Prune,
+                NodeClass::FullAtomic => {
+                    collect_node(
+                        cfg, node, env, side, dist, summaries, config, &mut accesses,
+                    );
+                    if dist == 1 {
+                        if let Some(name) = full_atomic_callee_name(cfg, node) {
+                            adjacent.get_or_insert(AdjacentBarrier {
+                                side,
+                                callee: name,
+                                span: cfg.node(node).span,
+                            });
+                        }
+                    }
+                    Step::Stop
+                }
+                NodeClass::Wakeup(name) => {
+                    if side == Side::After {
+                        wakeup_after = Some(wakeup_after.map_or(dist, |d| d.min(dist)));
+                    }
+                    collect_node(
+                        cfg, node, env, side, dist, summaries, config, &mut accesses,
+                    );
+                    if dist == 1 {
+                        adjacent.get_or_insert(AdjacentBarrier {
+                            side,
+                            callee: name,
+                            span: cfg.node(node).span,
+                        });
+                    }
+                    Step::Stop
+                }
+                NodeClass::Plain => {
+                    collect_node(
+                        cfg, node, env, side, dist, summaries, config, &mut accesses,
+                    );
+                    Step::Continue
+                }
+            }
+        });
+    }
+
+    // Adjacent explicit barrier (distance 1) — the walk prunes barrier
+    // nodes before visiting, so check direct neighbours explicitly.
+    if adjacent.is_none() {
+        for (neighbors, side) in [
+            (&cfg.node(fb.node).preds, Side::Before),
+            (&cfg.node(fb.node).succs, Side::After),
+        ] {
+            for &n in neighbors.iter() {
+                if matches!(classify_node(cfg, n), NodeClass::Barrier) {
+                    if let Some(name) = barrier_callee_name(cfg, n) {
+                        adjacent = Some(AdjacentBarrier {
+                            side,
+                            callee: name,
+                            span: cfg.node(n).span,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // Caller expansion: accesses around same-file call sites of this
+    // function (§4.2: a barrier may order accesses of immediate callers).
+    if config.caller_expansion {
+        if let Some(call_sites) = callers.get(fname) {
+            for &(caller_fi, call_node) in call_sites {
+                let ccfg = &lowered.cfgs[caller_fi];
+                let cenv = &envs[caller_fi];
+                for (dir, side) in [(Dir::Bwd, Side::Before), (Dir::Fwd, Side::After)] {
+                    walk(ccfg, call_node, dir, window.saturating_sub(1), |node, dist| {
+                        match classify_node(ccfg, node) {
+                            NodeClass::Barrier => Step::Prune,
+                            NodeClass::FullAtomic | NodeClass::Wakeup(_) => Step::Stop,
+                            NodeClass::Plain => {
+                                for raw in accesses_in_node(&ccfg.node(node).kind, cenv) {
+                                    push_access(
+                                        &mut accesses,
+                                        raw,
+                                        side,
+                                        dist + 1,
+                                        true,
+                                        config,
+                                    );
+                                }
+                                Step::Continue
+                            }
+                        }
+                    });
+                }
+            }
+        }
+    }
+
+    let line = parsed.map.lookup(fb.call_span.lo).line;
+    BarrierSite {
+        id: BarrierId(0), // assigned globally by the engine
+        kind: fb.kind,
+        seqcount: fb.seqcount,
+        from_atomic: fb.from_atomic.clone(),
+        site: SiteRef {
+            file,
+            file_name: parsed.map.file.clone(),
+            function: fname.clone(),
+            node: fb.node,
+            span: fb.call_span,
+            line,
+        },
+        accesses,
+        counter,
+        wakeup_after,
+        adjacent_full_barrier: adjacent,
+    }
+}
+
+/// Name of the full-barrier atomic call in a node, for adjacency reporting.
+fn full_atomic_callee_name(cfg: &Cfg, node: NodeId) -> Option<String> {
+    let expr = cfg.node(node).kind.expr()?;
+    let mut name = None;
+    expr.walk(&mut |e| {
+        if name.is_none() {
+            if let Some(n) = e.call_name() {
+                if matches!(
+                    kmodel::classify_call(n),
+                    CallSemantics::Atomic(sem) if sem.strength == kmodel::BarrierStrength::Full
+                ) {
+                    name = Some(n.to_string());
+                }
+            }
+        }
+    });
+    name
+}
+
+/// Name of the barrier call in a node, for adjacency reporting.
+fn barrier_callee_name(cfg: &Cfg, node: NodeId) -> Option<String> {
+    let expr = cfg.node(node).kind.expr()?;
+    let mut name = None;
+    expr.walk(&mut |e| {
+        if name.is_none() {
+            if let Some(n) = e.call_name() {
+                if matches!(
+                    kmodel::classify_call(n),
+                    CallSemantics::Barrier(_) | CallSemantics::Seqcount(_)
+                ) {
+                    name = Some(n.to_string());
+                }
+            }
+        }
+    });
+    name
+}
+
+/// The barrier primitive's own memory accesses (§4.1: store/load variants
+/// and seqcount counter bumps).
+fn push_implied_accesses(
+    fb: &FoundBarrier,
+    env: &TypeEnv<'_>,
+    accesses: &mut Vec<Access>,
+    config: &AnalysisConfig,
+) {
+    if let Some(name) = &fb.from_atomic {
+        // A fully-ordered RMW acts as a barrier *at* the access: its
+        // target is orderable against both sides.
+        let call = Expr {
+            kind: ExprKind::Call {
+                callee: Box::new(Expr {
+                    kind: ExprKind::Ident(name.clone()),
+                    span: fb.call_span,
+                }),
+                args: fb.args.clone(),
+            },
+            span: fb.call_span,
+        };
+        for raw in crate::extract::accesses_in_expr(&call, env) {
+            push_access(accesses, raw.clone(), Side::Before, 1, false, config);
+            push_access(accesses, raw, Side::After, 1, false, config);
+        }
+        return;
+    }
+    if let Some(op) = fb.seqcount {
+        // Counter access: read or read-modify-write of the seqcount.
+        let side = if op.access_before_barrier() {
+            Side::Before
+        } else {
+            Side::After
+        };
+        if let Some(target) = fb.args.first() {
+            for raw in crate::extract::accesses_in_expr(
+                &wrap_counter_access(target, op),
+                env,
+            ) {
+                push_access(accesses, raw, side, 1, false, config);
+            }
+        }
+        return;
+    }
+    match fb.kind.implied_access() {
+        ImpliedAccess::None => {}
+        ImpliedAccess::StoreBefore | ImpliedAccess::StoreAfter | ImpliedAccess::LoadBefore => {
+            // extract.rs already interprets the primitive's args; but here
+            // we must fix the SIDE relative to the fence, which extraction
+            // cannot know.
+            let side = match fb.kind.implied_access() {
+                ImpliedAccess::StoreBefore | ImpliedAccess::LoadBefore => Side::Before,
+                _ => Side::After,
+            };
+            let call = Expr {
+                kind: ExprKind::Call {
+                    callee: Box::new(Expr {
+                        kind: ExprKind::Ident(fb.kind.name().to_string()),
+                        span: fb.call_span,
+                    }),
+                    args: fb.args.clone(),
+                },
+                span: fb.call_span,
+            };
+            for raw in crate::extract::accesses_in_expr(&call, env) {
+                push_access(accesses, raw, side, 1, false, config);
+            }
+        }
+    }
+}
+
+/// Re-synthesize the seqcount call so extraction interprets the counter
+/// access (read for readers, read-modify-write for writers).
+fn wrap_counter_access(target: &Expr, op: SeqcountOp) -> Expr {
+    let name = if op.writes_counter() {
+        "write_seqcount_begin"
+    } else {
+        "read_seqcount_begin"
+    };
+    Expr {
+        kind: ExprKind::Call {
+            callee: Box::new(Expr {
+                kind: ExprKind::Ident(name.to_string()),
+                span: target.span,
+            }),
+            args: vec![target.clone()],
+        },
+        span: target.span,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn collect_node(
+    cfg: &Cfg,
+    node: NodeId,
+    env: &TypeEnv<'_>,
+    side: Side,
+    dist: u32,
+    summaries: &HashMap<String, Vec<RawAccess>>,
+    config: &AnalysisConfig,
+    accesses: &mut Vec<Access>,
+) {
+    for raw in accesses_in_node(&cfg.node(node).kind, env) {
+        push_access(accesses, raw, side, dist, false, config);
+    }
+    // Callee expansion at plain call sites.
+    if config.callee_expansion {
+        if let Some(expr) = cfg.node(node).kind.expr() {
+            for (name, _) in plain_calls_in_expr(expr) {
+                if let Some(summary) = summaries.get(&name) {
+                    for raw in summary {
+                        push_access(accesses, raw.clone(), side, dist, true, config);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn push_access(
+    accesses: &mut Vec<Access>,
+    raw: RawAccess,
+    side: Side,
+    distance: u32,
+    cross_function: bool,
+    config: &AnalysisConfig,
+) {
+    if config.is_generic_type(&raw.object.strukt) {
+        return;
+    }
+    accesses.push(Access {
+        object: raw.object,
+        kind: raw.kind,
+        side,
+        distance,
+        span: raw.span,
+        annotated: raw.annotated,
+        cross_function,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn analyze(src: &str) -> FileAnalysis {
+        let parsed = ckit::parse_string("t.c", src).unwrap();
+        assert!(parsed.errors.is_empty(), "{:?}", parsed.errors);
+        analyze_file(0, &parsed, &AnalysisConfig::default())
+    }
+
+    const LISTING1: &str = r#"
+struct my_struct { int init; int y; };
+void reader(struct my_struct *a) {
+    if (!a->init)
+        return;
+    smp_rmb();
+    f(a->y);
+}
+void writer(struct my_struct *b) {
+    b->y = 1;
+    smp_wmb();
+    b->init = 1;
+}
+"#;
+
+    #[test]
+    fn finds_both_barriers_in_listing1() {
+        let fa = analyze(LISTING1);
+        assert_eq!(fa.sites.len(), 2);
+        assert_eq!(fa.sites[0].kind, BarrierKind::Rmb);
+        assert_eq!(fa.sites[0].site.function, "reader");
+        assert_eq!(fa.sites[1].kind, BarrierKind::Wmb);
+        assert_eq!(fa.sites[1].site.function, "writer");
+    }
+
+    #[test]
+    fn listing1_reader_accesses() {
+        let fa = analyze(LISTING1);
+        let reader = &fa.sites[0];
+        let init = SharedObject::new("my_struct", "init");
+        let y = SharedObject::new("my_struct", "y");
+        let init_acc = reader.accesses.iter().find(|a| a.object == init).unwrap();
+        assert_eq!(init_acc.side, Side::Before);
+        assert_eq!(init_acc.kind, AccessKind::Read);
+        let y_acc = reader.accesses.iter().find(|a| a.object == y).unwrap();
+        assert_eq!(y_acc.side, Side::After);
+        assert!(reader.orders(&init, &y));
+    }
+
+    #[test]
+    fn listing1_writer_accesses() {
+        let fa = analyze(LISTING1);
+        let writer = &fa.sites[1];
+        let init = SharedObject::new("my_struct", "init");
+        let y = SharedObject::new("my_struct", "y");
+        let y_acc = writer.accesses.iter().find(|a| a.object == y).unwrap();
+        assert_eq!((y_acc.side, y_acc.kind), (Side::Before, AccessKind::Write));
+        let init_acc = writer.accesses.iter().find(|a| a.object == init).unwrap();
+        assert_eq!((init_acc.side, init_acc.kind), (Side::After, AccessKind::Write));
+    }
+
+    #[test]
+    fn distances_count_statements() {
+        let src = r#"
+struct s { int a; int b; int c; };
+void w(struct s *p) {
+    p->a = 1;
+    p->b = 2;
+    smp_wmb();
+    p->c = 3;
+}
+"#;
+        let fa = analyze(src);
+        let site = &fa.sites[0];
+        assert_eq!(
+            site.distance_of(&SharedObject::new("s", "b")),
+            Some(1)
+        );
+        assert_eq!(
+            site.distance_of(&SharedObject::new("s", "a")),
+            Some(2)
+        );
+        assert_eq!(
+            site.distance_of(&SharedObject::new("s", "c")),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn write_window_bounds_exploration() {
+        // 7 statements before the barrier; only the closest 5 are seen.
+        let src = r#"
+struct s { int f0; int f1; int f2; int f3; int f4; int f5; int f6; int done; };
+void w(struct s *p) {
+    p->f0 = 1;
+    p->f1 = 1;
+    p->f2 = 1;
+    p->f3 = 1;
+    p->f4 = 1;
+    p->f5 = 1;
+    p->f6 = 1;
+    smp_wmb();
+    p->done = 1;
+}
+"#;
+        let fa = analyze(src);
+        let site = &fa.sites[0];
+        assert!(site.distance_of(&SharedObject::new("s", "f2")).is_some());
+        assert!(site.distance_of(&SharedObject::new("s", "f1")).is_none());
+        assert!(site.distance_of(&SharedObject::new("s", "f0")).is_none());
+    }
+
+    #[test]
+    fn read_window_is_wide() {
+        let mut body = String::new();
+        for i in 0..30 {
+            body.push_str(&format!("    consume({i});\n"));
+        }
+        let src = format!(
+            "struct s {{ int flag; int data; }};\nvoid r(struct s *p) {{\n    if (!p->flag) return;\n    smp_rmb();\n{body}    use_it(p->data);\n}}"
+        );
+        let fa = analyze(&src);
+        let site = &fa.sites[0];
+        // data is ~31 statements after the rmb — inside the 50 window.
+        assert!(site.distance_of(&SharedObject::new("s", "data")).is_some());
+    }
+
+    #[test]
+    fn window_stops_at_other_barrier() {
+        let src = r#"
+struct s { int a; int b; int c; };
+void w(struct s *p) {
+    p->a = 1;
+    smp_wmb();
+    p->b = 2;
+    smp_wmb();
+    p->c = 3;
+}
+"#;
+        let fa = analyze(src);
+        let first = &fa.sites[0];
+        // First barrier sees a and b but NOT c (blocked by second barrier).
+        assert!(first.distance_of(&SharedObject::new("s", "a")).is_some());
+        assert!(first.distance_of(&SharedObject::new("s", "b")).is_some());
+        assert!(first.distance_of(&SharedObject::new("s", "c")).is_none());
+    }
+
+    #[test]
+    fn window_stops_at_full_atomic() {
+        let src = r#"
+struct s { atomic_t refs; int a; int b; };
+void w(struct s *p) {
+    smp_wmb();
+    p->a = 1;
+    atomic_inc_and_test(&p->refs);
+    p->b = 2;
+}
+"#;
+        let fa = analyze(src);
+        let site = &fa.sites[0];
+        assert!(site.distance_of(&SharedObject::new("s", "a")).is_some());
+        // The full atomic's own access is seen...
+        assert!(site.distance_of(&SharedObject::new("s", "refs")).is_some());
+        // ...but nothing beyond it.
+        assert!(site.distance_of(&SharedObject::new("s", "b")).is_none());
+    }
+
+    #[test]
+    fn relaxed_atomic_does_not_stop() {
+        let src = r#"
+struct s { atomic_t refs; int a; int b; };
+void w(struct s *p) {
+    smp_wmb();
+    p->a = 1;
+    atomic_inc(&p->refs);
+    p->b = 2;
+}
+"#;
+        let fa = analyze(src);
+        let site = &fa.sites[0];
+        assert!(site.distance_of(&SharedObject::new("s", "b")).is_some());
+    }
+
+    #[test]
+    fn wakeup_detected_after_write_barrier() {
+        let src = r#"
+struct d { int got_token; struct task *task; };
+void f(struct d *data) {
+    data->got_token = 1;
+    smp_wmb();
+    wake_up_process(data->task);
+}
+"#;
+        let fa = analyze(src);
+        let site = &fa.sites[0];
+        assert_eq!(site.wakeup_after, Some(1));
+        let adj = site.adjacent_full_barrier.as_ref().unwrap();
+        assert_eq!(adj.callee, "wake_up_process");
+        assert_eq!(adj.side, Side::After);
+    }
+
+    #[test]
+    fn adjacent_double_barrier_detected() {
+        let src = r#"
+struct s { int a; int b; };
+void f(struct s *p) {
+    p->a = 1;
+    smp_wmb();
+    smp_mb();
+    p->b = 2;
+}
+"#;
+        let fa = analyze(src);
+        let first = &fa.sites[0];
+        let adj = first.adjacent_full_barrier.as_ref().unwrap();
+        assert_eq!(adj.callee, "smp_mb");
+    }
+
+    #[test]
+    fn store_release_implied_write_after() {
+        let src = r#"
+struct s { int data; int flag; };
+void w(struct s *p) {
+    p->data = 42;
+    smp_store_release(&p->flag, 1);
+}
+"#;
+        let fa = analyze(src);
+        let site = &fa.sites[0];
+        assert_eq!(site.kind, BarrierKind::StoreRelease);
+        let flag = site
+            .accesses
+            .iter()
+            .find(|a| a.object == SharedObject::new("s", "flag"))
+            .unwrap();
+        assert_eq!((flag.side, flag.kind), (Side::After, AccessKind::Write));
+        assert_eq!(flag.distance, 1);
+        let data = site
+            .accesses
+            .iter()
+            .find(|a| a.object == SharedObject::new("s", "data"))
+            .unwrap();
+        assert_eq!((data.side, data.kind), (Side::Before, AccessKind::Write));
+    }
+
+    #[test]
+    fn load_acquire_implied_read_before() {
+        let src = r#"
+struct s { int data; int flag; };
+int r(struct s *p) {
+    if (!smp_load_acquire(&p->flag))
+        return 0;
+    return p->data;
+}
+"#;
+        let fa = analyze(src);
+        let site = &fa.sites[0];
+        assert_eq!(site.kind, BarrierKind::LoadAcquire);
+        let flag = site
+            .accesses
+            .iter()
+            .find(|a| a.object == SharedObject::new("s", "flag"))
+            .unwrap();
+        assert_eq!((flag.side, flag.kind), (Side::Before, AccessKind::Read));
+        let data = site
+            .accesses
+            .iter()
+            .find(|a| a.object == SharedObject::new("s", "data"))
+            .unwrap();
+        assert_eq!(data.side, Side::After);
+    }
+
+    #[test]
+    fn seqcount_counter_sides() {
+        let src = r#"
+static seqcount_t seq;
+struct d { int v; };
+void w(struct d *p) {
+    write_seqcount_begin(&seq);
+    p->v = 1;
+    write_seqcount_end(&seq);
+}
+"#;
+        let fa = analyze(src);
+        assert_eq!(fa.sites.len(), 2);
+        let begin = &fa.sites[0];
+        assert_eq!(begin.seqcount, Some(SeqcountOp::WriteBegin));
+        let ctr = begin
+            .accesses
+            .iter()
+            .find(|a| a.object == SharedObject::global("seq"))
+            .unwrap();
+        assert_eq!(ctr.side, Side::Before);
+        let end = &fa.sites[1];
+        assert_eq!(end.seqcount, Some(SeqcountOp::WriteEnd));
+        let ctr = end
+            .accesses
+            .iter()
+            .filter(|a| a.object == SharedObject::global("seq"))
+            .find(|a| a.side == Side::After)
+            .unwrap();
+        assert_eq!(ctr.distance, 1);
+    }
+
+    #[test]
+    fn callee_expansion_pulls_helper_accesses() {
+        let src = r#"
+struct s { int data; int flag; };
+static void fill(struct s *p) {
+    p->data = 7;
+}
+void w(struct s *p) {
+    fill(p);
+    smp_wmb();
+    p->flag = 1;
+}
+"#;
+        let fa = analyze(src);
+        let site = fa.sites.iter().find(|s| s.site.function == "w").unwrap();
+        let data = site
+            .accesses
+            .iter()
+            .find(|a| a.object == SharedObject::new("s", "data"))
+            .expect("callee access merged");
+        assert!(data.cross_function);
+        assert_eq!(data.side, Side::Before);
+    }
+
+    #[test]
+    fn callee_expansion_disabled_by_config() {
+        let src = r#"
+struct s { int data; int flag; };
+static void fill(struct s *p) { p->data = 7; }
+void w(struct s *p) {
+    fill(p);
+    smp_wmb();
+    p->flag = 1;
+}
+"#;
+        let parsed = ckit::parse_string("t.c", src).unwrap();
+        let config = AnalysisConfig {
+            callee_expansion: false,
+            ..Default::default()
+        };
+        let fa = analyze_file(0, &parsed, &config);
+        let site = fa.sites.iter().find(|s| s.site.function == "w").unwrap();
+        assert!(site
+            .accesses
+            .iter()
+            .all(|a| a.object != SharedObject::new("s", "data")));
+    }
+
+    #[test]
+    fn caller_expansion_sees_surrounding_accesses() {
+        let src = r#"
+struct s { int data; int flag; };
+static void publish(struct s *p) {
+    smp_wmb();
+    p->flag = 1;
+}
+void outer(struct s *p) {
+    p->data = 9;
+    publish(p);
+}
+"#;
+        let fa = analyze(src);
+        let site = &fa.sites[0];
+        let data = site
+            .accesses
+            .iter()
+            .find(|a| a.object == SharedObject::new("s", "data"))
+            .expect("caller access merged");
+        assert!(data.cross_function);
+        assert_eq!(data.side, Side::Before);
+    }
+
+    #[test]
+    fn barrier_line_numbers() {
+        let fa = analyze(LISTING1);
+        assert_eq!(fa.sites[0].site.line, 6); // smp_rmb() line in LISTING1
+        assert_eq!(fa.sites[1].site.line, 11);
+    }
+
+    #[test]
+    fn rcu_publish_subscribe_modeled_as_release_acquire() {
+        let src = r#"
+struct item { int a; };
+struct gate { struct item *cur; };
+void install(struct gate *g, struct item *it, int v) {
+    it->a = v;
+    rcu_assign_pointer(g->cur, it);
+}
+int lookup(struct gate *g) {
+    struct item *it;
+    rcu_read_lock();
+    it = rcu_dereference(g->cur);
+    if (!it)
+        return 0;
+    return it->a;
+}
+"#;
+        let fa = analyze(src);
+        assert_eq!(fa.sites.len(), 2);
+        let wr = &fa.sites[0];
+        assert_eq!(wr.kind, BarrierKind::StoreRelease);
+        let cur = wr
+            .accesses
+            .iter()
+            .find(|a| a.object == SharedObject::new("gate", "cur"))
+            .unwrap();
+        assert_eq!((cur.side, cur.kind), (Side::After, AccessKind::Write));
+        let a_field = wr
+            .accesses
+            .iter()
+            .find(|a| a.object == SharedObject::new("item", "a"))
+            .unwrap();
+        assert_eq!(a_field.side, Side::Before);
+
+        let rd = &fa.sites[1];
+        assert_eq!(rd.kind, BarrierKind::LoadAcquire);
+        let cur = rd
+            .accesses
+            .iter()
+            .find(|a| a.object == SharedObject::new("gate", "cur"))
+            .unwrap();
+        assert_eq!((cur.side, cur.kind), (Side::Before, AccessKind::Read));
+        // The dereferenced item's field is typed through rcu_dereference.
+        let a_field = rd
+            .accesses
+            .iter()
+            .find(|a| a.object == SharedObject::new("item", "a"))
+            .unwrap();
+        assert_eq!(a_field.side, Side::After);
+    }
+
+    #[test]
+    fn asm_counts_for_distance_but_carries_no_accesses() {
+        // A compiler barrier (`asm volatile ::: "memory"`) is NOT a memory
+        // barrier: it neither bounds the window nor adds accesses, but it
+        // does count as a statement for distances.
+        let src = r#"
+struct s { int a; int b; };
+void w(struct s *p) {
+    p->a = 1;
+    asm volatile("" : : : "memory");
+    smp_wmb();
+    p->b = 2;
+}
+"#;
+        let fa = analyze(src);
+        assert_eq!(fa.sites.len(), 1, "the asm is not a barrier site");
+        let site = &fa.sites[0];
+        // `a` is 2 statements away (the asm counts as one).
+        assert_eq!(site.distance_of(&SharedObject::new("s", "a")), Some(2));
+        assert_eq!(site.distance_of(&SharedObject::new("s", "b")), Some(1));
+    }
+
+    #[test]
+    fn synchronize_rcu_bounds_window() {
+        let src = r#"
+struct s { int a; int b; };
+void f(struct s *p) {
+    smp_wmb();
+    p->a = 1;
+    synchronize_rcu();
+    p->b = 2;
+}
+"#;
+        let fa = analyze(src);
+        let site = &fa.sites[0];
+        assert!(site.distance_of(&SharedObject::new("s", "a")).is_some());
+        assert!(site.distance_of(&SharedObject::new("s", "b")).is_none());
+    }
+
+    #[test]
+    fn before_after_atomic_found() {
+        let src = r#"
+struct s { atomic_t c; int x; };
+void f(struct s *p) {
+    p->x = 1;
+    smp_mb__before_atomic();
+    atomic_inc(&p->c);
+}
+"#;
+        let fa = analyze(src);
+        assert_eq!(fa.sites.len(), 1);
+        assert_eq!(fa.sites[0].kind, BarrierKind::BeforeAtomic);
+        // The atomic's target is on the After side.
+        let c = fa.sites[0]
+            .accesses
+            .iter()
+            .find(|a| a.object == SharedObject::new("s", "c"))
+            .unwrap();
+        assert_eq!(c.side, Side::After);
+    }
+}

@@ -1,0 +1,236 @@
+//! Evaluation: compare analysis output against the ground-truth manifest.
+//!
+//! The comparison is expressed over plain strings (function names, object
+//! tuples, bug-class names) so this crate stays independent of the
+//! analyzer — the bench harness converts `ofence` results into
+//! [`FoundBug`]/[`FoundPairing`] records.
+
+use crate::manifest::{BugKind, Manifest};
+use serde::{Deserialize, Serialize};
+
+/// A deviation reported by the analyzer, reduced to comparable facts.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FoundBug {
+    pub function: String,
+    pub kind: BugKind,
+    /// Involved object, when reported.
+    pub strukt: String,
+    pub field: String,
+}
+
+/// A pairing reported by the analyzer: the set of functions involved.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FoundPairing {
+    pub functions: Vec<String>,
+}
+
+/// Recall/precision summary.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct EvalSummary {
+    // Bugs.
+    pub bugs_injected: usize,
+    pub bugs_found: usize,
+    /// Reported deviations with no matching injection (false positives).
+    pub bug_false_positives: usize,
+    pub bug_recall: f64,
+    pub bug_precision: f64,
+    /// Per bug-class (injected, found).
+    pub per_kind: Vec<(String, usize, usize)>,
+
+    // Pairings.
+    pub pairings_expected: usize,
+    pub pairings_found: usize,
+    /// Reported pairings that match a decoy (incorrect pairings, §6.4).
+    pub decoy_pairings_found: usize,
+    /// Reported pairings matching neither a real instance nor a decoy.
+    pub unexplained_pairings: usize,
+    pub pairing_recall: f64,
+}
+
+/// Match reported findings against the manifest.
+pub fn evaluate(
+    manifest: &Manifest,
+    found_bugs: &[FoundBug],
+    found_pairings: &[FoundPairing],
+) -> EvalSummary {
+    let mut summary = EvalSummary {
+        bugs_injected: manifest.bugs.len(),
+        ..Default::default()
+    };
+
+    // --- bugs ---
+    let mut matched_injections = vec![false; manifest.bugs.len()];
+    let mut fp = 0usize;
+    for fb in found_bugs {
+        let hit = manifest.bugs.iter().enumerate().find(|(i, b)| {
+            !matched_injections[*i]
+                && b.kind == fb.kind
+                && b.function == fb.function
+                && (b.strukt.is_empty() || b.strukt == fb.strukt)
+                && (b.field.is_empty() || b.field == fb.field)
+        });
+        match hit {
+            Some((i, _)) => matched_injections[i] = true,
+            None => fp += 1,
+        }
+    }
+    summary.bugs_found = matched_injections.iter().filter(|&&m| m).count();
+    summary.bug_false_positives = fp;
+    summary.bug_recall = ratio(summary.bugs_found, summary.bugs_injected);
+    summary.bug_precision = ratio(summary.bugs_found, found_bugs.len());
+    for kind in BugKind::ALL {
+        let injected = manifest.count_bugs(kind);
+        let found = manifest
+            .bugs
+            .iter()
+            .zip(&matched_injections)
+            .filter(|(b, &m)| m && b.kind == kind)
+            .count();
+        if injected > 0 || found > 0 {
+            summary.per_kind.push((format!("{kind:?}"), injected, found));
+        }
+    }
+
+    // --- pairings ---
+    // A reported pairing covers an instance when its function set
+    // intersects the instance's functions in ≥ 2 functions (writer + at
+    // least one reader).
+    let covers = |exp: &crate::manifest::ExpectedPairing, fp: &FoundPairing| {
+        exp.functions
+            .iter()
+            .filter(|f| fp.functions.contains(f))
+            .count()
+            >= 2
+    };
+    summary.pairings_expected = manifest.real_pairings().count();
+    summary.pairings_found = manifest
+        .real_pairings()
+        .filter(|exp| found_pairings.iter().any(|fp| covers(exp, fp)))
+        .count();
+    summary.decoy_pairings_found = manifest
+        .decoy_pairings()
+        .filter(|exp| found_pairings.iter().any(|fp| covers(exp, fp)))
+        .count();
+    summary.unexplained_pairings = found_pairings
+        .iter()
+        .filter(|fp| !manifest.expected_pairings.iter().any(|exp| covers(exp, fp)))
+        .count();
+    summary.pairing_recall = ratio(summary.pairings_found, summary.pairings_expected);
+    summary
+}
+
+fn ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::{ExpectedPairing, InjectedBug, PatternKind};
+
+    fn manifest() -> Manifest {
+        Manifest {
+            bugs: vec![InjectedBug {
+                file: "a.c".into(),
+                function: "reader".into(),
+                kind: BugKind::Misplaced,
+                strukt: "s".into(),
+                field: "flag".into(),
+            }],
+            expected_pairings: vec![
+                ExpectedPairing {
+                    functions: vec!["writer".into(), "reader".into()],
+                    objects: vec![],
+                    kind: PatternKind::InitFlag,
+                    decoy: false,
+                },
+                ExpectedPairing {
+                    functions: vec!["d_a".into(), "d_b".into()],
+                    objects: vec![],
+                    kind: PatternKind::InitFlag,
+                    decoy: true,
+                },
+            ],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn perfect_match() {
+        let s = evaluate(
+            &manifest(),
+            &[FoundBug {
+                function: "reader".into(),
+                kind: BugKind::Misplaced,
+                strukt: "s".into(),
+                field: "flag".into(),
+            }],
+            &[FoundPairing {
+                functions: vec!["writer".into(), "reader".into()],
+            }],
+        );
+        assert_eq!(s.bugs_found, 1);
+        assert_eq!(s.bug_false_positives, 0);
+        assert!((s.bug_recall - 1.0).abs() < 1e-9);
+        assert_eq!(s.pairings_found, 1);
+        assert_eq!(s.decoy_pairings_found, 0);
+    }
+
+    #[test]
+    fn miss_and_false_positive() {
+        let s = evaluate(
+            &manifest(),
+            &[FoundBug {
+                function: "other".into(),
+                kind: BugKind::RepeatedRead,
+                strukt: "t".into(),
+                field: "x".into(),
+            }],
+            &[],
+        );
+        assert_eq!(s.bugs_found, 0);
+        assert_eq!(s.bug_false_positives, 1);
+        assert_eq!(s.bug_recall, 0.0);
+    }
+
+    #[test]
+    fn decoy_pairing_counted_separately() {
+        let s = evaluate(
+            &manifest(),
+            &[],
+            &[
+                FoundPairing {
+                    functions: vec!["d_a".into(), "d_b".into()],
+                },
+                FoundPairing {
+                    functions: vec!["x".into(), "y".into()],
+                },
+            ],
+        );
+        assert_eq!(s.decoy_pairings_found, 1);
+        assert_eq!(s.unexplained_pairings, 1);
+        assert_eq!(s.pairings_found, 0);
+    }
+
+    #[test]
+    fn wildcard_fields_match() {
+        let mut m = manifest();
+        m.bugs[0].strukt = String::new();
+        m.bugs[0].field = String::new();
+        let s = evaluate(
+            &m,
+            &[FoundBug {
+                function: "reader".into(),
+                kind: BugKind::Misplaced,
+                strukt: "anything".into(),
+                field: "whatever".into(),
+            }],
+            &[],
+        );
+        assert_eq!(s.bugs_found, 1);
+    }
+}

@@ -1,0 +1,279 @@
+//! Paper fixtures: the listings and patches from the OFence paper,
+//! transcribed as analyzable C. Used by integration tests and examples to
+//! check that the reproduction reaches the paper's conclusions on the
+//! paper's own examples.
+
+/// Listing 1 — the canonical init-flag pattern (correct).
+pub const LISTING1: &str = r#"
+struct my_struct {
+	int init;
+	int y;
+};
+
+void reader(struct my_struct *a)
+{
+	if (!a->init)
+		return;
+	smp_rmb();
+	f(a->y);
+}
+
+void writer(struct my_struct *b)
+{
+	b->y = 1;
+	smp_wmb();
+	b->init = 1;
+}
+"#;
+
+/// Listing 3 — the ARP subsystem's seqcount usage (correct; simplified to
+/// the accesses that matter, per-cpu iteration elided).
+pub const LISTING3: &str = r#"
+static seqcount_t xt_recseq;
+
+struct xt_counters {
+	long bcnt;
+	long pcnt;
+};
+
+void get_counters(struct xt_counters *counter, struct xt_counters *tmp)
+{
+	unsigned int v;
+	long bcnt;
+	long pcnt;
+	do {
+		v = read_seqcount_begin(&xt_recseq);
+		bcnt = tmp->bcnt;
+		pcnt = tmp->pcnt;
+	} while (read_seqcount_retry(&xt_recseq, v));
+	counter->bcnt = bcnt;
+	counter->pcnt = pcnt;
+}
+
+void do_add_counters(struct xt_counters *t, struct xt_counters *paddc)
+{
+	unsigned int a;
+	a = xt_write_recseq_begin(&xt_recseq);
+	t->bcnt += paddc->bcnt;
+	t->pcnt += paddc->pcnt;
+	xt_write_recseq_end(&xt_recseq);
+}
+"#;
+
+/// Patch 1 (buggy original) — the RPC misplaced memory access:
+/// `rq_reply_bytes_recd` is read *after* the read barrier in
+/// `call_decode`, so the CPU may prefetch `rq_private_buf.len` before the
+/// flag check.
+pub const PATCH1_BUGGY: &str = r#"
+struct rpc_buf {
+	int len;
+};
+
+struct rpc_rqst {
+	struct rpc_buf rq_private_buf;
+	struct rpc_buf rq_rcv_buf;
+	int rq_reply_bytes_recd;
+};
+
+void xprt_complete_rqst(struct rpc_rqst *req, int copied)
+{
+	req->rq_private_buf.len = copied;
+	smp_wmb();
+	req->rq_reply_bytes_recd = copied;
+}
+
+void call_decode(struct rpc_rqst *req)
+{
+	smp_rmb();
+	if (!req->rq_reply_bytes_recd)
+		goto out;
+	req->rq_rcv_buf.len = req->rq_private_buf.len;
+out:
+	return;
+}
+"#;
+
+/// Patch 1 (fixed) — the flag check moved before the barrier.
+pub const PATCH1_FIXED: &str = r#"
+struct rpc_buf {
+	int len;
+};
+
+struct rpc_rqst {
+	struct rpc_buf rq_private_buf;
+	struct rpc_buf rq_rcv_buf;
+	int rq_reply_bytes_recd;
+};
+
+void xprt_complete_rqst(struct rpc_rqst *req, int copied)
+{
+	req->rq_private_buf.len = copied;
+	smp_wmb();
+	req->rq_reply_bytes_recd = copied;
+}
+
+void call_decode(struct rpc_rqst *req)
+{
+	if (!req->rq_reply_bytes_recd)
+		goto out;
+	smp_rmb();
+	req->rq_rcv_buf.len = req->rq_private_buf.len;
+out:
+	return;
+}
+"#;
+
+/// Patch 3 (buggy original) — the socket reuseport re-read:
+/// `reuse->num_socks` is correctly read before the read barrier and then
+/// racily re-read after it, possibly indexing uninitialized slots.
+pub const PATCH3_BUGGY: &str = r#"
+struct sock {
+	int id;
+};
+
+struct sock_reuseport {
+	int num_socks;
+	int flags;
+	struct sock *socks[16];
+};
+
+int reuseport_add_sock(struct sock_reuseport *reuse, struct sock *sk)
+{
+	reuse->socks[reuse->num_socks] = sk;
+	reuse->flags = 1;
+	smp_wmb();
+	reuse->num_socks++;
+	return 0;
+}
+
+struct sock *reuseport_select_sock(struct sock_reuseport *reuse)
+{
+	int socks = reuse->num_socks;
+	int fl = reuse->flags;
+	smp_rmb();
+	if (socks && fl)
+		return reuse->socks[reuse->num_socks - 1];
+	return 0;
+}
+"#;
+
+/// Patch 4 (buggy original) — the I/O qos unneeded barrier:
+/// `wake_up_process` already has barrier semantics.
+pub const PATCH4_BUGGY: &str = r#"
+struct task_struct {
+	int pid;
+};
+
+struct rq_wait_data {
+	int got_token;
+	struct task_struct *task;
+};
+
+static int rq_qos_wake_function(struct rq_wait_data *data)
+{
+	data->got_token = 1;
+	smp_wmb();
+	wake_up_process(data->task);
+	return 1;
+}
+"#;
+
+/// Patch 5 (before annotation) — the poll wake-up path missing
+/// READ_ONCE/WRITE_ONCE on `pwq->triggered`.
+pub const PATCH5_UNANNOTATED: &str = r#"
+struct poll_wqueues {
+	int triggered;
+	int polling_task;
+};
+
+static int pollwake(struct poll_wqueues *pwq)
+{
+	pwq->polling_task = 1;
+	smp_wmb();
+	pwq->triggered = 1;
+	return 0;
+}
+
+static int poll_schedule_timeout(struct poll_wqueues *pwq)
+{
+	int rc = -1;
+	if (!pwq->triggered)
+		rc = schedule_hrtimeout_range(pwq->polling_task);
+	smp_rmb();
+	pat_log(pwq->polling_task);
+	return rc;
+}
+"#;
+
+/// Listing 4 — the bnx2x false positive: `sp_state` written on both sides
+/// of the write barrier (bit set before, bit cleared after). OFence is
+/// documented to mis-handle this pattern.
+pub const LISTING4_BNX2X: &str = r#"
+struct bnx2x {
+	unsigned long sp_state;
+	int stats_pending;
+};
+
+void bnx2x_sp_event(struct bnx2x *bp)
+{
+	bp->stats_pending = 1;
+	set_bit(1, &bp->sp_state);
+	smp_wmb();
+	clear_bit(2, &bp->sp_state);
+}
+
+void bnx2x_sp_reader(struct bnx2x *bp)
+{
+	if (bp->sp_state)
+		return;
+	smp_rmb();
+	pat_log(bp->stats_pending);
+}
+"#;
+
+/// Listing 2 — re-read of a racy flag used in a condition.
+pub const LISTING2: &str = r#"
+struct ev_type {
+	int field;
+	int data;
+};
+
+void ev_writer(struct ev_type *a)
+{
+	a->data = 2;
+	smp_wmb();
+	a->field = 1;
+}
+
+void ev_reader(struct ev_type *a)
+{
+	if (a->field)
+		return;
+	smp_rmb();
+	subfunction(a->field);
+	pat_log(a->data);
+}
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_fixtures_parse() {
+        for (name, src) in [
+            ("LISTING1", LISTING1),
+            ("LISTING2", LISTING2),
+            ("LISTING3", LISTING3),
+            ("LISTING4", LISTING4_BNX2X),
+            ("PATCH1_BUGGY", PATCH1_BUGGY),
+            ("PATCH1_FIXED", PATCH1_FIXED),
+            ("PATCH3_BUGGY", PATCH3_BUGGY),
+            ("PATCH4_BUGGY", PATCH4_BUGGY),
+            ("PATCH5_UNANNOTATED", PATCH5_UNANNOTATED),
+        ] {
+            let parsed = ckit::parse_string(name, src).unwrap();
+            assert!(parsed.errors.is_empty(), "{name}: {:?}", parsed.errors);
+        }
+    }
+}

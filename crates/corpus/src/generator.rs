@@ -1,0 +1,407 @@
+//! Corpus assembly: distribute pattern instances, decoys, noise, and
+//! injected bugs over a set of synthetic "kernel" files, recording the
+//! ground truth.
+
+use crate::manifest::{BugKind, ExpectedPairing, Manifest, PatternKind};
+use crate::patterns::{self, emit, supported_bugs};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A generated source file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GenFile {
+    pub name: String,
+    pub content: String,
+}
+
+/// How many bugs of each class to inject (paper Table 3 is 8/3/1, plus
+/// the 53 unneeded barriers of §6.3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BugPlan {
+    pub misplaced: usize,
+    pub repeated_read: usize,
+    pub wrong_type: usize,
+    pub unneeded: usize,
+}
+
+impl BugPlan {
+    pub fn none() -> BugPlan {
+        BugPlan {
+            misplaced: 0,
+            repeated_read: 0,
+            wrong_type: 0,
+            unneeded: 0,
+        }
+    }
+
+    /// The paper's bug counts.
+    pub fn paper() -> BugPlan {
+        BugPlan {
+            misplaced: 8,
+            repeated_read: 3,
+            wrong_type: 1,
+            unneeded: 53,
+        }
+    }
+
+    pub fn total(&self) -> usize {
+        self.misplaced + self.repeated_read + self.wrong_type + self.unneeded
+    }
+
+    fn count_mut(&mut self, kind: BugKind) -> &mut usize {
+        match kind {
+            BugKind::Misplaced => &mut self.misplaced,
+            BugKind::RepeatedRead => &mut self.repeated_read,
+            BugKind::WrongBarrierType => &mut self.wrong_type,
+            BugKind::UnneededBarrier => &mut self.unneeded,
+        }
+    }
+}
+
+/// Corpus shape parameters.
+#[derive(Clone, Debug)]
+pub struct CorpusSpec {
+    pub seed: u64,
+    pub files: usize,
+    /// Barrier-pattern instances per file.
+    pub patterns_per_file: usize,
+    /// Barrier-free helper functions per file.
+    pub noise_per_file: usize,
+    /// Generic-type decoy pairs (each yields one incorrect pairing,
+    /// reproducing §6.4's false-positive mechanism). One in five uses a
+    /// "consistent" reader: the bogus pairing forms but produces no bogus
+    /// patch — the paper saw 15 incorrect pairings but 12 incorrect
+    /// patches.
+    pub decoy_pairs: usize,
+    /// Additional decoys whose writer-side objects sit ~7 statements from
+    /// the barrier: invisible at the default 5-statement window, they
+    /// surface as extra incorrect pairings when the window grows
+    /// (Figure 6's caption).
+    pub far_decoy_pairs: usize,
+    /// Barrier functions per file whose objects appear nowhere else
+    /// (code synchronizing with lock-based counterparts): these stay
+    /// unpaired and set the corpus's coverage level (§6.4's ~50%).
+    pub lone_per_file: usize,
+    /// Fraction of instances whose writer and reader land in different
+    /// files (cross-file pairing, like the paper's RPC example).
+    pub split_fraction: f64,
+    pub bugs: BugPlan,
+}
+
+impl CorpusSpec {
+    /// A small corpus for tests.
+    pub fn small(seed: u64) -> CorpusSpec {
+        CorpusSpec {
+            seed,
+            files: 8,
+            patterns_per_file: 2,
+            noise_per_file: 1,
+            decoy_pairs: 1,
+            far_decoy_pairs: 0,
+            lone_per_file: 0,
+            split_fraction: 0.25,
+            bugs: BugPlan::none(),
+        }
+    }
+
+    /// Paper-scale corpus: ~600 files with barriers (the paper analyzes
+    /// 614), Table 3 bug counts, 15 decoy pairings (§6.4).
+    pub fn paper_scale(seed: u64) -> CorpusSpec {
+        CorpusSpec {
+            seed,
+            files: 600,
+            patterns_per_file: 1,
+            noise_per_file: 3,
+            decoy_pairs: 15,
+            far_decoy_pairs: 5,
+            lone_per_file: 2,
+            split_fraction: 0.2,
+            bugs: BugPlan::paper(),
+        }
+    }
+}
+
+/// A generated corpus plus its ground truth.
+#[derive(Clone, Debug)]
+pub struct Corpus {
+    pub files: Vec<GenFile>,
+    pub manifest: Manifest,
+}
+
+/// Pattern kind frequencies: init-flag publication dominates real kernel
+/// barrier usage; wake-up and seqcount are common but rarer.
+const KIND_CYCLE: &[PatternKind] = &[
+    PatternKind::InitFlag,
+    PatternKind::RingBuffer,
+    PatternKind::InitFlag,
+    PatternKind::AcquireRelease,
+    PatternKind::WakeupPublish,
+    PatternKind::InitFlag,
+    PatternKind::Seqcount,
+    PatternKind::RingBuffer,
+    PatternKind::AcquireRelease,
+    PatternKind::AtomicBarrier,
+    PatternKind::MultiReader,
+    PatternKind::RcuPublish,
+    PatternKind::SleepWake,
+    PatternKind::AfterAtomic,
+    PatternKind::WakeupPublish,
+];
+
+/// Generate a corpus from a spec. Deterministic in `spec.seed`.
+pub fn generate(spec: &CorpusSpec) -> Corpus {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let total = spec.files * spec.patterns_per_file;
+
+    // Decide each instance's kind.
+    let kinds: Vec<PatternKind> = (0..total).map(|i| KIND_CYCLE[i % KIND_CYCLE.len()]).collect();
+
+    // Assign bugs: for each class, pick supporting instances round-robin,
+    // spread across the corpus; at most one bug per instance. Unneeded
+    // barriers go to wake-up patterns first (§6.3: "mostly found in the
+    // single barrier pattern where barriers are followed by a wake up
+    // function").
+    let mut bug_at: Vec<Option<BugKind>> = vec![None; total];
+    let mut remaining = spec.bugs;
+    let order = [
+        BugKind::UnneededBarrier,
+        BugKind::Misplaced,
+        BugKind::RepeatedRead,
+        BugKind::WrongBarrierType,
+    ];
+    for kind in order {
+        let mut candidates: Vec<usize> = (0..total)
+            .filter(|&i| bug_at[i].is_none() && supported_bugs(kinds[i]).contains(&kind))
+            .collect();
+        let mut step_override = None;
+        if kind == BugKind::UnneededBarrier {
+            // §6.3: unneeded barriers live almost exclusively in front of
+            // wake-up calls — fill wake-up instances first, in order.
+            candidates.sort_by_key(|&i| (kinds[i] != PatternKind::WakeupPublish, i));
+            step_override = Some(1);
+        }
+        let want = *remaining.count_mut(kind);
+        // Spread assignments over the candidate list.
+        let step = step_override
+            .unwrap_or_else(|| (candidates.len() / want.max(1)).max(1));
+        let mut assigned = 0;
+        let mut idx = 0;
+        while assigned < want && idx < candidates.len() {
+            bug_at[candidates[idx]] = Some(kind);
+            assigned += 1;
+            idx += step;
+        }
+        // Fill any shortfall from the front.
+        if assigned < want {
+            for &c in &candidates {
+                if assigned >= want {
+                    break;
+                }
+                if bug_at[c].is_none() {
+                    bug_at[c] = Some(kind);
+                    assigned += 1;
+                }
+            }
+        }
+    }
+
+    // Emit instances and lay them out over files.
+    let mut file_bodies: Vec<String> = (0..spec.files)
+        .map(|i| format!("/* synthetic kernel unit {i} — generated, do not edit */\n"))
+        .collect();
+    let mut manifest = Manifest {
+        seed: spec.seed,
+        ..Default::default()
+    };
+    let file_name = |i: usize| format!("gen/unit{i:04}.c");
+
+    for (inst_idx, &kind) in kinds.iter().enumerate() {
+        let inst = emit(kind, inst_idx, &mut rng, bug_at[inst_idx]);
+        let home = inst_idx % spec.files;
+        let split = spec.files > 1 && rng.gen_bool(spec.split_fraction);
+        let away = (home + 1) % spec.files;
+        if split {
+            file_bodies[home].push_str(&inst.structs);
+            file_bodies[home].push_str(&inst.writer);
+            file_bodies[away].push_str(&inst.structs);
+            file_bodies[away].push_str(&inst.reader);
+        } else {
+            file_bodies[home].push_str(&inst.structs);
+            file_bodies[home].push_str(&inst.writer);
+            file_bodies[home].push_str(&inst.reader);
+        }
+        *manifest
+            .pattern_counts
+            .entry(format!("{kind:?}"))
+            .or_default() += 1;
+        if let Some(e) = inst.expected {
+            manifest.expected_pairings.push(e);
+        }
+        if let Some(mut b) = inst.bug {
+            // The bug lives where its function lives.
+            let in_reader = inst.reader.contains(&format!("{}(", b.function));
+            b.file = file_name(if split && in_reader { away } else { home });
+            manifest.bugs.push(b);
+        }
+        if let Some(w) = inst.ipc_writer {
+            manifest.implicit_ipc_writers.push(w);
+        }
+    }
+
+    // Decoys: writer half and reader half in different files, cycling
+    // over the generic container types so unrelated subsystems appear to
+    // share objects.
+    let mut decoy_defs: std::collections::HashSet<(usize, usize)> = Default::default();
+    for d in 0..spec.decoy_pairs + spec.far_decoy_pairs {
+        let a = (d * 7) % spec.files.max(1);
+        let b = (a + spec.files / 2 + 1) % spec.files.max(1);
+        let id = total + d;
+        let ty = d % patterns::GENERIC_TYPES.len();
+        let far = d >= spec.decoy_pairs;
+        // Far decoys exist only to make the pairing count window-
+        // sensitive; their readers are consistent so they add no patches.
+        let consistent = far || (spec.decoy_pairs >= 5 && d % 5 == 4);
+        let (fa, code_a) = patterns::decoy_half(id, true, ty, far);
+        let (fb, code_b) = if consistent {
+            patterns::decoy_consistent_reader(id + 10_000, ty)
+        } else {
+            patterns::decoy_half(id + 10_000, false, ty, far)
+        };
+        for (fi, code) in [(a, code_a), (b, code_b)] {
+            if decoy_defs.insert((fi, ty)) {
+                file_bodies[fi].push_str(&patterns::generic_type_def(ty));
+            }
+            file_bodies[fi].push_str(&code);
+        }
+        let (tyname, f1, f2) = patterns::GENERIC_TYPES[ty];
+        manifest.expected_pairings.push(ExpectedPairing {
+            functions: vec![fa, fb],
+            objects: vec![
+                (tyname.to_string(), f1.to_string()),
+                (tyname.to_string(), f2.to_string()),
+            ],
+            kind: PatternKind::InitFlag,
+            decoy: true,
+        });
+    }
+
+    // Lone barriers (lock-adjacent code: never pairs) and noise.
+    for (fi, body) in file_bodies.iter_mut().enumerate() {
+        for li in 0..spec.lone_per_file {
+            body.push_str(&patterns::lone_barrier(total + 30_000 + fi, li, &mut rng));
+        }
+        for ni in 0..spec.noise_per_file {
+            body.push_str(&patterns::noise_function(total + 20_000 + fi, ni, &mut rng));
+        }
+    }
+
+    Corpus {
+        files: file_bodies
+            .into_iter()
+            .enumerate()
+            .map(|(i, content)| GenFile {
+                name: file_name(i),
+                content,
+            })
+            .collect(),
+        manifest,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_file_count() {
+        let corpus = generate(&CorpusSpec::small(1));
+        assert_eq!(corpus.files.len(), 8);
+    }
+
+    #[test]
+    fn every_file_parses() {
+        let corpus = generate(&CorpusSpec::small(2));
+        for f in &corpus.files {
+            let parsed = ckit::parse_string(&f.name, &f.content).unwrap();
+            assert!(
+                parsed.errors.is_empty(),
+                "{}: {:?}\n{}",
+                f.name,
+                parsed.errors,
+                f.content
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = generate(&CorpusSpec::small(42));
+        let b = generate(&CorpusSpec::small(42));
+        assert_eq!(a.files, b.files);
+        assert_eq!(a.manifest.bugs, b.manifest.bugs);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&CorpusSpec::small(1));
+        let b = generate(&CorpusSpec::small(2));
+        assert_ne!(a.files, b.files);
+    }
+
+    #[test]
+    fn bug_plan_is_honored_exactly() {
+        let mut spec = CorpusSpec::small(3);
+        spec.files = 30;
+        spec.patterns_per_file = 2;
+        spec.bugs = BugPlan {
+            misplaced: 8,
+            repeated_read: 3,
+            wrong_type: 1,
+            unneeded: 5,
+        };
+        let corpus = generate(&spec);
+        assert_eq!(corpus.manifest.count_bugs(BugKind::Misplaced), 8);
+        assert_eq!(corpus.manifest.count_bugs(BugKind::RepeatedRead), 3);
+        assert_eq!(corpus.manifest.count_bugs(BugKind::WrongBarrierType), 1);
+        assert_eq!(corpus.manifest.count_bugs(BugKind::UnneededBarrier), 5);
+    }
+
+    #[test]
+    fn bug_files_exist_and_contain_function() {
+        let mut spec = CorpusSpec::small(4);
+        spec.files = 12;
+        spec.bugs = BugPlan {
+            misplaced: 3,
+            repeated_read: 2,
+            wrong_type: 1,
+            unneeded: 2,
+        };
+        let corpus = generate(&spec);
+        for bug in &corpus.manifest.bugs {
+            let f = corpus
+                .files
+                .iter()
+                .find(|f| f.name == bug.file)
+                .unwrap_or_else(|| panic!("file {} missing", bug.file));
+            assert!(
+                f.content.contains(&format!("{}(", bug.function)),
+                "{} not in {}",
+                bug.function,
+                bug.file
+            );
+        }
+    }
+
+    #[test]
+    fn decoys_recorded() {
+        let corpus = generate(&CorpusSpec::small(5));
+        assert_eq!(corpus.manifest.decoy_pairings().count(), 1);
+    }
+
+    #[test]
+    fn paper_scale_counts() {
+        let spec = CorpusSpec::paper_scale(0);
+        assert_eq!(spec.bugs.total(), 65); // 12 ordering bugs + 53 unneeded
+        assert_eq!(spec.files, 600);
+    }
+}

@@ -1,0 +1,866 @@
+//! Pattern emitters: each produces one instance of a kernel barrier idiom
+//! as C source, optionally with an injected bug, plus its ground truth.
+//!
+//! Every instance uses unique struct/function names (`pat<N>_…`) so that
+//! shared-object matching cannot accidentally pair unrelated instances —
+//! except the generic-type decoys, which deliberately share `struct
+//! list_head` to reproduce the paper's incorrect-pairing mechanism (§6.4).
+
+use crate::manifest::{BugKind, ExpectedPairing, InjectedBug, PatternKind};
+use rand::Rng;
+use std::fmt::Write;
+
+/// One generated pattern instance.
+#[derive(Clone, Debug, Default)]
+pub struct PatternInstance {
+    /// Struct/typedef definitions (duplicated into both files when the
+    /// instance is split across files).
+    pub structs: String,
+    /// Writer-side code.
+    pub writer: String,
+    /// Reader-side code (may hold several functions).
+    pub reader: String,
+    /// Expected pairing, if the pattern creates one.
+    pub expected: Option<ExpectedPairing>,
+    /// Injected bug ground truth (`file` is filled by the generator).
+    pub bug: Option<InjectedBug>,
+    /// Writer function intentionally unpaired behind a wake-up call.
+    pub ipc_writer: Option<String>,
+}
+
+/// Emit one instance of `kind` with id `n`, optionally injecting `bug`.
+pub fn emit(kind: PatternKind, n: usize, rng: &mut impl Rng, bug: Option<BugKind>) -> PatternInstance {
+    match kind {
+        PatternKind::InitFlag => init_flag(n, rng, bug),
+        PatternKind::RingBuffer => ring_buffer(n, rng, bug),
+        PatternKind::Seqcount => seqcount(n, rng, bug),
+        PatternKind::WakeupPublish => wakeup_publish(n, rng, bug),
+        PatternKind::AcquireRelease => acquire_release(n, rng, bug),
+        PatternKind::AtomicBarrier => atomic_barrier(n, rng, bug),
+        PatternKind::MultiReader => multi_reader(n, rng, bug),
+        PatternKind::RcuPublish => rcu_publish(n, rng, bug),
+        PatternKind::SleepWake => sleep_wake(n, rng, bug),
+        PatternKind::AfterAtomic => after_atomic(n, rng, bug),
+    }
+}
+
+/// Which bug classes a pattern can host.
+pub fn supported_bugs(kind: PatternKind) -> &'static [BugKind] {
+    match kind {
+        PatternKind::InitFlag => &[
+            BugKind::Misplaced,
+            BugKind::RepeatedRead,
+            BugKind::WrongBarrierType,
+            BugKind::UnneededBarrier,
+        ],
+        PatternKind::RingBuffer => &[BugKind::Misplaced, BugKind::RepeatedRead],
+        PatternKind::Seqcount => &[BugKind::Misplaced],
+        PatternKind::WakeupPublish => &[BugKind::UnneededBarrier],
+        PatternKind::AcquireRelease => &[BugKind::Misplaced],
+        PatternKind::AtomicBarrier => &[BugKind::Misplaced],
+        PatternKind::MultiReader => &[BugKind::Misplaced, BugKind::RepeatedRead],
+        PatternKind::RcuPublish => &[BugKind::Misplaced],
+        PatternKind::SleepWake => &[BugKind::Misplaced],
+        PatternKind::AfterAtomic => &[BugKind::Misplaced],
+    }
+}
+
+/// Filler statements operating on locals only — they create statement
+/// distance without creating shared objects. The reader-side filler is
+/// what produces Figure 7's spread-out read distances.
+fn filler(count: usize, seed: usize) -> String {
+    let mut s = String::new();
+    for i in 0..count {
+        match (seed + i) % 3 {
+            0 => writeln!(s, "\ttmp = tmp + {};", i + 1).unwrap(),
+            1 => writeln!(s, "\ttmp = tmp * 2;").unwrap(),
+            _ => writeln!(s, "\tpr_debug(\"step {i}\");").unwrap(),
+        }
+    }
+    s
+}
+
+fn expected(
+    kind: PatternKind,
+    functions: &[String],
+    objects: &[(&str, &str)],
+) -> Option<ExpectedPairing> {
+    Some(ExpectedPairing {
+        functions: functions.to_vec(),
+        objects: objects
+            .iter()
+            .map(|(s, f)| (s.to_string(), f.to_string()))
+            .collect(),
+        kind,
+        decoy: false,
+    })
+}
+
+fn bug_record(function: &str, kind: BugKind, strukt: &str, field: &str) -> InjectedBug {
+    InjectedBug {
+        file: String::new(),
+        function: function.to_string(),
+        kind,
+        strukt: strukt.to_string(),
+        field: field.to_string(),
+    }
+}
+
+// ---- Pattern 1: init-flag publish (Listing 1) --------------------------
+
+fn init_flag(n: usize, rng: &mut impl Rng, bug: Option<BugKind>) -> PatternInstance {
+    let st = format!("pat{n}_obj");
+    let writer_fn = format!("pat{n}_publish");
+    let reader_fn = format!("pat{n}_consume");
+    let nfields = rng.gen_range(2..=4usize);
+    let read_gap = rng.gen_range(0..30usize);
+    // Local computation between the data writes and the barrier: gives
+    // Figure 6 its rising edge (pairings appear as the write window
+    // grows towards 5).
+    let write_gap = rng.gen_range(0..4usize);
+    let fields: Vec<String> = (0..nfields).map(|i| format!("f{i}")).collect();
+
+    let mut structs = format!("struct {st} {{\n");
+    for f in &fields {
+        writeln!(structs, "\tint {f};").unwrap();
+    }
+    structs.push_str("\tint ready;\n};\n");
+
+    // Writer.
+    let writer_barrier = if bug == Some(BugKind::WrongBarrierType) {
+        "smp_rmb" // the injected wrong type
+    } else {
+        "smp_wmb"
+    };
+    // Some writers initialize through a same-file helper: pairing them
+    // requires callee expansion (§4.2's ±1 call level) — the
+    // `no_callee_expansion` ablation loses exactly these.
+    let via_helper = bug.is_none() && rng.gen_bool(0.3);
+    let helper_fn = format!("pat{n}_fill");
+    let mut writer = String::new();
+    if via_helper {
+        writeln!(writer, "static void {helper_fn}(struct {st} *w, int v)\n{{").unwrap();
+        for (i, f) in fields.iter().enumerate() {
+            writeln!(writer, "\tw->{f} = v + {i};").unwrap();
+        }
+        writer.push_str("}\n");
+    }
+    writeln!(writer, "void {writer_fn}(struct {st} *w, int v)\n{{").unwrap();
+    if via_helper {
+        writeln!(writer, "\t{helper_fn}(w, v);").unwrap();
+    } else {
+        for (i, f) in fields.iter().enumerate() {
+            writeln!(writer, "\tw->{f} = v + {i};").unwrap();
+        }
+    }
+    for g in 0..write_gap {
+        writeln!(writer, "\tv = v + {};", g + 1).unwrap();
+    }
+    writeln!(writer, "\t{writer_barrier}();").unwrap();
+    if bug == Some(BugKind::UnneededBarrier) {
+        writeln!(writer, "\tsmp_mb();").unwrap();
+    }
+    writer.push_str("\tw->ready = 1;\n}\n");
+
+    // Reader.
+    let mut reader = format!("int {reader_fn}(struct {st} *r)\n{{\n\tint tmp = 0;\n");
+    match bug {
+        Some(BugKind::Misplaced) => {
+            // Flag checked after the barrier (Patch 1 shape).
+            reader.push_str("\tsmp_rmb();\n");
+            reader.push_str("\tif (!r->ready)\n\t\treturn 0;\n");
+        }
+        _ => {
+            reader.push_str("\tif (!r->ready)\n\t\treturn 0;\n");
+            reader.push_str("\tsmp_rmb();\n");
+        }
+    }
+    reader.push_str(&filler(read_gap, n));
+    for f in &fields {
+        writeln!(reader, "\ttmp = tmp + r->{f};").unwrap();
+    }
+    if bug == Some(BugKind::RepeatedRead) {
+        // Racy re-read of the guard flag after the barrier (Listing 2).
+        reader.push_str("\tpat_log(r->ready);\n");
+    }
+    reader.push_str("\treturn tmp;\n}\n");
+
+    let bug_rec = bug.map(|k| match k {
+        BugKind::Misplaced => bug_record(&reader_fn, k, &st, "ready"),
+        BugKind::RepeatedRead => bug_record(&reader_fn, k, &st, "ready"),
+        BugKind::WrongBarrierType => bug_record(&writer_fn, k, "", ""),
+        BugKind::UnneededBarrier => bug_record(&writer_fn, k, "", ""),
+    });
+
+    // An injected redundant double barrier splits the writer's windows
+    // (each barrier bounds the other), so no pairing can be expected.
+    let closest_field = format!("f{}", nfields - 1);
+    let expected = if bug == Some(BugKind::UnneededBarrier) {
+        None
+    } else {
+        expected(
+            PatternKind::InitFlag,
+            &[writer_fn, reader_fn],
+            &[(&st, "ready"), (&st, &closest_field)],
+        )
+    };
+    PatternInstance {
+        structs,
+        writer,
+        reader,
+        expected,
+        bug: bug_rec,
+        ipc_writer: None,
+    }
+}
+
+// ---- Pattern 2: ring buffer --------------------------------------------
+
+fn ring_buffer(n: usize, rng: &mut impl Rng, bug: Option<BugKind>) -> PatternInstance {
+    let ring = format!("pat{n}_ring");
+    let item = format!("pat{n}_item");
+    let producer = format!("pat{n}_produce");
+    let consumer = format!("pat{n}_consume");
+    let read_gap = rng.gen_range(0..35usize);
+
+    let structs = format!(
+        "struct {item} {{\n\tint payload;\n}};\nstruct {ring} {{\n\tstruct {item} *slots[16];\n\tint head;\n}};\n"
+    );
+
+    let writer = format!(
+        "void {producer}(struct {ring} *q, struct {item} *it)\n{{\n\tq->slots[q->head] = it;\n\tsmp_wmb();\n\tq->head++;\n}}\n"
+    );
+
+    let mut reader = format!("void {consumer}(struct {ring} *q)\n{{\n\tint tmp = 0;\n");
+    match bug {
+        Some(BugKind::Misplaced) => {
+            // Head read on the wrong side of the read barrier.
+            reader.push_str("\tsmp_rmb();\n");
+            reader.push_str("\tint h = q->head;\n");
+            reader.push_str(&filler(read_gap, n));
+            reader.push_str("\tpat_sink(q->slots[h - 1]);\n");
+        }
+        Some(BugKind::RepeatedRead) => {
+            // Index correctly read, then racily re-read (Patch 3 shape).
+            reader.push_str("\tint h = q->head;\n");
+            reader.push_str("\tsmp_rmb();\n");
+            reader.push_str(&filler(read_gap, n));
+            reader.push_str("\tif (h)\n\t\tpat_sink(q->slots[q->head - 1]);\n");
+        }
+        _ => {
+            reader.push_str("\tint h = q->head;\n");
+            reader.push_str("\tsmp_rmb();\n");
+            reader.push_str(&filler(read_gap, n));
+            reader.push_str("\tif (h)\n\t\tpat_sink(q->slots[h - 1]);\n");
+        }
+    }
+    reader.push_str("\tpat_log(tmp);\n}\n");
+
+    let bug_rec = bug.map(|k| match k {
+        BugKind::Misplaced => bug_record(&consumer, k, &ring, "head"),
+        BugKind::RepeatedRead => bug_record(&consumer, k, &ring, "head"),
+        _ => bug_record(&consumer, k, &ring, ""),
+    });
+
+    PatternInstance {
+        structs,
+        writer,
+        reader,
+        expected: expected(
+            PatternKind::RingBuffer,
+            &[producer, consumer],
+            &[(&ring, "head"), (&ring, "slots")],
+        ),
+        bug: bug_rec,
+        ipc_writer: None,
+    }
+}
+
+// ---- Pattern 3: seqcount (Figure 5 / Listing 3) -------------------------
+
+fn seqcount(n: usize, rng: &mut impl Rng, bug: Option<BugKind>) -> PatternInstance {
+    let st = format!("pat{n}_stats");
+    let seq = format!("pat{n}_seq");
+    let writer_fn = format!("pat{n}_update");
+    let reader_fn = format!("pat{n}_snapshot");
+    let _ = rng;
+
+    let structs = format!(
+        "static seqcount_t {seq};\nstruct {st} {{\n\tlong bcnt;\n\tlong pcnt;\n}};\n"
+    );
+
+    let writer = format!(
+        "void {writer_fn}(struct {st} *t, long b, long p)\n{{\n\twrite_seqcount_begin(&{seq});\n\tt->bcnt += b;\n\tt->pcnt += p;\n\twrite_seqcount_end(&{seq});\n}}\n"
+    );
+
+    let reader = if bug == Some(BugKind::Misplaced) {
+        // One field read outside the retry window: unprotected.
+        format!(
+            "void {reader_fn}(struct {st} *out, struct {st} *t)\n{{\n\tunsigned int v;\n\tdo {{\n\t\tv = read_seqcount_begin(&{seq});\n\t\tout->bcnt = t->bcnt;\n\t}} while (read_seqcount_retry(&{seq}, v));\n\tout->pcnt = t->pcnt;\n}}\n"
+        )
+    } else {
+        format!(
+            "void {reader_fn}(struct {st} *out, struct {st} *t)\n{{\n\tunsigned int v;\n\tdo {{\n\t\tv = read_seqcount_begin(&{seq});\n\t\tout->bcnt = t->bcnt;\n\t\tout->pcnt = t->pcnt;\n\t}} while (read_seqcount_retry(&{seq}, v));\n}}\n"
+        )
+    };
+
+    let bug_rec = bug.map(|k| bug_record(&reader_fn, k, &st, "pcnt"));
+
+    PatternInstance {
+        structs,
+        writer,
+        reader,
+        expected: expected(
+            PatternKind::Seqcount,
+            &[writer_fn, reader_fn],
+            &[(&st, "bcnt"), ("", &seq)],
+        ),
+        bug: bug_rec,
+        ipc_writer: None,
+    }
+}
+
+// ---- Pattern 4: publish + wake-up (implicit barrier, §4.2 / Patch 4) ----
+
+fn wakeup_publish(n: usize, rng: &mut impl Rng, bug: Option<BugKind>) -> PatternInstance {
+    let st = format!("pat{n}_work");
+    let writer_fn = format!("pat{n}_submit");
+    let worker_fn = format!("pat{n}_worker");
+    let _ = rng;
+
+    let structs = format!(
+        "struct {st} {{\n\tint payload;\n\tint token;\n\tstruct task_struct *owner;\n}};\n"
+    );
+
+    let writer = if bug == Some(BugKind::UnneededBarrier) {
+        // Barrier directly before the wake-up call (Patch 4): redundant.
+        format!(
+            "void {writer_fn}(struct {st} *w, int v)\n{{\n\tw->payload = v;\n\tw->token = 1;\n\tsmp_wmb();\n\twake_up_process(w->owner);\n}}\n"
+        )
+    } else {
+        format!(
+            "void {writer_fn}(struct {st} *w, int v)\n{{\n\tw->payload = v;\n\tsmp_wmb();\n\tw->token = 1;\n\twake_up_process(w->owner);\n}}\n"
+        )
+    };
+
+    // The woken side reads without a barrier — the wake-up ordered it.
+    let reader = format!(
+        "void {worker_fn}(struct {st} *w)\n{{\n\tif (w->token)\n\t\tpat_log(w->payload);\n}}\n"
+    );
+
+    let bug_rec =
+        bug.map(|k| bug_record(&writer_fn, k, "", ""));
+
+    PatternInstance {
+        structs,
+        writer,
+        reader,
+        expected: None,
+        bug: bug_rec,
+        ipc_writer: Some(writer_fn),
+    }
+}
+
+// ---- Pattern 5: store-release / load-acquire ----------------------------
+
+fn acquire_release(n: usize, rng: &mut impl Rng, bug: Option<BugKind>) -> PatternInstance {
+    let st = format!("pat{n}_box");
+    let writer_fn = format!("pat{n}_post");
+    let reader_fn = format!("pat{n}_poll");
+    let read_gap = rng.gen_range(0..20usize);
+
+    let structs = format!("struct {st} {{\n\tint data;\n\tint seq;\n\tint ready;\n}};\n");
+
+    let write_gap = rng.gen_range(0..4usize);
+    let mut writer = format!(
+        "void {writer_fn}(struct {st} *b, int v)\n{{\n\tb->data = v;\n\tb->seq = v + 1;\n"
+    );
+    for g in 0..write_gap {
+        writeln!(writer, "\tv = v + {};", g + 1).unwrap();
+    }
+    writer.push_str("\tsmp_store_release(&b->ready, 1);\n}\n");
+
+    let mut reader = format!("int {reader_fn}(struct {st} *b)\n{{\n\tint tmp = 0;\n");
+    if bug == Some(BugKind::Misplaced) {
+        // Data read hoisted above the acquire.
+        reader.push_str("\tint d = b->data;\n");
+        reader.push_str("\tif (!smp_load_acquire(&b->ready))\n\t\treturn 0;\n");
+        reader.push_str(&filler(read_gap, n));
+        reader.push_str("\ttmp = d + b->seq;\n");
+    } else {
+        reader.push_str("\tif (!smp_load_acquire(&b->ready))\n\t\treturn 0;\n");
+        reader.push_str(&filler(read_gap, n));
+        reader.push_str("\ttmp = b->data + b->seq;\n");
+    }
+    reader.push_str("\treturn tmp;\n}\n");
+
+    let bug_rec = bug.map(|k| bug_record(&reader_fn, k, &st, "data"));
+
+    PatternInstance {
+        structs,
+        writer,
+        reader,
+        expected: expected(
+            PatternKind::AcquireRelease,
+            &[writer_fn, reader_fn],
+            &[(&st, "ready"), (&st, "data")],
+        ),
+        bug: bug_rec,
+        ipc_writer: None,
+    }
+}
+
+// ---- Pattern 6: barrier-before-atomic ------------------------------------
+
+fn atomic_barrier(n: usize, rng: &mut impl Rng, bug: Option<BugKind>) -> PatternInstance {
+    let st = format!("pat{n}_stat");
+    let writer_fn = format!("pat{n}_account");
+    let reader_fn = format!("pat{n}_report");
+    let read_gap = rng.gen_range(0..25usize);
+
+    let structs = format!("struct {st} {{\n\tint value;\n\tatomic_t nr;\n}};\n");
+
+    let write_gap = rng.gen_range(0..4usize);
+    let mut writer = format!("void {writer_fn}(struct {st} *s, int v)\n{{\n\ts->value = v;\n");
+    for g in 0..write_gap {
+        writeln!(writer, "\tv = v + {};", g + 1).unwrap();
+    }
+    writer.push_str("\tsmp_mb__before_atomic();\n\tatomic_inc(&s->nr);\n}\n");
+
+    let mut reader = format!("void {reader_fn}(struct {st} *s)\n{{\n\tint tmp = 0;\n");
+    if bug == Some(BugKind::Misplaced) {
+        reader.push_str("\ttmp = s->value;\n");
+        reader.push_str("\tif (!atomic_read(&s->nr))\n\t\treturn;\n");
+        reader.push_str("\tsmp_rmb();\n");
+        reader.push_str(&filler(read_gap, n));
+        reader.push_str("\tpat_log(tmp);\n");
+    } else {
+        reader.push_str("\tif (!atomic_read(&s->nr))\n\t\treturn;\n");
+        reader.push_str("\tsmp_rmb();\n");
+        reader.push_str(&filler(read_gap, n));
+        reader.push_str("\ttmp = s->value;\n\tpat_log(tmp);\n");
+    }
+    reader.push_str("}\n");
+
+    let bug_rec = bug.map(|k| bug_record(&reader_fn, k, &st, "value"));
+
+    PatternInstance {
+        structs,
+        writer,
+        reader,
+        expected: expected(
+            PatternKind::AtomicBarrier,
+            &[writer_fn, reader_fn],
+            &[(&st, "value"), (&st, "nr")],
+        ),
+        bug: bug_rec,
+        ipc_writer: None,
+    }
+}
+
+// ---- Pattern 7: one writer, several readers ------------------------------
+
+fn multi_reader(n: usize, rng: &mut impl Rng, bug: Option<BugKind>) -> PatternInstance {
+    let st = format!("pat{n}_shared");
+    let writer_fn = format!("pat{n}_install");
+    let nreaders = rng.gen_range(2..=3usize);
+    let reader_fns: Vec<String> = (0..nreaders).map(|i| format!("pat{n}_reader{i}")).collect();
+
+    let structs = format!("struct {st} {{\n\tint cfg;\n\tint gen;\n}};\n");
+
+    let writer = format!(
+        "void {writer_fn}(struct {st} *s, int v)\n{{\n\ts->cfg = v;\n\tsmp_wmb();\n\ts->gen = v;\n}}\n"
+    );
+
+    let mut reader = String::new();
+    for (i, rf) in reader_fns.iter().enumerate() {
+        let buggy = bug.is_some() && i == nreaders - 1;
+        let gap = rng.gen_range(0..8usize);
+        writeln!(reader, "int {rf}(struct {st} *s)\n{{\n\tint tmp = 0;").unwrap();
+        match (buggy, bug) {
+            (true, Some(BugKind::Misplaced)) => {
+                reader.push_str("\tsmp_rmb();\n");
+                reader.push_str("\tif (!s->gen)\n\t\treturn 0;\n");
+                reader.push_str(&filler(gap, n + i));
+                reader.push_str("\ttmp = s->cfg;\n");
+            }
+            (true, Some(BugKind::RepeatedRead)) => {
+                reader.push_str("\tif (!s->gen)\n\t\treturn 0;\n");
+                reader.push_str("\tsmp_rmb();\n");
+                reader.push_str(&filler(gap, n + i));
+                reader.push_str("\ttmp = s->cfg;\n\tpat_log(s->gen);\n");
+            }
+            _ => {
+                reader.push_str("\tif (!s->gen)\n\t\treturn 0;\n");
+                reader.push_str("\tsmp_rmb();\n");
+                reader.push_str(&filler(gap, n + i));
+                reader.push_str("\ttmp = s->cfg;\n");
+            }
+        }
+        reader.push_str("\treturn tmp;\n}\n");
+    }
+
+    let bug_rec = bug.map(|k| bug_record(reader_fns.last().unwrap(), k, &st, "gen"));
+
+    let mut functions = vec![writer_fn];
+    functions.extend(reader_fns);
+    PatternInstance {
+        structs,
+        writer,
+        reader,
+        expected: expected(
+            PatternKind::MultiReader,
+            &functions,
+            &[(&st, "gen"), (&st, "cfg")],
+        ),
+        bug: bug_rec,
+        ipc_writer: None,
+    }
+}
+
+// ---- Pattern 8: RCU publish/subscribe ------------------------------------
+
+fn rcu_publish(n: usize, rng: &mut impl Rng, bug: Option<BugKind>) -> PatternInstance {
+    let item = format!("pat{n}_item");
+    let gate = format!("pat{n}_gate");
+    let writer_fn = format!("pat{n}_install");
+    let reader_fn = format!("pat{n}_lookup");
+    let read_gap = rng.gen_range(0..15usize);
+
+    let structs = format!(
+        "struct {item} {{\n\tint a;\n\tint b;\n}};\nstruct {gate} {{\n\tstruct {item} *cur;\n}};\n"
+    );
+
+    let writer = if bug == Some(BugKind::Misplaced) {
+        // One field initialized only *after* publication: readers can see
+        // a half-built item.
+        format!(
+            "void {writer_fn}(struct {gate} *g, struct {item} *it, int v)\n{{\n\tit->a = v;\n\trcu_assign_pointer(g->cur, it);\n\tit->b = v + 1;\n}}\n"
+        )
+    } else {
+        let write_gap = rng.gen_range(0..4usize);
+        let mut w = format!(
+            "void {writer_fn}(struct {gate} *g, struct {item} *it, int v)\n{{\n\tit->a = v;\n\tit->b = v + 1;\n"
+        );
+        for g in 0..write_gap {
+            writeln!(w, "\tv = v + {};", g + 1).unwrap();
+        }
+        w.push_str("\trcu_assign_pointer(g->cur, it);\n}\n");
+        w
+    };
+
+    let mut reader = format!(
+        "int {reader_fn}(struct {gate} *g)\n{{\n\tint tmp = 0;\n\tstruct {item} *it;\n\trcu_read_lock();\n\tit = rcu_dereference(g->cur);\n\tif (!it) {{\n\t\trcu_read_unlock();\n\t\treturn 0;\n\t}}\n"
+    );
+    reader.push_str(&filler(read_gap, n));
+    reader.push_str("\ttmp = it->a + it->b;\n\trcu_read_unlock();\n\treturn tmp;\n}\n");
+
+    let bug_rec = bug.map(|k| bug_record(&reader_fn, k, &item, "b"));
+
+    PatternInstance {
+        structs,
+        writer,
+        reader,
+        expected: expected(
+            PatternKind::RcuPublish,
+            &[writer_fn, reader_fn],
+            &[(&gate, "cur"), (&item, "a")],
+        ),
+        bug: bug_rec,
+        ipc_writer: None,
+    }
+}
+
+// ---- Pattern 9: sleep/wake handshake --------------------------------------
+
+fn sleep_wake(n: usize, rng: &mut impl Rng, bug: Option<BugKind>) -> PatternInstance {
+    let st = format!("pat{n}_wq");
+    let sleeper_fn = format!("pat{n}_wait");
+    let waker_fn = format!("pat{n}_kick");
+    let _ = rng;
+
+    let structs = format!("struct {st} {{\n\tint waiting;\n\tint work;\n}};\n");
+
+    // Waiter: announce (store + full barrier), then check for work.
+    let writer = format!(
+        "void {sleeper_fn}(struct {st} *w)\n{{\n\tsmp_store_mb(&w->waiting, 1);\n\tif (!w->work)\n\t\tschedule();\n}}\n"
+    );
+
+    // Waker: publish work (full barrier), then check for a waiter. The
+    // buggy variant checks the waiter *before* its barrier — the classic
+    // lost-wakeup window.
+    let reader = if bug == Some(BugKind::Misplaced) {
+        format!(
+            "void {waker_fn}(struct {st} *w)\n{{\n\tint waiter = w->waiting;\n\tw->work = 1;\n\tsmp_mb();\n\tif (waiter)\n\t\tpat_kick_hw(w);\n}}\n"
+        )
+    } else {
+        format!(
+            "void {waker_fn}(struct {st} *w)\n{{\n\tw->work = 1;\n\tsmp_mb();\n\tif (w->waiting)\n\t\tpat_kick_hw(w);\n}}\n"
+        )
+    };
+
+    let bug_rec = bug.map(|k| bug_record(&waker_fn, k, &st, "waiting"));
+
+    PatternInstance {
+        structs,
+        writer,
+        reader,
+        expected: expected(
+            PatternKind::SleepWake,
+            &[sleeper_fn, waker_fn],
+            &[(&st, "waiting"), (&st, "work")],
+        ),
+        bug: bug_rec,
+        ipc_writer: None,
+    }
+}
+
+// ---- Pattern 10: barrier-after-atomic --------------------------------------
+
+fn after_atomic(n: usize, rng: &mut impl Rng, bug: Option<BugKind>) -> PatternInstance {
+    let st = format!("pat{n}_refd");
+    let writer_fn = format!("pat{n}_grab");
+    let reader_fn = format!("pat{n}_check");
+    let read_gap = rng.gen_range(0..10usize);
+
+    let structs = format!("struct {st} {{\n\tatomic_t users;\n\tint live;\n}};\n");
+
+    // Take a reference, upgrade the atomic to a barrier, then mark live.
+    let writer = format!(
+        "void {writer_fn}(struct {st} *s)\n{{\n\tatomic_inc(&s->users);\n\tsmp_mb__after_atomic();\n\ts->live = 1;\n}}\n"
+    );
+
+    let mut reader = format!("int {reader_fn}(struct {st} *s)\n{{\n\tint tmp = 0;\n");
+    if bug == Some(BugKind::Misplaced) {
+        reader.push_str("\tsmp_rmb();\n");
+        reader.push_str("\tif (!s->live)\n\t\treturn 0;\n");
+        reader.push_str(&filler(read_gap, n));
+        reader.push_str("\ttmp = atomic_read(&s->users);\n");
+    } else {
+        reader.push_str("\tif (!s->live)\n\t\treturn 0;\n");
+        reader.push_str("\tsmp_rmb();\n");
+        reader.push_str(&filler(read_gap, n));
+        reader.push_str("\ttmp = atomic_read(&s->users);\n");
+    }
+    reader.push_str("\treturn tmp;\n}\n");
+
+    let bug_rec = bug.map(|k| bug_record(&reader_fn, k, &st, "live"));
+
+    PatternInstance {
+        structs,
+        writer,
+        reader,
+        expected: expected(
+            PatternKind::AfterAtomic,
+            &[writer_fn, reader_fn],
+            &[(&st, "live"), (&st, "users")],
+        ),
+        bug: bug_rec,
+        ipc_writer: None,
+    }
+}
+
+// ---- Decoys and noise ----------------------------------------------------
+
+/// Generic container types shared across unrelated "subsystems" — the
+/// mechanism behind the paper's incorrect pairings (§6.4): `(struct name,
+/// field_a, field_b)`.
+pub const GENERIC_TYPES: &[(&str, &str, &str)] = &[
+    ("list_head", "next", "prev"),
+    ("hlist_node", "nxt", "pprev"),
+    ("rb_node", "rb_left", "rb_right"),
+    ("llist_node", "first", "second"),
+    ("kref_base", "holders", "dead"),
+];
+
+/// Definition text for a generic container type.
+pub fn generic_type_def(type_idx: usize) -> String {
+    let (name, a, b) = GENERIC_TYPES[type_idx % GENERIC_TYPES.len()];
+    format!("struct {name} {{\n\tstruct {name} *{a};\n\tstruct {name} *{b};\n}};\n")
+}
+
+/// Kept for compatibility with older fixtures: the list_head definition.
+pub const LIST_HEAD_DEF: &str =
+    "struct list_head {\n\tstruct list_head *next;\n\tstruct list_head *prev;\n};\n";
+
+/// One half of a generic-type decoy: a function with a barrier whose only
+/// shared objects are fields of a generic container. Two halves in
+/// unrelated files will pair even though no real concurrency relates
+/// them; the reader half additionally re-reads a field after its barrier
+/// so the bogus pairing also yields a bogus patch (the paper's 12
+/// incorrect patches out of 15 incorrect pairings).
+pub fn decoy_half(n: usize, writer_side: bool, type_idx: usize, far: bool) -> (String, String) {
+    let (ty, fa, fb) = GENERIC_TYPES[type_idx % GENERIC_TYPES.len()];
+    let fname = if writer_side {
+        format!("pat{n}_decoy_attach")
+    } else {
+        format!("pat{n}_decoy_walk")
+    };
+    // `far` writers keep their second object several statements away from
+    // the barrier: such decoys only pair at wider exploration windows,
+    // giving Figure 6 its "slightly more incorrect pairings" tail.
+    let gap = if far && writer_side {
+        "\tpr_debug(\"a\");\n\tpr_debug(\"b\");\n\tpr_debug(\"c\");\n\tpr_debug(\"d\");\n\tpr_debug(\"e\");\n\tpr_debug(\"f\");\n"
+    } else {
+        ""
+    };
+    let code = if writer_side {
+        format!(
+            "void {fname}(struct {ty} *l, struct {ty} *nw)\n{{\n\tnw->{fb} = l;\n{gap}\tsmp_wmb();\n\tl->{fa} = nw;\n}}\n"
+        )
+    } else {
+        format!(
+            "void {fname}(struct {ty} *l)\n{{\n\tif (!l->{fa})\n\t\treturn;\n\tsmp_rmb();\n\tpat_sink(l->{fa}->{fb});\n}}\n"
+        )
+    };
+    (fname, code)
+}
+
+/// A decoy reader whose accesses happen to be *consistent* with the decoy
+/// writer: the bogus pairing forms but no bogus patch is produced (the
+/// paper found 15 incorrect pairings but only 12 incorrect patches).
+pub fn decoy_consistent_reader(n: usize, type_idx: usize) -> (String, String) {
+    let (ty, fa, fb) = GENERIC_TYPES[type_idx % GENERIC_TYPES.len()];
+    let fname = format!("pat{n}_decoy_scan");
+    let code = format!(
+        "void {fname}(struct {ty} *l)\n{{\n\tstruct {ty} *c = l->{fa};\n\tif (!c)\n\t\treturn;\n\tsmp_rmb();\n\tpat_sink(c->{fb});\n}}\n"
+    );
+    (fname, code)
+}
+
+/// A "lone" barrier: a function whose barrier orders objects that appear
+/// nowhere else (typically because the other side uses locks). These stay
+/// unpaired, reproducing the paper's ~50% coverage (§6.4).
+pub fn lone_barrier(n: usize, i: usize, rng: &mut impl Rng) -> String {
+    let st = format!("pat{n}_lone{i}");
+    let f = format!("pat{n}_lockside{i}");
+    let use_wmb = rng.gen_bool(0.5);
+    if use_wmb {
+        format!(
+            "struct {st} {{\n\tint state;\n\tint epoch;\n}};\nvoid {f}(struct {st} *p, int v)\n{{\n\tspin_lock(&{st}_lock);\n\tp->state = v;\n\tsmp_wmb();\n\tp->epoch = v + 1;\n\tspin_unlock(&{st}_lock);\n}}\n"
+        )
+    } else {
+        format!(
+            "struct {st} {{\n\tint state;\n\tint epoch;\n}};\nint {f}(struct {st} *p)\n{{\n\tint s = p->state;\n\tsmp_rmb();\n\treturn s + p->epoch;\n}}\n"
+        )
+    }
+}
+
+/// A barrier-free noise function (keeps the corpus realistic: most kernel
+/// functions have no barriers).
+pub fn noise_function(n: usize, i: usize, rng: &mut impl Rng) -> String {
+    let st = format!("pat{n}_noise{i}");
+    let f = format!("pat{n}_helper{i}");
+    let ops = rng.gen_range(2..6usize);
+    let mut s = format!(
+        "struct {st} {{\n\tint a;\n\tint b;\n\tint c;\n}};\nint {f}(struct {st} *p, int k)\n{{\n\tint acc = 0;\n"
+    );
+    for j in 0..ops {
+        match (j + i) % 3 {
+            0 => writeln!(s, "\tacc += p->a + k;").unwrap(),
+            1 => writeln!(s, "\tp->b = acc;").unwrap(),
+            _ => writeln!(s, "\tif (p->c > k)\n\t\tacc -= p->c;").unwrap(),
+        }
+    }
+    s.push_str("\treturn acc;\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    fn assemble(inst: &PatternInstance) -> String {
+        format!("{}{}{}", inst.structs, inst.writer, inst.reader)
+    }
+
+    #[test]
+    fn all_patterns_parse_clean() {
+        for kind in PatternKind::ALL {
+            let inst = emit(kind, 1, &mut rng(), None);
+            let src = assemble(&inst);
+            let parsed = ckit::parse_string("p.c", &src).unwrap();
+            assert!(
+                parsed.errors.is_empty(),
+                "{kind:?} generated unparseable code: {:?}\n{src}",
+                parsed.errors
+            );
+        }
+    }
+
+    #[test]
+    fn all_bug_variants_parse_clean() {
+        for kind in PatternKind::ALL {
+            for &bug in supported_bugs(kind) {
+                let inst = emit(kind, 2, &mut rng(), Some(bug));
+                let src = assemble(&inst);
+                let parsed = ckit::parse_string("p.c", &src).unwrap();
+                assert!(
+                    parsed.errors.is_empty(),
+                    "{kind:?}+{bug:?}: {:?}\n{src}",
+                    parsed.errors
+                );
+                assert!(inst.bug.is_some(), "{kind:?}+{bug:?} must record ground truth");
+            }
+        }
+    }
+
+    #[test]
+    fn pattern_names_are_unique_per_id() {
+        let a = emit(PatternKind::InitFlag, 1, &mut rng(), None);
+        let b = emit(PatternKind::InitFlag, 2, &mut rng(), None);
+        assert!(a.writer.contains("pat1_publish"));
+        assert!(b.writer.contains("pat2_publish"));
+        assert!(!assemble(&b).contains("pat1_"));
+    }
+
+    #[test]
+    fn wakeup_pattern_has_no_expected_pairing() {
+        let inst = emit(PatternKind::WakeupPublish, 3, &mut rng(), None);
+        assert!(inst.expected.is_none());
+        assert_eq!(inst.ipc_writer.as_deref(), Some("pat3_submit"));
+    }
+
+    #[test]
+    fn decoy_halves_parse_for_every_generic_type() {
+        for ty in 0..GENERIC_TYPES.len() {
+            let (fa, code_a) = decoy_half(4, true, ty, false);
+            let (fb, code_b) = decoy_half(5, false, ty, ty % 2 == 0);
+            let src = format!("{}{code_a}{code_b}", generic_type_def(ty));
+            let parsed = ckit::parse_string("d.c", &src).unwrap();
+            assert!(parsed.errors.is_empty(), "{:?}\n{src}", parsed.errors);
+            assert_ne!(fa, fb);
+        }
+    }
+
+    #[test]
+    fn lone_barrier_parses() {
+        let src = format!(
+            "{}{}",
+            lone_barrier(8, 0, &mut rng()),
+            lone_barrier(8, 1, &mut rng())
+        );
+        let parsed = ckit::parse_string("l.c", &src).unwrap();
+        assert!(parsed.errors.is_empty(), "{:?}\n{src}", parsed.errors);
+    }
+
+    #[test]
+    fn noise_parses() {
+        let src = noise_function(6, 0, &mut rng());
+        let parsed = ckit::parse_string("n.c", &src).unwrap();
+        assert!(parsed.errors.is_empty(), "{:?}\n{src}", parsed.errors);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = emit(PatternKind::RingBuffer, 9, &mut rng(), Some(BugKind::RepeatedRead));
+        let b = emit(PatternKind::RingBuffer, 9, &mut rng(), Some(BugKind::RepeatedRead));
+        assert_eq!(assemble(&a), assemble(&b));
+    }
+}

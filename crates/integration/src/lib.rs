@@ -1,0 +1,3 @@
+//! Host crate for the workspace-level integration tests in the
+//! repository-root `tests/` directory (see `Cargo.toml`'s `[[test]]`
+//! entries). Intentionally empty: the tests span all workspace crates.

@@ -1,0 +1,236 @@
+//! Atomic and bit operations, and their barrier semantics — paper Table 2.
+//!
+//! The kernel's rule of thumb (Documentation/atomic_t.txt): atomic RMW
+//! operations *with a return value* are fully ordered; RMW operations
+//! without a return value (and plain reads/writes) are unordered;
+//! `_relaxed` / `_acquire` / `_release` suffixes override the default.
+
+use serde::{Deserialize, Serialize};
+
+/// How strongly an atomic primitive orders surrounding memory accesses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BarrierStrength {
+    /// No ordering (CPU may reorder the op with other accesses).
+    None,
+    /// Acquire ordering (later accesses cannot move before it).
+    Acquire,
+    /// Release ordering (earlier accesses cannot move after it).
+    Release,
+    /// Full two-way barrier.
+    Full,
+}
+
+/// Classification of one atomic/bitop primitive.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AtomicSemantics {
+    pub strength: BarrierStrength,
+    /// Whether the op writes its target (RMW or store) — reads-only ops
+    /// like `atomic_read` do not.
+    pub writes: bool,
+    /// Whether the op reads its target.
+    pub reads: bool,
+}
+
+/// Classify an atomic or bit operation; `None` if the name is not one.
+pub fn classify_atomic(name: &str) -> Option<AtomicSemantics> {
+    // Strip the type prefix: atomic_, atomic64_, atomic_long_.
+    let op = name
+        .strip_prefix("atomic64_")
+        .or_else(|| name.strip_prefix("atomic_long_"))
+        .or_else(|| name.strip_prefix("atomic_"));
+    if let Some(op) = op {
+        return classify_atomic_op(op);
+    }
+    // Bit operations on bitfields.
+    classify_bitop(name)
+}
+
+fn suffix_strength(op: &str) -> (BarrierStrength, &str) {
+    if let Some(base) = op.strip_suffix("_relaxed") {
+        (BarrierStrength::None, base)
+    } else if let Some(base) = op.strip_suffix("_acquire") {
+        (BarrierStrength::Acquire, base)
+    } else if let Some(base) = op.strip_suffix("_release") {
+        (BarrierStrength::Release, base)
+    } else {
+        (BarrierStrength::Full, op)
+    }
+}
+
+fn classify_atomic_op(op: &str) -> Option<AtomicSemantics> {
+    let (suffix_str, base) = suffix_strength(op);
+    let explicit_suffix = base.len() != op.len();
+    match base {
+        // Plain read/write: unordered.
+        "read" => Some(AtomicSemantics {
+            strength: if explicit_suffix {
+                suffix_str
+            } else {
+                BarrierStrength::None
+            },
+            writes: false,
+            reads: true,
+        }),
+        "set" => Some(AtomicSemantics {
+            strength: if explicit_suffix {
+                suffix_str
+            } else {
+                BarrierStrength::None
+            },
+            writes: true,
+            reads: false,
+        }),
+        // Void RMW: unordered unless a suffix says otherwise.
+        "inc" | "dec" | "add" | "sub" | "or" | "and" | "xor" | "andnot" => {
+            Some(AtomicSemantics {
+                strength: if explicit_suffix {
+                    suffix_str
+                } else {
+                    BarrierStrength::None
+                },
+                writes: true,
+                reads: true,
+            })
+        }
+        // Value-returning RMW: fully ordered by default.
+        _ if base.ends_with("_return")
+            || base.ends_with("_and_test")
+            || base.ends_with("_negative")
+            || base.starts_with("fetch_")
+            || base == "xchg"
+            || base == "cmpxchg"
+            || base.starts_with("try_cmpxchg")
+            || base.starts_with("add_unless")
+            || base == "inc_not_zero"
+            || base == "dec_if_positive"
+            || base == "inc_unless_negative"
+            || base == "dec_unless_positive" =>
+        {
+            Some(AtomicSemantics {
+                strength: suffix_str,
+                writes: true,
+                reads: true,
+            })
+        }
+        _ => None,
+    }
+}
+
+fn classify_bitop(name: &str) -> Option<AtomicSemantics> {
+    match name {
+        // Void bitops: atomic but unordered (Table 2: set_bit is not a
+        // barrier).
+        "set_bit" | "clear_bit" | "change_bit" => Some(AtomicSemantics {
+            strength: BarrierStrength::None,
+            writes: true,
+            reads: true,
+        }),
+        // Value-returning bitops: fully ordered (Table 2: test_and_set_bit
+        // is always a barrier).
+        "test_and_set_bit" | "test_and_clear_bit" | "test_and_change_bit" => {
+            Some(AtomicSemantics {
+                strength: BarrierStrength::Full,
+                writes: true,
+                reads: true,
+            })
+        }
+        // Lock-flavoured bit ops.
+        "test_and_set_bit_lock" => Some(AtomicSemantics {
+            strength: BarrierStrength::Acquire,
+            writes: true,
+            reads: true,
+        }),
+        "clear_bit_unlock" => Some(AtomicSemantics {
+            strength: BarrierStrength::Release,
+            writes: true,
+            reads: true,
+        }),
+        // Non-atomic test: a plain read.
+        "test_bit" => Some(AtomicSemantics {
+            strength: BarrierStrength::None,
+            writes: false,
+            reads: true,
+        }),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn void_rmw_is_unordered() {
+        for name in ["atomic_inc", "atomic_dec", "atomic_add", "atomic64_inc"] {
+            let sem = classify_atomic(name).unwrap();
+            assert_eq!(sem.strength, BarrierStrength::None, "{name}");
+            assert!(sem.writes);
+        }
+    }
+
+    #[test]
+    fn value_returning_rmw_is_full() {
+        for name in [
+            "atomic_inc_and_test",
+            "atomic_dec_and_test",
+            "atomic_add_return",
+            "atomic_fetch_add",
+            "atomic_xchg",
+            "atomic_cmpxchg",
+            "atomic64_inc_return",
+            "atomic_inc_not_zero",
+        ] {
+            let sem = classify_atomic(name).unwrap();
+            assert_eq!(sem.strength, BarrierStrength::Full, "{name}");
+        }
+    }
+
+    #[test]
+    fn suffixes_override() {
+        assert_eq!(
+            classify_atomic("atomic_add_return_relaxed").unwrap().strength,
+            BarrierStrength::None
+        );
+        assert_eq!(
+            classify_atomic("atomic_cmpxchg_acquire").unwrap().strength,
+            BarrierStrength::Acquire
+        );
+        assert_eq!(
+            classify_atomic("atomic_fetch_add_release").unwrap().strength,
+            BarrierStrength::Release
+        );
+    }
+
+    #[test]
+    fn reads_and_sets() {
+        let read = classify_atomic("atomic_read").unwrap();
+        assert!(read.reads && !read.writes);
+        assert_eq!(read.strength, BarrierStrength::None);
+        let set = classify_atomic("atomic_set").unwrap();
+        assert!(set.writes && !set.reads);
+    }
+
+    #[test]
+    fn bitops() {
+        assert_eq!(
+            classify_atomic("set_bit").unwrap().strength,
+            BarrierStrength::None
+        );
+        assert_eq!(
+            classify_atomic("test_and_set_bit").unwrap().strength,
+            BarrierStrength::Full
+        );
+        assert_eq!(
+            classify_atomic("clear_bit_unlock").unwrap().strength,
+            BarrierStrength::Release
+        );
+        assert!(!classify_atomic("test_bit").unwrap().writes);
+    }
+
+    #[test]
+    fn non_atomics_are_none() {
+        assert_eq!(classify_atomic("memcpy"), None);
+        assert_eq!(classify_atomic("spin_lock"), None);
+        assert_eq!(classify_atomic("atomic_bogus_op"), None);
+    }
+}

@@ -1,0 +1,140 @@
+//! # kmodel — a model of Linux kernel concurrency primitives
+//!
+//! Static knowledge about the kernel API that OFence consumes:
+//!
+//! * the eight explicit barrier primitives (paper Table 1),
+//! * which atomic/bitop/wake-up functions carry barrier semantics
+//!   (paper Table 2),
+//! * the wake-up / IPC function list used for implicit-barrier detection
+//!   (paper §4.2 "Special case: implicit barriers"),
+//! * the `seqcount` API (paper §5.3, Listing 3),
+//! * the `READ_ONCE`/`WRITE_ONCE` annotations (paper §7).
+//!
+//! Maintaining such lists is standard practice in kernel static analysis —
+//! the paper compares it to allocation-function lists in use-after-free
+//! checkers.
+
+pub mod atomics;
+pub mod barriers;
+pub mod locks;
+pub mod once;
+pub mod rcu;
+pub mod seqcount;
+pub mod wakeup;
+
+pub use atomics::{classify_atomic, AtomicSemantics, BarrierStrength};
+pub use barriers::{BarrierKind, ImpliedAccess};
+pub use once::OnceKind;
+pub use seqcount::SeqcountOp;
+pub use wakeup::is_wakeup_function;
+
+/// What a given callee name means to the concurrency analysis.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CallSemantics {
+    /// One of the eight explicit barrier primitives (Table 1).
+    Barrier(BarrierKind),
+    /// An atomic/bitop primitive, with or without barrier semantics
+    /// (Table 2).
+    Atomic(AtomicSemantics),
+    /// A wake-up / IPC function; all of these imply a full barrier and act
+    /// as an implicit read barrier for the woken thread.
+    WakeUp,
+    /// A `seqcount` API call, which expands to reads/writes + barriers.
+    Seqcount(SeqcountOp),
+    /// `READ_ONCE` / `WRITE_ONCE` compiler annotations.
+    Once(OnceKind),
+    /// Anything else.
+    Plain,
+}
+
+/// Classify a callee name. This is the single entry point the analysis
+/// uses to interpret function calls.
+pub fn classify_call(name: &str) -> CallSemantics {
+    if let Some(kind) = BarrierKind::from_call_name(name) {
+        return CallSemantics::Barrier(kind);
+    }
+    // RCU publish/subscribe maps onto release/acquire barriers.
+    if let Some(kind) = rcu::rcu_barrier_equivalent(name) {
+        return CallSemantics::Barrier(kind);
+    }
+    if let Some(op) = SeqcountOp::from_call_name(name) {
+        return CallSemantics::Seqcount(op);
+    }
+    if let Some(kind) = OnceKind::from_call_name(name) {
+        return CallSemantics::Once(kind);
+    }
+    if wakeup::is_wakeup_function(name) {
+        return CallSemantics::WakeUp;
+    }
+    if let Some(sem) = atomics::classify_atomic(name) {
+        return CallSemantics::Atomic(sem);
+    }
+    if let Some(sem) = locks::classify_lock(name) {
+        return CallSemantics::Atomic(sem);
+    }
+    // Grace-period primitives: full barrier semantics without being a
+    // pairing-relevant barrier site themselves.
+    if rcu::has_rcu_full_barrier(name) {
+        return CallSemantics::Atomic(AtomicSemantics {
+            strength: BarrierStrength::Full,
+            writes: false,
+            reads: false,
+        });
+    }
+    CallSemantics::Plain
+}
+
+/// Does a call to `name` provide full memory-barrier semantics on its own
+/// (so that an adjacent explicit barrier is redundant — paper §5.1)?
+pub fn has_full_barrier_semantics(name: &str) -> bool {
+    match classify_call(name) {
+        CallSemantics::Barrier(k) => k.orders_reads() && k.orders_writes(),
+        CallSemantics::Atomic(sem) => sem.strength == BarrierStrength::Full,
+        CallSemantics::WakeUp => true,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_dispatch() {
+        assert_eq!(
+            classify_call("smp_wmb"),
+            CallSemantics::Barrier(BarrierKind::Wmb)
+        );
+        assert_eq!(classify_call("wake_up_process"), CallSemantics::WakeUp);
+        assert_eq!(
+            classify_call("READ_ONCE"),
+            CallSemantics::Once(OnceKind::Read)
+        );
+        assert_eq!(classify_call("memcpy"), CallSemantics::Plain);
+        assert!(matches!(
+            classify_call("read_seqcount_begin"),
+            CallSemantics::Seqcount(_)
+        ));
+        assert!(matches!(
+            classify_call("atomic_inc"),
+            CallSemantics::Atomic(_)
+        ));
+    }
+
+    #[test]
+    fn table2_rows() {
+        // Paper Table 2, row by row.
+        assert!(!has_full_barrier_semantics("atomic_inc"));
+        assert!(has_full_barrier_semantics("atomic_inc_and_test"));
+        assert!(!has_full_barrier_semantics("set_bit"));
+        assert!(has_full_barrier_semantics("test_and_set_bit"));
+        assert!(has_full_barrier_semantics("wake_up_process"));
+    }
+
+    #[test]
+    fn full_barrier_semantics_for_smp_mb() {
+        assert!(has_full_barrier_semantics("smp_mb"));
+        assert!(!has_full_barrier_semantics("smp_wmb"));
+        assert!(!has_full_barrier_semantics("smp_rmb"));
+    }
+}

@@ -1,0 +1,91 @@
+//! Lock primitives and their implied ordering.
+//!
+//! Locks are out of scope for *pairing* (the paper: most unpaired barriers
+//! synchronize with lock-based code, which lockset tools already cover),
+//! but the model still needs to know their semantics: lock acquisition is
+//! an acquire operation, release a release operation — neither is a full
+//! two-way barrier, so neither bounds a barrier window nor makes an
+//! adjacent explicit barrier redundant.
+
+use crate::atomics::{AtomicSemantics, BarrierStrength};
+
+/// Classify a lock API call, if it is one.
+pub fn classify_lock(name: &str) -> Option<AtomicSemantics> {
+    let acquire = |n: &str| {
+        matches!(
+            n,
+            "spin_lock" | "spin_lock_irq" | "spin_lock_irqsave" | "spin_lock_bh"
+                | "raw_spin_lock" | "read_lock" | "write_lock" | "mutex_lock"
+                | "mutex_lock_interruptible" | "down" | "down_read" | "down_write"
+                | "rt_mutex_lock"
+        )
+    };
+    let release = |n: &str| {
+        matches!(
+            n,
+            "spin_unlock" | "spin_unlock_irq" | "spin_unlock_irqrestore" | "spin_unlock_bh"
+                | "raw_spin_unlock" | "read_unlock" | "write_unlock" | "mutex_unlock"
+                | "up" | "up_read" | "up_write" | "rt_mutex_unlock"
+        )
+    };
+    // Trylocks acquire on success; conservatively treat as acquire.
+    let trylock = |n: &str| {
+        matches!(n, "spin_trylock" | "mutex_trylock" | "down_trylock" | "down_read_trylock")
+    };
+    if acquire(name) || trylock(name) {
+        Some(AtomicSemantics {
+            strength: BarrierStrength::Acquire,
+            writes: true,
+            reads: true,
+        })
+    } else if release(name) {
+        Some(AtomicSemantics {
+            strength: BarrierStrength::Release,
+            writes: true,
+            reads: true,
+        })
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_is_acquire() {
+        for name in ["spin_lock", "mutex_lock", "down_read", "spin_lock_irqsave"] {
+            assert_eq!(
+                classify_lock(name).unwrap().strength,
+                BarrierStrength::Acquire,
+                "{name}"
+            );
+        }
+    }
+
+    #[test]
+    fn unlock_is_release() {
+        for name in ["spin_unlock", "mutex_unlock", "up_write"] {
+            assert_eq!(
+                classify_lock(name).unwrap().strength,
+                BarrierStrength::Release,
+                "{name}"
+            );
+        }
+    }
+
+    #[test]
+    fn locks_are_not_full_barriers() {
+        // They must not bound barrier windows or justify barrier removal.
+        for name in ["spin_lock", "spin_unlock", "mutex_lock"] {
+            assert_ne!(classify_lock(name).unwrap().strength, BarrierStrength::Full);
+        }
+    }
+
+    #[test]
+    fn non_locks() {
+        assert!(classify_lock("smp_mb").is_none());
+        assert!(classify_lock("lock_page").is_none());
+    }
+}

@@ -1,0 +1,52 @@
+//! `READ_ONCE` / `WRITE_ONCE` compiler annotations — paper §7.
+//!
+//! These prevent load/store tearing, fusing, and invented accesses by the
+//! compiler on variables that are concurrently accessed. OFence's §7
+//! extension finds concurrent accesses that lack the annotation and
+//! produces patches adding it.
+
+use serde::{Deserialize, Serialize};
+
+/// Which annotation a call is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OnceKind {
+    /// `READ_ONCE(x)`.
+    Read,
+    /// `WRITE_ONCE(x, v)`.
+    Write,
+}
+
+impl OnceKind {
+    pub fn from_call_name(name: &str) -> Option<OnceKind> {
+        match name {
+            "READ_ONCE" | "smp_read_barrier_depends_READ_ONCE" => Some(OnceKind::Read),
+            "WRITE_ONCE" => Some(OnceKind::Write),
+            _ => None,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            OnceKind::Read => "READ_ONCE",
+            OnceKind::Write => "WRITE_ONCE",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mapping() {
+        assert_eq!(OnceKind::from_call_name("READ_ONCE"), Some(OnceKind::Read));
+        assert_eq!(OnceKind::from_call_name("WRITE_ONCE"), Some(OnceKind::Write));
+        assert_eq!(OnceKind::from_call_name("ONCE"), None);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(OnceKind::Read.name(), "READ_ONCE");
+        assert_eq!(OnceKind::Write.name(), "WRITE_ONCE");
+    }
+}

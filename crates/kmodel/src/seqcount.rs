@@ -1,0 +1,131 @@
+//! The `seqcount` interface — paper §5.3 and Listing 3.
+//!
+//! Seqcount readers/writers implement the "double pairing" pattern of
+//! Figure 5: the writer bumps a sequence counter around its writes (each
+//! bump paired with a barrier), and the reader reads the counter before
+//! and after its reads (each read paired with a barrier). OFence models
+//! every seqcount call as a (counter access, barrier) pair.
+
+use crate::barriers::BarrierKind;
+use serde::{Deserialize, Serialize};
+
+/// Role of a seqcount API call in the double-pairing protocol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SeqcountOp {
+    /// `read_seqcount_begin(s)` — read counter, then read barrier.
+    ReadBegin,
+    /// `read_seqcount_retry(s, v)` — read barrier, then re-read counter.
+    ReadRetry,
+    /// `write_seqcount_begin(s)` — increment counter, then write barrier.
+    WriteBegin,
+    /// `write_seqcount_end(s)` — write barrier, then increment counter.
+    WriteEnd,
+}
+
+impl SeqcountOp {
+    /// Map a callee name to its seqcount role. Covers the raw seqcount API,
+    /// the seqlock read side, and the netfilter `xt_recseq` wrappers from
+    /// Listing 3.
+    pub fn from_call_name(name: &str) -> Option<SeqcountOp> {
+        Some(match name {
+            "read_seqcount_begin"
+            | "raw_read_seqcount_begin"
+            | "read_seqbegin"
+            | "xt_write_recseq_begin_read" => SeqcountOp::ReadBegin,
+            "read_seqcount_retry"
+            | "raw_read_seqcount_retry"
+            | "read_seqretry" => SeqcountOp::ReadRetry,
+            "write_seqcount_begin"
+            | "raw_write_seqcount_begin"
+            | "write_seqlock"
+            | "xt_write_recseq_begin" => SeqcountOp::WriteBegin,
+            "write_seqcount_end"
+            | "raw_write_seqcount_end"
+            | "write_sequnlock"
+            | "xt_write_recseq_end" => SeqcountOp::WriteEnd,
+            _ => return None,
+        })
+    }
+
+    /// The barrier the call contains.
+    pub fn barrier(self) -> BarrierKind {
+        match self {
+            SeqcountOp::ReadBegin | SeqcountOp::ReadRetry => BarrierKind::Rmb,
+            SeqcountOp::WriteBegin | SeqcountOp::WriteEnd => BarrierKind::Wmb,
+        }
+    }
+
+    /// Does the call's counter access happen *before* its barrier (in
+    /// program order)?
+    pub fn access_before_barrier(self) -> bool {
+        match self {
+            // read counter, rmb
+            SeqcountOp::ReadBegin => true,
+            // rmb, re-read counter
+            SeqcountOp::ReadRetry => false,
+            // counter++, wmb
+            SeqcountOp::WriteBegin => true,
+            // wmb, counter++
+            SeqcountOp::WriteEnd => false,
+        }
+    }
+
+    /// Does the call write the counter (writer side) or read it?
+    pub fn writes_counter(self) -> bool {
+        matches!(self, SeqcountOp::WriteBegin | SeqcountOp::WriteEnd)
+    }
+
+    /// Is this the reader side of the protocol?
+    pub fn is_reader(self) -> bool {
+        !self.writes_counter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_mapping() {
+        assert_eq!(
+            SeqcountOp::from_call_name("read_seqcount_begin"),
+            Some(SeqcountOp::ReadBegin)
+        );
+        assert_eq!(
+            SeqcountOp::from_call_name("read_seqcount_retry"),
+            Some(SeqcountOp::ReadRetry)
+        );
+        assert_eq!(
+            SeqcountOp::from_call_name("xt_write_recseq_begin"),
+            Some(SeqcountOp::WriteBegin)
+        );
+        assert_eq!(
+            SeqcountOp::from_call_name("write_seqcount_end"),
+            Some(SeqcountOp::WriteEnd)
+        );
+        assert_eq!(SeqcountOp::from_call_name("seqcount_init"), None);
+    }
+
+    #[test]
+    fn protocol_shape() {
+        // Figure 5: writer bumps the counter on both sides of its writes;
+        // the first bump is before its barrier, the second after.
+        assert!(SeqcountOp::WriteBegin.access_before_barrier());
+        assert!(!SeqcountOp::WriteEnd.access_before_barrier());
+        // Reader mirrors it.
+        assert!(SeqcountOp::ReadBegin.access_before_barrier());
+        assert!(!SeqcountOp::ReadRetry.access_before_barrier());
+    }
+
+    #[test]
+    fn barrier_kinds() {
+        assert_eq!(SeqcountOp::ReadBegin.barrier(), BarrierKind::Rmb);
+        assert_eq!(SeqcountOp::WriteEnd.barrier(), BarrierKind::Wmb);
+    }
+
+    #[test]
+    fn sides() {
+        assert!(SeqcountOp::WriteBegin.writes_counter());
+        assert!(SeqcountOp::ReadRetry.is_reader());
+    }
+}

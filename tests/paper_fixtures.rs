@@ -1,0 +1,177 @@
+//! Integration tests on the paper's own listings and patches: the
+//! reproduction must reach the paper's conclusion on each of its worked
+//! examples.
+
+use ofence::{AnalysisConfig, DeviationKind, Engine, PairingShape, Side, SourceFile};
+use ofence_corpus::fixtures;
+
+fn analyze(name: &str, src: &str) -> ofence::AnalysisResult {
+    Engine::new(AnalysisConfig::default()).analyze(&[SourceFile::new(name, src)])
+}
+
+#[test]
+fn listing1_pairs_and_is_clean() {
+    let r = analyze("listing1.c", fixtures::LISTING1);
+    assert_eq!(r.sites.len(), 2);
+    assert_eq!(r.pairing.pairings.len(), 1);
+    let p = &r.pairing.pairings[0];
+    assert_eq!(p.shape, PairingShape::Single);
+    assert!(p
+        .objects
+        .contains(&ofence::SharedObject::new("my_struct", "init")));
+    assert!(p
+        .objects
+        .contains(&ofence::SharedObject::new("my_struct", "y")));
+    assert!(r.deviations.is_empty(), "{:?}", r.deviations);
+}
+
+#[test]
+fn listing2_reread_flagged() {
+    let r = analyze("listing2.c", fixtures::LISTING2);
+    let rr: Vec<_> = r
+        .deviations
+        .iter()
+        .filter(|d| matches!(d.kind, DeviationKind::RepeatedRead { .. }))
+        .collect();
+    assert_eq!(rr.len(), 1, "{:?}", r.deviations);
+    assert_eq!(rr[0].site.function, "ev_reader");
+    assert_eq!(
+        rr[0].object,
+        Some(ofence::SharedObject::new("ev_type", "field"))
+    );
+}
+
+#[test]
+fn listing3_double_pairing_clean() {
+    let r = analyze("arp.c", fixtures::LISTING3);
+    assert_eq!(r.sites.len(), 4, "four seqcount barriers");
+    assert_eq!(r.pairing.pairings.len(), 1);
+    assert_eq!(r.pairing.pairings[0].members.len(), 4);
+    assert_eq!(r.pairing.pairings[0].shape, PairingShape::Multi);
+    assert!(r.deviations.is_empty(), "{:?}", r.deviations);
+}
+
+#[test]
+fn listing4_bnx2x_false_positive_reproduced() {
+    // §6.4 documents this as OFence's main FP source: sp_state is written
+    // on both sides of the barrier, and OFence produces a (wrong) patch.
+    // Reproducing the paper means producing the finding.
+    let r = analyze("bnx2x.c", fixtures::LISTING4_BNX2X);
+    assert_eq!(r.pairing.pairings.len(), 1, "the pairing itself is correct");
+    assert!(
+        r.deviations
+            .iter()
+            .any(|d| d.object == Some(ofence::SharedObject::new("bnx2x", "sp_state"))),
+        "the documented false positive must be produced: {:?}",
+        r.deviations
+    );
+}
+
+#[test]
+fn patch1_misplaced_detected_and_fix_matches_paper() {
+    let r = analyze("xprt.c", fixtures::PATCH1_BUGGY);
+    let mis = r
+        .deviations
+        .iter()
+        .find(|d| matches!(d.kind, DeviationKind::Misplaced { .. }))
+        .expect("misplaced access detected");
+    assert_eq!(mis.site.function, "call_decode");
+    assert_eq!(
+        mis.object,
+        Some(ofence::SharedObject::new("rpc_rqst", "rq_reply_bytes_recd"))
+    );
+    // The paper's fix moves the read before the barrier.
+    assert!(matches!(
+        mis.kind,
+        DeviationKind::Misplaced {
+            correct_side: Side::Before
+        }
+    ));
+    let patch = ofence::patch::synthesize(mis, &r.files[0]).expect("patch");
+    let fixed = ofence::apply_edits(&r.files[0].source, &patch.edits).expect("applies");
+    // After the generated fix, the guard precedes the barrier.
+    let guard = fixed.find("if (!req->rq_reply_bytes_recd)").unwrap();
+    let rmb = fixed.find("smp_rmb").unwrap();
+    assert!(guard < rmb, "{fixed}");
+}
+
+#[test]
+fn patch1_fixed_version_is_clean() {
+    let r = analyze("xprt_fixed.c", fixtures::PATCH1_FIXED);
+    assert_eq!(r.pairing.pairings.len(), 1);
+    assert!(r.deviations.is_empty(), "{:?}", r.deviations);
+}
+
+#[test]
+fn patch3_reread_detected_and_fix_reuses_value() {
+    let r = analyze("sock_reuseport.c", fixtures::PATCH3_BUGGY);
+    let rr = r
+        .deviations
+        .iter()
+        .find(|d| matches!(d.kind, DeviationKind::RepeatedRead { .. }))
+        .expect("re-read detected");
+    assert_eq!(rr.site.function, "reuseport_select_sock");
+    assert_eq!(
+        rr.object,
+        Some(ofence::SharedObject::new("sock_reuseport", "num_socks"))
+    );
+    let patch = ofence::patch::synthesize(rr, &r.files[0]).expect("patch");
+    let fixed = ofence::apply_edits(&r.files[0].source, &patch.edits).expect("applies");
+    // The paper's fix: reuse the previously read value (`socks`).
+    assert!(
+        fixed.contains("reuse->socks[socks - 1]"),
+        "patch must reuse the first read:\n{fixed}"
+    );
+}
+
+#[test]
+fn patch4_unneeded_barrier_detected_and_removed() {
+    let r = analyze("blk_rq_qos.c", fixtures::PATCH4_BUGGY);
+    let un = r
+        .deviations
+        .iter()
+        .find(|d| matches!(d.kind, DeviationKind::UnneededBarrier { .. }))
+        .expect("unneeded barrier detected");
+    match &un.kind {
+        DeviationKind::UnneededBarrier { provided_by } => {
+            assert_eq!(provided_by, "wake_up_process")
+        }
+        _ => unreachable!(),
+    }
+    let patch = ofence::patch::synthesize(un, &r.files[0]).expect("patch");
+    let fixed = ofence::apply_edits(&r.files[0].source, &patch.edits).expect("applies");
+    assert!(!fixed.contains("smp_wmb"), "{fixed}");
+    assert!(fixed.contains("wake_up_process"));
+}
+
+#[test]
+fn patch5_annotations_generated() {
+    let r = analyze("select.c", fixtures::PATCH5_UNANNOTATED);
+    assert!(!r.pairing.pairings.is_empty());
+    // Both the flag and the data field need annotations on both sides.
+    assert!(
+        r.annotations.len() >= 2,
+        "expected several missing annotations: {:?}",
+        r.annotations
+    );
+    let read_patch = r
+        .annotation_patches
+        .iter()
+        .find(|p| p.diff.contains("READ_ONCE(pwq->triggered)"));
+    let write_patch = r
+        .annotation_patches
+        .iter()
+        .find(|p| p.diff.contains("WRITE_ONCE(pwq->triggered, 1)"));
+    assert!(read_patch.is_some(), "READ_ONCE patch for the flag");
+    assert!(write_patch.is_some(), "WRITE_ONCE patch for the flag");
+}
+
+#[test]
+fn fixture_analysis_is_deterministic() {
+    let a = analyze("xprt.c", fixtures::PATCH1_BUGGY);
+    let b = analyze("xprt.c", fixtures::PATCH1_BUGGY);
+    assert_eq!(
+        format!("{:?}", a.deviations),
+        format!("{:?}", b.deviations)
+    );
+}

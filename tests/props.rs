@@ -1,0 +1,194 @@
+//! Property-based tests over the whole stack: random corpus shapes, bug
+//! plans, and seeds must uphold the analyzer's invariants.
+
+use ofence::{AnalysisConfig, Engine, SourceFile};
+use ofence_corpus::{generate, BugPlan, CorpusSpec};
+use proptest::prelude::*;
+
+fn arb_spec() -> impl Strategy<Value = CorpusSpec> {
+    (
+        any::<u64>(),
+        1usize..6,
+        1usize..4,
+        0usize..3,
+        0usize..3,
+        0usize..2,
+        0.0f64..0.6,
+        0usize..3,
+        0usize..3,
+        0usize..2,
+        0usize..3,
+    )
+        .prop_map(
+            |(
+                seed,
+                files,
+                ppf,
+                noise,
+                decoys,
+                lone,
+                split,
+                misplaced,
+                repeated,
+                wrong,
+                unneeded,
+            )| CorpusSpec {
+                seed,
+                files,
+                patterns_per_file: ppf,
+                noise_per_file: noise,
+                decoy_pairs: decoys,
+                far_decoy_pairs: 0,
+                lone_per_file: lone,
+                split_fraction: split,
+                bugs: BugPlan {
+                    misplaced,
+                    repeated_read: repeated,
+                    wrong_type: wrong,
+                    unneeded,
+                },
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every generated corpus parses cleanly with the ckit front end.
+    #[test]
+    fn generated_corpora_always_parse(spec in arb_spec()) {
+        let corpus = generate(&spec);
+        for f in &corpus.files {
+            let parsed = ckit::parse_string(&f.name, &f.content).expect("front end ok");
+            prop_assert!(parsed.errors.is_empty(), "{}: {:?}", f.name, parsed.errors);
+        }
+    }
+
+    /// The engine never panics, produces dense site ids, and each barrier
+    /// belongs to at most one pairing.
+    #[test]
+    fn analysis_invariants(spec in arb_spec()) {
+        let corpus = generate(&spec);
+        let files: Vec<SourceFile> = corpus
+            .files
+            .iter()
+            .map(|f| SourceFile::new(f.name.clone(), f.content.clone()))
+            .collect();
+        let r = Engine::new(AnalysisConfig::default()).analyze(&files);
+        for (i, s) in r.sites.iter().enumerate() {
+            prop_assert_eq!(s.id.0 as usize, i);
+        }
+        let mut seen = std::collections::HashSet::new();
+        for p in &r.pairing.pairings {
+            prop_assert!(p.members.len() >= 2);
+            prop_assert!(p.members.contains(&p.writer));
+            prop_assert!(p.objects.len() >= 2);
+            for m in &p.members {
+                prop_assert!(seen.insert(*m), "barrier {m} in two pairings");
+            }
+        }
+        // Unpaired + paired partitions the sites.
+        let unpaired: std::collections::HashSet<_> =
+            r.pairing.unpaired.iter().map(|(id, _)| *id).collect();
+        for s in &r.sites {
+            prop_assert!(seen.contains(&s.id) != unpaired.contains(&s.id));
+        }
+        // Every deviation refers to an existing site and file.
+        for d in &r.deviations {
+            prop_assert!(d.site.file < r.files.len());
+            prop_assert!((d.barrier.0 as usize) < r.sites.len());
+        }
+    }
+
+    /// Pretty-printing a generated file and reparsing reaches a fixpoint
+    /// after one round (print ∘ parse is a projection).
+    #[test]
+    fn pretty_print_projection(spec in arb_spec()) {
+        let corpus = generate(&spec);
+        for f in corpus.files.iter().take(2) {
+            let parsed = ckit::parse_string(&f.name, &f.content).expect("parse");
+            prop_assume!(parsed.errors.is_empty());
+            let once = ckit::pretty::print_unit(&parsed.unit);
+            let reparsed = ckit::parse_string(&f.name, &once).expect("reparse");
+            prop_assert!(reparsed.errors.is_empty(), "{}\n{once}", f.name);
+            let twice = ckit::pretty::print_unit(&reparsed.unit);
+            prop_assert_eq!(once, twice);
+        }
+    }
+
+    /// All patches apply (edits never overlap) and leave parseable C.
+    #[test]
+    fn patches_always_apply_cleanly(spec in arb_spec()) {
+        let corpus = generate(&spec);
+        let files: Vec<SourceFile> = corpus
+            .files
+            .iter()
+            .map(|f| SourceFile::new(f.name.clone(), f.content.clone()))
+            .collect();
+        let r = Engine::new(AnalysisConfig::default()).analyze(&files);
+        for d in &r.deviations {
+            let fa = &r.files[d.site.file];
+            if let Some(patch) = ofence::patch::synthesize(d, fa) {
+                let fixed = ofence::apply_edits(&fa.source, &patch.edits);
+                prop_assert!(fixed.is_some(), "overlapping edits: {:?}", patch.edits);
+                let reparsed = ckit::parse_string(&fa.name, &fixed.unwrap()).expect("parse");
+                prop_assert!(
+                    reparsed.errors.is_empty(),
+                    "patch broke {}: {:?}",
+                    fa.name,
+                    reparsed.errors
+                );
+            }
+        }
+    }
+
+    /// Larger read windows only add accesses; they never remove them
+    /// (distance monotonicity).
+    #[test]
+    fn window_monotonicity(seed in any::<u64>()) {
+        let spec = CorpusSpec::small(seed);
+        let corpus = generate(&spec);
+        let files: Vec<SourceFile> = corpus
+            .files
+            .iter()
+            .map(|f| SourceFile::new(f.name.clone(), f.content.clone()))
+            .collect();
+        let narrow = Engine::new(AnalysisConfig {
+            read_window: 10,
+            ..Default::default()
+        })
+        .analyze(&files);
+        let wide = Engine::new(AnalysisConfig {
+            read_window: 50,
+            ..Default::default()
+        })
+        .analyze(&files);
+        prop_assert_eq!(narrow.sites.len(), wide.sites.len());
+        for (n, w) in narrow.sites.iter().zip(&wide.sites) {
+            prop_assert!(w.accesses.len() >= n.accesses.len());
+        }
+    }
+
+    /// The incremental engine agrees with a fresh engine on any edit.
+    #[test]
+    fn incremental_equals_fresh(seed in any::<u64>(), touch in 0usize..8) {
+        let corpus = generate(&CorpusSpec::small(seed));
+        let mut files: Vec<SourceFile> = corpus
+            .files
+            .iter()
+            .map(|f| SourceFile::new(f.name.clone(), f.content.clone()))
+            .collect();
+        let mut engine = Engine::new(AnalysisConfig::default());
+        let _ = engine.analyze(&files);
+        let idx = touch % files.len();
+        files[idx].content.push_str("\nint prop_added(void) { return 1; }\n");
+        let incremental = engine.analyze_incremental(&files);
+        let fresh = Engine::new(AnalysisConfig::default()).analyze(&files);
+        prop_assert_eq!(incremental.sites.len(), fresh.sites.len());
+        prop_assert_eq!(
+            incremental.pairing.pairings.len(),
+            fresh.pairing.pairings.len()
+        );
+        prop_assert_eq!(incremental.deviations.len(), fresh.deviations.len());
+    }
+}
