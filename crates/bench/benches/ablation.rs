@@ -21,11 +21,14 @@ fn corpus() -> ofence_corpus::Corpus {
         far_decoy_pairs: 2,
         lone_per_file: 1,
         split_fraction: 0.2,
+        reread_decoys: 3,
+        unfenced_decoys: 3,
         bugs: BugPlan {
             misplaced: 4,
             repeated_read: 2,
             wrong_type: 1,
             unneeded: 6,
+            missing_barrier: 3,
         },
     };
     generate(&spec)
@@ -84,6 +87,34 @@ fn variants() -> Vec<(&'static str, AnalysisConfig)> {
             "pair_with_atomics",
             AnalysisConfig {
                 pair_with_atomics: true,
+                ..base.clone()
+            },
+        ),
+        // Dataflow ablations: fall back to the bounded-window re-read
+        // heuristic (more FPs on benign re-reads)...
+        (
+            "window_reread",
+            AnalysisConfig {
+                dataflow_reread: false,
+                ..base.clone()
+            },
+        ),
+        // ...turn the missing-barrier detector on (finds the injected
+        // missing fences)...
+        (
+            "missing_detector",
+            AnalysisConfig {
+                detect_missing: true,
+                ..base.clone()
+            },
+        ),
+        // ...and additionally drop its outlier rule (reports every
+        // fence-less overlap, adding FPs on the unfenced decoys).
+        (
+            "missing_no_outlier",
+            AnalysisConfig {
+                detect_missing: true,
+                outlier_rule: false,
                 ..base
             },
         ),

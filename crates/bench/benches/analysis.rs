@@ -21,6 +21,8 @@ fn spec_with_files(files: usize) -> CorpusSpec {
         far_decoy_pairs: 0,
         lone_per_file: 1,
         split_fraction: 0.2,
+        reread_decoys: 0,
+        unfenced_decoys: 0,
         bugs: BugPlan::none(),
     }
 }
@@ -31,14 +33,18 @@ fn bench_full_analysis(c: &mut Criterion) {
     for files in [50usize, 150, 300, 600] {
         let corpus = generate(&spec_with_files(files));
         let sources = to_source_files(&corpus);
-        group.bench_with_input(BenchmarkId::from_parameter(files), &sources, |b, sources| {
-            b.iter(|| {
-                let mut engine = Engine::new(AnalysisConfig::default());
-                let result = engine.analyze(sources);
-                assert!(result.stats.pairings > 0);
-                result.stats.pairings
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(files),
+            &sources,
+            |b, sources| {
+                b.iter(|| {
+                    let mut engine = Engine::new(AnalysisConfig::default());
+                    let result = engine.analyze(sources);
+                    assert!(result.stats.pairings > 0);
+                    result.stats.pairings
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -76,6 +82,7 @@ fn bench_patch_synthesis(c: &mut Criterion) {
         repeated_read: 5,
         wrong_type: 2,
         unneeded: 10,
+        missing_barrier: 0,
     };
     let corpus = generate(&spec);
     let sources = to_source_files(&corpus);

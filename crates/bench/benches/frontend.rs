@@ -14,6 +14,8 @@ fn corpus_text() -> String {
         far_decoy_pairs: 0,
         lone_per_file: 1,
         split_fraction: 0.0,
+        reread_decoys: 0,
+        unfenced_decoys: 0,
         bugs: BugPlan::none(),
     };
     generate(&spec)

@@ -18,6 +18,8 @@ fn sites_for(files: usize) -> Vec<BarrierSite> {
         far_decoy_pairs: 0,
         lone_per_file: 1,
         split_fraction: 0.2,
+        reread_decoys: 0,
+        unfenced_decoys: 0,
         bugs: BugPlan::none(),
     };
     let corpus = generate(&spec);
@@ -65,6 +67,8 @@ fn bench_site_extraction(c: &mut Criterion) {
         far_decoy_pairs: 0,
         lone_per_file: 2,
         split_fraction: 0.0,
+        reread_decoys: 0,
+        unfenced_decoys: 0,
         bugs: BugPlan::none(),
     };
     let corpus = generate(&spec);
@@ -85,7 +89,7 @@ fn bench_deviation_checks(c: &mut Criterion) {
     let pairing = pair_barriers(&sites, &config);
     c.bench_function("deviation_checks", |b| {
         b.iter(|| {
-            let devs = ofence::deviation::check_all(&sites, &pairing, &config);
+            let devs = ofence::deviation::check_all(&sites, &pairing, &[], &config);
             devs.len()
         });
     });

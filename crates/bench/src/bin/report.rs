@@ -1,7 +1,7 @@
 //! Regenerate every table and figure of the OFence paper's evaluation.
 //!
 //! ```text
-//! report [--scale small|paper] [--seed N] [--json PATH] [table1|table2|table3|fig6|fig7|runtime|patches|coverage|all]
+//! report [--scale small|paper] [--seed N] [--json PATH] [table1|table2|table3|fig6|fig7|runtime|patches|coverage|missing|reread|all]
 //! ```
 //!
 //! Each section prints the paper's artifact next to the measured value so
@@ -28,10 +28,7 @@ fn main() {
                 i += 2;
             }
             "--seed" => {
-                seed = args
-                    .get(i + 1)
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or(42);
+                seed = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(42);
                 i += 2;
             }
             "--json" => {
@@ -98,6 +95,12 @@ fn main() {
     if want("fig6") {
         fig6(&corpus, &mut json);
     }
+    if want("missing") {
+        missing(&corpus, &mut json);
+    }
+    if want("reread") {
+        reread(&corpus, &mut json);
+    }
 
     if let Some(path) = json_path {
         let text = serde_json::to_string_pretty(&serde_json::Value::Object(json))
@@ -115,8 +118,8 @@ fn header(title: &str) {
 fn table1(json: &mut serde_json::Map<String, serde_json::Value>) {
     header("Table 1 — barriers used by Linux (recognized primitives)");
     println!(
-        "{:<28} {:<11} {:<10} {}",
-        "Primitive", "write-side", "read-side", "Description"
+        "{:<28} {:<11} {:<10} Description",
+        "Primitive", "write-side", "read-side"
     );
     let mut rows = Vec::new();
     for kind in kmodel::BarrierKind::ALL {
@@ -323,6 +326,7 @@ fn patches(result: &ofence::AnalysisResult, json: &mut serde_json::Map<String, s
             DeviationKind::WrongBarrierType { .. } => "wrong-type",
             DeviationKind::UnneededBarrier { .. } => "unneeded",
             DeviationKind::MissingOnce { .. } => "annotation",
+            DeviationKind::MissingBarrier { .. } => "missing-fence",
         };
         *per_class.entry(class).or_default() += 1;
         // Verify: apply and re-analyze the single file.
@@ -348,7 +352,10 @@ fn patches(result: &ofence::AnalysisResult, json: &mut serde_json::Map<String, s
         println!("{class:<12} {count}");
     }
     println!("verified by re-analysis: {verified}; not eliminated: {failed}");
-    println!("annotation patches (§7): {}", result.annotation_patches.len());
+    println!(
+        "annotation patches (§7): {}",
+        result.annotation_patches.len()
+    );
     json.insert(
         "patches".into(),
         serde_json::json!({
@@ -356,6 +363,162 @@ fn patches(result: &ofence::AnalysisResult, json: &mut serde_json::Map<String, s
             "verified": verified,
             "failed": failed,
             "annotations": result.annotation_patches.len(),
+        }),
+    );
+}
+
+/// Dataflow extension: missing-barrier detection — recall on injected
+/// fence-less readers, false positives under the outlier rule and
+/// without it, and machine verification of the synthesized fences.
+fn missing(corpus: &Corpus, json: &mut serde_json::Map<String, serde_json::Value>) {
+    header("Missing-barrier detector (dataflow extension)");
+    let config = AnalysisConfig {
+        detect_missing: true,
+        ..Default::default()
+    };
+    let result = harness::analyze_corpus(corpus, config.clone());
+    let injected = corpus.manifest.count_bugs(BugKind::MissingBarrier);
+    let devs: Vec<&ofence::Deviation> = result
+        .deviations
+        .iter()
+        .filter(|d| matches!(d.kind, DeviationKind::MissingBarrier { .. }))
+        .collect();
+    let detected = corpus
+        .manifest
+        .bugs
+        .iter()
+        .filter(|b| {
+            b.kind == BugKind::MissingBarrier && devs.iter().any(|d| d.site.function == b.function)
+        })
+        .count();
+    let fps = devs
+        .iter()
+        .filter(|d| {
+            !corpus
+                .manifest
+                .bugs
+                .iter()
+                .any(|b| b.kind == BugKind::MissingBarrier && b.function == d.site.function)
+        })
+        .count();
+    // Machine verification: insert the fence, re-analyze, finding gone.
+    let mut verified = 0usize;
+    for d in &devs {
+        let fa = &result.files[d.site.file];
+        let Some(patch) = ofence::patch::synthesize(d, fa) else {
+            continue;
+        };
+        let Some(fixed) = ofence::apply_edits(&fa.source, &patch.edits) else {
+            continue;
+        };
+        let r2 = Engine::new(config.clone()).analyze(&[SourceFile::new(fa.name.clone(), fixed)]);
+        if !r2.deviations.iter().any(|d2| {
+            matches!(d2.kind, DeviationKind::MissingBarrier { .. })
+                && d2.site.function == d.site.function
+        }) {
+            verified += 1;
+        }
+    }
+    let no_outlier = harness::analyze_corpus(
+        corpus,
+        AnalysisConfig {
+            detect_missing: true,
+            outlier_rule: false,
+            ..Default::default()
+        },
+    );
+    let fps_no_outlier = no_outlier
+        .deviations
+        .iter()
+        .filter(|d| {
+            matches!(d.kind, DeviationKind::MissingBarrier { .. })
+                && !corpus
+                    .manifest
+                    .bugs
+                    .iter()
+                    .any(|b| b.kind == BugKind::MissingBarrier && b.function == d.site.function)
+        })
+        .count();
+    let recall = if injected > 0 {
+        detected as f64 / injected as f64
+    } else {
+        0.0
+    };
+    println!("injected fence-less readers:   {injected}");
+    println!(
+        "detected:                      {detected} ({:.0}% recall, target >= 90%)",
+        recall * 100.0
+    );
+    println!("false positives (outlier on):  {fps}");
+    println!("false positives (outlier off): {fps_no_outlier}");
+    println!("patches verified by re-analysis: {verified}/{}", devs.len());
+    json.insert(
+        "missing".into(),
+        serde_json::json!({
+            "injected": injected,
+            "detected": detected,
+            "recall": recall,
+            "false_positives": fps,
+            "false_positives_no_outlier": fps_no_outlier,
+            "patches_verified": verified,
+        }),
+    );
+}
+
+/// Dataflow extension: benign re-reads — FP comparison between the
+/// bounded-window heuristic and the reaching-definitions check.
+fn reread(corpus: &Corpus, json: &mut serde_json::Map<String, serde_json::Value>) {
+    header("Re-read checker: window heuristic vs reaching definitions");
+    let count = |dataflow: bool| {
+        let result = harness::analyze_corpus(
+            corpus,
+            AnalysisConfig {
+                dataflow_reread: dataflow,
+                ..Default::default()
+            },
+        );
+        let (bugs, _) = harness::found_records(&result);
+        let rereads: Vec<_> = bugs
+            .iter()
+            .filter(|b| b.kind == BugKind::RepeatedRead)
+            .collect();
+        let hits = corpus
+            .manifest
+            .bugs
+            .iter()
+            .filter(|inj| {
+                inj.kind == BugKind::RepeatedRead
+                    && rereads.iter().any(|b| b.function == inj.function)
+            })
+            .count();
+        let fps = rereads
+            .iter()
+            .filter(|b| {
+                !corpus
+                    .manifest
+                    .bugs
+                    .iter()
+                    .any(|inj| inj.kind == BugKind::RepeatedRead && inj.function == b.function)
+            })
+            .count();
+        (hits, fps)
+    };
+    let (window_hits, window_fps) = count(false);
+    let (dataflow_hits, dataflow_fps) = count(true);
+    let injected = corpus.manifest.count_bugs(BugKind::RepeatedRead);
+    println!("injected racy re-reads:  {injected}");
+    println!("window heuristic:        {window_hits} found, {window_fps} false positives");
+    println!("reaching definitions:    {dataflow_hits} found, {dataflow_fps} false positives");
+    println!(
+        "benign re-read decoys suppressed by dataflow: {}",
+        window_fps.saturating_sub(dataflow_fps)
+    );
+    json.insert(
+        "reread".into(),
+        serde_json::json!({
+            "injected": injected,
+            "window": {"found": window_hits, "false_positives": window_fps},
+            "dataflow": {"found": dataflow_hits, "false_positives": dataflow_fps},
         }),
     );
 }

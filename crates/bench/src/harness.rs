@@ -1,7 +1,7 @@
 //! Shared harness: run the analyzer on a generated corpus and convert the
 //! results into the corpus crate's evaluation records.
 
-use ofence::{AnalysisResult, AnalysisConfig, DeviationKind, Engine, SourceFile};
+use ofence::{AnalysisConfig, AnalysisResult, DeviationKind, Engine, SourceFile};
 use ofence_corpus::{evaluate, BugKind, Corpus, EvalSummary, FoundBug, FoundPairing};
 
 /// Convert generated files into engine inputs.
@@ -26,6 +26,7 @@ pub fn bug_kind_of(kind: &DeviationKind) -> Option<BugKind> {
         DeviationKind::RepeatedRead { .. } => BugKind::RepeatedRead,
         DeviationKind::WrongBarrierType { .. } => BugKind::WrongBarrierType,
         DeviationKind::UnneededBarrier { .. } => BugKind::UnneededBarrier,
+        DeviationKind::MissingBarrier { .. } => BugKind::MissingBarrier,
         DeviationKind::MissingOnce { .. } => return None,
     })
 }

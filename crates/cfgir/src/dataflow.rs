@@ -1,0 +1,497 @@
+//! Intra-procedural dataflow analyses over a [`Cfg`].
+//!
+//! Three classic frameworks, sized for the small per-function CFGs this
+//! workspace builds:
+//!
+//! * **dominator / post-dominator trees** (iterative Cooper–Harvey–Kennedy
+//!   over a reverse-postorder numbering),
+//! * **reaching definitions** (forward may-analysis over caller-supplied
+//!   definition sites, so the framework stays agnostic of what a
+//!   "variable" is — `crates/core` instantiates it with shared-object
+//!   keys),
+//! * **def-use chains** derived from the reaching-definitions solution.
+//!
+//! All three tolerate unreachable nodes (the CFG builder keeps statements
+//! after a `return`): such nodes are reported as unreachable and excluded
+//! from dominance and dataflow facts.
+
+use crate::cfg::{Cfg, NodeId};
+
+/// A dominator (or post-dominator) tree.
+///
+/// For dominators the root is the CFG entry and edges are successor
+/// edges; for post-dominators the root is the exit and edges are
+/// predecessor edges.
+#[derive(Clone, Debug)]
+pub struct DomTree {
+    root: NodeId,
+    /// Immediate dominator per node; `idom[root] == root`, unreachable
+    /// nodes are `None`.
+    idom: Vec<Option<NodeId>>,
+}
+
+impl DomTree {
+    /// The immediate dominator of `n` (`None` for the root and for nodes
+    /// unreachable from it).
+    pub fn idom(&self, n: NodeId) -> Option<NodeId> {
+        if n == self.root {
+            return None;
+        }
+        self.idom[n]
+    }
+
+    /// Is `n` reachable from the tree's root along the analyzed edges?
+    pub fn is_reachable(&self, n: NodeId) -> bool {
+        n == self.root || self.idom[n].is_some()
+    }
+
+    /// Does `a` dominate `b` (reflexively)? `false` if either node is
+    /// unreachable.
+    pub fn dominates(&self, a: NodeId, b: NodeId) -> bool {
+        if !self.is_reachable(a) || !self.is_reachable(b) {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            if cur == self.root {
+                return false;
+            }
+            cur = self.idom[cur].expect("reachable non-root has an idom");
+        }
+    }
+
+    /// `a` dominates `b` and `a != b`.
+    pub fn strictly_dominates(&self, a: NodeId, b: NodeId) -> bool {
+        a != b && self.dominates(a, b)
+    }
+}
+
+/// Dominator tree rooted at the CFG entry.
+pub fn dominators(cfg: &Cfg) -> DomTree {
+    build_dom_tree(cfg, cfg.entry, |n| &cfg.node(n).succs)
+}
+
+/// Post-dominator tree rooted at the CFG exit.
+pub fn post_dominators(cfg: &Cfg) -> DomTree {
+    build_dom_tree(cfg, cfg.exit, |n| &cfg.node(n).preds)
+}
+
+fn build_dom_tree<'a>(
+    cfg: &'a Cfg,
+    root: NodeId,
+    fwd: impl Fn(NodeId) -> &'a Vec<NodeId>,
+) -> DomTree {
+    let n = cfg.nodes.len();
+    // Reverse postorder from the root along `fwd` edges.
+    let rpo = reverse_postorder(n, root, &fwd);
+    let mut rpo_num = vec![usize::MAX; n];
+    for (i, &node) in rpo.iter().enumerate() {
+        rpo_num[node] = i;
+    }
+    // Predecessors along the analyzed direction.
+    let mut preds: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    for &node in &rpo {
+        for &s in fwd(node) {
+            preds[s].push(node);
+        }
+    }
+    let mut idom: Vec<Option<NodeId>> = vec![None; n];
+    idom[root] = Some(root);
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &node in rpo.iter().skip(1) {
+            let mut new_idom: Option<NodeId> = None;
+            for &p in &preds[node] {
+                if idom[p].is_none() {
+                    continue;
+                }
+                new_idom = Some(match new_idom {
+                    None => p,
+                    Some(cur) => intersect(&idom, &rpo_num, cur, p),
+                });
+            }
+            if let Some(ni) = new_idom {
+                if idom[node] != Some(ni) {
+                    idom[node] = Some(ni);
+                    changed = true;
+                }
+            }
+        }
+    }
+    // Normalize: the root's stored idom stays `Some(root)` internally but
+    // `idom()` reports `None`; unreachable nodes keep `None`.
+    DomTree { root, idom }
+}
+
+fn intersect(idom: &[Option<NodeId>], rpo_num: &[usize], mut a: NodeId, mut b: NodeId) -> NodeId {
+    while a != b {
+        while rpo_num[a] > rpo_num[b] {
+            a = idom[a].expect("processed node has an idom");
+        }
+        while rpo_num[b] > rpo_num[a] {
+            b = idom[b].expect("processed node has an idom");
+        }
+    }
+    a
+}
+
+fn reverse_postorder<'a>(
+    n: usize,
+    root: NodeId,
+    fwd: &impl Fn(NodeId) -> &'a Vec<NodeId>,
+) -> Vec<NodeId> {
+    let mut seen = vec![false; n];
+    let mut post = Vec::with_capacity(n);
+    // Iterative DFS with an explicit edge cursor per frame.
+    let mut stack: Vec<(NodeId, usize)> = vec![(root, 0)];
+    seen[root] = true;
+    while let Some(&mut (node, ref mut cursor)) = stack.last_mut() {
+        let edges = fwd(node);
+        if *cursor < edges.len() {
+            let next = edges[*cursor];
+            *cursor += 1;
+            if !seen[next] {
+                seen[next] = true;
+                stack.push((next, 0));
+            }
+        } else {
+            post.push(node);
+            stack.pop();
+        }
+    }
+    post.reverse();
+    post
+}
+
+/// A definition site: node `node` (re)defines the value named by `key`.
+///
+/// The key type is caller-chosen: a local variable name, a
+/// `(struct, field)` pair, anything with equality.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Def<K> {
+    pub node: NodeId,
+    pub key: K,
+}
+
+/// A use site: node `node` reads the value named by `key`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Use<K> {
+    pub node: NodeId,
+    pub key: K,
+}
+
+/// The reaching-definitions solution: for every node, which definition
+/// sites (by index into the `defs` slice passed to
+/// [`reaching_definitions`]) may reach the *entry* of that node.
+#[derive(Clone, Debug)]
+pub struct ReachingDefs {
+    words: usize,
+    in_sets: Vec<u64>,
+}
+
+impl ReachingDefs {
+    /// Does definition `def_index` reach the entry of `node`?
+    pub fn reaches(&self, def_index: usize, node: NodeId) -> bool {
+        let bit = self.in_sets[node * self.words + def_index / 64];
+        bit >> (def_index % 64) & 1 == 1
+    }
+
+    /// Indices of all definitions reaching the entry of `node`.
+    pub fn defs_reaching(&self, node: NodeId) -> Vec<usize> {
+        let mut out = Vec::new();
+        for w in 0..self.words {
+            let mut bits = self.in_sets[node * self.words + w];
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                out.push(w * 64 + b);
+                bits &= bits - 1;
+            }
+        }
+        out
+    }
+}
+
+/// Forward may-analysis: a definition reaches a node if some path from
+/// the definition to the node contains no other definition of the same
+/// key. Definitions in unreachable code never reach anything.
+pub fn reaching_definitions<K: PartialEq>(cfg: &Cfg, defs: &[Def<K>]) -> ReachingDefs {
+    let n = cfg.nodes.len();
+    let words = defs.len().div_ceil(64).max(1);
+    let mut gen_sets = vec![0u64; n * words];
+    let mut kill = vec![0u64; n * words];
+    for (i, d) in defs.iter().enumerate() {
+        gen_sets[d.node * words + i / 64] |= 1 << (i % 64);
+        for (j, other) in defs.iter().enumerate() {
+            if j != i && other.key == d.key {
+                kill[d.node * words + j / 64] |= 1 << (j % 64);
+            }
+        }
+    }
+    // A node both generating and killing a def keeps its own generation.
+    for w in 0..n * words {
+        kill[w] &= !gen_sets[w];
+    }
+    let rpo = reverse_postorder(n, cfg.entry, &|id| &cfg.node(id).succs);
+    let mut in_sets = vec![0u64; n * words];
+    let mut out_sets = vec![0u64; n * words];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &node in &rpo {
+            let mut new_in = vec![0u64; words];
+            for &p in &cfg.node(node).preds {
+                for w in 0..words {
+                    new_in[w] |= out_sets[p * words + w];
+                }
+            }
+            for w in 0..words {
+                let new_out = gen_sets[node * words + w] | (new_in[w] & !kill[node * words + w]);
+                if new_in[w] != in_sets[node * words + w] || new_out != out_sets[node * words + w] {
+                    changed = true;
+                    in_sets[node * words + w] = new_in[w];
+                    out_sets[node * words + w] = new_out;
+                }
+            }
+        }
+    }
+    ReachingDefs { words, in_sets }
+}
+
+/// A (definition, use) link: the use at `uses[chain.1]` may observe the
+/// value written by `defs[chain.0]`.
+pub type DefUseChain = (usize, usize);
+
+/// Def-use chains from the reaching-definitions solution. A use at node
+/// `n` links to every definition of the same key reaching the entry of
+/// `n` (reads in a statement happen before that statement's own writes).
+pub fn def_use_chains<K: PartialEq>(
+    cfg: &Cfg,
+    defs: &[Def<K>],
+    uses: &[Use<K>],
+) -> Vec<DefUseChain> {
+    let rd = reaching_definitions(cfg, defs);
+    let mut chains = Vec::new();
+    for (ui, u) in uses.iter().enumerate() {
+        for (di, d) in defs.iter().enumerate() {
+            if d.key == u.key && rd.reaches(di, u.node) {
+                chains.push((di, ui));
+            }
+        }
+    }
+    chains
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::NodeKind;
+    use ckit::parse_string;
+
+    fn cfg_of(src: &str) -> Cfg {
+        let out = parse_string("t.c", src).unwrap();
+        assert!(out.errors.is_empty(), "{:?}", out.errors);
+        let cfg = Cfg::build(out.unit.functions().next().unwrap());
+        cfg
+    }
+
+    /// Node id of the statement whose source text contains `text`.
+    fn node_containing(cfg: &Cfg, src: &str, text: &str) -> NodeId {
+        cfg.ids()
+            .find(|&i| {
+                let n = cfg.node(i);
+                !matches!(n.kind, NodeKind::Entry | NodeKind::Exit)
+                    && n.span.slice(src).contains(text)
+            })
+            .unwrap_or_else(|| panic!("no node containing {text:?}"))
+    }
+
+    #[test]
+    fn straight_line_dominators() {
+        let src = "void f(int a) { a = 1; a = 2; a = 3; }";
+        let cfg = cfg_of(src);
+        let dom = dominators(&cfg);
+        let n1 = node_containing(&cfg, src, "a = 1");
+        let n2 = node_containing(&cfg, src, "a = 2");
+        let n3 = node_containing(&cfg, src, "a = 3");
+        assert!(dom.dominates(n1, n2));
+        assert!(dom.dominates(n1, n3));
+        assert!(dom.dominates(n2, n3));
+        assert!(!dom.dominates(n3, n1));
+        assert_eq!(dom.idom(n2), Some(n1));
+        assert!(dom.dominates(cfg.entry, n3));
+        assert_eq!(dom.idom(cfg.entry), None);
+    }
+
+    #[test]
+    fn diamond_joins_at_entry_branch() {
+        let src = "void f(int a) { a = 0; if (a) { a = 1; } else { a = 2; } a = 3; }";
+        let cfg = cfg_of(src);
+        let dom = dominators(&cfg);
+        let cond = cfg
+            .ids()
+            .find(|&i| matches!(cfg.node(i).kind, NodeKind::Cond(_)))
+            .unwrap();
+        let t = node_containing(&cfg, src, "a = 1");
+        let e = node_containing(&cfg, src, "a = 2");
+        let join = node_containing(&cfg, src, "a = 3");
+        assert!(dom.dominates(cond, t));
+        assert!(dom.dominates(cond, e));
+        // Neither arm dominates the join; the condition does.
+        assert!(!dom.dominates(t, join));
+        assert!(!dom.dominates(e, join));
+        assert_eq!(dom.idom(join), Some(cond));
+    }
+
+    #[test]
+    fn post_dominators_mirror() {
+        let src = "void f(int a) { a = 0; if (a) { a = 1; } else { a = 2; } a = 3; }";
+        let cfg = cfg_of(src);
+        let pdom = post_dominators(&cfg);
+        let t = node_containing(&cfg, src, "a = 1");
+        let join = node_containing(&cfg, src, "a = 3");
+        assert!(pdom.dominates(join, t));
+        assert!(pdom.dominates(cfg.exit, t));
+        assert!(!pdom.dominates(t, join));
+    }
+
+    #[test]
+    fn loop_head_dominates_body() {
+        let src = "void f(int n) { n = 0; while (n < 3) { n++; } n = 9; }";
+        let cfg = cfg_of(src);
+        let dom = dominators(&cfg);
+        let head = node_containing(&cfg, src, "n < 3");
+        let body = node_containing(&cfg, src, "n++");
+        let after = node_containing(&cfg, src, "n = 9");
+        assert!(dom.dominates(head, body));
+        assert!(dom.dominates(head, after));
+        assert!(!dom.dominates(body, after));
+    }
+
+    #[test]
+    fn unreachable_nodes_are_excluded() {
+        let src = "int f(int a) { a = 1; return a; a = 2; }";
+        let cfg = cfg_of(src);
+        let dom = dominators(&cfg);
+        let live = node_containing(&cfg, src, "a = 1");
+        let dead = node_containing(&cfg, src, "a = 2");
+        assert!(dom.is_reachable(live));
+        assert!(!dom.is_reachable(dead));
+        assert!(!dom.dominates(live, dead));
+        assert!(!dom.dominates(dead, live));
+    }
+
+    #[test]
+    fn reaching_defs_straight_line_kill() {
+        let src = "void f(int a, int b) { a = 1; b = a; a = 2; b = a; }";
+        let cfg = cfg_of(src);
+        let d1 = node_containing(&cfg, src, "a = 1");
+        let d2 = node_containing(&cfg, src, "a = 2");
+        let u1 = cfg
+            .ids()
+            .filter(|&i| cfg.node(i).span.slice(src).contains("b = a"))
+            .min()
+            .unwrap();
+        let u2 = cfg
+            .ids()
+            .filter(|&i| cfg.node(i).span.slice(src).contains("b = a"))
+            .max()
+            .unwrap();
+        let defs = vec![Def { node: d1, key: "a" }, Def { node: d2, key: "a" }];
+        let rd = reaching_definitions(&cfg, &defs);
+        // First use sees only the first def; second use only the second.
+        assert!(rd.reaches(0, u1));
+        assert!(!rd.reaches(1, u1));
+        assert!(!rd.reaches(0, u2));
+        assert!(rd.reaches(1, u2));
+    }
+
+    #[test]
+    fn reaching_defs_merge_at_join() {
+        let src = "void f(int a, int c) { if (c) { a = 1; } else { a = 2; } c = a; }";
+        let cfg = cfg_of(src);
+        let d1 = node_containing(&cfg, src, "a = 1");
+        let d2 = node_containing(&cfg, src, "a = 2");
+        let join = node_containing(&cfg, src, "c = a");
+        let defs = vec![Def { node: d1, key: "a" }, Def { node: d2, key: "a" }];
+        let rd = reaching_definitions(&cfg, &defs);
+        assert!(rd.reaches(0, join));
+        assert!(rd.reaches(1, join));
+        assert_eq!(rd.defs_reaching(join), vec![0, 1]);
+    }
+
+    #[test]
+    fn reaching_defs_through_loop_back_edge() {
+        let src = "void f(int n, int s) { n = 0; while (n < 3) { s = n; n = n + 1; } }";
+        let cfg = cfg_of(src);
+        let d_init = node_containing(&cfg, src, "n = 0");
+        let d_inc = node_containing(&cfg, src, "n = n + 1");
+        let use_in_body = node_containing(&cfg, src, "s = n");
+        let defs = vec![
+            Def {
+                node: d_init,
+                key: "n",
+            },
+            Def {
+                node: d_inc,
+                key: "n",
+            },
+        ];
+        let rd = reaching_definitions(&cfg, &defs);
+        // Both the initialization and the increment reach the body read.
+        assert!(rd.reaches(0, use_in_body));
+        assert!(rd.reaches(1, use_in_body));
+    }
+
+    #[test]
+    fn def_use_chains_link_across_branch() {
+        let src = "void f(int a, int c) { a = 1; if (c) { a = 2; } c = a; }";
+        let cfg = cfg_of(src);
+        let d1 = node_containing(&cfg, src, "a = 1");
+        let d2 = node_containing(&cfg, src, "a = 2");
+        let u = node_containing(&cfg, src, "c = a");
+        let defs = vec![Def { node: d1, key: "a" }, Def { node: d2, key: "a" }];
+        let uses = vec![Use { node: u, key: "a" }];
+        let chains = def_use_chains(&cfg, &defs, &uses);
+        assert!(chains.contains(&(0, 0)));
+        assert!(chains.contains(&(1, 0)));
+    }
+
+    #[test]
+    fn intervening_def_breaks_chain() {
+        let src = "void f(int a, int c) { a = 1; a = 2; c = a; }";
+        let cfg = cfg_of(src);
+        let d1 = node_containing(&cfg, src, "a = 1");
+        let d2 = node_containing(&cfg, src, "a = 2");
+        let u = node_containing(&cfg, src, "c = a");
+        let defs = vec![Def { node: d1, key: "a" }, Def { node: d2, key: "a" }];
+        let uses = vec![Use { node: u, key: "a" }];
+        let chains = def_use_chains(&cfg, &defs, &uses);
+        assert_eq!(chains, vec![(1, 0)]);
+    }
+
+    #[test]
+    fn many_defs_cross_word_boundary() {
+        // More than 64 defs exercises the multi-word bitset path.
+        let mut body = String::new();
+        for i in 0..70 {
+            body.push_str(&format!("a = {i}; "));
+        }
+        body.push_str("b = a;");
+        let src = format!("void f(int a, int b) {{ {body} }}");
+        let cfg = cfg_of(&src);
+        let u = node_containing(&cfg, &src, "b = a");
+        let defs: Vec<Def<&str>> = (0..70)
+            .map(|i| Def {
+                node: node_containing(&cfg, &src, &format!("a = {i};")),
+                key: "a",
+            })
+            .collect();
+        let rd = reaching_definitions(&cfg, &defs);
+        // Only the last assignment survives.
+        assert_eq!(rd.defs_reaching(u), vec![69]);
+    }
+}

@@ -13,11 +13,16 @@
 //! ```
 
 pub mod cfg;
+pub mod dataflow;
 pub mod symbols;
 pub mod types;
 pub mod walk;
 
 pub use cfg::{Cfg, Node, NodeId, NodeKind};
+pub use dataflow::{
+    def_use_chains, dominators, post_dominators, reaching_definitions, Def, DomTree, ReachingDefs,
+    Use,
+};
 pub use symbols::{FileSymbols, FnSig};
 pub use types::TypeEnv;
 pub use walk::{walk, Dir, Step};

@@ -114,9 +114,7 @@ impl FileSymbols {
                     }
                 }
                 Type::Ptr(inner) => return self.resolve(&inner).ptr(),
-                Type::Array(inner, len) => {
-                    return Type::Array(Box::new(self.resolve(&inner)), len)
-                }
+                Type::Array(inner, len) => return Type::Array(Box::new(self.resolve(&inner)), len),
                 other => return other,
             }
         }
@@ -172,9 +170,7 @@ pub fn collect_locals(body: &[ast::Stmt]) -> HashMap<String, Type> {
                     visit(e, locals);
                 }
             }
-            While { body, .. } | DoWhile { body, .. } | Switch { body, .. } => {
-                visit(body, locals)
-            }
+            While { body, .. } | DoWhile { body, .. } | Switch { body, .. } => visit(body, locals),
             For { init, body, .. } => {
                 if let Some(i) = init {
                     visit(i, locals);
@@ -204,18 +200,14 @@ mod tests {
     fn struct_fields_indexed() {
         let sym = symbols("struct req { int len; struct buf *b; };");
         assert_eq!(sym.field_type("req", "len"), Some(Type::int()));
-        assert_eq!(
-            sym.field_type("req", "b"),
-            Some(Type::strukt("buf").ptr())
-        );
+        assert_eq!(sym.field_type("req", "b"), Some(Type::strukt("buf").ptr()));
         assert_eq!(sym.field_type("req", "missing"), None);
     }
 
     #[test]
     fn typedef_chain_resolution() {
-        let sym = symbols(
-            "struct raw { int x; };\ntypedef struct raw raw_t;\ntypedef raw_t alias_t;",
-        );
+        let sym =
+            symbols("struct raw { int x; };\ntypedef struct raw raw_t;\ntypedef raw_t alias_t;");
         let resolved = sym.resolve(&Type::Named("alias_t".into()));
         assert_eq!(resolved, Type::strukt("raw"));
     }
@@ -231,9 +223,8 @@ mod tests {
 
     #[test]
     fn functions_indexed() {
-        let sym = symbols(
-            "static struct req *get_req(int id);\nint handle(struct req *r) { return 0; }",
-        );
+        let sym =
+            symbols("static struct req *get_req(int id);\nint handle(struct req *r) { return 0; }");
         let get = sym.functions.get("get_req").unwrap();
         assert!(!get.has_body);
         assert_eq!(get.ret, Type::strukt("req").ptr());
@@ -246,10 +237,7 @@ mod tests {
     fn globals_and_enums() {
         let sym = symbols("enum mode { OFF, ON };\nstatic struct req *pending;");
         assert_eq!(sym.enum_consts.get("ON"), Some(&"mode".to_string()));
-        assert_eq!(
-            sym.globals.get("pending"),
-            Some(&Type::strukt("req").ptr())
-        );
+        assert_eq!(sym.globals.get("pending"), Some(&Type::strukt("req").ptr()));
     }
 
     #[test]

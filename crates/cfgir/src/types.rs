@@ -112,9 +112,14 @@ impl<'a> TypeEnv<'a> {
                     // target's type.
                     if matches!(
                         name,
-                        "READ_ONCE" | "WRITE_ONCE" | "smp_load_acquire" | "rcu_dereference"
-                            | "rcu_dereference_check" | "rcu_dereference_protected"
-                            | "rcu_dereference_raw" | "srcu_dereference"
+                        "READ_ONCE"
+                            | "WRITE_ONCE"
+                            | "smp_load_acquire"
+                            | "rcu_dereference"
+                            | "rcu_dereference_check"
+                            | "rcu_dereference_protected"
+                            | "rcu_dereference_raw"
+                            | "srcu_dereference"
                             | "rcu_access_pointer"
                     ) {
                         let target = args.first()?;
@@ -174,10 +179,7 @@ mod tests {
 
     /// Find the first expression in the function satisfying `pred` and
     /// return its resolved type.
-    fn type_of_first(
-        src: &str,
-        pred: impl Fn(&Expr) -> bool,
-    ) -> Option<Type> {
+    fn type_of_first(src: &str, pred: impl Fn(&Expr) -> bool) -> Option<Type> {
         let (sym, f) = env_and_fn(src);
         let env = TypeEnv::for_function(&sym, &f);
         let mut found = None;
@@ -212,9 +214,10 @@ mod tests {
     #[test]
     fn nested_member_chain() {
         let src = "struct buf { int len; };\nstruct req { struct buf b; };\nvoid f(struct req *r) { r->b.len = 1; }";
-        let t = type_of_first(src, |e| {
-            matches!(&e.kind, ExprKind::Member { field, .. } if field == "len")
-        });
+        let t = type_of_first(
+            src,
+            |e| matches!(&e.kind, ExprKind::Member { field, .. } if field == "len"),
+        );
         assert_eq!(t, Some(Type::int()));
     }
 
@@ -238,7 +241,8 @@ mod tests {
 
     #[test]
     fn typedef_pointer_member() {
-        let src = "struct raw { int x; };\ntypedef struct raw raw_t;\nvoid f(raw_t *p) { p->x = 1; }";
+        let src =
+            "struct raw { int x; };\ntypedef struct raw raw_t;\nvoid f(raw_t *p) { p->x = 1; }";
         let t = type_of_first(src, |e| matches!(&e.kind, ExprKind::Member { .. }));
         assert_eq!(t, Some(Type::int()));
     }
@@ -246,15 +250,17 @@ mod tests {
     #[test]
     fn array_index_of_struct_ptrs() {
         let src = "struct sock { int id; };\nstruct reuse { struct sock *socks[16]; };\nvoid f(struct reuse *r) { r->socks[0]->id = 1; }";
-        let t = type_of_first(src, |e| {
-            matches!(&e.kind, ExprKind::Member { field, .. } if field == "id")
-        });
+        let t = type_of_first(
+            src,
+            |e| matches!(&e.kind, ExprKind::Member { field, .. } if field == "id"),
+        );
         assert_eq!(t, Some(Type::int()));
     }
 
     #[test]
     fn call_return_type() {
-        let src = "struct req { int len; };\nstruct req *get(void);\nvoid f(void) { get()->len = 1; }";
+        let src =
+            "struct req { int len; };\nstruct req *get(void);\nvoid f(void) { get()->len = 1; }";
         let t = type_of_first(src, |e| matches!(&e.kind, ExprKind::Member { .. }));
         assert_eq!(t, Some(Type::int()));
     }
@@ -262,9 +268,10 @@ mod tests {
     #[test]
     fn read_once_preserves_type() {
         let src = "struct ev { struct task *t; };\nstruct task { int pid; };\nvoid f(struct ev *e) { struct task *x = READ_ONCE(e->t); x->pid = 1; }";
-        let t = type_of_first(src, |e| {
-            matches!(&e.kind, ExprKind::Member { field, .. } if field == "pid")
-        });
+        let t = type_of_first(
+            src,
+            |e| matches!(&e.kind, ExprKind::Member { field, .. } if field == "pid"),
+        );
         assert_eq!(t, Some(Type::int()));
     }
 

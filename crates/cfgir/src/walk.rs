@@ -32,7 +32,13 @@ pub enum Step {
 /// away. The callback receives each node with its statement distance
 /// (1-based: the adjacent statement has distance 1). Nodes that do not
 /// count for distance (labels, case markers) are traversed for free.
-pub fn walk(cfg: &Cfg, start: NodeId, dir: Dir, max_dist: u32, mut f: impl FnMut(NodeId, u32) -> Step) {
+pub fn walk(
+    cfg: &Cfg,
+    start: NodeId,
+    dir: Dir,
+    max_dist: u32,
+    mut f: impl FnMut(NodeId, u32) -> Step,
+) {
     let mut seen = vec![false; cfg.nodes.len()];
     seen[start] = true;
     let mut queue: VecDeque<(NodeId, u32)> = VecDeque::new();

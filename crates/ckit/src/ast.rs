@@ -106,13 +106,19 @@ pub enum Type {
     Bool,
     /// Any integer flavour; `signed` + rank captured loosely since the
     /// analysis never needs exact widths.
-    Int { unsigned: bool, rank: IntRank },
+    Int {
+        unsigned: bool,
+        rank: IntRank,
+    },
     Float,
     Double,
     /// A typedef name (`u64`, `atomic_t`, `seqcount_t`, …).
     Named(String),
     /// `struct foo` / `union foo` reference.
-    Struct { name: String, is_union: bool },
+    Struct {
+        name: String,
+        is_union: bool,
+    },
     Enum(String),
     Ptr(Box<Type>),
     Array(Box<Type>, Option<u64>),
@@ -196,7 +202,11 @@ impl fmt::Display for Type {
             Type::Ptr(t) => write!(f, "{t} *"),
             Type::Array(t, Some(n)) => write!(f, "{t}[{n}]"),
             Type::Array(t, None) => write!(f, "{t}[]"),
-            Type::Func { ret, params, variadic } => {
+            Type::Func {
+                ret,
+                params,
+                variadic,
+            } => {
                 write!(f, "{ret} (*)(")?;
                 for (i, p) in params.iter().enumerate() {
                     if i > 0 {
@@ -300,7 +310,10 @@ pub struct Expr {
 #[derive(Clone, Debug, PartialEq)]
 pub enum ExprKind {
     Ident(String),
-    IntLit { raw: String, value: u64 },
+    IntLit {
+        raw: String,
+        value: u64,
+    },
     FloatLit(String),
     StrLit(String),
     CharLit(String),
@@ -344,12 +357,12 @@ pub struct Initializer {
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum UnOp {
-    Neg,   // -
-    Plus,  // +
-    Not,   // !
+    Neg,    // -
+    Plus,   // +
+    Not,    // !
     BitNot, // ~
-    Deref, // *
-    Addr,  // &
+    Deref,  // *
+    Addr,   // &
     PreInc,
     PreDec,
 }
@@ -367,8 +380,8 @@ pub enum BinOp {
     Mul,
     Div,
     Rem,
-    And,  // &&
-    Or,   // ||
+    And, // &&
+    Or,  // ||
     BitAnd,
     BitOr,
     BitXor,
@@ -424,7 +437,9 @@ impl Expr {
             | ExprKind::StrLit(_)
             | ExprKind::CharLit(_)
             | ExprKind::SizeofType(_) => {}
-            ExprKind::Unary(_, e) | ExprKind::Post(_, e) | ExprKind::Cast(_, e)
+            ExprKind::Unary(_, e)
+            | ExprKind::Post(_, e)
+            | ExprKind::Cast(_, e)
             | ExprKind::SizeofExpr(e) => e.walk(f),
             ExprKind::Binary(_, a, b)
             | ExprKind::Assign(_, a, b)

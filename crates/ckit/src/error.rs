@@ -67,7 +67,11 @@ impl Error {
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} error at {:?}: {}", self.phase, self.span, self.message)
+        write!(
+            f,
+            "{} error at {:?}: {}",
+            self.phase, self.span, self.message
+        )
     }
 }
 

@@ -286,7 +286,7 @@ impl<'a> Lexer<'a> {
         if is_float {
             return Ok(TokenKind::Float(raw.to_string()));
         }
-        let digits = raw.trim_end_matches(|c: char| matches!(c, 'u' | 'U' | 'l' | 'L'));
+        let digits = raw.trim_end_matches(['u', 'U', 'l', 'L']);
         let value = if let Some(hex) = digits.strip_prefix("0x").or(digits.strip_prefix("0X")) {
             u64::from_str_radix(hex, 16).unwrap_or(u64::MAX)
         } else if digits.len() > 1 && digits.starts_with('0') {
@@ -360,10 +360,16 @@ mod tests {
 
     #[test]
     fn punctuation_maximal_munch() {
-        assert_eq!(kinds("a->b"), vec![Ident("a".into()), Arrow, Ident("b".into())]);
+        assert_eq!(
+            kinds("a->b"),
+            vec![Ident("a".into()), Arrow, Ident("b".into())]
+        );
         assert_eq!(kinds("<<="), vec![ShlEq]);
         assert_eq!(kinds("< <="), vec![Lt, Le]);
-        assert_eq!(kinds("a---b"), vec![Ident("a".into()), MinusMinus, Minus, Ident("b".into())]);
+        assert_eq!(
+            kinds("a---b"),
+            vec![Ident("a".into()), MinusMinus, Minus, Ident("b".into())]
+        );
     }
 
     #[test]
@@ -371,9 +377,18 @@ mod tests {
         assert_eq!(
             kinds("0x1fUL 42 010"),
             vec![
-                Int { raw: "0x1fUL".into(), value: 31 },
-                Int { raw: "42".into(), value: 42 },
-                Int { raw: "010".into(), value: 8 },
+                Int {
+                    raw: "0x1fUL".into(),
+                    value: 31
+                },
+                Int {
+                    raw: "42".into(),
+                    value: 42
+                },
+                Int {
+                    raw: "010".into(),
+                    value: 8
+                },
             ]
         );
     }
@@ -423,10 +438,7 @@ mod tests {
     fn line_continuation_not_line_start() {
         let toks = lex("#define A \\\n 1\nint").unwrap();
         // `1` continues the directive line.
-        let one = toks
-            .iter()
-            .find(|t| matches!(t.kind, Int { .. }))
-            .unwrap();
+        let one = toks.iter().find(|t| matches!(t.kind, Int { .. })).unwrap();
         assert!(!one.at_line_start);
         let int_kw = toks.iter().find(|t| t.kind.ident() == Some("int")).unwrap();
         assert!(int_kw.at_line_start);
@@ -434,8 +446,14 @@ mod tests {
 
     #[test]
     fn ellipsis_vs_dots() {
-        assert_eq!(kinds("f(...)"), vec![Ident("f".into()), LParen, Ellipsis, RParen]);
-        assert_eq!(kinds("a.b"), vec![Ident("a".into()), Dot, Ident("b".into())]);
+        assert_eq!(
+            kinds("f(...)"),
+            vec![Ident("f".into()), LParen, Ellipsis, RParen]
+        );
+        assert_eq!(
+            kinds("a.b"),
+            vec![Ident("a".into()), Dot, Ident("b".into())]
+        );
     }
 
     #[test]

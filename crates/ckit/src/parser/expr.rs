@@ -189,9 +189,22 @@ impl Parser {
         };
         let typeish = matches!(
             name,
-            "void" | "char" | "short" | "int" | "long" | "float" | "double"
-                | "signed" | "unsigned" | "bool" | "_Bool" | "struct" | "union"
-                | "enum" | "const" | "volatile"
+            "void"
+                | "char"
+                | "short"
+                | "int"
+                | "long"
+                | "float"
+                | "double"
+                | "signed"
+                | "unsigned"
+                | "bool"
+                | "_Bool"
+                | "struct"
+                | "union"
+                | "enum"
+                | "const"
+                | "volatile"
         ) || self.typedefs.contains(name);
         if !typeish {
             return false;

@@ -22,28 +22,95 @@ use std::collections::HashSet;
 /// kernel and libc type vocabulary. Anything else can be registered through
 /// [`ParserConfig::typedefs`].
 const BUILTIN_TYPEDEFS: &[&str] = &[
-    "u8", "u16", "u32", "u64", "s8", "s16", "s32", "s64",
-    "__u8", "__u16", "__u32", "__u64", "__s8", "__s16", "__s32", "__s64",
-    "uint8_t", "uint16_t", "uint32_t", "uint64_t",
-    "int8_t", "int16_t", "int32_t", "int64_t",
-    "size_t", "ssize_t", "ptrdiff_t", "uintptr_t", "intptr_t",
-    "loff_t", "off_t", "pid_t", "gfp_t", "dma_addr_t", "phys_addr_t",
-    "atomic_t", "atomic64_t", "atomic_long_t",
-    "seqcount_t", "seqlock_t", "spinlock_t", "raw_spinlock_t", "rwlock_t",
-    "wait_queue_head_t", "completion_t", "ktime_t", "cpumask_t",
-    "bool_t", "uint", "ulong", "ushort", "uchar",
+    "u8",
+    "u16",
+    "u32",
+    "u64",
+    "s8",
+    "s16",
+    "s32",
+    "s64",
+    "__u8",
+    "__u16",
+    "__u32",
+    "__u64",
+    "__s8",
+    "__s16",
+    "__s32",
+    "__s64",
+    "uint8_t",
+    "uint16_t",
+    "uint32_t",
+    "uint64_t",
+    "int8_t",
+    "int16_t",
+    "int32_t",
+    "int64_t",
+    "size_t",
+    "ssize_t",
+    "ptrdiff_t",
+    "uintptr_t",
+    "intptr_t",
+    "loff_t",
+    "off_t",
+    "pid_t",
+    "gfp_t",
+    "dma_addr_t",
+    "phys_addr_t",
+    "atomic_t",
+    "atomic64_t",
+    "atomic_long_t",
+    "seqcount_t",
+    "seqlock_t",
+    "spinlock_t",
+    "raw_spinlock_t",
+    "rwlock_t",
+    "wait_queue_head_t",
+    "completion_t",
+    "ktime_t",
+    "cpumask_t",
+    "bool_t",
+    "uint",
+    "ulong",
+    "ushort",
+    "uchar",
 ];
 
 /// Declaration-specifier keywords and kernel annotations that we accept and
 /// discard (they never affect the barrier analysis).
 const SKIPPED_ATTRS: &[&str] = &[
-    "__rcu", "__percpu", "__user", "__iomem", "__kernel", "__force",
-    "__init", "__exit", "__initdata", "__exitdata", "__read_mostly",
-    "__always_inline", "__maybe_unused", "__must_check", "__used",
-    "__cold", "__hot", "__weak", "__packed", "__pure", "__noreturn",
-    "noinline", "asmlinkage", "__cacheline_aligned",
-    "__cacheline_aligned_in_smp", "__randomize_layout", "__visible",
-    "__ref", "__refdata", "__sched", "__latent_entropy", "__private",
+    "__rcu",
+    "__percpu",
+    "__user",
+    "__iomem",
+    "__kernel",
+    "__force",
+    "__init",
+    "__exit",
+    "__initdata",
+    "__exitdata",
+    "__read_mostly",
+    "__always_inline",
+    "__maybe_unused",
+    "__must_check",
+    "__used",
+    "__cold",
+    "__hot",
+    "__weak",
+    "__packed",
+    "__pure",
+    "__noreturn",
+    "noinline",
+    "asmlinkage",
+    "__cacheline_aligned",
+    "__cacheline_aligned_in_smp",
+    "__randomize_layout",
+    "__visible",
+    "__ref",
+    "__refdata",
+    "__sched",
+    "__latent_entropy",
+    "__private",
 ];
 
 /// Parser options.
@@ -63,8 +130,7 @@ pub struct ParseOutput {
 
 /// Parse a preprocessed token stream.
 pub fn parse_tokens(tokens: Vec<Token>, config: &ParserConfig) -> ParseOutput {
-    let mut typedefs: HashSet<String> =
-        BUILTIN_TYPEDEFS.iter().map(|s| s.to_string()).collect();
+    let mut typedefs: HashSet<String> = BUILTIN_TYPEDEFS.iter().map(|s| s.to_string()).collect();
     typedefs.extend(config.typedefs.iter().cloned());
     let mut p = Parser {
         toks: tokens,
@@ -151,7 +217,11 @@ impl Parser {
             Ok(sp)
         } else {
             Err(Error::parse(
-                format!("expected `{}`, found {}", kind.lexeme(), self.peek().describe()),
+                format!(
+                    "expected `{}`, found {}",
+                    kind.lexeme(),
+                    self.peek().describe()
+                ),
                 self.span(),
             ))
         }

@@ -278,12 +278,10 @@ impl Parser {
         } else {
             None
         };
-        let span = start.to(
-            else_branch
-                .as_ref()
-                .map(|e| e.span)
-                .unwrap_or(then_branch.span),
-        );
+        let span = start.to(else_branch
+            .as_ref()
+            .map(|e| e.span)
+            .unwrap_or(then_branch.span));
         Ok(Stmt {
             kind: StmtKind::If {
                 cond,

@@ -99,7 +99,13 @@ fn function_with_params() {
     assert!(f.sig.is_static);
     assert_eq!(f.sig.params.len(), 2);
     assert_eq!(f.sig.params[0].name, "a");
-    assert_eq!(f.sig.params[1].ty, Type::Int { unsigned: false, rank: IntRank::Long });
+    assert_eq!(
+        f.sig.params[1].ty,
+        Type::Int {
+            unsigned: false,
+            rank: IntRank::Long
+        }
+    );
 }
 
 #[test]
@@ -203,7 +209,9 @@ fn loops() {
 fn for_without_clauses() {
     let f = only_fn("void f(void) { for (;;) break; }");
     match &f.body[0].kind {
-        StmtKind::For { init, cond, step, .. } => {
+        StmtKind::For {
+            init, cond, step, ..
+        } => {
             assert!(init.is_none());
             assert!(cond.is_none());
             assert!(step.is_none());
@@ -214,9 +222,8 @@ fn for_without_clauses() {
 
 #[test]
 fn switch_cases() {
-    let f = only_fn(
-        "void f(int a) { switch (a) { case 1: a = 0; break; case 2: default: a = 9; } }",
-    );
+    let f =
+        only_fn("void f(int a) { switch (a) { case 1: a = 0; break; case 2: default: a = 9; } }");
     assert!(matches!(f.body[0].kind, StmtKind::Switch { .. }));
 }
 
@@ -241,7 +248,9 @@ fn member_access_chain() {
     match &f.body[0].kind {
         StmtKind::Expr(e) => match &e.kind {
             ExprKind::Assign(AssignOp::Assign, lhs, _) => match &lhs.kind {
-                ExprKind::Member { field, arrow: true, .. } => assert_eq!(field, "d"),
+                ExprKind::Member {
+                    field, arrow: true, ..
+                } => assert_eq!(field, "d"),
                 other => panic!("{other:?}"),
             },
             other => panic!("{other:?}"),
@@ -482,10 +491,14 @@ fn asm_between_statements() {
 
 #[test]
 fn asm_with_operands() {
-    let f = only_fn(
-        r#"void f(unsigned long x) { asm("bsf %1,%0" : "=r" (x) : "rm" (x)); }"#,
-    );
-    assert!(matches!(f.body[0].kind, StmtKind::Asm { volatile: false, .. }));
+    let f = only_fn(r#"void f(unsigned long x) { asm("bsf %1,%0" : "=r" (x) : "rm" (x)); }"#);
+    assert!(matches!(
+        f.body[0].kind,
+        StmtKind::Asm {
+            volatile: false,
+            ..
+        }
+    ));
 }
 
 #[test]

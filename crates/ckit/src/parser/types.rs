@@ -14,11 +14,32 @@ impl Parser {
         };
         matches!(
             name,
-            "void" | "char" | "short" | "int" | "long" | "float" | "double"
-                | "signed" | "unsigned" | "bool" | "_Bool" | "struct" | "union"
-                | "enum" | "const" | "volatile" | "static" | "extern" | "inline"
-                | "register" | "restrict" | "auto" | "typedef"
-                | "typeof" | "__typeof__" | "__typeof"
+            "void"
+                | "char"
+                | "short"
+                | "int"
+                | "long"
+                | "float"
+                | "double"
+                | "signed"
+                | "unsigned"
+                | "bool"
+                | "_Bool"
+                | "struct"
+                | "union"
+                | "enum"
+                | "const"
+                | "volatile"
+                | "static"
+                | "extern"
+                | "inline"
+                | "register"
+                | "restrict"
+                | "auto"
+                | "typedef"
+                | "typeof"
+                | "__typeof__"
+                | "__typeof"
         ) || self.typedefs.contains(name)
     }
 
@@ -233,10 +254,8 @@ impl Parser {
                         && !crate::token::is_keyword(other)
                     {
                         let known = self.typedefs.contains(other);
-                        let next_is_declaratorish = matches!(
-                            self.peek_n(1),
-                            TokenKind::Ident(_) | TokenKind::Star
-                        );
+                        let next_is_declaratorish =
+                            matches!(self.peek_n(1), TokenKind::Ident(_) | TokenKind::Star);
                         if known || next_is_declaratorish {
                             base = Some(Type::Named(other.to_string()));
                             self.bump();
@@ -296,10 +315,7 @@ impl Parser {
         while self.at(&TokenKind::Star) {
             self.bump();
             // qualifiers after `*`
-            while matches!(
-                self.peek().ident(),
-                Some("const" | "volatile" | "restrict")
-            ) {
+            while matches!(self.peek().ident(), Some("const" | "volatile" | "restrict")) {
                 self.bump();
             }
             self.skip_attributes();
@@ -317,10 +333,7 @@ impl Parser {
                 // `( * name )` — function pointer / grouped declarator.
                 self.bump();
                 while self.eat(&TokenKind::Star) {
-                    while matches!(
-                        self.peek().ident(),
-                        Some("const" | "volatile" | "restrict")
-                    ) {
+                    while matches!(self.peek().ident(), Some("const" | "volatile" | "restrict")) {
                         self.bump();
                     }
                 }

@@ -144,7 +144,7 @@ impl Pp {
                 }
             }
         }
-        if let Some(_) = self.conds.last() {
+        if self.conds.last().is_some() {
             return Err(Error::pp(
                 "unterminated #if/#ifdef block",
                 self.toks.last().map(|t| t.span).unwrap_or(Span::DUMMY),
@@ -181,29 +181,23 @@ impl Pp {
         };
         let rest = &line[1..];
         match name.as_str() {
-            "include" => {
-                if self.active() {
-                    let path = rest
-                        .iter()
-                        .map(|t| match &t.kind {
-                            TokenKind::Str(s) => s.trim_matches('"').to_string(),
-                            k if k.ident().is_some() => k.ident().unwrap().to_string(),
-                            k => k.lexeme().to_string(),
-                        })
-                        .collect::<String>();
-                    self.includes.push(path);
-                }
+            "include" if self.active() => {
+                let path = rest
+                    .iter()
+                    .map(|t| match &t.kind {
+                        TokenKind::Str(s) => s.trim_matches('"').to_string(),
+                        k if k.ident().is_some() => k.ident().unwrap().to_string(),
+                        k => k.lexeme().to_string(),
+                    })
+                    .collect::<String>();
+                self.includes.push(path);
             }
-            "define" => {
-                if self.active() {
-                    self.handle_define(rest, hash_span)?;
-                }
+            "define" if self.active() => {
+                self.handle_define(rest, hash_span)?;
             }
-            "undef" => {
-                if self.active() {
-                    if let Some(n) = rest.first().and_then(|t| t.kind.ident()) {
-                        self.macros.remove(n);
-                    }
+            "undef" if self.active() => {
+                if let Some(n) = rest.first().and_then(|t| t.kind.ident()) {
+                    self.macros.remove(n);
                 }
             }
             "ifdef" | "ifndef" => {
@@ -236,10 +230,8 @@ impl Pp {
                 let val = parent_active && !taken;
                 self.conds.push((val, true));
             }
-            "endif" => {
-                if self.conds.pop().is_none() {
-                    return Err(Error::pp("#endif without #if", hash_span));
-                }
+            "endif" if self.conds.pop().is_none() => {
+                return Err(Error::pp("#endif without #if", hash_span));
             }
             "pragma" | "error" | "warning" | "line" => {}
             _ => {} // unknown directive: skip, keep going
@@ -510,23 +502,23 @@ impl Pp {
         while i < toks.len() {
             let t = &toks[i];
             if t.kind.ident() == Some("defined") {
-                let (name, consumed) = if toks.get(i + 1).map(|t| &t.kind) == Some(&TokenKind::LParen)
-                {
-                    let n = toks
-                        .get(i + 2)
-                        .and_then(|t| t.kind.ident())
-                        .ok_or_else(|| Error::pp("malformed defined()", span))?;
-                    if toks.get(i + 3).map(|t| &t.kind) != Some(&TokenKind::RParen) {
-                        return Err(Error::pp("malformed defined()", span));
-                    }
-                    (n.to_string(), 4)
-                } else {
-                    let n = toks
-                        .get(i + 1)
-                        .and_then(|t| t.kind.ident())
-                        .ok_or_else(|| Error::pp("malformed defined", span))?;
-                    (n.to_string(), 2)
-                };
+                let (name, consumed) =
+                    if toks.get(i + 1).map(|t| &t.kind) == Some(&TokenKind::LParen) {
+                        let n = toks
+                            .get(i + 2)
+                            .and_then(|t| t.kind.ident())
+                            .ok_or_else(|| Error::pp("malformed defined()", span))?;
+                        if toks.get(i + 3).map(|t| &t.kind) != Some(&TokenKind::RParen) {
+                            return Err(Error::pp("malformed defined()", span));
+                        }
+                        (n.to_string(), 4)
+                    } else {
+                        let n = toks
+                            .get(i + 1)
+                            .and_then(|t| t.kind.ident())
+                            .ok_or_else(|| Error::pp("malformed defined", span))?;
+                        (n.to_string(), 2)
+                    };
                 let v = u64::from(self.macros.contains_key(&name));
                 resolved.push(Token::new(
                     TokenKind::Int {
@@ -611,8 +603,7 @@ impl<'a> CondEval<'a> {
 
     fn expr(&mut self, min_bp: u8) -> Result<i64> {
         let mut lhs = self.atom()?;
-        loop {
-            let Some(op) = self.peek().cloned() else { break };
+        while let Some(op) = self.peek().cloned() {
             let bp = match op {
                 TokenKind::Star | TokenKind::Slash | TokenKind::Percent => 10,
                 TokenKind::Plus | TokenKind::Minus => 9,

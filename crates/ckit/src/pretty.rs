@@ -330,9 +330,8 @@ fn decl_string(ty: &Type, name: &str) -> String {
             if name.is_empty() {
                 format!("{base}").trim_end().to_string()
             } else {
-                format!("{base} {name}")
-                    .replace("* ", "*")
-                    .replace(" *", " *") // normalize: `struct s * name` → `struct s *name`
+                // normalize: `struct s * name` → `struct s *name`
+                format!("{base} {name}").replace("* ", "*")
             }
         }
     }
@@ -614,9 +613,8 @@ mod more_tests {
 
     #[test]
     fn switch_roundtrips() {
-        let printed = fixpoint(
-            "void f(int a) { switch (a) { case 1: a = 2; break; default: a = 0; } }",
-        );
+        let printed =
+            fixpoint("void f(int a) { switch (a) { case 1: a = 2; break; default: a = 0; } }");
         assert!(printed.contains("case 1:"));
         assert!(printed.contains("default:"));
     }

@@ -34,8 +34,8 @@ pub enum TokenKind {
     Colon,
     Question,
     Dot,
-    Arrow,     // ->
-    Ellipsis,  // ...
+    Arrow,    // ->
+    Ellipsis, // ...
     Plus,
     Minus,
     Star,

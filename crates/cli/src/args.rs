@@ -14,7 +14,10 @@ window options:
   --write-window N   statements explored around write barriers (default 5)
   --read-window N    statements explored around read barriers (default 50)
   --no-ipc           disable implicit wake-up barrier detection
-  --no-expand        disable callee/caller expansion";
+  --no-expand        disable callee/caller expansion
+  --missing          enable the missing-barrier detector (dataflow)
+  --no-outlier       report all fence-less readers, not just outliers
+  --window-reread    use the bounded-window re-read heuristic (no dataflow)";
 
 /// A parsed invocation.
 #[derive(Debug, PartialEq)]
@@ -76,6 +79,9 @@ fn parse_run(argv: &[String]) -> Result<RunOpts, String> {
                 opts.config.callee_expansion = false;
                 opts.config.caller_expansion = false;
             }
+            "--missing" => opts.config.detect_missing = true,
+            "--no-outlier" => opts.config.outlier_rule = false,
+            "--window-reread" => opts.config.dataflow_reread = false,
             "--write-window" => {
                 i += 1;
                 opts.config.write_window = num(argv.get(i), "--write-window")?;
@@ -109,10 +115,7 @@ fn parse_gen(argv: &[String]) -> Result<GenOpts, String> {
         match argv[i].as_str() {
             "--out" => {
                 i += 1;
-                opts.out = argv
-                    .get(i)
-                    .ok_or("--out needs a directory")?
-                    .to_string();
+                opts.out = argv.get(i).ok_or("--out needs a directory")?.to_string();
             }
             "--files" => {
                 i += 1;
@@ -185,6 +188,29 @@ mod tests {
                 assert!(o.apply && o.json);
                 assert!(!o.config.implicit_ipc);
                 assert!(!o.config.callee_expansion);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_detector_flags() {
+        let cmd = parse(&argv("analyze x.c --missing --no-outlier --window-reread")).unwrap();
+        match cmd {
+            Command::Analyze(o) => {
+                assert!(o.config.detect_missing);
+                assert!(!o.config.outlier_rule);
+                assert!(!o.config.dataflow_reread);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Defaults stay conservative.
+        let cmd = parse(&argv("analyze x.c")).unwrap();
+        match cmd {
+            Command::Analyze(o) => {
+                assert!(!o.config.detect_missing);
+                assert!(o.config.outlier_rule);
+                assert!(o.config.dataflow_reread);
             }
             other => panic!("{other:?}"),
         }

@@ -155,12 +155,15 @@ fn gen(opts: GenOpts) -> Result<ExitCode, String> {
         far_decoy_pairs: 0,
         lone_per_file: 1,
         split_fraction: 0.2,
+        reread_decoys: 0,
+        unfenced_decoys: 0,
         bugs: if opts.with_bugs {
             ofence_corpus::BugPlan {
                 misplaced: (opts.files / 10).max(1),
                 repeated_read: (opts.files / 20).max(1),
                 wrong_type: 1,
                 unneeded: (opts.files / 10).max(1),
+                missing_barrier: (opts.files / 20).max(1),
             }
         } else {
             ofence_corpus::BugPlan::none()
@@ -176,8 +179,7 @@ fn gen(opts: GenOpts) -> Result<ExitCode, String> {
         std::fs::write(&path, &f.content).map_err(|e| format!("{}: {e}", path.display()))?;
     }
     let manifest = serde_json::to_string_pretty(&corpus.manifest).unwrap();
-    std::fs::write(out.join("manifest.json"), manifest)
-        .map_err(|e| format!("manifest: {e}"))?;
+    std::fs::write(out.join("manifest.json"), manifest).map_err(|e| format!("manifest: {e}"))?;
     println!(
         "wrote {} files (+ manifest.json with ground truth) to {}",
         corpus.files.len(),

@@ -12,8 +12,8 @@ pub fn collect_sources(paths: &[String]) -> Result<Vec<SourceFile>, String> {
         if path.is_dir() {
             walk_dir(path, &mut files)?;
         } else if path.is_file() {
-            let content = std::fs::read_to_string(path)
-                .map_err(|e| format!("{}: {e}", path.display()))?;
+            let content =
+                std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
             files.push((p.clone(), content));
         } else {
             return Err(format!("{p}: no such file or directory"));
@@ -31,8 +31,7 @@ pub fn collect_sources(paths: &[String]) -> Result<Vec<SourceFile>, String> {
 }
 
 fn walk_dir(dir: &Path, out: &mut Vec<(String, String)>) -> Result<(), String> {
-    let entries =
-        std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
     let mut entries: Vec<_> = entries
         .collect::<Result<_, _>>()
         .map_err(|e| format!("{}: {e}", dir.display()))?;
@@ -42,8 +41,8 @@ fn walk_dir(dir: &Path, out: &mut Vec<(String, String)>) -> Result<(), String> {
         if path.is_dir() {
             walk_dir(&path, out)?;
         } else if path.extension().and_then(|s| s.to_str()) == Some("c") {
-            let content = std::fs::read_to_string(&path)
-                .map_err(|e| format!("{}: {e}", path.display()))?;
+            let content =
+                std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
             out.push((path.display().to_string(), content));
         }
     }
@@ -55,10 +54,8 @@ mod tests {
     use super::*;
 
     fn tempdir(tag: &str) -> std::path::PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "ofence-cli-test-{tag}-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("ofence-cli-test-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(dir.join("sub")).unwrap();
         dir

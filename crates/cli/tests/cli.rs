@@ -50,7 +50,10 @@ fn analyze_clean_file_exits_zero() {
     let out = ofence().arg("analyze").arg(&f).output().unwrap();
     assert!(out.status.success(), "{out:?}");
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(stdout.contains("no barrier-ordering issues found"), "{stdout}");
+    assert!(
+        stdout.contains("no barrier-ordering issues found"),
+        "{stdout}"
+    );
     assert!(stdout.contains("pairings:"), "{stdout}");
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -63,7 +66,10 @@ fn analyze_buggy_file_exits_one_with_diagnostic() {
     let out = ofence().arg("analyze").arg(&f).output().unwrap();
     assert_eq!(out.status.code(), Some(1));
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(stdout.contains("warning: misplaced memory access"), "{stdout}");
+    assert!(
+        stdout.contains("warning: misplaced memory access"),
+        "{stdout}"
+    );
     assert!(stdout.contains("^"), "{stdout}");
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -73,9 +79,14 @@ fn patch_apply_fixes_file_on_disk() {
     let dir = tempdir("apply");
     let f = dir.join("xprt.c");
     std::fs::write(&f, BUGGY).unwrap();
-    let out = ofence().arg("patch").arg(&f).arg("--apply").output().unwrap();
+    let out = ofence()
+        .arg("patch")
+        .arg(&f)
+        .arg("--apply")
+        .output()
+        .unwrap();
     assert_eq!(out.status.code(), Some(1), "{out:?}"); // findings existed
-    // Re-analyze: clean now.
+                                                       // Re-analyze: clean now.
     let out2 = ofence().arg("analyze").arg(&f).output().unwrap();
     assert!(out2.status.success(), "{out2:?}");
     let fixed = std::fs::read_to_string(&f).unwrap();
@@ -90,7 +101,12 @@ fn stats_json_is_parseable() {
     let dir = tempdir("json");
     let f = dir.join("clean.c");
     std::fs::write(&f, CLEAN).unwrap();
-    let out = ofence().arg("stats").arg(&f).arg("--json").output().unwrap();
+    let out = ofence()
+        .arg("stats")
+        .arg(&f)
+        .arg("--json")
+        .output()
+        .unwrap();
     assert!(out.status.success());
     let v: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid json");
     assert_eq!(v["barriers_total"], 2);
@@ -136,7 +152,12 @@ fn annotate_apply_reaches_fixpoint() {
     let dir = tempdir("annfix");
     let f = dir.join("clean.c");
     std::fs::write(&f, CLEAN).unwrap();
-    let out = ofence().arg("annotate").arg(&f).arg("--apply").output().unwrap();
+    let out = ofence()
+        .arg("annotate")
+        .arg(&f)
+        .arg("--apply")
+        .output()
+        .unwrap();
     assert!(out.status.success(), "{out:?}");
     let out2 = ofence().arg("annotate").arg(&f).output().unwrap();
     let stdout = String::from_utf8_lossy(&out2.stdout);
@@ -162,7 +183,14 @@ fn window_options_change_results() {
     std::fs::write(&f, CLEAN).unwrap();
     // A zero-size read window cannot see the reader's accesses: no pairing.
     let out = ofence()
-        .args(["stats", "--read-window", "0", "--write-window", "0", "--json"])
+        .args([
+            "stats",
+            "--read-window",
+            "0",
+            "--write-window",
+            "0",
+            "--json",
+        ])
         .arg(&f)
         .output()
         .unwrap();

@@ -16,10 +16,7 @@ use ckit::span::Span;
 use kmodel::OnceKind;
 
 /// Find unannotated concurrent accesses in paired barrier windows.
-pub fn find_missing_annotations(
-    sites: &[BarrierSite],
-    pairing: &PairingResult,
-) -> Vec<Deviation> {
+pub fn find_missing_annotations(sites: &[BarrierSite], pairing: &PairingResult) -> Vec<Deviation> {
     let mut out = Vec::new();
     let mut seen_spans: std::collections::HashSet<(usize, Span)> = Default::default();
     for p in &pairing.pairings {
@@ -48,10 +45,7 @@ pub fn find_missing_annotations(
                 // overlapping spans; annotating both would produce
                 // conflicting edits. Keep the first (outermost reported).
                 let overlaps = seen_spans.iter().any(|&(f, s)| {
-                    f == site.site.file
-                        && s != a.span
-                        && s.lo < a.span.hi
-                        && a.span.lo < s.hi
+                    f == site.site.file && s != a.span && s.lo < a.span.hi && a.span.lo < s.hi
                 });
                 if overlaps {
                     continue;
@@ -231,7 +225,22 @@ fn split_assignment(text: &str) -> Option<(&str, &str)> {
             b'=' if depth == 0 => {
                 let prev = if i > 0 { bytes[i - 1] } else { 0 };
                 let next = *bytes.get(i + 1).unwrap_or(&0);
-                if next != b'=' && !matches!(prev, b'=' | b'!' | b'<' | b'>' | b'+' | b'-' | b'*' | b'/' | b'%' | b'&' | b'|' | b'^') {
+                if next != b'='
+                    && !matches!(
+                        prev,
+                        b'=' | b'!'
+                            | b'<'
+                            | b'>'
+                            | b'+'
+                            | b'-'
+                            | b'*'
+                            | b'/'
+                            | b'%'
+                            | b'&'
+                            | b'|'
+                            | b'^'
+                    )
+                {
                     return Some((&text[..i], &text[i + 1..]));
                 }
             }
@@ -384,6 +393,10 @@ void lonely(struct s *p) {
         let all: Vec<Edit> = patches.iter().flat_map(|p| p.edits.clone()).collect();
         let patched = apply_edits(&fa.source, &all).expect("non-overlapping");
         let reparsed = ckit::parse_string("t.c", &patched).unwrap();
-        assert!(reparsed.errors.is_empty(), "{:?}\n{patched}", reparsed.errors);
+        assert!(
+            reparsed.errors.is_empty(),
+            "{:?}\n{patched}",
+            reparsed.errors
+        );
     }
 }

@@ -36,6 +36,25 @@ pub struct AnalysisConfig {
     /// pairable barrier sites, so barriers that synchronize with
     /// atomics-based code get paired. Off by default (paper behaviour).
     pub pair_with_atomics: bool,
+    /// Missing-barrier detection: for each write barrier Algorithm 1
+    /// leaves unpaired (no match, not implicit IPC), look for fence-less
+    /// reader functions that load the same ordered objects and report the
+    /// absent read fence. Off by default — it goes beyond the paper's
+    /// deviation list.
+    pub detect_missing: bool,
+    /// Outlier rule for the missing-barrier detector: only report a
+    /// fence-less reader when the guard load conditionally dominates the
+    /// dependent loads and sibling readers of the same objects keep their
+    /// fence (majority evidence that the fence — not the writer's barrier
+    /// — is the anomaly). Disabling is an ablation: every object overlap
+    /// is reported.
+    pub outlier_rule: bool,
+    /// Use reaching-definitions evidence for the racy re-read checker
+    /// (deviation #3): a wrong-side load only counts as a re-read when
+    /// the first load still reaches it (no intervening store to the same
+    /// object kills it). Disabling falls back to the window-count
+    /// heuristic that flags any read on both sides.
+    pub dataflow_reread: bool,
 }
 
 impl Default for AnalysisConfig {
@@ -50,6 +69,9 @@ impl Default for AnalysisConfig {
             distance_weighting: true,
             filter_generic_types: false,
             pair_with_atomics: false,
+            detect_missing: false,
+            outlier_rule: true,
+            dataflow_reread: true,
         }
     }
 }
@@ -70,8 +92,15 @@ impl AnalysisConfig {
         self.filter_generic_types
             && matches!(
                 strukt,
-                "list_head" | "hlist_head" | "hlist_node" | "rb_node" | "rb_root"
-                    | "llist_node" | "llist_head" | "kref" | "refcount_struct"
+                "list_head"
+                    | "hlist_head"
+                    | "hlist_node"
+                    | "rb_node"
+                    | "rb_root"
+                    | "llist_node"
+                    | "llist_head"
+                    | "kref"
+                    | "refcount_struct"
             )
     }
 }

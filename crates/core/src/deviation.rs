@@ -8,6 +8,8 @@
 use crate::config::AnalysisConfig;
 use crate::ir::*;
 use crate::pairing::PairingResult;
+use crate::sites::FileAnalysis;
+use cfgir::{Cfg, NodeId, NodeKind};
 use ckit::span::Span;
 use kmodel::{BarrierKind, OnceKind, SeqcountOp};
 use serde::{Deserialize, Serialize};
@@ -29,6 +31,17 @@ pub enum DeviationKind {
     /// §7 extension: a correctly ordered concurrent access lacks
     /// `READ_ONCE`/`WRITE_ONCE`.
     MissingOnce { once: OnceKind },
+    /// Dataflow extension: a fence-less reader consumes objects published
+    /// by a write barrier Algorithm 1 left unpaired — the read-side fence
+    /// is missing entirely. The site points into the reader; the patch
+    /// inserts `fence` between the guard load and the dependent loads.
+    MissingBarrier {
+        /// Function containing the unpaired write barrier.
+        writer_function: String,
+        /// Fence to insert (`smp_rmb`, or `smp_load_acquire` when the
+        /// writer publishes via a release store).
+        fence: String,
+    },
 }
 
 /// One finding, self-contained enough to render a report and synthesize a
@@ -67,7 +80,8 @@ impl Deviation {
             let line_text = line_span.slice(source);
             out.push_str(&format!("  {line_text}\n"));
             let caret_col = (pos.col as usize).saturating_sub(1);
-            let width = (span.len() as usize).clamp(1, line_text.len().saturating_sub(caret_col).max(1));
+            let width =
+                (span.len() as usize).clamp(1, line_text.len().saturating_sub(caret_col).max(1));
             // Reproduce tabs so the caret aligns under the code.
             let lead: String = line_text
                 .chars()
@@ -81,12 +95,21 @@ impl Deviation {
     }
 }
 
+/// Per-run context threaded through the duo checkers: the per-file
+/// analyses give the checkers CFG access for dataflow evidence.
+pub(crate) struct CheckCtx<'a> {
+    pub files: &'a [FileAnalysis],
+    pub config: &'a AnalysisConfig,
+}
+
 /// Run every checker over the pairing results.
 pub fn check_all(
     sites: &[BarrierSite],
     pairing: &PairingResult,
+    files: &[FileAnalysis],
     config: &AnalysisConfig,
 ) -> Vec<Deviation> {
+    let ctx = CheckCtx { files, config };
     let mut out = Vec::new();
     let by_id = |id: BarrierId| sites.iter().find(|s| s.id == id).expect("site by id");
 
@@ -101,10 +124,8 @@ pub fn check_all(
     // data accesses sit outside one barrier's window — precisely the
     // buggy case — so group by counter, not by pairing membership).
     let mut handled: std::collections::HashSet<BarrierId> = Default::default();
-    let mut counters: Vec<&SharedObject> = sites
-        .iter()
-        .filter_map(|s| s.counter.as_ref())
-        .collect();
+    let mut counters: Vec<&SharedObject> =
+        sites.iter().filter_map(|s| s.counter.as_ref()).collect();
     counters.sort();
     counters.dedup();
     for counter in counters {
@@ -114,13 +135,11 @@ pub fn check_all(
             .collect();
         // Only check groups that participate in at least one pairing —
         // otherwise we have no evidence of concurrency.
-        let in_pairing = group
-            .iter()
-            .any(|s| pairing.pairing_of(s.id).is_some());
+        let in_pairing = group.iter().any(|s| pairing.pairing_of(s.id).is_some());
         if !in_pairing {
             continue;
         }
-        if check_seqcount_protocol(counter, &group, &mut out) {
+        if check_seqcount_protocol(counter, &group, &ctx, &mut out) {
             for s in &group {
                 handled.insert(s.id);
             }
@@ -133,13 +152,12 @@ pub fn check_all(
             continue;
         }
         let members: Vec<&BarrierSite> = p.members.iter().map(|&m| by_id(m)).collect();
-        check_plain_pairing(p, &members, &mut out);
+        check_plain_pairing(p, &members, &ctx, &mut out);
     }
 
     // Deduplicate: symmetric duo checks can report the same finding from
     // both directions.
-    let mut seen: std::collections::HashSet<(String, Option<Span>, BarrierId)> =
-        Default::default();
+    let mut seen: std::collections::HashSet<(String, Option<Span>, BarrierId)> = Default::default();
     out.retain(|d| {
         seen.insert((
             format!("{:?}", std::mem::discriminant(&d.kind)),
@@ -148,7 +166,6 @@ pub fn check_all(
         ))
     });
 
-    let _ = config;
     out
 }
 
@@ -198,7 +215,12 @@ fn check_unneeded(site: &BarrierSite, out: &mut Vec<Deviation>) {
 /// than one reader, each (writer, reader) pair is checked independently.
 /// Handshake protocols (sleep/wake) have *two* write barriers; every
 /// member that writes a pairing object takes the writer role in turn.
-fn check_plain_pairing(p: &Pairing, members: &[&BarrierSite], out: &mut Vec<Deviation>) {
+fn check_plain_pairing(
+    p: &Pairing,
+    members: &[&BarrierSite],
+    ctx: &CheckCtx,
+    out: &mut Vec<Deviation>,
+) {
     let mut writers: Vec<&BarrierSite> = members
         .iter()
         .filter(|m| m.is_write_barrier() && writes_objects(m, &p.objects))
@@ -212,7 +234,7 @@ fn check_plain_pairing(p: &Pairing, members: &[&BarrierSite], out: &mut Vec<Devi
     }
     for writer in &writers {
         for reader in members.iter().filter(|m| m.id != writer.id) {
-            check_duo(writer, reader, &p.objects, out);
+            check_duo(writer, reader, &p.objects, ctx, out);
         }
     }
     // Deviation #2 — wrong barrier type, per member.
@@ -233,6 +255,7 @@ fn check_duo(
     writer: &BarrierSite,
     reader: &BarrierSite,
     objects: &[SharedObject],
+    ctx: &CheckCtx,
     out: &mut Vec<Deviation>,
 ) {
     for obj in objects {
@@ -241,8 +264,7 @@ fn check_duo(
             .iter()
             .filter(|a| &a.object == obj && a.kind == AccessKind::Write)
             .collect();
-        let write_sides: std::collections::HashSet<Side> =
-            writes.iter().map(|a| a.side).collect();
+        let write_sides: std::collections::HashSet<Side> = writes.iter().map(|a| a.side).collect();
         // Written on *both* sides of the write barrier: this breaks the
         // "accessed either before or after a barrier" assumption. The
         // reader's (single-sided) reads decide the intended side, and the
@@ -287,11 +309,10 @@ fn check_duo(
             continue;
         }
         // Side the writer writes this object on (closest write wins).
-        let write_side = writes
-            .iter()
-            .min_by_key(|a| a.distance)
-            .map(|a| a.side);
-        let Some(write_side) = write_side else { continue };
+        let write_side = writes.iter().min_by_key(|a| a.distance).map(|a| a.side);
+        let Some(write_side) = write_side else {
+            continue;
+        };
         let correct_read_side = write_side.flip();
 
         let reads: Vec<&Access> = reader
@@ -302,20 +323,22 @@ fn check_duo(
         if reads.is_empty() {
             continue;
         }
-        let good: Vec<&&Access> = reads.iter().filter(|a| a.side == correct_read_side).collect();
+        let good: Vec<&&Access> = reads
+            .iter()
+            .filter(|a| a.side == correct_read_side)
+            .collect();
         let bad: Vec<&&Access> = reads.iter().filter(|a| a.side == write_side).collect();
         if bad.is_empty() {
             continue;
         }
-        let bad_access = bad
-            .iter()
-            .min_by_key(|a| a.distance)
-            .map(|a| **a)
-            .unwrap();
+        let bad_access = bad.iter().min_by_key(|a| a.distance).map(|a| **a).unwrap();
         if !good.is_empty() {
             // Read on both sides: the wrong-side read is a racy re-read
             // (deviation #3) — reuse the correctly read value.
-            let first = good.iter().min_by_key(|a| a.distance).unwrap();
+            let first: &Access = good.iter().min_by_key(|a| a.distance).unwrap();
+            if !reread_is_live(ctx, reader, obj, first, bad_access) {
+                continue;
+            }
             out.push(Deviation {
                 kind: DeviationKind::RepeatedRead {
                     first_read_span: first.span,
@@ -359,6 +382,105 @@ fn check_duo(
             });
         }
     }
+}
+
+/// Dataflow refinement for deviation #3: a wrong-side load only counts as
+/// a racy re-read when the first (correct-side) load is still live at it —
+/// i.e. the pseudo-definition made by the first load reaches the second
+/// along some path with no intervening store to the same object, and the
+/// two loads are not on mutually unreachable branches. Any failure to map
+/// spans onto the reader's CFG keeps the flag (conservative: the window
+/// heuristic's answer). Returns `true` when the finding should be kept.
+fn reread_is_live(
+    ctx: &CheckCtx,
+    reader: &BarrierSite,
+    obj: &SharedObject,
+    first: &Access,
+    second: &Access,
+) -> bool {
+    if !ctx.config.dataflow_reread {
+        return true;
+    }
+    if first.cross_function || second.cross_function {
+        return true;
+    }
+    let Some(fa) = ctx.files.iter().find(|f| f.file == reader.site.file) else {
+        return true;
+    };
+    let Some(func) = fa.functions.iter().find(|f| f.name == reader.site.function) else {
+        return true;
+    };
+    let cfg = &func.cfg;
+    let (Some(n_first), Some(n_second)) = (
+        node_of_span(cfg, first.span),
+        node_of_span(cfg, second.span),
+    ) else {
+        return true;
+    };
+    if n_first == n_second {
+        return true;
+    }
+    // Order the two loads by control flow.
+    let (from, to) = if cfg_reaches(cfg, n_first, n_second) {
+        (n_first, n_second)
+    } else if cfg_reaches(cfg, n_second, n_first) {
+        (n_second, n_first)
+    } else {
+        // Loads on disjoint branches never observe each other: at most one
+        // executes per run, so there is no held value being re-read.
+        return false;
+    };
+    // Definitions: the pseudo-def made by the first load, plus every
+    // same-function store to the object in the reader's window.
+    let mut defs = vec![cfgir::Def {
+        node: from,
+        key: 0usize,
+    }];
+    for a in &reader.accesses {
+        if a.kind == AccessKind::Write && &a.object == obj && !a.cross_function {
+            if let Some(n) = node_of_span(cfg, a.span) {
+                if n != from {
+                    defs.push(cfgir::Def {
+                        node: n,
+                        key: 0usize,
+                    });
+                }
+            }
+        }
+    }
+    let rd = cfgir::reaching_definitions(cfg, &defs);
+    rd.reaches(0, to)
+}
+
+/// Smallest real CFG node whose span contains `span`.
+fn node_of_span(cfg: &Cfg, span: Span) -> Option<NodeId> {
+    cfg.ids()
+        .filter(|&i| {
+            let n = cfg.node(i);
+            !matches!(n.kind, NodeKind::Entry | NodeKind::Exit)
+                && n.span.lo <= span.lo
+                && span.hi <= n.span.hi
+        })
+        .min_by_key(|&i| cfg.node(i).span.len())
+}
+
+/// Forward reachability `from` → `to` along CFG edges (excluding the empty
+/// path: `from` reaches itself only through a cycle).
+fn cfg_reaches(cfg: &Cfg, from: NodeId, to: NodeId) -> bool {
+    let mut seen = vec![false; cfg.nodes.len()];
+    let mut stack = vec![from];
+    while let Some(n) = stack.pop() {
+        for &s in &cfg.node(n).succs {
+            if !seen[s] {
+                seen[s] = true;
+                if s == to {
+                    return true;
+                }
+                stack.push(s);
+            }
+        }
+    }
+    false
 }
 
 /// Deviation #2: a barrier whose ordered accesses are all of the other
@@ -413,13 +535,13 @@ fn check_wrong_type(site: &BarrierSite, objects: &[SharedObject], out: &mut Vec<
 fn check_seqcount_protocol(
     counter: &SharedObject,
     group: &[&BarrierSite],
+    ctx: &CheckCtx,
     out: &mut Vec<Deviation>,
 ) -> bool {
     // Writer functions: have WriteBegin + WriteEnd; readers: ReadBegin +
     // ReadRetry. Several functions may serve either role.
-    let in_fn = |s: &&BarrierSite, op: SeqcountOp, f: &str| {
-        s.seqcount == Some(op) && s.site.function == f
-    };
+    let in_fn =
+        |s: &&BarrierSite, op: SeqcountOp, f: &str| s.seqcount == Some(op) && s.site.function == f;
     let mut functions: Vec<&str> = group.iter().map(|s| s.site.function.as_str()).collect();
     functions.sort_unstable();
     functions.dedup();
@@ -447,9 +569,9 @@ fn check_seqcount_protocol(
             data.dedup();
             data.retain(|o| o != counter);
             // Duo 1: writes after WriteBegin ↔ reads before ReadRetry.
-            check_duo(wb1, rb2, &data, out);
+            check_duo(wb1, rb2, &data, ctx, out);
             // Duo 2: writes before WriteEnd ↔ reads after ReadBegin.
-            check_duo(wb2, rb1, &data, out);
+            check_duo(wb2, rb1, &data, ctx, out);
         }
     }
     true
@@ -479,7 +601,10 @@ mod tests {
     use crate::sites::analyze_file;
 
     fn run(src: &str) -> Vec<Deviation> {
-        let config = AnalysisConfig::default();
+        run_with(src, AnalysisConfig::default())
+    }
+
+    fn run_with(src: &str, config: AnalysisConfig) -> Vec<Deviation> {
         let parsed = ckit::parse_string("t.c", src).unwrap();
         assert!(parsed.errors.is_empty(), "{:?}", parsed.errors);
         let mut fa = analyze_file(0, &parsed, &config);
@@ -487,7 +612,7 @@ mod tests {
             s.id = BarrierId(i as u32);
         }
         let pairing = pair_barriers(&fa.sites, &config);
-        check_all(&fa.sites, &pairing, &config)
+        check_all(&fa.sites, &pairing, std::slice::from_ref(&fa), &config)
     }
 
     #[test]
@@ -573,6 +698,68 @@ void select_sock(struct reuse *r) {
         assert_eq!(rr.len(), 1, "{devs:?}");
         assert_eq!(rr[0].object, Some(SharedObject::new("reuse", "num")));
         assert_eq!(rr[0].site.function, "select_sock");
+    }
+
+    #[test]
+    fn benign_reread_after_own_store_suppressed() {
+        // The value read before the barrier is overwritten by the reader's
+        // own store before the second load: the second load observes the
+        // local store, not a racy re-read of the held value. Reaching
+        // definitions kill the pseudo-def, so the finding is suppressed.
+        let src = r#"
+struct q { int num; int data; };
+void writer(struct q *p) {
+    p->data = 1;
+    smp_wmb();
+    p->num = 2;
+}
+void reader(struct q *p) {
+    int n = p->num;
+    smp_rmb();
+    if (n) {
+        p->num = 0;
+        g(p->num, p->data);
+    }
+}
+"#;
+        let devs = run(src);
+        assert!(
+            devs.iter()
+                .all(|d| !matches!(d.kind, DeviationKind::RepeatedRead { .. })),
+            "{devs:?}"
+        );
+    }
+
+    #[test]
+    fn window_heuristic_flags_benign_reread() {
+        // Ablation: with the window heuristic, the same shape is a false
+        // positive — any read on both sides is flagged.
+        let src = r#"
+struct q { int num; int data; };
+void writer(struct q *p) {
+    p->data = 1;
+    smp_wmb();
+    p->num = 2;
+}
+void reader(struct q *p) {
+    int n = p->num;
+    smp_rmb();
+    if (n) {
+        p->num = 0;
+        g(p->num, p->data);
+    }
+}
+"#;
+        let config = AnalysisConfig {
+            dataflow_reread: false,
+            ..AnalysisConfig::default()
+        };
+        let devs = run_with(src, config);
+        assert!(
+            devs.iter()
+                .any(|d| matches!(d.kind, DeviationKind::RepeatedRead { .. })),
+            "{devs:?}"
+        );
     }
 
     #[test]
@@ -816,7 +1003,7 @@ void decode(struct rpc *req) {
             s.id = BarrierId(i as u32);
         }
         let pairing = pair_barriers(&fa.sites, &config);
-        let devs = check_all(&fa.sites, &pairing, &config);
+        let devs = check_all(&fa.sites, &pairing, std::slice::from_ref(&fa), &config);
         assert!(!devs.is_empty());
         let text = devs[0].render(src);
         assert!(text.contains("xprt.c:9:"), "{text}");
@@ -842,7 +1029,7 @@ mod more_unneeded_tests {
             s.id = BarrierId(i as u32);
         }
         let pairing = pair_barriers(&fa.sites, &config);
-        check_all(&fa.sites, &pairing, &config)
+        check_all(&fa.sites, &pairing, std::slice::from_ref(&fa), &config)
     }
 
     #[test]

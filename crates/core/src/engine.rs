@@ -146,9 +146,9 @@ impl Engine {
         let next = AtomicUsize::new(0);
         let done: Mutex<Vec<(usize, FileAnalysis)>> = Mutex::new(Vec::new());
         let config = &self.config;
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|_| loop {
+                scope.spawn(|| loop {
                     let k = next.fetch_add(1, Ordering::Relaxed);
                     if k >= todo.len() {
                         break;
@@ -169,14 +169,18 @@ impl Engine {
                     done.lock().expect("worker poisoned").push((i, fa));
                 });
             }
-        })
-        .expect("analysis worker panicked");
+        });
         for (i, fa) in done.into_inner().expect("poisoned") {
-            self.cache
-                .insert(files[i].name.clone(), (fnv1a(files[i].content.as_bytes()), fa.clone()));
+            self.cache.insert(
+                files[i].name.clone(),
+                (fnv1a(files[i].content.as_bytes()), fa.clone()),
+            );
             results[i] = Some(fa);
         }
-        results.into_iter().map(|r| r.expect("every file analyzed")).collect()
+        results
+            .into_iter()
+            .map(|r| r.expect("every file analyzed"))
+            .collect()
     }
 
     fn finish(&self, mut files: Vec<FileAnalysis>, start: Instant) -> AnalysisResult {
@@ -189,7 +193,15 @@ impl Engine {
             }
         }
         let pairing = pair_barriers(&sites, &self.config);
-        let deviations = check_all(&sites, &pairing, &self.config);
+        let mut deviations = check_all(&sites, &pairing, &files, &self.config);
+        if self.config.detect_missing {
+            deviations.extend(crate::missing::detect(
+                &files,
+                &sites,
+                &pairing,
+                &self.config,
+            ));
+        }
         let patches: Vec<Patch> = deviations
             .iter()
             .filter_map(|d| synthesize(d, &files[d.site.file]))
@@ -288,11 +300,7 @@ void writer(struct my_struct *b) {
         assert_eq!(r.sites.len(), 2);
         assert_eq!(r.pairing.pairings.len(), 1);
         let p = &r.pairing.pairings[0];
-        let files: Vec<usize> = p
-            .members
-            .iter()
-            .map(|&m| r.site(m).site.file)
-            .collect();
+        let files: Vec<usize> = p.members.iter().map(|&m| r.site(m).site.file).collect();
         assert!(files.contains(&0) && files.contains(&1));
     }
 
@@ -364,8 +372,7 @@ void writer(struct my_struct *b) {
     #[test]
     fn window_sweep_monotone_until_plateau() {
         let files = listing1_files();
-        let sweep =
-            Engine::sweep_write_window(&files, &AnalysisConfig::default(), [1, 2, 5, 10]);
+        let sweep = Engine::sweep_write_window(&files, &AnalysisConfig::default(), [1, 2, 5, 10]);
         assert_eq!(sweep.len(), 4);
         // Pairings never decrease with a larger window on this corpus.
         for w in sweep.windows(2) {
@@ -378,7 +385,10 @@ void writer(struct my_struct *b) {
         let files = listing1_files();
         let r1 = Engine::new(AnalysisConfig::default()).analyze(&files);
         let r2 = Engine::new(AnalysisConfig::default()).analyze(&files);
-        assert_eq!(format!("{:?}", r1.pairing.pairings), format!("{:?}", r2.pairing.pairings));
+        assert_eq!(
+            format!("{:?}", r1.pairing.pairings),
+            format!("{:?}", r2.pairing.pairings)
+        );
         assert_eq!(r1.deviations.len(), r2.deviations.len());
     }
 }

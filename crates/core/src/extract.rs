@@ -437,7 +437,10 @@ mod tests {
     #[test]
     fn plain_write() {
         let acc = extract("struct s { int x; };\nvoid f(struct s *p) { p->x = 1; }");
-        assert_eq!(acc, vec![("(struct s, x)".into(), AccessKind::Write, false)]);
+        assert_eq!(
+            acc,
+            vec![("(struct s, x)".into(), AccessKind::Write, false)]
+        );
     }
 
     #[test]
@@ -505,16 +508,24 @@ mod tests {
 
     #[test]
     fn store_release_writes_target() {
-        let src = "struct s { int flag; };\nvoid f(struct s *p) { smp_store_release(&p->flag, 1); }";
+        let src =
+            "struct s { int flag; };\nvoid f(struct s *p) { smp_store_release(&p->flag, 1); }";
         let acc = extract(src);
-        assert_eq!(acc, vec![("(struct s, flag)".into(), AccessKind::Write, false)]);
+        assert_eq!(
+            acc,
+            vec![("(struct s, flag)".into(), AccessKind::Write, false)]
+        );
     }
 
     #[test]
     fn load_acquire_reads_target() {
-        let src = "struct s { int flag; };\nint f(struct s *p) { return smp_load_acquire(&p->flag); }";
+        let src =
+            "struct s { int flag; };\nint f(struct s *p) { return smp_load_acquire(&p->flag); }";
         let acc = extract(src);
-        assert_eq!(acc, vec![("(struct s, flag)".into(), AccessKind::Read, false)]);
+        assert_eq!(
+            acc,
+            vec![("(struct s, flag)".into(), AccessKind::Read, false)]
+        );
     }
 
     #[test]
@@ -527,7 +538,8 @@ mod tests {
 
     #[test]
     fn set_bit_targets_last_addr_arg() {
-        let src = "struct s { unsigned long state; };\nvoid f(struct s *p) { set_bit(3, &p->state); }";
+        let src =
+            "struct s { unsigned long state; };\nvoid f(struct s *p) { set_bit(3, &p->state); }";
         let acc = extract(src);
         assert!(acc.contains(&("(struct s, state)".into(), AccessKind::Write, false)));
     }
@@ -545,7 +557,11 @@ mod tests {
     fn seqcount_local_pointer_uses_type_identity() {
         let src = "void f(void) { seqcount_t *s = get(); int v = read_seqcount_begin(s); }";
         let acc = extract(src);
-        assert!(acc.contains(&("(struct <typed>, seqcount_t)".into(), AccessKind::Read, false)));
+        assert!(acc.contains(&(
+            "(struct <typed>, seqcount_t)".into(),
+            AccessKind::Read,
+            false
+        )));
     }
 
     #[test]

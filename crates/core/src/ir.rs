@@ -314,7 +314,10 @@ mod tests {
 
     #[test]
     fn display_forms() {
-        assert_eq!(SharedObject::new("req", "len").to_string(), "(struct req, len)");
+        assert_eq!(
+            SharedObject::new("req", "len").to_string(),
+            "(struct req, len)"
+        );
         assert_eq!(SharedObject::global("jiffies").to_string(), "jiffies");
     }
 

@@ -36,6 +36,7 @@ pub mod deviation;
 pub mod engine;
 pub mod extract;
 pub mod ir;
+pub mod missing;
 pub mod pairing;
 pub mod patch;
 pub mod report;

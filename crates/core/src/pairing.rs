@@ -54,16 +54,15 @@ pub fn pair_barriers(sites: &[BarrierSite], config: &AnalysisConfig) -> PairingR
 
     // Line 10-27: per write barrier, find the lowest-weight candidate.
     // `proposals[i]` collects (partner, weight) edges touching barrier i.
-    let mut proposals: Vec<Vec<(usize, u64, [SharedObject; 2])>> =
-        vec![Vec::new(); sites.len()];
+    let mut proposals: Vec<Vec<(usize, u64, [SharedObject; 2])>> = vec![Vec::new(); sites.len()];
     let mut implicit_ipc: HashSet<usize> = HashSet::new();
 
     for (bi, b) in sites.iter().enumerate() {
         // Anchor on write barriers — plus the salvage case: a read barrier
         // whose window contains only writes is a *miswritten* write
         // barrier (deviation #2) and must still pair to be detected.
-        let all_writes = !b.accesses.is_empty()
-            && b.accesses.iter().all(|a| a.kind == AccessKind::Write);
+        let all_writes =
+            !b.accesses.is_empty() && b.accesses.iter().all(|a| a.kind == AccessKind::Write);
         if !b.is_write_barrier() && !all_writes {
             continue;
         }
@@ -146,11 +145,11 @@ pub fn pair_barriers(sites: &[BarrierSite], config: &AnalysisConfig) -> PairingR
     // Line 39-44: build the pairings array.
     let mut paired: vec::BitVec = vec::BitVec::new(sites.len());
     let mut pairings: Vec<(usize, usize, u64, [SharedObject; 2])> = Vec::new();
-    for bi in 0..sites.len() {
+    for (bi, props) in proposals.iter().enumerate() {
         if paired.get(bi) {
             continue;
         }
-        if let Some(&(partner, weight, ref objs)) = proposals[bi].first() {
+        if let Some(&(partner, weight, ref objs)) = props.first() {
             if paired.get(partner) {
                 continue;
             }
@@ -242,8 +241,7 @@ fn merge_equal_object_sets(pairings: Vec<Pairing>) -> Vec<Pairing> {
     for p in pairings {
         let pset: HashSet<&SharedObject> = p.objects.iter().collect();
         if let Some(existing) = out.iter_mut().find(|e| {
-            e.objects.len() == p.objects.len()
-                && e.objects.iter().all(|o| pset.contains(o))
+            e.objects.len() == p.objects.len() && e.objects.iter().all(|o| pset.contains(o))
         }) {
             for m in p.members {
                 if !existing.members.contains(&m) {
@@ -291,12 +289,11 @@ fn get_pair(
         {
             continue;
         }
-        let (Some(&d1), Some(&d2)) = (object_maps[cand].get(o1), object_maps[cand].get(o2))
-        else {
+        let (Some(&d1), Some(&d2)) = (object_maps[cand].get(o1), object_maps[cand].get(o2)) else {
             continue;
         };
         let w = u64::from(d1) * u64::from(d2);
-        if best.map_or(true, |(_, bw)| w < bw) {
+        if best.is_none_or(|(_, bw)| w < bw) {
             best = Some((cand, w));
         }
     }
@@ -460,7 +457,15 @@ void writer(struct s *p) {
         let partner_fns: Vec<_> = p
             .members
             .iter()
-            .map(|&m| sites.iter().find(|s| s.id == m).unwrap().site.function.clone())
+            .map(|&m| {
+                sites
+                    .iter()
+                    .find(|s| s.id == m)
+                    .unwrap()
+                    .site
+                    .function
+                    .clone()
+            })
             .collect();
         assert!(
             partner_fns.contains(&"reader_near".to_string()),
@@ -636,7 +641,15 @@ void consumer(struct obj *p) {
         let fns: Vec<_> = p
             .members
             .iter()
-            .map(|&m| sites.iter().find(|s| s.id == m).unwrap().site.function.clone())
+            .map(|&m| {
+                sites
+                    .iter()
+                    .find(|s| s.id == m)
+                    .unwrap()
+                    .site
+                    .function
+                    .clone()
+            })
             .collect();
         assert!(fns.contains(&"producer".to_string()), "{fns:?}");
         assert!(fns.contains(&"consumer".to_string()), "{fns:?}");

@@ -154,14 +154,9 @@ pub fn line_diff(old: &str, new: &str, file: &str) -> String {
 /// Returns `None` when a fix cannot be expressed as a safe span edit
 /// (the deviation is still reported, just without an automatic patch).
 pub fn synthesize(dev: &Deviation, fa: &FileAnalysis) -> Option<Patch> {
-    let func = fa
-        .functions
-        .iter()
-        .find(|f| f.name == dev.site.function)?;
+    let func = fa.functions.iter().find(|f| f.name == dev.site.function)?;
     let edits = match &dev.kind {
-        DeviationKind::Misplaced { correct_side } => {
-            misplaced_edits(dev, fa, func, *correct_side)?
-        }
+        DeviationKind::Misplaced { correct_side } => misplaced_edits(dev, fa, func, *correct_side)?,
         DeviationKind::WrongBarrierType { replacement } => {
             vec![Edit {
                 span: dev.site.span,
@@ -176,6 +171,21 @@ pub fn synthesize(dev: &Deviation, fa: &FileAnalysis) -> Option<Patch> {
             vec![delete_line_edit(&fa.source, stmt.span)]
         }
         DeviationKind::MissingOnce { .. } => return None, // handled by annotate
+        DeviationKind::MissingBarrier { fence, .. } => {
+            // Insert the fence on its own line just above the statement
+            // holding the first dependent (payload) load. The guard load
+            // is before it by construction, so the fence lands between
+            // the two — re-analysis then pairs the writer and the
+            // diagnostic disappears (machine verification).
+            let payload_span = dev.access_span?;
+            let stmt = enclosing_stmt(&func.def.body, payload_span)?;
+            let at = line_start(&fa.source, stmt.span.lo);
+            let indent = line_indent(&fa.source, stmt.span.lo);
+            vec![Edit {
+                span: Span::new(at, at),
+                replacement: format!("{indent}{fence}();\n"),
+            }]
+        }
     };
     let new_source = apply_edits(&fa.source, &edits)?;
     let diff = line_diff(&fa.source, &new_source, &fa.name);
@@ -195,8 +205,12 @@ fn title_for(dev: &Deviation) -> String {
         DeviationKind::RepeatedRead { .. } => "avoid racy re-read",
         DeviationKind::UnneededBarrier { .. } => "remove unneeded barrier",
         DeviationKind::MissingOnce { .. } => "annotate concurrent access",
+        DeviationKind::MissingBarrier { .. } => "insert missing read fence",
     };
-    format!("{}: {} in {}()", dev.site.file_name, what, dev.site.function)
+    format!(
+        "{}: {} in {}()",
+        dev.site.file_name, what, dev.site.function
+    )
 }
 
 /// Move the statement containing the misplaced access to the other side
@@ -339,11 +353,7 @@ fn moved_reads_assigned_in_gap(body: &[Stmt], moved: &Stmt, gap: Span) -> bool {
     use ckit::ast::ExprKind;
     // Variables assigned/declared within the gap.
     let mut assigned: std::collections::HashSet<String> = Default::default();
-    fn collect_assigned(
-        s: &Stmt,
-        gap: Span,
-        out: &mut std::collections::HashSet<String>,
-    ) {
+    fn collect_assigned(s: &Stmt, gap: Span, out: &mut std::collections::HashSet<String>) {
         if s.span.hi <= gap.lo || s.span.lo >= gap.hi {
             return;
         }
@@ -438,9 +448,7 @@ fn find_dowhile_cond<'a>(body: &'a [Stmt], span: Span) -> Option<&'a Stmt> {
             StmtKind::While { body, .. }
             | StmtKind::For { body, .. }
             | StmtKind::Switch { body, .. } => visit(body, span, found),
-            StmtKind::Case { stmt, .. } | StmtKind::Label { stmt, .. } => {
-                visit(stmt, span, found)
-            }
+            StmtKind::Case { stmt, .. } | StmtKind::Label { stmt, .. } => visit(stmt, span, found),
             _ => {}
         }
     }
@@ -460,7 +468,7 @@ fn body_end(dowhile: &Stmt) -> u32 {
 
 /// Smallest movable statement (direct child of a block/body) containing
 /// `span`.
-pub fn enclosing_stmt<'a>(body: &'a [Stmt], span: Span) -> Option<&'a Stmt> {
+pub fn enclosing_stmt(body: &[Stmt], span: Span) -> Option<&Stmt> {
     for s in body {
         if !s.span.contains(span) {
             continue;
@@ -568,11 +576,9 @@ mod tests {
             s.id = BarrierId(i as u32);
         }
         let pairing = pair_barriers(&fa.sites, &config);
-        let devs = crate::deviation::check_all(&fa.sites, &pairing, &config);
-        let patches = devs
-            .iter()
-            .filter_map(|d| synthesize(d, &fa))
-            .collect();
+        let devs =
+            crate::deviation::check_all(&fa.sites, &pairing, std::slice::from_ref(&fa), &config);
+        let patches = devs.iter().filter_map(|d| synthesize(d, &fa)).collect();
         (fa, patches)
     }
 
@@ -749,6 +755,9 @@ void decode(struct rpc *req) {
         let (fa, patches) = patches_for(src);
         let patched = apply_edits(&fa.source, &patches[0].edits).unwrap();
         let (_, patches2) = patches_for(&patched);
-        assert!(patches2.is_empty(), "patched code still flagged: {patches2:?}");
+        assert!(
+            patches2.is_empty(),
+            "patched code still flagged: {patches2:?}"
+        );
     }
 }

@@ -47,6 +47,7 @@ pub(crate) fn deviation_class(kind: &DeviationKind) -> &'static str {
         DeviationKind::RepeatedRead { .. } => "racy variable re-read",
         DeviationKind::UnneededBarrier { .. } => "unneeded barrier",
         DeviationKind::MissingOnce { .. } => "missing READ_ONCE/WRITE_ONCE",
+        DeviationKind::MissingBarrier { .. } => "missing memory barrier",
     }
 }
 

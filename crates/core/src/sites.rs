@@ -118,7 +118,10 @@ pub fn analyze_file(file: usize, parsed: &ParsedFile, config: &AnalysisConfig) -
         .map(|(fi, f)| {
             let mut acc = Vec::new();
             for node in lowered.cfgs[fi].ids() {
-                acc.extend(accesses_in_node(&lowered.cfgs[fi].node(node).kind, &envs[fi]));
+                acc.extend(accesses_in_node(
+                    &lowered.cfgs[fi].node(node).kind,
+                    &envs[fi],
+                ));
             }
             acc.truncate(64); // helper functions are small; cap the blast radius
             (f.sig.name.clone(), acc)
@@ -141,7 +144,9 @@ pub fn analyze_file(file: usize, parsed: &ParsedFile, config: &AnalysisConfig) -
 
     let mut sites = Vec::new();
     for fb in &found {
-        let site = build_site(fb, &lowered, &envs, &summaries, &callers, config, file, parsed);
+        let site = build_site(
+            fb, &lowered, &envs, &summaries, &callers, config, file, parsed,
+        );
         sites.push(site);
     }
 
@@ -190,9 +195,7 @@ fn find_full_atomic_calls(expr: &Expr, f: &mut impl FnMut(&str, Span, &[Expr])) 
         if let ExprKind::Call { callee, args } = &e.kind {
             if let Some(name) = callee.as_ident() {
                 if let CallSemantics::Atomic(sem) = kmodel::classify_call(name) {
-                    if sem.strength == kmodel::BarrierStrength::Full
-                        && (sem.reads || sem.writes)
-                    {
+                    if sem.strength == kmodel::BarrierStrength::Full && (sem.reads || sem.writes) {
                         f(name, e.span, args);
                     }
                 }
@@ -214,14 +217,10 @@ fn classify_node(cfg: &Cfg, node: NodeId) -> NodeClass {
                     CallSemantics::Barrier(_) | CallSemantics::Seqcount(_) => {
                         class = NodeClass::Barrier;
                     }
-                    CallSemantics::WakeUp => {
-                        if !matches!(class, NodeClass::Barrier) {
-                            class = NodeClass::Wakeup(name.to_string());
-                        }
+                    CallSemantics::WakeUp if !matches!(class, NodeClass::Barrier) => {
+                        class = NodeClass::Wakeup(name.to_string());
                     }
-                    CallSemantics::Atomic(sem)
-                        if sem.strength == kmodel::BarrierStrength::Full =>
-                    {
+                    CallSemantics::Atomic(sem) if sem.strength == kmodel::BarrierStrength::Full => {
                         if matches!(class, NodeClass::Plain) {
                             class = NodeClass::FullAtomic;
                         }
@@ -279,13 +278,15 @@ fn build_site(
 
     // Walk both directions.
     for (dir, side) in [(Dir::Bwd, Side::Before), (Dir::Fwd, Side::After)] {
-        walk(cfg, fb.node, dir, window, |node, dist| {
-            match classify_node(cfg, node) {
+        walk(
+            cfg,
+            fb.node,
+            dir,
+            window,
+            |node, dist| match classify_node(cfg, node) {
                 NodeClass::Barrier => Step::Prune,
                 NodeClass::FullAtomic => {
-                    collect_node(
-                        cfg, node, env, side, dist, summaries, config, &mut accesses,
-                    );
+                    collect_node(cfg, node, env, side, dist, summaries, config, &mut accesses);
                     if dist == 1 {
                         if let Some(name) = full_atomic_callee_name(cfg, node) {
                             adjacent.get_or_insert(AdjacentBarrier {
@@ -301,9 +302,7 @@ fn build_site(
                     if side == Side::After {
                         wakeup_after = Some(wakeup_after.map_or(dist, |d| d.min(dist)));
                     }
-                    collect_node(
-                        cfg, node, env, side, dist, summaries, config, &mut accesses,
-                    );
+                    collect_node(cfg, node, env, side, dist, summaries, config, &mut accesses);
                     if dist == 1 {
                         adjacent.get_or_insert(AdjacentBarrier {
                             side,
@@ -314,13 +313,11 @@ fn build_site(
                     Step::Stop
                 }
                 NodeClass::Plain => {
-                    collect_node(
-                        cfg, node, env, side, dist, summaries, config, &mut accesses,
-                    );
+                    collect_node(cfg, node, env, side, dist, summaries, config, &mut accesses);
                     Step::Continue
                 }
-            }
-        });
+            },
+        );
     }
 
     // Adjacent explicit barrier (distance 1) — the walk prunes barrier
@@ -352,25 +349,22 @@ fn build_site(
                 let ccfg = &lowered.cfgs[caller_fi];
                 let cenv = &envs[caller_fi];
                 for (dir, side) in [(Dir::Bwd, Side::Before), (Dir::Fwd, Side::After)] {
-                    walk(ccfg, call_node, dir, window.saturating_sub(1), |node, dist| {
-                        match classify_node(ccfg, node) {
+                    walk(
+                        ccfg,
+                        call_node,
+                        dir,
+                        window.saturating_sub(1),
+                        |node, dist| match classify_node(ccfg, node) {
                             NodeClass::Barrier => Step::Prune,
                             NodeClass::FullAtomic | NodeClass::Wakeup(_) => Step::Stop,
                             NodeClass::Plain => {
                                 for raw in accesses_in_node(&ccfg.node(node).kind, cenv) {
-                                    push_access(
-                                        &mut accesses,
-                                        raw,
-                                        side,
-                                        dist + 1,
-                                        true,
-                                        config,
-                                    );
+                                    push_access(&mut accesses, raw, side, dist + 1, true, config);
                                 }
                                 Step::Continue
                             }
-                        }
-                    });
+                        },
+                    );
                 }
             }
         }
@@ -470,10 +464,7 @@ fn push_implied_accesses(
             Side::After
         };
         if let Some(target) = fb.args.first() {
-            for raw in crate::extract::accesses_in_expr(
-                &wrap_counter_access(target, op),
-                env,
-            ) {
+            for raw in crate::extract::accesses_in_expr(&wrap_counter_access(target, op), env) {
                 push_access(accesses, raw, side, 1, false, config);
             }
         }
@@ -634,7 +625,10 @@ void writer(struct my_struct *b) {
         let y_acc = writer.accesses.iter().find(|a| a.object == y).unwrap();
         assert_eq!((y_acc.side, y_acc.kind), (Side::Before, AccessKind::Write));
         let init_acc = writer.accesses.iter().find(|a| a.object == init).unwrap();
-        assert_eq!((init_acc.side, init_acc.kind), (Side::After, AccessKind::Write));
+        assert_eq!(
+            (init_acc.side, init_acc.kind),
+            (Side::After, AccessKind::Write)
+        );
     }
 
     #[test]
@@ -650,18 +644,9 @@ void w(struct s *p) {
 "#;
         let fa = analyze(src);
         let site = &fa.sites[0];
-        assert_eq!(
-            site.distance_of(&SharedObject::new("s", "b")),
-            Some(1)
-        );
-        assert_eq!(
-            site.distance_of(&SharedObject::new("s", "a")),
-            Some(2)
-        );
-        assert_eq!(
-            site.distance_of(&SharedObject::new("s", "c")),
-            Some(1)
-        );
+        assert_eq!(site.distance_of(&SharedObject::new("s", "b")), Some(1));
+        assert_eq!(site.distance_of(&SharedObject::new("s", "a")), Some(2));
+        assert_eq!(site.distance_of(&SharedObject::new("s", "c")), Some(1));
     }
 
     #[test]

@@ -87,7 +87,9 @@ pub fn evaluate(
             .filter(|(b, &m)| m && b.kind == kind)
             .count();
         if injected > 0 || found > 0 {
-            summary.per_kind.push((format!("{kind:?}"), injected, found));
+            summary
+                .per_kind
+                .push((format!("{kind:?}"), injected, found));
         }
     }
 

@@ -255,6 +255,56 @@ void ev_reader(struct ev_type *a)
 }
 "#;
 
+/// Missing-barrier case study: the perf ring buffer's reader consumed
+/// `data_head` and then the event records without a read fence, while the
+/// writer publishes records with `smp_wmb()` before advancing the head
+/// (fixed upstream by inserting `smp_rmb()` in the reader). Transcribed to
+/// the analyzable subset; the fence-less reader is the one OFence's pairing
+/// alone cannot see — the writer simply stays unpaired.
+pub const PERF_RB_MISSING_RMB: &str = r#"
+struct perf_rb {
+	int data_head;
+	int events;
+};
+
+void perf_output_put(struct perf_rb *rb, int ev)
+{
+	rb->events = ev;
+	smp_wmb();
+	rb->data_head = rb->data_head + 1;
+}
+
+void perf_read_events(struct perf_rb *rb)
+{
+	if (!rb->data_head)
+		return;
+	pat_sink(rb->events);
+}
+"#;
+
+/// The upstream fix: `smp_rmb()` between the head read and the data read.
+pub const PERF_RB_FIXED: &str = r#"
+struct perf_rb {
+	int data_head;
+	int events;
+};
+
+void perf_output_put(struct perf_rb *rb, int ev)
+{
+	rb->events = ev;
+	smp_wmb();
+	rb->data_head = rb->data_head + 1;
+}
+
+void perf_read_events(struct perf_rb *rb)
+{
+	if (!rb->data_head)
+		return;
+	smp_rmb();
+	pat_sink(rb->events);
+}
+"#;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -271,6 +321,8 @@ mod tests {
             ("PATCH3_BUGGY", PATCH3_BUGGY),
             ("PATCH4_BUGGY", PATCH4_BUGGY),
             ("PATCH5_UNANNOTATED", PATCH5_UNANNOTATED),
+            ("PERF_RB_MISSING_RMB", PERF_RB_MISSING_RMB),
+            ("PERF_RB_FIXED", PERF_RB_FIXED),
         ] {
             let parsed = ckit::parse_string(name, src).unwrap();
             assert!(parsed.errors.is_empty(), "{name}: {:?}", parsed.errors);

@@ -22,6 +22,9 @@ pub struct BugPlan {
     pub repeated_read: usize,
     pub wrong_type: usize,
     pub unneeded: usize,
+    /// Readers whose fence is removed entirely (the dataflow extension's
+    /// missing-barrier class — not part of the paper's Table 3).
+    pub missing_barrier: usize,
 }
 
 impl BugPlan {
@@ -31,6 +34,7 @@ impl BugPlan {
             repeated_read: 0,
             wrong_type: 0,
             unneeded: 0,
+            missing_barrier: 0,
         }
     }
 
@@ -41,11 +45,12 @@ impl BugPlan {
             repeated_read: 3,
             wrong_type: 1,
             unneeded: 53,
+            missing_barrier: 0,
         }
     }
 
     pub fn total(&self) -> usize {
-        self.misplaced + self.repeated_read + self.wrong_type + self.unneeded
+        self.misplaced + self.repeated_read + self.wrong_type + self.unneeded + self.missing_barrier
     }
 
     fn count_mut(&mut self, kind: BugKind) -> &mut usize {
@@ -54,6 +59,7 @@ impl BugPlan {
             BugKind::RepeatedRead => &mut self.repeated_read,
             BugKind::WrongBarrierType => &mut self.wrong_type,
             BugKind::UnneededBarrier => &mut self.unneeded,
+            BugKind::MissingBarrier => &mut self.missing_barrier,
         }
     }
 }
@@ -85,6 +91,15 @@ pub struct CorpusSpec {
     /// Fraction of instances whose writer and reader land in different
     /// files (cross-file pairing, like the paper's RPC example).
     pub split_fraction: f64,
+    /// Benign re-read decoys: the reader re-reads a field after storing
+    /// to it itself. The bounded-window re-read heuristic flags each one;
+    /// reaching-definitions dataflow suppresses them all.
+    pub reread_decoys: usize,
+    /// Unfenced-reader decoys for the missing-barrier detector: an
+    /// unpaired write barrier plus two fence-less readers that do *not*
+    /// follow the guarded-read shape. The outlier rule keeps them quiet;
+    /// the `no_outlier` ablation reports two false positives per decoy.
+    pub unfenced_decoys: usize,
     pub bugs: BugPlan,
 }
 
@@ -100,12 +115,15 @@ impl CorpusSpec {
             far_decoy_pairs: 0,
             lone_per_file: 0,
             split_fraction: 0.25,
+            reread_decoys: 0,
+            unfenced_decoys: 0,
             bugs: BugPlan::none(),
         }
     }
 
     /// Paper-scale corpus: ~600 files with barriers (the paper analyzes
-    /// 614), Table 3 bug counts, 15 decoy pairings (§6.4).
+    /// 614), Table 3 bug counts, 15 decoy pairings (§6.4), plus the
+    /// dataflow extension's missing-barrier bugs and decoys.
     pub fn paper_scale(seed: u64) -> CorpusSpec {
         CorpusSpec {
             seed,
@@ -116,7 +134,12 @@ impl CorpusSpec {
             far_decoy_pairs: 5,
             lone_per_file: 2,
             split_fraction: 0.2,
-            bugs: BugPlan::paper(),
+            reread_decoys: 6,
+            unfenced_decoys: 6,
+            bugs: BugPlan {
+                missing_barrier: 6,
+                ..BugPlan::paper()
+            },
         }
     }
 }
@@ -154,7 +177,9 @@ pub fn generate(spec: &CorpusSpec) -> Corpus {
     let total = spec.files * spec.patterns_per_file;
 
     // Decide each instance's kind.
-    let kinds: Vec<PatternKind> = (0..total).map(|i| KIND_CYCLE[i % KIND_CYCLE.len()]).collect();
+    let kinds: Vec<PatternKind> = (0..total)
+        .map(|i| KIND_CYCLE[i % KIND_CYCLE.len()])
+        .collect();
 
     // Assign bugs: for each class, pick supporting instances round-robin,
     // spread across the corpus; at most one bug per instance. Unneeded
@@ -168,6 +193,7 @@ pub fn generate(spec: &CorpusSpec) -> Corpus {
         BugKind::Misplaced,
         BugKind::RepeatedRead,
         BugKind::WrongBarrierType,
+        BugKind::MissingBarrier,
     ];
     for kind in order {
         let mut candidates: Vec<usize> = (0..total)
@@ -182,8 +208,7 @@ pub fn generate(spec: &CorpusSpec) -> Corpus {
         }
         let want = *remaining.count_mut(kind);
         // Spread assignments over the candidate list.
-        let step = step_override
-            .unwrap_or_else(|| (candidates.len() / want.max(1)).max(1));
+        let step = step_override.unwrap_or_else(|| (candidates.len() / want.max(1)).max(1));
         let mut assigned = 0;
         let mut idx = 0;
         while assigned < want && idx < candidates.len() {
@@ -285,6 +310,26 @@ pub fn generate(spec: &CorpusSpec) -> Corpus {
         });
     }
 
+    // Benign re-read decoys: a real pairing whose re-read is preceded by
+    // the reader's own store (window heuristic FP, dataflow-clean).
+    for d in 0..spec.reread_decoys {
+        let fi = (d * 3 + 1) % spec.files.max(1);
+        let (wf, rf, code) = patterns::reread_decoy(total + 40_000 + d);
+        file_bodies[fi].push_str(&code);
+        manifest.expected_pairings.push(ExpectedPairing {
+            functions: vec![wf, rf],
+            objects: vec![],
+            kind: PatternKind::InitFlag,
+            decoy: false,
+        });
+    }
+
+    // Unfenced-reader decoys: exercise the missing-barrier outlier rule.
+    for d in 0..spec.unfenced_decoys {
+        let fi = (d * 5 + 2) % spec.files.max(1);
+        file_bodies[fi].push_str(&patterns::unfenced_decoy(total + 50_000 + d));
+    }
+
     // Lone barriers (lock-adjacent code: never pairs) and noise.
     for (fi, body) in file_bodies.iter_mut().enumerate() {
         for li in 0..spec.lone_per_file {
@@ -358,12 +403,14 @@ mod tests {
             repeated_read: 3,
             wrong_type: 1,
             unneeded: 5,
+            missing_barrier: 2,
         };
         let corpus = generate(&spec);
         assert_eq!(corpus.manifest.count_bugs(BugKind::Misplaced), 8);
         assert_eq!(corpus.manifest.count_bugs(BugKind::RepeatedRead), 3);
         assert_eq!(corpus.manifest.count_bugs(BugKind::WrongBarrierType), 1);
         assert_eq!(corpus.manifest.count_bugs(BugKind::UnneededBarrier), 5);
+        assert_eq!(corpus.manifest.count_bugs(BugKind::MissingBarrier), 2);
     }
 
     #[test]
@@ -375,6 +422,7 @@ mod tests {
             repeated_read: 2,
             wrong_type: 1,
             unneeded: 2,
+            missing_barrier: 1,
         };
         let corpus = generate(&spec);
         for bug in &corpus.manifest.bugs {
@@ -401,7 +449,29 @@ mod tests {
     #[test]
     fn paper_scale_counts() {
         let spec = CorpusSpec::paper_scale(0);
-        assert_eq!(spec.bugs.total(), 65); // 12 ordering bugs + 53 unneeded
+        // 12 ordering bugs + 53 unneeded + 6 missing-barrier extension.
+        assert_eq!(spec.bugs.total(), 71);
         assert_eq!(spec.files, 600);
+    }
+
+    #[test]
+    fn decoy_knobs_emit_code_and_pairings() {
+        let mut spec = CorpusSpec::small(9);
+        spec.reread_decoys = 2;
+        spec.unfenced_decoys = 2;
+        let corpus = generate(&spec);
+        let all: String = corpus.files.iter().map(|f| f.content.as_str()).collect();
+        assert_eq!(all.matches("_rrd_take").count(), 2);
+        assert_eq!(all.matches("_ufd_sum").count(), 2);
+        // Re-read decoys are legitimate pairings and are recorded as such.
+        let base = generate(&CorpusSpec::small(9));
+        assert_eq!(
+            corpus.manifest.real_pairings().count(),
+            base.manifest.real_pairings().count() + 2
+        );
+        for f in &corpus.files {
+            let parsed = ckit::parse_string(&f.name, &f.content).unwrap();
+            assert!(parsed.errors.is_empty(), "{}: {:?}", f.name, parsed.errors);
+        }
     }
 }

@@ -66,14 +66,18 @@ pub enum BugKind {
     WrongBarrierType,
     /// §5.1: barrier adjacent to an operation with barrier semantics.
     UnneededBarrier,
+    /// Dataflow extension: the reader's fence is missing entirely — the
+    /// writer stays unpaired and the guarded reads are unordered.
+    MissingBarrier,
 }
 
 impl BugKind {
-    pub const ALL: [BugKind; 4] = [
+    pub const ALL: [BugKind; 5] = [
         BugKind::Misplaced,
         BugKind::RepeatedRead,
         BugKind::WrongBarrierType,
         BugKind::UnneededBarrier,
+        BugKind::MissingBarrier,
     ];
 }
 

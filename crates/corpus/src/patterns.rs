@@ -29,7 +29,12 @@ pub struct PatternInstance {
 }
 
 /// Emit one instance of `kind` with id `n`, optionally injecting `bug`.
-pub fn emit(kind: PatternKind, n: usize, rng: &mut impl Rng, bug: Option<BugKind>) -> PatternInstance {
+pub fn emit(
+    kind: PatternKind,
+    n: usize,
+    rng: &mut impl Rng,
+    bug: Option<BugKind>,
+) -> PatternInstance {
     match kind {
         PatternKind::InitFlag => init_flag(n, rng, bug),
         PatternKind::RingBuffer => ring_buffer(n, rng, bug),
@@ -52,16 +57,24 @@ pub fn supported_bugs(kind: PatternKind) -> &'static [BugKind] {
             BugKind::RepeatedRead,
             BugKind::WrongBarrierType,
             BugKind::UnneededBarrier,
+            BugKind::MissingBarrier,
         ],
-        PatternKind::RingBuffer => &[BugKind::Misplaced, BugKind::RepeatedRead],
+        PatternKind::RingBuffer => &[
+            BugKind::Misplaced,
+            BugKind::RepeatedRead,
+            BugKind::MissingBarrier,
+        ],
         PatternKind::Seqcount => &[BugKind::Misplaced],
         PatternKind::WakeupPublish => &[BugKind::UnneededBarrier],
-        PatternKind::AcquireRelease => &[BugKind::Misplaced],
+        PatternKind::AcquireRelease => &[BugKind::Misplaced, BugKind::MissingBarrier],
         PatternKind::AtomicBarrier => &[BugKind::Misplaced],
+        // MultiReader cannot host MissingBarrier: the writer would still
+        // pair with the remaining fenced readers, so its barrier never
+        // shows up as unpaired.
         PatternKind::MultiReader => &[BugKind::Misplaced, BugKind::RepeatedRead],
         PatternKind::RcuPublish => &[BugKind::Misplaced],
         PatternKind::SleepWake => &[BugKind::Misplaced],
-        PatternKind::AfterAtomic => &[BugKind::Misplaced],
+        PatternKind::AfterAtomic => &[BugKind::Misplaced, BugKind::MissingBarrier],
     }
 }
 
@@ -170,6 +183,10 @@ fn init_flag(n: usize, rng: &mut impl Rng, bug: Option<BugKind>) -> PatternInsta
             reader.push_str("\tsmp_rmb();\n");
             reader.push_str("\tif (!r->ready)\n\t\treturn 0;\n");
         }
+        Some(BugKind::MissingBarrier) => {
+            // Guard checked, payload read — but no fence at all.
+            reader.push_str("\tif (!r->ready)\n\t\treturn 0;\n");
+        }
         _ => {
             reader.push_str("\tif (!r->ready)\n\t\treturn 0;\n");
             reader.push_str("\tsmp_rmb();\n");
@@ -190,12 +207,17 @@ fn init_flag(n: usize, rng: &mut impl Rng, bug: Option<BugKind>) -> PatternInsta
         BugKind::RepeatedRead => bug_record(&reader_fn, k, &st, "ready"),
         BugKind::WrongBarrierType => bug_record(&writer_fn, k, "", ""),
         BugKind::UnneededBarrier => bug_record(&writer_fn, k, "", ""),
+        BugKind::MissingBarrier => bug_record(&reader_fn, k, &st, "ready"),
     });
 
     // An injected redundant double barrier splits the writer's windows
-    // (each barrier bounds the other), so no pairing can be expected.
+    // (each barrier bounds the other), so no pairing can be expected;
+    // a fence-less reader likewise leaves the writer unpaired.
     let closest_field = format!("f{}", nfields - 1);
-    let expected = if bug == Some(BugKind::UnneededBarrier) {
+    let expected = if matches!(
+        bug,
+        Some(BugKind::UnneededBarrier) | Some(BugKind::MissingBarrier)
+    ) {
         None
     } else {
         expected(
@@ -247,6 +269,12 @@ fn ring_buffer(n: usize, rng: &mut impl Rng, bug: Option<BugKind>) -> PatternIns
             reader.push_str(&filler(read_gap, n));
             reader.push_str("\tif (h)\n\t\tpat_sink(q->slots[q->head - 1]);\n");
         }
+        Some(BugKind::MissingBarrier) => {
+            // Head guards the slot read, but the fence is gone.
+            reader.push_str("\tif (!q->head)\n\t\treturn;\n");
+            reader.push_str(&filler(read_gap, n));
+            reader.push_str("\tpat_sink(q->slots[q->head - 1]);\n");
+        }
         _ => {
             reader.push_str("\tint h = q->head;\n");
             reader.push_str("\tsmp_rmb();\n");
@@ -259,18 +287,24 @@ fn ring_buffer(n: usize, rng: &mut impl Rng, bug: Option<BugKind>) -> PatternIns
     let bug_rec = bug.map(|k| match k {
         BugKind::Misplaced => bug_record(&consumer, k, &ring, "head"),
         BugKind::RepeatedRead => bug_record(&consumer, k, &ring, "head"),
+        BugKind::MissingBarrier => bug_record(&consumer, k, &ring, "head"),
         _ => bug_record(&consumer, k, &ring, ""),
     });
 
+    let exp = if bug == Some(BugKind::MissingBarrier) {
+        None
+    } else {
+        expected(
+            PatternKind::RingBuffer,
+            &[producer, consumer],
+            &[(&ring, "head"), (&ring, "slots")],
+        )
+    };
     PatternInstance {
         structs,
         writer,
         reader,
-        expected: expected(
-            PatternKind::RingBuffer,
-            &[producer, consumer],
-            &[(&ring, "head"), (&ring, "slots")],
-        ),
+        expected: exp,
         bug: bug_rec,
         ipc_writer: None,
     }
@@ -285,9 +319,8 @@ fn seqcount(n: usize, rng: &mut impl Rng, bug: Option<BugKind>) -> PatternInstan
     let reader_fn = format!("pat{n}_snapshot");
     let _ = rng;
 
-    let structs = format!(
-        "static seqcount_t {seq};\nstruct {st} {{\n\tlong bcnt;\n\tlong pcnt;\n}};\n"
-    );
+    let structs =
+        format!("static seqcount_t {seq};\nstruct {st} {{\n\tlong bcnt;\n\tlong pcnt;\n}};\n");
 
     let writer = format!(
         "void {writer_fn}(struct {st} *t, long b, long p)\n{{\n\twrite_seqcount_begin(&{seq});\n\tt->bcnt += b;\n\tt->pcnt += p;\n\twrite_seqcount_end(&{seq});\n}}\n"
@@ -348,8 +381,7 @@ fn wakeup_publish(n: usize, rng: &mut impl Rng, bug: Option<BugKind>) -> Pattern
         "void {worker_fn}(struct {st} *w)\n{{\n\tif (w->token)\n\t\tpat_log(w->payload);\n}}\n"
     );
 
-    let bug_rec =
-        bug.map(|k| bug_record(&writer_fn, k, "", ""));
+    let bug_rec = bug.map(|k| bug_record(&writer_fn, k, "", ""));
 
     PatternInstance {
         structs,
@@ -372,9 +404,8 @@ fn acquire_release(n: usize, rng: &mut impl Rng, bug: Option<BugKind>) -> Patter
     let structs = format!("struct {st} {{\n\tint data;\n\tint seq;\n\tint ready;\n}};\n");
 
     let write_gap = rng.gen_range(0..4usize);
-    let mut writer = format!(
-        "void {writer_fn}(struct {st} *b, int v)\n{{\n\tb->data = v;\n\tb->seq = v + 1;\n"
-    );
+    let mut writer =
+        format!("void {writer_fn}(struct {st} *b, int v)\n{{\n\tb->data = v;\n\tb->seq = v + 1;\n");
     for g in 0..write_gap {
         writeln!(writer, "\tv = v + {};", g + 1).unwrap();
     }
@@ -387,6 +418,11 @@ fn acquire_release(n: usize, rng: &mut impl Rng, bug: Option<BugKind>) -> Patter
         reader.push_str("\tif (!smp_load_acquire(&b->ready))\n\t\treturn 0;\n");
         reader.push_str(&filler(read_gap, n));
         reader.push_str("\ttmp = d + b->seq;\n");
+    } else if bug == Some(BugKind::MissingBarrier) {
+        // Plain load of the published flag: no acquire semantics at all.
+        reader.push_str("\tif (!b->ready)\n\t\treturn 0;\n");
+        reader.push_str(&filler(read_gap, n));
+        reader.push_str("\ttmp = b->data + b->seq;\n");
     } else {
         reader.push_str("\tif (!smp_load_acquire(&b->ready))\n\t\treturn 0;\n");
         reader.push_str(&filler(read_gap, n));
@@ -394,17 +430,25 @@ fn acquire_release(n: usize, rng: &mut impl Rng, bug: Option<BugKind>) -> Patter
     }
     reader.push_str("\treturn tmp;\n}\n");
 
-    let bug_rec = bug.map(|k| bug_record(&reader_fn, k, &st, "data"));
+    let bug_rec = bug.map(|k| match k {
+        BugKind::MissingBarrier => bug_record(&reader_fn, k, &st, "ready"),
+        _ => bug_record(&reader_fn, k, &st, "data"),
+    });
 
+    let exp = if bug == Some(BugKind::MissingBarrier) {
+        None
+    } else {
+        expected(
+            PatternKind::AcquireRelease,
+            &[writer_fn, reader_fn],
+            &[(&st, "ready"), (&st, "data")],
+        )
+    };
     PatternInstance {
         structs,
         writer,
         reader,
-        expected: expected(
-            PatternKind::AcquireRelease,
-            &[writer_fn, reader_fn],
-            &[(&st, "ready"), (&st, "data")],
-        ),
+        expected: exp,
         bug: bug_rec,
         ipc_writer: None,
     }
@@ -636,6 +680,10 @@ fn after_atomic(n: usize, rng: &mut impl Rng, bug: Option<BugKind>) -> PatternIn
         reader.push_str("\tif (!s->live)\n\t\treturn 0;\n");
         reader.push_str(&filler(read_gap, n));
         reader.push_str("\ttmp = atomic_read(&s->users);\n");
+    } else if bug == Some(BugKind::MissingBarrier) {
+        reader.push_str("\tif (!s->live)\n\t\treturn 0;\n");
+        reader.push_str(&filler(read_gap, n));
+        reader.push_str("\ttmp = atomic_read(&s->users);\n");
     } else {
         reader.push_str("\tif (!s->live)\n\t\treturn 0;\n");
         reader.push_str("\tsmp_rmb();\n");
@@ -646,15 +694,20 @@ fn after_atomic(n: usize, rng: &mut impl Rng, bug: Option<BugKind>) -> PatternIn
 
     let bug_rec = bug.map(|k| bug_record(&reader_fn, k, &st, "live"));
 
+    let exp = if bug == Some(BugKind::MissingBarrier) {
+        None
+    } else {
+        expected(
+            PatternKind::AfterAtomic,
+            &[writer_fn, reader_fn],
+            &[(&st, "live"), (&st, "users")],
+        )
+    };
     PatternInstance {
         structs,
         writer,
         reader,
-        expected: expected(
-            PatternKind::AfterAtomic,
-            &[writer_fn, reader_fn],
-            &[(&st, "live"), (&st, "users")],
-        ),
+        expected: exp,
         bug: bug_rec,
         ipc_writer: None,
     }
@@ -726,6 +779,39 @@ pub fn decoy_consistent_reader(n: usize, type_idx: usize) -> (String, String) {
         "void {fname}(struct {ty} *l)\n{{\n\tstruct {ty} *c = l->{fa};\n\tif (!c)\n\t\treturn;\n\tsmp_rmb();\n\tpat_sink(c->{fb});\n}}\n"
     );
     (fname, code)
+}
+
+/// A *benign* re-read decoy: the reader re-reads a field after the
+/// barrier, but only after overwriting it itself, so the re-read observes
+/// the reader's own store and is not racy. The bounded-window heuristic
+/// flags it as a racy re-read; reaching-definitions dataflow sees the
+/// intervening store and stays quiet. Returns `(writer_fn, reader_fn,
+/// code)` — the pair does form a legitimate pairing.
+pub fn reread_decoy(n: usize) -> (String, String, String) {
+    let st = format!("pat{n}_rrd");
+    let writer_fn = format!("pat{n}_rrd_pub");
+    let reader_fn = format!("pat{n}_rrd_take");
+    let code = format!(
+        "struct {st} {{\n\tint num;\n\tint data;\n}};\n\
+         void {writer_fn}(struct {st} *p, int v)\n{{\n\tp->data = v;\n\tsmp_wmb();\n\tp->num = v;\n}}\n\
+         int {reader_fn}(struct {st} *p)\n{{\n\tint n = p->num;\n\tsmp_rmb();\n\tif (n) {{\n\t\tp->num = 0;\n\t\treturn p->num + p->data;\n\t}}\n\treturn 0;\n}}\n"
+    );
+    (writer_fn, reader_fn, code)
+}
+
+/// An *unfenced-reader* decoy for the missing-barrier detector: one
+/// unpaired write barrier whose objects are also read by two fence-less
+/// functions, neither in the guarded-read shape. The outlier rule keeps
+/// the detector quiet (no guard test, and the unfenced readers are not
+/// outnumbered by fenced siblings); disabling it reports both readers.
+pub fn unfenced_decoy(n: usize) -> String {
+    let st = format!("pat{n}_ufd");
+    format!(
+        "struct {st} {{\n\tint lo;\n\tint hi;\n}};\n\
+         void {st}_set(struct {st} *p, int v)\n{{\n\tp->lo = v;\n\tsmp_wmb();\n\tp->hi = v + 1;\n}}\n\
+         int {st}_sum(struct {st} *p)\n{{\n\treturn p->lo + p->hi;\n}}\n\
+         int {st}_diff(struct {st} *p)\n{{\n\treturn p->hi - p->lo;\n}}\n"
+    )
 }
 
 /// A "lone" barrier: a function whose barrier orders objects that appear
@@ -806,7 +892,10 @@ mod tests {
                     "{kind:?}+{bug:?}: {:?}\n{src}",
                     parsed.errors
                 );
-                assert!(inst.bug.is_some(), "{kind:?}+{bug:?} must record ground truth");
+                assert!(
+                    inst.bug.is_some(),
+                    "{kind:?}+{bug:?} must record ground truth"
+                );
             }
         }
     }
@@ -858,9 +947,49 @@ mod tests {
     }
 
     #[test]
+    fn missing_barrier_variants_drop_the_reader_fence() {
+        for kind in [
+            PatternKind::InitFlag,
+            PatternKind::RingBuffer,
+            PatternKind::AcquireRelease,
+            PatternKind::AfterAtomic,
+        ] {
+            let inst = emit(kind, 3, &mut rng(), Some(BugKind::MissingBarrier));
+            assert!(
+                inst.expected.is_none(),
+                "{kind:?}: fence-less reader must leave the writer unpaired"
+            );
+            assert!(
+                !inst.reader.contains("smp_rmb") && !inst.reader.contains("smp_load_acquire"),
+                "{kind:?} reader kept a fence:\n{}",
+                inst.reader
+            );
+        }
+    }
+
+    #[test]
+    fn new_decoys_parse() {
+        let (wf, rf, code) = reread_decoy(12);
+        assert_ne!(wf, rf);
+        let src = format!("{code}{}", unfenced_decoy(13));
+        let parsed = ckit::parse_string("d.c", &src).unwrap();
+        assert!(parsed.errors.is_empty(), "{:?}\n{src}", parsed.errors);
+    }
+
+    #[test]
     fn deterministic_for_same_seed() {
-        let a = emit(PatternKind::RingBuffer, 9, &mut rng(), Some(BugKind::RepeatedRead));
-        let b = emit(PatternKind::RingBuffer, 9, &mut rng(), Some(BugKind::RepeatedRead));
+        let a = emit(
+            PatternKind::RingBuffer,
+            9,
+            &mut rng(),
+            Some(BugKind::RepeatedRead),
+        );
+        let b = emit(
+            PatternKind::RingBuffer,
+            9,
+            &mut rng(),
+            Some(BugKind::RepeatedRead),
+        );
         assert_eq!(assemble(&a), assemble(&b));
     }
 }

@@ -81,17 +81,15 @@ fn classify_atomic_op(op: &str) -> Option<AtomicSemantics> {
             reads: false,
         }),
         // Void RMW: unordered unless a suffix says otherwise.
-        "inc" | "dec" | "add" | "sub" | "or" | "and" | "xor" | "andnot" => {
-            Some(AtomicSemantics {
-                strength: if explicit_suffix {
-                    suffix_str
-                } else {
-                    BarrierStrength::None
-                },
-                writes: true,
-                reads: true,
-            })
-        }
+        "inc" | "dec" | "add" | "sub" | "or" | "and" | "xor" | "andnot" => Some(AtomicSemantics {
+            strength: if explicit_suffix {
+                suffix_str
+            } else {
+                BarrierStrength::None
+            },
+            writes: true,
+            reads: true,
+        }),
         // Value-returning RMW: fully ordered by default.
         _ if base.ends_with("_return")
             || base.ends_with("_and_test")
@@ -188,7 +186,9 @@ mod tests {
     #[test]
     fn suffixes_override() {
         assert_eq!(
-            classify_atomic("atomic_add_return_relaxed").unwrap().strength,
+            classify_atomic("atomic_add_return_relaxed")
+                .unwrap()
+                .strength,
             BarrierStrength::None
         );
         assert_eq!(
@@ -196,7 +196,9 @@ mod tests {
             BarrierStrength::Acquire
         );
         assert_eq!(
-            classify_atomic("atomic_fetch_add_release").unwrap().strength,
+            classify_atomic("atomic_fetch_add_release")
+                .unwrap()
+                .strength,
             BarrierStrength::Release
         );
     }

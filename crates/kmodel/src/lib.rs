@@ -16,6 +16,7 @@
 
 pub mod atomics;
 pub mod barriers;
+pub mod idioms;
 pub mod locks;
 pub mod once;
 pub mod rcu;
@@ -24,6 +25,7 @@ pub mod wakeup;
 
 pub use atomics::{classify_atomic, AtomicSemantics, BarrierStrength};
 pub use barriers::{BarrierKind, ImpliedAccess};
+pub use idioms::ReaderIdiom;
 pub use once::OnceKind;
 pub use seqcount::SeqcountOp;
 pub use wakeup::is_wakeup_function;

@@ -14,23 +14,44 @@ pub fn classify_lock(name: &str) -> Option<AtomicSemantics> {
     let acquire = |n: &str| {
         matches!(
             n,
-            "spin_lock" | "spin_lock_irq" | "spin_lock_irqsave" | "spin_lock_bh"
-                | "raw_spin_lock" | "read_lock" | "write_lock" | "mutex_lock"
-                | "mutex_lock_interruptible" | "down" | "down_read" | "down_write"
+            "spin_lock"
+                | "spin_lock_irq"
+                | "spin_lock_irqsave"
+                | "spin_lock_bh"
+                | "raw_spin_lock"
+                | "read_lock"
+                | "write_lock"
+                | "mutex_lock"
+                | "mutex_lock_interruptible"
+                | "down"
+                | "down_read"
+                | "down_write"
                 | "rt_mutex_lock"
         )
     };
     let release = |n: &str| {
         matches!(
             n,
-            "spin_unlock" | "spin_unlock_irq" | "spin_unlock_irqrestore" | "spin_unlock_bh"
-                | "raw_spin_unlock" | "read_unlock" | "write_unlock" | "mutex_unlock"
-                | "up" | "up_read" | "up_write" | "rt_mutex_unlock"
+            "spin_unlock"
+                | "spin_unlock_irq"
+                | "spin_unlock_irqrestore"
+                | "spin_unlock_bh"
+                | "raw_spin_unlock"
+                | "read_unlock"
+                | "write_unlock"
+                | "mutex_unlock"
+                | "up"
+                | "up_read"
+                | "up_write"
+                | "rt_mutex_unlock"
         )
     };
     // Trylocks acquire on success; conservatively treat as acquire.
     let trylock = |n: &str| {
-        matches!(n, "spin_trylock" | "mutex_trylock" | "down_trylock" | "down_read_trylock")
+        matches!(
+            n,
+            "spin_trylock" | "mutex_trylock" | "down_trylock" | "down_read_trylock"
+        )
     };
     if acquire(name) || trylock(name) {
         Some(AtomicSemantics {

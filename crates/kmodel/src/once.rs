@@ -40,7 +40,10 @@ mod tests {
     #[test]
     fn mapping() {
         assert_eq!(OnceKind::from_call_name("READ_ONCE"), Some(OnceKind::Read));
-        assert_eq!(OnceKind::from_call_name("WRITE_ONCE"), Some(OnceKind::Write));
+        assert_eq!(
+            OnceKind::from_call_name("WRITE_ONCE"),
+            Some(OnceKind::Write)
+        );
         assert_eq!(OnceKind::from_call_name("ONCE"), None);
     }
 

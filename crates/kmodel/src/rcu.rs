@@ -65,7 +65,11 @@ mod tests {
 
     #[test]
     fn dereference_is_acquire() {
-        for name in ["rcu_dereference", "rcu_dereference_check", "srcu_dereference"] {
+        for name in [
+            "rcu_dereference",
+            "rcu_dereference_check",
+            "srcu_dereference",
+        ] {
             assert_eq!(rcu_barrier_equivalent(name), Some(BarrierKind::LoadAcquire));
         }
     }

@@ -32,9 +32,9 @@ impl SeqcountOp {
             | "raw_read_seqcount_begin"
             | "read_seqbegin"
             | "xt_write_recseq_begin_read" => SeqcountOp::ReadBegin,
-            "read_seqcount_retry"
-            | "raw_read_seqcount_retry"
-            | "read_seqretry" => SeqcountOp::ReadRetry,
+            "read_seqcount_retry" | "raw_read_seqcount_retry" | "read_seqretry" => {
+                SeqcountOp::ReadRetry
+            }
             "write_seqcount_begin"
             | "raw_write_seqcount_begin"
             | "write_seqlock"

@@ -57,7 +57,10 @@ mod tests {
     fn list_is_sorted() {
         let mut sorted = WAKEUP_FUNCTIONS.to_vec();
         sorted.sort_unstable();
-        assert_eq!(sorted, WAKEUP_FUNCTIONS, "list must stay sorted for binary search");
+        assert_eq!(
+            sorted, WAKEUP_FUNCTIONS,
+            "list must stay sorted for binary search"
+        );
     }
 
     #[test]

@@ -23,11 +23,14 @@ fn main() {
         far_decoy_pairs: 0,
         lone_per_file: 1,
         split_fraction: 0.2,
+        reread_decoys: 0,
+        unfenced_decoys: 0,
         bugs: BugPlan {
             misplaced: 3,
             repeated_read: 2,
             wrong_type: 1,
             unneeded: 4,
+            missing_barrier: 0,
         },
     };
     let corpus = generate(&spec);
@@ -58,9 +61,7 @@ fn main() {
         .filter_map(|d| {
             let kind = match &d.kind {
                 ofence::DeviationKind::Misplaced { .. } => ofence_corpus::BugKind::Misplaced,
-                ofence::DeviationKind::RepeatedRead { .. } => {
-                    ofence_corpus::BugKind::RepeatedRead
-                }
+                ofence::DeviationKind::RepeatedRead { .. } => ofence_corpus::BugKind::RepeatedRead,
                 ofence::DeviationKind::WrongBarrierType { .. } => {
                     ofence_corpus::BugKind::WrongBarrierType
                 }
@@ -68,12 +69,23 @@ fn main() {
                     ofence_corpus::BugKind::UnneededBarrier
                 }
                 ofence::DeviationKind::MissingOnce { .. } => return None,
+                ofence::DeviationKind::MissingBarrier { .. } => {
+                    ofence_corpus::BugKind::MissingBarrier
+                }
             };
             Some(FoundBug {
                 function: d.site.function.clone(),
                 kind,
-                strukt: d.object.as_ref().map(|o| o.strukt.clone()).unwrap_or_default(),
-                field: d.object.as_ref().map(|o| o.field.clone()).unwrap_or_default(),
+                strukt: d
+                    .object
+                    .as_ref()
+                    .map(|o| o.strukt.clone())
+                    .unwrap_or_default(),
+                field: d
+                    .object
+                    .as_ref()
+                    .map(|o| o.field.clone())
+                    .unwrap_or_default(),
             })
         })
         .collect();

@@ -1,0 +1,60 @@
+//! Dataflow extension: detect a reader whose fence is *missing entirely*.
+//!
+//! Pairing alone cannot flag this — with no read barrier there is no read
+//! site, so the writer simply stays unpaired. The missing-barrier detector
+//! walks fence-less functions, matches the writer's guard/payload protocol
+//! against their reads, and proposes the fence the sibling readers use.
+//!
+//! ```text
+//! cargo run -p ofence-examples --example missing_fence
+//! ```
+
+use ofence::{AnalysisConfig, DeviationKind, Engine, SourceFile};
+use ofence_corpus::fixtures;
+
+fn main() {
+    let config = AnalysisConfig {
+        detect_missing: true,
+        ..Default::default()
+    };
+
+    // The perf ring-buffer memory-ordering bug: the writer publishes event
+    // records with smp_wmb() before advancing data_head, but the reader
+    // consumed the head and then the records with no fence in between.
+    let src = fixtures::PERF_RB_MISSING_RMB;
+
+    // Baseline: the default pipeline sees nothing — the writer is merely
+    // an unpaired barrier, which on its own is not a finding.
+    let baseline =
+        Engine::new(AnalysisConfig::default()).analyze(&[SourceFile::new("ring_buffer.c", src)]);
+    assert!(baseline.deviations.is_empty());
+    println!("default pipeline: no findings (writer unpaired, reader fence-less)\n");
+
+    // With the detector on, the fence-less guarded reader is flagged.
+    let result = Engine::new(config.clone()).analyze(&[SourceFile::new("ring_buffer.c", src)]);
+    let missing = result
+        .deviations
+        .iter()
+        .find(|d| matches!(d.kind, DeviationKind::MissingBarrier { .. }))
+        .expect("missing-barrier deviation");
+    println!("== finding");
+    println!("{}\n", missing.render(&result.files[0].source));
+
+    // The synthesized patch is the upstream fix: smp_rmb() between the
+    // head read and the data read.
+    let patch = ofence::patch::synthesize(missing, &result.files[0]).expect("patch");
+    println!("== synthesized fix");
+    println!("{}", patch.diff);
+
+    // Machine verification: apply the fix and re-analyze.
+    let fixed = ofence::apply_edits(&result.files[0].source, &patch.edits).expect("applies");
+    let reanalyzed = Engine::new(config).analyze(&[SourceFile::new("ring_buffer.c", fixed)]);
+    assert!(
+        !reanalyzed
+            .deviations
+            .iter()
+            .any(|d| matches!(d.kind, DeviationKind::MissingBarrier { .. })),
+        "fix must silence the detector"
+    );
+    println!("re-analysis after the fix: clean — patch verified");
+}

@@ -14,7 +14,14 @@ fn sources(corpus: &Corpus) -> Vec<SourceFile> {
 }
 
 fn grade(corpus: &Corpus) -> (ofence::AnalysisResult, ofence_corpus::EvalSummary) {
-    let result = Engine::new(AnalysisConfig::default()).analyze(&sources(corpus));
+    grade_with(corpus, AnalysisConfig::default())
+}
+
+fn grade_with(
+    corpus: &Corpus,
+    config: AnalysisConfig,
+) -> (ofence::AnalysisResult, ofence_corpus::EvalSummary) {
+    let result = Engine::new(config).analyze(&sources(corpus));
     let bugs: Vec<ofence_corpus::FoundBug> = result
         .deviations
         .iter()
@@ -24,13 +31,22 @@ fn grade(corpus: &Corpus) -> (ofence::AnalysisResult, ofence_corpus::EvalSummary
                 ofence::DeviationKind::RepeatedRead { .. } => BugKind::RepeatedRead,
                 ofence::DeviationKind::WrongBarrierType { .. } => BugKind::WrongBarrierType,
                 ofence::DeviationKind::UnneededBarrier { .. } => BugKind::UnneededBarrier,
+                ofence::DeviationKind::MissingBarrier { .. } => BugKind::MissingBarrier,
                 ofence::DeviationKind::MissingOnce { .. } => return None,
             };
             Some(ofence_corpus::FoundBug {
                 function: d.site.function.clone(),
                 kind,
-                strukt: d.object.as_ref().map(|o| o.strukt.clone()).unwrap_or_default(),
-                field: d.object.as_ref().map(|o| o.field.clone()).unwrap_or_default(),
+                strukt: d
+                    .object
+                    .as_ref()
+                    .map(|o| o.strukt.clone())
+                    .unwrap_or_default(),
+                field: d
+                    .object
+                    .as_ref()
+                    .map(|o| o.field.clone())
+                    .unwrap_or_default(),
             })
         })
         .collect();
@@ -76,15 +92,24 @@ fn all_bug_classes_detected_across_seeds() {
             far_decoy_pairs: 0,
             lone_per_file: 0,
             split_fraction: 0.2,
+            reread_decoys: 0,
+            unfenced_decoys: 0,
             bugs: BugPlan {
                 misplaced: 6,
                 repeated_read: 3,
                 wrong_type: 1,
                 unneeded: 6,
+                missing_barrier: 3,
             },
         };
         let corpus = generate(&spec);
-        let (_, summary) = grade(&corpus);
+        let (_, summary) = grade_with(
+            &corpus,
+            AnalysisConfig {
+                detect_missing: true,
+                ..Default::default()
+            },
+        );
         assert_eq!(
             summary.bugs_found, summary.bugs_injected,
             "seed {seed}: all injected bugs must be found: {summary:#?}"
@@ -134,8 +159,7 @@ fn wakeup_writers_classified_implicit_ipc() {
                 .pairing
                 .unpaired
                 .iter()
-                .any(|(id, r)| *id == site.id
-                    && *r == ofence::UnpairedReason::ImplicitIpc),
+                .any(|(id, r)| *id == site.id && *r == ofence::UnpairedReason::ImplicitIpc),
             "{writer} must be implicit-IPC unpaired"
         );
     }
@@ -149,12 +173,16 @@ fn generation_and_analysis_deterministic() {
             repeated_read: 1,
             wrong_type: 1,
             unneeded: 1,
+            missing_barrier: 1,
         },
         ..CorpusSpec::small(5)
     };
     let (r1, s1) = grade(&generate(&spec));
     let (r2, s2) = grade(&generate(&spec));
-    assert_eq!(format!("{:?}", r1.deviations), format!("{:?}", r2.deviations));
+    assert_eq!(
+        format!("{:?}", r1.deviations),
+        format!("{:?}", r2.deviations)
+    );
     assert_eq!(format!("{s1:?}"), format!("{s2:?}"));
 }
 
@@ -180,10 +208,99 @@ fn figure6_shape_rising_then_plateau() {
     // Plateau: window 5 ≈ window 20 (within 5%).
     let at5 = counts[2] as f64;
     let at20 = counts[4] as f64;
-    assert!(
-        (at20 - at5).abs() / at20 < 0.05,
-        "no plateau: {counts:?}"
+    assert!((at20 - at5).abs() / at20 < 0.05, "no plateau: {counts:?}");
+}
+
+#[test]
+fn missing_detector_full_recall_without_false_positives() {
+    let spec = CorpusSpec {
+        seed: 77,
+        files: 30,
+        patterns_per_file: 2,
+        noise_per_file: 2,
+        decoy_pairs: 0,
+        far_decoy_pairs: 0,
+        lone_per_file: 1,
+        split_fraction: 0.2,
+        reread_decoys: 0,
+        unfenced_decoys: 4,
+        bugs: BugPlan {
+            missing_barrier: 5,
+            ..BugPlan::none()
+        },
+    };
+    let corpus = generate(&spec);
+    assert_eq!(corpus.manifest.count_bugs(BugKind::MissingBarrier), 5);
+
+    // Detector off (default): the injected bugs are invisible.
+    let (_, off) = grade(&corpus);
+    assert_eq!(off.bugs_found, 0, "{off:#?}");
+
+    // Detector on: every fence-less guarded reader is found, and the
+    // outlier rule keeps the unfenced decoys quiet.
+    let (_, on) = grade_with(
+        &corpus,
+        AnalysisConfig {
+            detect_missing: true,
+            ..Default::default()
+        },
     );
+    assert_eq!(on.bugs_found, 5, "{on:#?}");
+    assert!(on.bug_recall >= 0.9, "{on:#?}");
+    assert_eq!(on.bug_false_positives, 0, "{on:#?}");
+
+    // Ablation: without the outlier rule the detector reports both
+    // fence-less readers of every decoy.
+    let (_, no_outlier) = grade_with(
+        &corpus,
+        AnalysisConfig {
+            detect_missing: true,
+            outlier_rule: false,
+            ..Default::default()
+        },
+    );
+    assert_eq!(no_outlier.bugs_found, 5, "{no_outlier:#?}");
+    assert!(
+        no_outlier.bug_false_positives >= 2 * 4,
+        "outlier ablation should flag the unfenced decoys: {no_outlier:#?}"
+    );
+}
+
+#[test]
+fn dataflow_reread_strictly_fewer_false_positives_than_window() {
+    let spec = CorpusSpec {
+        seed: 33,
+        files: 20,
+        patterns_per_file: 2,
+        noise_per_file: 1,
+        decoy_pairs: 0,
+        far_decoy_pairs: 0,
+        lone_per_file: 0,
+        split_fraction: 0.0,
+        reread_decoys: 5,
+        unfenced_decoys: 0,
+        bugs: BugPlan {
+            repeated_read: 4,
+            ..BugPlan::none()
+        },
+    };
+    let corpus = generate(&spec);
+    let (_, dataflow) = grade(&corpus);
+    let (_, window) = grade_with(
+        &corpus,
+        AnalysisConfig {
+            dataflow_reread: false,
+            ..Default::default()
+        },
+    );
+    // Both configurations find every injected racy re-read...
+    assert_eq!(dataflow.bugs_found, 4, "{dataflow:#?}");
+    assert_eq!(window.bugs_found, 4, "{window:#?}");
+    // ...but the bounded-window heuristic also flags every benign decoy,
+    // while reaching definitions prove the re-reads observe the reader's
+    // own store.
+    assert_eq!(dataflow.bug_false_positives, 0, "{dataflow:#?}");
+    assert_eq!(window.bug_false_positives, 5, "{window:#?}");
 }
 
 #[test]

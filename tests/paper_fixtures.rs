@@ -167,11 +167,63 @@ fn patch5_annotations_generated() {
 }
 
 #[test]
+fn perf_rb_missing_rmb_detected_and_fix_matches_upstream() {
+    // The perf ring-buffer memory-ordering fix: the reader consumed
+    // data_head and then the records with no read fence. Pairing alone
+    // cannot see this (the writer is just unpaired); the dataflow
+    // missing-barrier detector must recover the upstream smp_rmb().
+    let config = AnalysisConfig {
+        detect_missing: true,
+        ..Default::default()
+    };
+    let r = Engine::new(config.clone()).analyze(&[SourceFile::new(
+        "ring_buffer.c",
+        fixtures::PERF_RB_MISSING_RMB,
+    )]);
+    let missing = r
+        .deviations
+        .iter()
+        .find(|d| matches!(d.kind, DeviationKind::MissingBarrier { .. }))
+        .expect("fence-less reader detected");
+    assert_eq!(missing.site.function, "perf_read_events");
+    assert_eq!(
+        missing.object,
+        Some(ofence::SharedObject::new("perf_rb", "data_head"))
+    );
+    // The synthesized fix is the upstream one: smp_rmb() after the head
+    // read, before the data read.
+    let patch = ofence::patch::synthesize(missing, &r.files[0]).expect("patch");
+    let fixed = ofence::apply_edits(&r.files[0].source, &patch.edits).expect("applies");
+    let rmb = fixed.find("smp_rmb").expect("fence inserted");
+    let head = fixed.find("if (!rb->data_head)").unwrap();
+    let data = fixed.find("pat_sink(rb->events)").unwrap();
+    assert!(head < rmb && rmb < data, "{fixed}");
+    // Machine verification: after the fix the pairing forms and the
+    // diagnostic is gone.
+    let r2 = Engine::new(config.clone()).analyze(&[SourceFile::new("ring_buffer.c", fixed)]);
+    assert_eq!(r2.pairing.pairings.len(), 1, "inserted fence must pair");
+    assert!(
+        !r2.deviations
+            .iter()
+            .any(|d| matches!(d.kind, DeviationKind::MissingBarrier { .. })),
+        "{:?}",
+        r2.deviations
+    );
+    // And the upstream-fixed transcription pairs cleanly.
+    let r3 = Engine::new(config).analyze(&[SourceFile::new(
+        "ring_buffer_fixed.c",
+        fixtures::PERF_RB_FIXED,
+    )]);
+    assert_eq!(r3.pairing.pairings.len(), 1);
+    assert!(r3.deviations.is_empty(), "{:?}", r3.deviations);
+    // Without the detector the bug is invisible — the motivating gap.
+    let r4 = analyze("ring_buffer.c", fixtures::PERF_RB_MISSING_RMB);
+    assert!(r4.deviations.is_empty(), "{:?}", r4.deviations);
+}
+
+#[test]
 fn fixture_analysis_is_deterministic() {
     let a = analyze("xprt.c", fixtures::PATCH1_BUGGY);
     let b = analyze("xprt.c", fixtures::PATCH1_BUGGY);
-    assert_eq!(
-        format!("{:?}", a.deviations),
-        format!("{:?}", b.deviations)
-    );
+    assert_eq!(format!("{:?}", a.deviations), format!("{:?}", b.deviations));
 }

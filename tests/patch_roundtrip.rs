@@ -15,11 +15,14 @@ fn bug_corpus(seed: u64) -> Vec<SourceFile> {
         far_decoy_pairs: 0,
         lone_per_file: 0,
         split_fraction: 0.0, // keep each pattern in one file so single-file re-analysis sees both sides
+        reread_decoys: 0,
+        unfenced_decoys: 0,
         bugs: BugPlan {
             misplaced: 6,
             repeated_read: 4,
             wrong_type: 2,
             unneeded: 5,
+            missing_barrier: 0,
         },
     };
     generate(&spec)
@@ -36,6 +39,7 @@ fn class_of(kind: &DeviationKind) -> &'static str {
         DeviationKind::WrongBarrierType { .. } => "wrong-type",
         DeviationKind::UnneededBarrier { .. } => "unneeded",
         DeviationKind::MissingOnce { .. } => "annotation",
+        DeviationKind::MissingBarrier { .. } => "missing-fence",
     }
 }
 

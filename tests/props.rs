@@ -14,10 +14,9 @@ fn arb_spec() -> impl Strategy<Value = CorpusSpec> {
         0usize..3,
         0usize..2,
         0.0f64..0.6,
-        0usize..3,
-        0usize..3,
+        (0usize..3, 0usize..3, 0usize..2, 0usize..3, 0usize..2),
         0usize..2,
-        0usize..3,
+        0usize..2,
     )
         .prop_map(
             |(
@@ -28,10 +27,9 @@ fn arb_spec() -> impl Strategy<Value = CorpusSpec> {
                 decoys,
                 lone,
                 split,
-                misplaced,
-                repeated,
-                wrong,
-                unneeded,
+                (misplaced, repeated, wrong, unneeded, missing),
+                reread_decoys,
+                unfenced_decoys,
             )| CorpusSpec {
                 seed,
                 files,
@@ -41,11 +39,14 @@ fn arb_spec() -> impl Strategy<Value = CorpusSpec> {
                 far_decoy_pairs: 0,
                 lone_per_file: lone,
                 split_fraction: split,
+                reread_decoys,
+                unfenced_decoys,
                 bugs: BugPlan {
                     misplaced,
                     repeated_read: repeated,
                     wrong_type: wrong,
                     unneeded,
+                    missing_barrier: missing,
                 },
             },
         )
@@ -166,6 +167,72 @@ proptest! {
         prop_assert_eq!(narrow.sites.len(), wide.sites.len());
         for (n, w) in narrow.sites.iter().zip(&wide.sites) {
             prop_assert!(w.accesses.len() >= n.accesses.len());
+        }
+    }
+
+    /// Every injected missing-barrier bug is detected by the dataflow
+    /// detector, and the synthesized fence-insertion patch removes the
+    /// diagnostic on re-analysis (machine verification).
+    #[test]
+    fn missing_barrier_bugs_detected_and_patch_verified(
+        seed in any::<u64>(),
+        nbugs in 1usize..4,
+    ) {
+        let spec = CorpusSpec {
+            seed,
+            files: 12,
+            patterns_per_file: 2,
+            noise_per_file: 1,
+            decoy_pairs: 0,
+            far_decoy_pairs: 0,
+            lone_per_file: 0,
+            // Keep both protocol sides in one file so single-file
+            // re-analysis can observe the repaired pairing.
+            split_fraction: 0.0,
+            reread_decoys: 0,
+            unfenced_decoys: 0,
+            bugs: BugPlan {
+                missing_barrier: nbugs,
+                ..BugPlan::none()
+            },
+        };
+        let corpus = generate(&spec);
+        prop_assert_eq!(corpus.manifest.bugs.len(), nbugs);
+        let files: Vec<SourceFile> = corpus
+            .files
+            .iter()
+            .map(|f| SourceFile::new(f.name.clone(), f.content.clone()))
+            .collect();
+        let config = AnalysisConfig {
+            detect_missing: true,
+            ..Default::default()
+        };
+        let r = Engine::new(config.clone()).analyze(&files);
+        for bug in &corpus.manifest.bugs {
+            let dev = r
+                .deviations
+                .iter()
+                .find(|d| {
+                    matches!(d.kind, ofence::DeviationKind::MissingBarrier { .. })
+                        && d.site.function == bug.function
+                });
+            prop_assert!(dev.is_some(), "missed {} in {}", bug.function, bug.file);
+            let dev = dev.unwrap();
+            let fa = &r.files[dev.site.file];
+            let patch = ofence::patch::synthesize(dev, fa);
+            prop_assert!(patch.is_some(), "no patch for {}", bug.function);
+            let fixed = ofence::apply_edits(&fa.source, &patch.unwrap().edits);
+            prop_assert!(fixed.is_some());
+            let r2 = Engine::new(config.clone())
+                .analyze(&[SourceFile::new(fa.name.clone(), fixed.unwrap())]);
+            prop_assert!(
+                !r2.deviations.iter().any(|d2| {
+                    matches!(d2.kind, ofence::DeviationKind::MissingBarrier { .. })
+                        && d2.site.function == bug.function
+                }),
+                "patch did not eliminate the missing-barrier finding in {}",
+                bug.function
+            );
         }
     }
 

@@ -1,0 +1,205 @@
+//! Vendored, registry-free stand-in for `criterion`.
+//!
+//! A deliberately small harness: each benchmark runs its routine a fixed
+//! handful of times and prints the best observed wall-clock time. Under
+//! `cargo test` (which executes `harness = false` bench targets in test
+//! mode) every routine runs exactly once, so benches double as smoke
+//! tests without slowing the suite down. No statistics, plots, or
+//! baseline comparisons — the workspace only needs relative numbers and
+//! the assertions inside the bench bodies.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How many times to invoke each routine per measurement.
+fn measurement_iters() -> u64 {
+    // `cargo test` passes `--test`; plain `cargo bench` passes `--bench`.
+    // Anything other than explicit bench mode gets the quick path.
+    if std::env::args().any(|a| a == "--bench") {
+        3
+    } else {
+        1
+    }
+}
+
+pub struct Criterion {
+    iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            iters: measurement_iters(),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.iters, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's iteration count is
+    /// fixed by the run mode instead.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.0);
+        run_one(&label, self.criterion.iters, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.0);
+        run_one(&label, self.criterion.iters, &mut |b: &mut Bencher| {
+            f(b, input)
+        });
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, iters: u64, f: &mut F) {
+    let mut best = Duration::MAX;
+    for _ in 0..iters {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed < best {
+            best = b.elapsed;
+        }
+    }
+    println!("bench {label:<48} {best:>12.2?}");
+}
+
+pub struct Bencher {
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        black_box(f());
+        self.elapsed = start.elapsed();
+    }
+}
+
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(format!("{}/{}", function_name.into(), parameter))
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId(s)
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    BytesDecimal(u64),
+    Elements(u64),
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut ran = 0u32;
+        let mut c = Criterion { iters: 1 };
+        c.bench_function("smoke", |b| b.iter(|| ran += 1));
+        assert_eq!(ran, 1);
+    }
+
+    #[test]
+    fn group_runs_with_input() {
+        let mut c = Criterion { iters: 1 };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10).throughput(Throughput::Bytes(8));
+        let data = vec![1u64, 2, 3];
+        let mut sum = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(3), &data, |b, d| {
+            b.iter(|| sum = d.iter().sum());
+        });
+        group.finish();
+        assert_eq!(sum, 6);
+    }
+}

@@ -1,0 +1,390 @@
+//! Vendored, registry-free stand-in for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! ships a minimal serde data model (see `vendor/serde`) and this crate
+//! provides the matching `#[derive(Serialize)]` / `#[derive(Deserialize)]`
+//! implementations plus the `json!` constructor re-exported by
+//! `vendor/serde_json`. Only the shapes the workspace actually uses are
+//! supported: non-generic structs (named, tuple, unit) and enums with
+//! unit, tuple, and struct variants, externally tagged exactly like real
+//! serde's default representation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Fields)>,
+    },
+}
+
+fn is_punct(tt: &TokenTree, ch: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == ch)
+}
+
+fn is_ident(tt: &TokenTree, s: &str) -> bool {
+    matches!(tt, TokenTree::Ident(i) if i.to_string() == s)
+}
+
+/// Skip `#[...]` attributes (including doc comments) starting at `i`.
+fn skip_attrs(tts: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tts.len()
+        && is_punct(&tts[i], '#')
+        && matches!(&tts[i + 1], TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket)
+    {
+        i += 2;
+    }
+    i
+}
+
+/// Skip `pub` / `pub(crate)` style visibility starting at `i`.
+fn skip_vis(tts: &[TokenTree], mut i: usize) -> usize {
+    if i < tts.len() && is_ident(&tts[i], "pub") {
+        i += 1;
+        if i < tts.len()
+            && matches!(&tts[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Split a token slice on top-level commas. Groups are atomic tokens, so
+/// `{}`/`()`/`[]` nesting takes care of itself, but generic arguments
+/// (`BTreeMap<K, V>`) need explicit angle-bracket depth tracking; `->`
+/// never appears at angle depth 0 in a position that matters because the
+/// `-` does not increment the depth.
+fn split_commas(tts: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle_depth: usize = 0;
+    for tt in tts {
+        if is_punct(tt, '<') {
+            angle_depth += 1;
+        } else if is_punct(tt, '>') {
+            angle_depth = angle_depth.saturating_sub(1);
+        }
+        if angle_depth == 0 && is_punct(tt, ',') {
+            out.push(std::mem::take(&mut cur));
+        } else {
+            cur.push(tt.clone());
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out.retain(|seg| !seg.is_empty());
+    out
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tts: Vec<TokenTree> = stream.into_iter().collect();
+    split_commas(&tts)
+        .into_iter()
+        .map(|seg| {
+            let i = skip_vis(&seg, skip_attrs(&seg, 0));
+            match &seg[i] {
+                TokenTree::Ident(id) => id.to_string(),
+                other => panic!("serde shim derive: expected field name, found {other}"),
+            }
+        })
+        .collect()
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tts: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_vis(&tts, skip_attrs(&tts, 0));
+    let is_enum = if is_ident(&tts[i], "struct") {
+        false
+    } else if is_ident(&tts[i], "enum") {
+        true
+    } else {
+        panic!(
+            "serde shim derive: expected struct or enum, found {}",
+            tts[i]
+        );
+    };
+    i += 1;
+    let name = match &tts[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde shim derive: expected type name, found {other}"),
+    };
+    i += 1;
+    if i < tts.len() && is_punct(&tts[i], '<') {
+        panic!("serde shim derive: generic types are not supported (type {name})");
+    }
+    if is_enum {
+        let body = match &tts[i] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => g.stream(),
+            other => panic!("serde shim derive: expected enum body, found {other}"),
+        };
+        let body_tts: Vec<TokenTree> = body.into_iter().collect();
+        let variants = split_commas(&body_tts)
+            .into_iter()
+            .map(|seg| {
+                let j = skip_attrs(&seg, 0);
+                let vname = match &seg[j] {
+                    TokenTree::Ident(id) => id.to_string(),
+                    other => panic!("serde shim derive: expected variant name, found {other}"),
+                };
+                let fields = match seg.get(j + 1) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                        Fields::Tuple(split_commas(&inner).len())
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        Fields::Named(parse_named_fields(g.stream()))
+                    }
+                    _ => Fields::Unit,
+                };
+                (vname, fields)
+            })
+            .collect();
+        Item::Enum { name, variants }
+    } else {
+        let fields = match tts.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Fields::Tuple(split_commas(&inner).len())
+            }
+            _ => Fields::Unit,
+        };
+        Item::Struct { name, fields }
+    }
+}
+
+fn named_to_object(fields: &[String], access: &str) -> String {
+    let mut s = String::from("{ let mut __m = ::serde::Map::new();\n");
+    for f in fields {
+        s.push_str(&format!(
+            "__m.insert(\"{f}\".to_string(), ::serde::Serialize::to_value({access}{f}));\n"
+        ));
+    }
+    s.push_str("::serde::Value::Object(__m) }");
+    s
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let (name, body) = match &item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(fs) => named_to_object(fs, "&self."),
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let elems: Vec<String> = (0..*n)
+                        .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+                }
+                Fields::Unit => "::serde::Value::Null".to_string(),
+            };
+            (name.clone(), body)
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (vname, fields) in variants {
+                match fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::String(\"{vname}\".to_string()),\n"
+                    )),
+                    Fields::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(__f0) => ::serde::variant_value(\"{vname}\", \
+                         ::serde::Serialize::to_value(__f0)),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let pats: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let elems: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Serialize::to_value(__f{k})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => ::serde::variant_value(\"{vname}\", \
+                             ::serde::Value::Array(vec![{}])),\n",
+                            pats.join(", "),
+                            elems.join(", ")
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let pats = fs.join(", ");
+                        let obj = named_to_object(fs, "");
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {pats} }} => ::serde::variant_value(\"{vname}\", {obj}),\n"
+                        ));
+                    }
+                }
+            }
+            (name.clone(), format!("match self {{\n{arms}}}"))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n}}"
+    )
+    .parse()
+    .expect("serde shim derive: generated Serialize impl parses")
+}
+
+fn named_from_object(ctor: &str, fields: &[String], map: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| format!("{f}: ::serde::de_field({map}.get(\"{f}\"), \"{f}\")?"))
+        .collect();
+    format!("{ctor} {{ {} }}", inits.join(", "))
+}
+
+fn tuple_from_array(ctor: &str, n: usize, payload: &str, what: &str) -> String {
+    let elems: Vec<String> = (0..n)
+        .map(|k| format!("::serde::Deserialize::from_value(&__a[{k}])?"))
+        .collect();
+    format!(
+        "{{ let __a = {payload}.as_array().ok_or_else(|| ::serde::Error::new(\
+         \"{what}: expected array\"))?;\n\
+         if __a.len() != {n} {{ return Err(::serde::Error::new(\"{what}: expected {n} elements\")); }}\n\
+         {ctor}({}) }}",
+        elems.join(", ")
+    )
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let (name, body) = match &item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(fs) => format!(
+                    "let __m = __v.as_object().ok_or_else(|| ::serde::Error::new(\
+                     \"{name}: expected object\"))?;\nOk({})",
+                    named_from_object(name, fs, "__m")
+                ),
+                Fields::Tuple(1) => {
+                    format!("Ok({name}(::serde::Deserialize::from_value(__v)?))")
+                }
+                Fields::Tuple(n) => {
+                    format!("Ok({})", tuple_from_array(name, *n, "__v", name))
+                }
+                Fields::Unit => format!("Ok({name})"),
+            };
+            (name.clone(), body)
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for (vname, fields) in variants {
+                match fields {
+                    Fields::Unit => {
+                        unit_arms.push_str(&format!("\"{vname}\" => Ok({name}::{vname}),\n"))
+                    }
+                    Fields::Tuple(1) => payload_arms.push_str(&format!(
+                        "\"{vname}\" => Ok({name}::{vname}(\
+                         ::serde::Deserialize::from_value(__p)?)),\n"
+                    )),
+                    Fields::Tuple(n) => payload_arms.push_str(&format!(
+                        "\"{vname}\" => Ok({}),\n",
+                        tuple_from_array(&format!("{name}::{vname}"), *n, "__p", vname)
+                    )),
+                    Fields::Named(fs) => payload_arms.push_str(&format!(
+                        "\"{vname}\" => {{ let __m2 = __p.as_object().ok_or_else(|| \
+                         ::serde::Error::new(\"{name}::{vname}: expected object\"))?;\n\
+                         Ok({}) }}\n",
+                        named_from_object(&format!("{name}::{vname}"), fs, "__m2")
+                    )),
+                }
+            }
+            let body = format!(
+                "match __v {{\n\
+                 ::serde::Value::String(__s) => match __s.as_str() {{\n{unit_arms}\
+                 __other => Err(::serde::Error::new(format!(\"{name}: unknown variant {{__other}}\"))),\n}},\n\
+                 ::serde::Value::Object(__m) if __m.len() == 1 => {{\n\
+                 let (__k, __p) = __m.iter().next().expect(\"len checked\");\n\
+                 match __k.as_str() {{\n{payload_arms}\
+                 __other => Err(::serde::Error::new(format!(\"{name}: unknown variant {{__other}}\"))),\n}}\n}},\n\
+                 _ => Err(::serde::Error::new(\"{name}: expected string or single-key object\")),\n}}"
+            );
+            (name.clone(), body)
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n}}\n}}"
+    )
+    .parse()
+    .expect("serde shim derive: generated Deserialize impl parses")
+}
+
+/// `json!` value constructor, re-exported by the `serde_json` shim.
+///
+/// Objects and arrays written literally become `Value` constructors;
+/// anything else is treated as a Rust expression serialized through
+/// `::serde_json::to_value`.
+#[proc_macro]
+pub fn json(input: TokenStream) -> TokenStream {
+    let tts: Vec<TokenTree> = input.into_iter().collect();
+    json_value_expr(&tts)
+        .parse()
+        .expect("json! shim: generated expression parses")
+}
+
+fn json_value_expr(tts: &[TokenTree]) -> String {
+    if tts.len() == 1 {
+        match &tts[0] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                return json_object_expr(&inner);
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                let elems: Vec<String> = split_commas(&inner)
+                    .iter()
+                    .map(|seg| json_value_expr(seg))
+                    .collect();
+                return format!("::serde_json::Value::Array(vec![{}])", elems.join(", "));
+            }
+            TokenTree::Ident(id) if id.to_string() == "null" => {
+                return "::serde_json::Value::Null".to_string();
+            }
+            TokenTree::Ident(id) if id.to_string() == "true" => {
+                return "::serde_json::Value::Bool(true)".to_string();
+            }
+            TokenTree::Ident(id) if id.to_string() == "false" => {
+                return "::serde_json::Value::Bool(false)".to_string();
+            }
+            _ => {}
+        }
+    }
+    let expr: TokenStream = tts.iter().cloned().collect();
+    format!("::serde_json::to_value(&({expr}))")
+}
+
+fn json_object_expr(tts: &[TokenTree]) -> String {
+    let mut s = String::from("{ let mut __m = ::serde_json::Map::new();\n");
+    for entry in split_commas(tts) {
+        // Each entry is `"key" : value-tokens...`.
+        let key = match &entry[0] {
+            TokenTree::Literal(l) => l.to_string(),
+            other => panic!("json! shim: object keys must be string literals, found {other}"),
+        };
+        if entry.len() < 3 || !is_punct(&entry[1], ':') {
+            panic!("json! shim: expected `\"key\": value`");
+        }
+        let value = json_value_expr(&entry[2..]);
+        s.push_str(&format!("__m.insert({key}.to_string(), {value});\n"));
+    }
+    s.push_str("::serde_json::Value::Object(__m) }");
+    s
+}
