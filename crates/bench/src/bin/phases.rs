@@ -1,0 +1,85 @@
+//! Per-phase pipeline breakdown benchmark.
+//!
+//! ```text
+//! phases [--scale small|paper] [--seed N] [--out PATH]
+//! ```
+//!
+//! Runs one full analysis over the synthetic corpus and dumps the run's
+//! own observability data — per-phase wall-clock (parse / cfg / extract /
+//! pair / check / …), decision counters, and the slowest files — to
+//! `BENCH_phases.json`. Unlike `report`, nothing here is measured with an
+//! external stopwatch: every number comes from the engine's span
+//! recorder, so this doubles as a regression check that instrumentation
+//! stays cheap (compare `analyze` against the phase sum).
+
+use ofence::AnalysisConfig;
+use ofence_bench::harness;
+use ofence_corpus::{generate, CorpusSpec};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = "small".to_string();
+    let mut seed = 42u64;
+    let mut out = "BENCH_phases.json".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                scale = args.get(i + 1).cloned().unwrap_or_default();
+                i += 2;
+            }
+            "--seed" => {
+                seed = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(42);
+                i += 2;
+            }
+            "--out" => {
+                out = args.get(i + 1).cloned().unwrap_or(out);
+                i += 2;
+            }
+            other => {
+                eprintln!("phases: unknown option `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    let spec = match scale.as_str() {
+        "paper" => CorpusSpec::paper_scale(seed),
+        _ => CorpusSpec::small(seed),
+    };
+    eprintln!("generating corpus (scale={scale}, seed={seed})...");
+    let corpus = generate(&spec);
+    let result = harness::analyze_corpus(&corpus, AnalysisConfig::default());
+
+    println!(
+        "analyzed {} files in {} ms",
+        corpus.files.len(),
+        result.stats.elapsed_ms
+    );
+    let phase_sum: u64 = result.stats.phase_us.values().sum();
+    for phase in ofence::report::PHASES {
+        if let Some(us) = result.stats.phase_us.get(phase) {
+            let pct = 100.0 * *us as f64 / phase_sum.max(1) as f64;
+            println!(
+                "  {phase:<12} {:>10.1} ms  ({pct:>4.1}%)",
+                *us as f64 / 1000.0
+            );
+        }
+    }
+    println!("slowest files:");
+    for (f, us) in &result.stats.slowest_files {
+        println!("  {f} ({:.1} ms)", *us as f64 / 1000.0);
+    }
+
+    let payload = serde_json::json!({
+        "scale": scale,
+        "seed": seed,
+        "files": corpus.files.len(),
+        "elapsed_ms": result.stats.elapsed_ms,
+        "phase_us": result.stats.phase_us,
+        "slowest_files": result.stats.slowest_files,
+        "counters": result.obs.counters,
+    });
+    let text = serde_json::to_string_pretty(&payload).expect("serialize phases report");
+    std::fs::write(&out, text).expect("write phases report");
+    eprintln!("wrote {out}");
+}

@@ -12,7 +12,6 @@ use ofence::{AnalysisConfig, DeviationKind, Engine, SourceFile};
 use ofence_bench::harness;
 use ofence_corpus::{generate, BugKind, Corpus, CorpusSpec};
 use std::collections::BTreeMap;
-use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -73,9 +72,7 @@ fn main() {
         .iter()
         .any(|s| want(s));
     if needs_run {
-        let start = Instant::now();
         let (result, summary) = harness::evaluate_corpus(&corpus, AnalysisConfig::default());
-        let elapsed = start.elapsed();
         if want("table3") {
             table3(&result, &corpus, &mut json);
         }
@@ -83,7 +80,7 @@ fn main() {
             fig7(&result, &mut json);
         }
         if want("runtime") {
-            runtime(&corpus, elapsed, &mut json);
+            runtime(&corpus, &result, &mut json);
         }
         if want("patches") {
             patches(&result, &mut json);
@@ -278,34 +275,51 @@ fn fig7(result: &ofence::AnalysisResult, json: &mut serde_json::Map<String, serd
     json.insert("fig7".into(), out.into());
 }
 
-/// §6.1: runtime of the full analysis and of incremental re-analysis.
+/// §6.1: runtime of the full analysis and of incremental re-analysis,
+/// with the per-phase breakdown from the run's own spans (the engine no
+/// longer needs external stopwatches).
 fn runtime(
     corpus: &Corpus,
-    full: std::time::Duration,
+    result: &ofence::AnalysisResult,
     json: &mut serde_json::Map<String, serde_json::Value>,
 ) {
     header("§6.1 — analysis runtime");
     println!(
-        "full corpus ({} files): {:?}  (paper: 8 min for 614 kernel files on 16 cores)",
+        "full corpus ({} files): {} ms  (paper: 8 min for 614 kernel files on 16 cores)",
         corpus.files.len(),
-        full
+        result.stats.elapsed_ms
     );
+    for phase in ofence::report::PHASES {
+        if let Some(us) = result.stats.phase_us.get(phase) {
+            println!("  {phase:<12} {:.1} ms", *us as f64 / 1000.0);
+        }
+    }
+    if !result.stats.slowest_files.is_empty() {
+        println!("  slowest files:");
+        for (f, us) in &result.stats.slowest_files {
+            println!("    {f} ({:.1} ms)", *us as f64 / 1000.0);
+        }
+    }
     // Incremental: re-analyze after touching one file.
     let mut files = harness::to_source_files(corpus);
     let mut engine = Engine::new(AnalysisConfig::default());
     let _ = engine.analyze(&files);
     let touched = files.len() / 2;
     files[touched].content.push_str("\n/* touched */\n");
-    let start = Instant::now();
-    let _ = engine.analyze_incremental(&files);
-    let inc = start.elapsed();
-    println!("single-file incremental:  {inc:?}  (paper: <30 s per file)");
+    let inc = engine.analyze_incremental(&files);
+    println!(
+        "single-file incremental:  {} ms  (paper: <30 s per file)",
+        inc.stats.elapsed_ms
+    );
     json.insert(
         "runtime".into(),
         serde_json::json!({
-            "full_ms": full.as_millis() as u64,
-            "incremental_ms": inc.as_millis() as u64,
+            "full_ms": result.stats.elapsed_ms,
+            "incremental_ms": inc.stats.elapsed_ms,
             "files": corpus.files.len(),
+            "phase_us": result.stats.phase_us,
+            "slowest_files": result.stats.slowest_files,
+            "incremental_cache_hits": inc.obs.counters.get("engine_cache_hits").copied().unwrap_or(0),
         }),
     );
 }

@@ -43,9 +43,30 @@ pub struct LoweredFile<'a> {
 impl<'a> LoweredFile<'a> {
     /// Lower a parsed file: build symbols and all CFGs.
     pub fn lower(parsed: &'a ParsedFile) -> LoweredFile<'a> {
+        let rec = obs::Recorder::new();
+        Self::lower_traced(parsed, &rec)
+    }
+
+    /// Lower a parsed file, recording a per-file `cfg` span (with
+    /// per-function attribution) and construction counters.
+    pub fn lower_traced(parsed: &'a ParsedFile, rec: &obs::Recorder) -> LoweredFile<'a> {
+        let file = parsed.map.file.as_str();
+        let _span = rec.span_with("cfg", &[("file", file)]);
         let symbols = FileSymbols::build(&parsed.unit);
         let functions: Vec<_> = parsed.unit.functions().collect();
-        let cfgs = functions.iter().map(|f| Cfg::build(f)).collect();
+        let cfgs: Vec<Cfg> = functions
+            .iter()
+            .map(|f| {
+                let _fn_span =
+                    rec.span_with("cfg-build", &[("file", file), ("function", &f.sig.name)]);
+                Cfg::build(f)
+            })
+            .collect();
+        rec.count("cfgir_cfgs_built", cfgs.len() as u64);
+        rec.count(
+            "cfgir_nodes",
+            cfgs.iter().map(|c| c.ids().count() as u64).sum(),
+        );
         LoweredFile {
             parsed,
             symbols,

@@ -55,9 +55,36 @@ pub fn parse_string(file: &str, src: &str) -> Result<ParsedFile> {
 
 /// Parse a source string with explicit configuration.
 pub fn parse_with(file: &str, src: &str, config: &FrontendConfig) -> Result<ParsedFile> {
-    let tokens = lexer::lex(src)?;
-    let ppo = pp::preprocess(tokens, &config.pp)?;
-    let out = parser::parse_tokens(ppo.tokens, &config.parser);
+    let rec = obs::Recorder::new();
+    parse_traced(file, src, config, &rec)
+}
+
+/// Parse a source string, recording a per-file `parse` span (with nested
+/// `lex`/`pp`/`parse-tokens` sub-spans) and front-end counters into the
+/// given recorder.
+pub fn parse_traced(
+    file: &str,
+    src: &str,
+    config: &FrontendConfig,
+    rec: &obs::Recorder,
+) -> Result<ParsedFile> {
+    let _span = rec.span_with("parse", &[("file", file)]);
+    let tokens = {
+        let _lex = rec.span_with("lex", &[("file", file)]);
+        lexer::lex(src)?
+    };
+    rec.count("ckit_tokens", tokens.len() as u64);
+    let ppo = {
+        let _pp = rec.span_with("pp", &[("file", file)]);
+        pp::preprocess(tokens, &config.pp)?
+    };
+    let out = {
+        let _parse = rec.span_with("parse-tokens", &[("file", file)]);
+        parser::parse_tokens(ppo.tokens, &config.parser)
+    };
+    rec.count("ckit_files_parsed", 1);
+    rec.count("ckit_parse_errors", out.errors.len() as u64);
+    rec.count("ckit_functions", out.unit.functions().count() as u64);
     Ok(ParsedFile {
         unit: out.unit,
         map: SourceMap::new(file, src),

@@ -4,11 +4,16 @@ use ofence::AnalysisConfig;
 
 pub const USAGE: &str = "\
 usage:
-  ofence analyze  <paths...> [--json] [window options]
+  ofence analyze  <paths...> [--json] [output options] [window options]
   ofence patch    <paths...> [--apply] [--json] [window options]
   ofence annotate <paths...> [--apply] [--json] [window options]
   ofence stats    <paths...> [--json] [window options]
+  ofence explain  <file:line> <paths...> [--json] [window options]
   ofence gen      --out DIR [--files N] [--seed S] [--bugs]
+
+output options:
+  --trace-out FILE   write a Chrome-tracing JSON trace of the run
+  --metrics-out FILE write Prometheus text-format metrics of the run
 
 window options:
   --write-window N   statements explored around write barriers (default 5)
@@ -17,7 +22,11 @@ window options:
   --no-expand        disable callee/caller expansion
   --missing          enable the missing-barrier detector (dataflow)
   --no-outlier       report all fence-less readers, not just outliers
-  --window-reread    use the bounded-window re-read heuristic (no dataflow)";
+  --window-reread    use the bounded-window re-read heuristic (no dataflow)
+
+`explain` replays the pairing decision for the barrier at <file:line>:
+the candidate set, shared-object overlap, distance-product weights, and
+why the winner won (or why the barrier stayed unpaired).";
 
 /// A parsed invocation.
 #[derive(Debug, PartialEq)]
@@ -26,6 +35,7 @@ pub enum Command {
     Patch(RunOpts),
     Annotate(RunOpts),
     Stats(RunOpts),
+    Explain(ExplainOpts),
     Gen(GenOpts),
 }
 
@@ -35,7 +45,20 @@ pub struct RunOpts {
     pub paths: Vec<String>,
     pub json: bool,
     pub apply: bool,
+    /// Write a Chrome-tracing JSON trace of the run to this file.
+    pub trace_out: Option<String>,
+    /// Write Prometheus text-format metrics of the run to this file.
+    pub metrics_out: Option<String>,
     pub config: AnalysisConfig,
+}
+
+/// `ofence explain <file:line> <paths...>`.
+#[derive(Debug, PartialEq)]
+pub struct ExplainOpts {
+    /// Target barrier location, as given (`file:line`).
+    pub file: String,
+    pub line: u32,
+    pub run: RunOpts,
 }
 
 #[derive(Debug, PartialEq)]
@@ -56,6 +79,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         "patch" => Ok(Command::Patch(parse_run(rest)?)),
         "annotate" => Ok(Command::Annotate(parse_run(rest)?)),
         "stats" => Ok(Command::Stats(parse_run(rest)?)),
+        "explain" => Ok(Command::Explain(parse_explain(rest)?)),
         "gen" => Ok(Command::Gen(parse_gen(rest)?)),
         "--help" | "-h" | "help" => Err("".into()),
         other => Err(format!("unknown subcommand `{other}`")),
@@ -67,6 +91,8 @@ fn parse_run(argv: &[String]) -> Result<RunOpts, String> {
         paths: Vec::new(),
         json: false,
         apply: false,
+        trace_out: None,
+        metrics_out: None,
         config: AnalysisConfig::default(),
     };
     let mut i = 0;
@@ -74,6 +100,15 @@ fn parse_run(argv: &[String]) -> Result<RunOpts, String> {
         match argv[i].as_str() {
             "--json" => opts.json = true,
             "--apply" => opts.apply = true,
+            "--trace-out" => {
+                i += 1;
+                opts.trace_out = Some(argv.get(i).ok_or("--trace-out needs a file")?.to_string());
+            }
+            "--metrics-out" => {
+                i += 1;
+                opts.metrics_out =
+                    Some(argv.get(i).ok_or("--metrics-out needs a file")?.to_string());
+            }
             "--no-ipc" => opts.config.implicit_ipc = false,
             "--no-expand" => {
                 opts.config.callee_expansion = false;
@@ -101,6 +136,24 @@ fn parse_run(argv: &[String]) -> Result<RunOpts, String> {
         return Err("no input paths given".into());
     }
     Ok(opts)
+}
+
+fn parse_explain(argv: &[String]) -> Result<ExplainOpts, String> {
+    let Some(target) = argv.first() else {
+        return Err("explain requires a <file:line> target".into());
+    };
+    let Some((file, line)) = target.rsplit_once(':') else {
+        return Err(format!("`{target}` is not a <file:line> target"));
+    };
+    let line: u32 = line
+        .parse()
+        .map_err(|_| format!("`{target}` is not a <file:line> target"))?;
+    let run = parse_run(&argv[1..])?;
+    Ok(ExplainOpts {
+        file: file.to_string(),
+        line,
+        run,
+    })
 }
 
 fn parse_gen(argv: &[String]) -> Result<GenOpts, String> {
@@ -231,11 +284,44 @@ mod tests {
     }
 
     #[test]
+    fn trace_and_metrics_outputs() {
+        let cmd = parse(&argv(
+            "analyze x.c --trace-out trace.json --metrics-out metrics.txt",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Analyze(o) => {
+                assert_eq!(o.trace_out.as_deref(), Some("trace.json"));
+                assert_eq!(o.metrics_out.as_deref(), Some("metrics.txt"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn explain_target() {
+        let cmd = parse(&argv("explain writer.c:12 src/ --write-window 3")).unwrap();
+        match cmd {
+            Command::Explain(o) => {
+                assert_eq!(o.file, "writer.c");
+                assert_eq!(o.line, 12);
+                assert_eq!(o.run.paths, vec!["src/"]);
+                assert_eq!(o.run.config.write_window, 3);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
     fn errors() {
         assert!(parse(&argv("")).is_err());
         assert!(parse(&argv("bogus")).is_err());
         assert!(parse(&argv("analyze")).is_err());
         assert!(parse(&argv("analyze x.c --write-window")).is_err());
+        assert!(parse(&argv("analyze x.c --trace-out")).is_err());
         assert!(parse(&argv("gen --files 3")).is_err());
+        assert!(parse(&argv("explain")).is_err());
+        assert!(parse(&argv("explain not-a-target x.c")).is_err());
+        assert!(parse(&argv("explain f.c:12")).is_err()); // no paths
     }
 }

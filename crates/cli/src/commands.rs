@@ -1,6 +1,6 @@
 //! Subcommand implementations.
 
-use crate::args::{Command, GenOpts, RunOpts};
+use crate::args::{Command, ExplainOpts, GenOpts, RunOpts};
 use crate::walk::collect_sources;
 use ofence::{AnalysisResult, Engine, Patch};
 use std::process::ExitCode;
@@ -11,13 +11,29 @@ pub fn run(cmd: Command) -> Result<ExitCode, String> {
         Command::Patch(o) => patch(o),
         Command::Annotate(o) => annotate(o),
         Command::Stats(o) => stats(o),
+        Command::Explain(o) => explain(o),
         Command::Gen(o) => gen(o),
     }
 }
 
 fn run_engine(opts: &RunOpts) -> Result<AnalysisResult, String> {
     let sources = collect_sources(&opts.paths)?;
-    Ok(Engine::new(opts.config.clone()).analyze(&sources))
+    let result = Engine::new(opts.config.clone()).analyze(&sources);
+    write_observability(opts, &result)?;
+    Ok(result)
+}
+
+/// Honor `--trace-out` / `--metrics-out` for any analysis subcommand.
+fn write_observability(opts: &RunOpts, result: &AnalysisResult) -> Result<(), String> {
+    if let Some(path) = &opts.trace_out {
+        std::fs::write(path, result.obs.chrome_trace_json()).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("wrote trace to {path} (open in chrome://tracing or Perfetto)");
+    }
+    if let Some(path) = &opts.metrics_out {
+        std::fs::write(path, result.obs.prometheus_text()).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("wrote metrics to {path}");
+    }
+    Ok(())
 }
 
 /// `ofence analyze` — findings + pairing summary. Exit code 1 when any
@@ -25,12 +41,11 @@ fn run_engine(opts: &RunOpts) -> Result<AnalysisResult, String> {
 fn analyze(opts: RunOpts) -> Result<ExitCode, String> {
     let result = run_engine(&opts)?;
     if opts.json {
-        let payload = serde_json::json!({
-            "stats": result.stats,
-            "pairings": result.pairing.pairings,
-            "deviations": result.deviations,
-        });
-        println!("{}", serde_json::to_string_pretty(&payload).unwrap());
+        // The stable, versioned schema documented in docs/SCHEMA.md.
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&result.to_json()).unwrap()
+        );
     } else {
         println!("{}", result.stats.render());
         if !result.pairing.pairings.is_empty() {
@@ -140,6 +155,52 @@ fn stats(opts: RunOpts) -> Result<ExitCode, String> {
         println!("{}", serde_json::to_string_pretty(&result.stats).unwrap());
     } else {
         println!("{}", result.stats.render());
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `ofence explain <file:line>` — replay the pairing decision for one
+/// barrier: candidate set, shared-object overlap, weights, outcome.
+fn explain(opts: ExplainOpts) -> Result<ExitCode, String> {
+    let result = run_engine(&opts.run)?;
+    // Match by exact name, then suffix, then basename, so both
+    // `ofence explain dir/f.c:12 dir/` and `ofence explain f.c:12 dir/`
+    // work.
+    let matches_file = |name: &str| {
+        name == opts.file
+            || name.ends_with(&format!("/{}", opts.file))
+            || opts.file.ends_with(&format!("/{name}"))
+    };
+    let site = result
+        .sites
+        .iter()
+        .find(|s| matches_file(&s.site.file_name) && s.site.line == opts.line);
+    let Some(site) = site else {
+        let mut lines: Vec<String> = result
+            .sites
+            .iter()
+            .filter(|s| matches_file(&s.site.file_name))
+            .map(|s| format!("{}:{} ({})", s.site.file_name, s.site.line, s.kind.name()))
+            .collect();
+        lines.sort();
+        return Err(if lines.is_empty() {
+            format!("no barrier found in `{}`", opts.file)
+        } else {
+            format!(
+                "no barrier at {}:{}; barriers in that file:\n  {}",
+                opts.file,
+                opts.line,
+                lines.join("\n  ")
+            )
+        });
+    };
+    let explanation =
+        ofence::explain_site_with(&result.sites, &result.pairing, &opts.run.config, site.id)
+            .expect("site id comes from this result");
+    if opts.run.json {
+        println!("{}", serde_json::to_string_pretty(&explanation).unwrap());
+    } else {
+        print!("{}", explanation.render());
     }
     Ok(ExitCode::SUCCESS)
 }

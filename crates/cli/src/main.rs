@@ -6,11 +6,14 @@
 //!                            --apply     write the fixes back to disk
 //! ofence annotate <paths...> [options]   READ_ONCE/WRITE_ONCE patches (§7)
 //! ofence stats    <paths...> [options]   corpus statistics only
+//! ofence explain  <file:line> <paths...> replay one pairing decision
 //! ofence gen      --out DIR [--files N] [--seed S] [--bugs]
 //!                                        emit a synthetic demo corpus
 //!
 //! options:
 //!   --json                 machine-readable output
+//!   --trace-out FILE       Chrome-tracing JSON trace of the run
+//!   --metrics-out FILE     Prometheus text-format metrics of the run
 //!   --write-window N       statements explored around write barriers (5)
 //!   --read-window N        statements explored around read barriers (50)
 //!   --no-ipc               disable implicit wake-up barrier detection

@@ -177,6 +177,125 @@ fn bad_usage_exits_two() {
 }
 
 #[test]
+fn trace_out_writes_valid_chrome_trace() {
+    let dir = tempdir("trace");
+    let f = dir.join("clean.c");
+    std::fs::write(&f, CLEAN).unwrap();
+    let trace = dir.join("trace.json");
+    let metrics = dir.join("metrics.txt");
+    let out = ofence()
+        .arg("analyze")
+        .arg(&f)
+        .arg("--trace-out")
+        .arg(&trace)
+        .arg("--metrics-out")
+        .arg(&metrics)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let v: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&trace).unwrap()).expect("valid trace JSON");
+    let names: Vec<String> = v["traceEvents"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .filter_map(|e| e["name"].as_str().map(str::to_string))
+        .collect();
+    for phase in ["analyze", "parse", "cfg", "extract", "pair", "check"] {
+        assert!(
+            names.iter().any(|n| n == phase),
+            "missing {phase}: {names:?}"
+        );
+    }
+    let text = std::fs::read_to_string(&metrics).unwrap();
+    assert!(text.contains("ofence_pairings_formed_total 1"), "{text}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn analyze_json_follows_schema() {
+    let dir = tempdir("schema");
+    let f = dir.join("clean.c");
+    std::fs::write(&f, CLEAN).unwrap();
+    let out = ofence()
+        .arg("analyze")
+        .arg(&f)
+        .arg("--json")
+        .output()
+        .unwrap();
+    let v: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid json");
+    assert_eq!(v["schema_version"], 1, "{v}");
+    assert_eq!(v["pairings"].as_array().unwrap().len(), 1);
+    assert_eq!(v["sites"].as_array().unwrap().len(), 2);
+    assert!(v["observability"]["phase_us"]["pair"].as_u64().is_some());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn explain_prints_candidates_and_outcome() {
+    let dir = tempdir("explain");
+    let f = dir.join("clean.c");
+    std::fs::write(&f, CLEAN).unwrap();
+    // The writer's smp_wmb is on line 10 of CLEAN.
+    let out = ofence()
+        .arg("explain")
+        .arg("clean.c:10")
+        .arg(&f)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("smp_wmb"), "{stdout}");
+    assert!(
+        stdout.contains("verdict: paired with the target"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("outcome: PAIRED"), "{stdout}");
+    assert!(stdout.contains("weight"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn explain_wrong_line_lists_barriers() {
+    let dir = tempdir("explain-miss");
+    let f = dir.join("clean.c");
+    std::fs::write(&f, CLEAN).unwrap();
+    let out = ofence()
+        .arg("explain")
+        .arg("clean.c:999")
+        .arg(&f)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("no barrier at"), "{stderr}");
+    assert!(stderr.contains("smp_wmb"), "{stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn explain_json_serializes_explanation() {
+    let dir = tempdir("explain-json");
+    let f = dir.join("clean.c");
+    std::fs::write(&f, CLEAN).unwrap();
+    let out = ofence()
+        .arg("explain")
+        .arg("clean.c:10")
+        .arg(&f)
+        .arg("--json")
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let v: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid json");
+    assert!(
+        v["target"]["is_write_barrier"].as_bool().unwrap_or(false),
+        "{v}"
+    );
+    assert_eq!(v["candidates"].as_array().unwrap().len(), 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn window_options_change_results() {
     let dir = tempdir("win");
     let f = dir.join("clean.c");

@@ -102,6 +102,26 @@ pub(crate) struct CheckCtx<'a> {
     pub config: &'a AnalysisConfig,
 }
 
+/// [`check_all`] with a `check` phase span and per-class counters.
+pub fn check_all_traced(
+    sites: &[BarrierSite],
+    pairing: &PairingResult,
+    files: &[FileAnalysis],
+    config: &AnalysisConfig,
+    rec: &obs::Recorder,
+) -> Vec<Deviation> {
+    let _span = rec.span("check");
+    let out = check_all(sites, pairing, files, config);
+    rec.count("check_deviations_emitted", out.len() as u64);
+    for d in &out {
+        rec.count(
+            &format!("check_{}", crate::report::deviation_class(&d.kind)),
+            1,
+        );
+    }
+    out
+}
+
 /// Run every checker over the pairing results.
 pub fn check_all(
     sites: &[BarrierSite],

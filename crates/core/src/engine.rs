@@ -8,16 +8,15 @@
 
 use crate::annotate;
 use crate::config::AnalysisConfig;
-use crate::deviation::{check_all, Deviation};
+use crate::deviation::{check_all_traced, Deviation};
 use crate::ir::*;
-use crate::pairing::{pair_barriers, PairingResult};
+use crate::pairing::{pair_barriers_traced, PairingResult};
 use crate::patch::{synthesize, Patch};
 use crate::report::{DistanceHistogram, Stats};
-use crate::sites::{analyze_file, FileAnalysis};
+use crate::sites::{analyze_file_traced, FileAnalysis};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
 
 /// An input file.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -48,6 +47,10 @@ pub struct AnalysisResult {
     pub annotations: Vec<Deviation>,
     pub annotation_patches: Vec<Patch>,
     pub stats: Stats,
+    /// Observability snapshot of this run: phase spans with per-file
+    /// attribution, decision counters, histograms. Feeds `--trace-out`
+    /// (Chrome tracing) and `--metrics-out` (Prometheus text).
+    pub obs: obs::Snapshot,
 }
 
 impl AnalysisResult {
@@ -90,11 +93,16 @@ impl AnalysisResult {
     }
 }
 
-/// The analysis engine. Holds configuration and the incremental cache.
+/// The analysis engine. Holds configuration, the incremental cache, and
+/// the run recorder.
 pub struct Engine {
     pub config: AnalysisConfig,
     /// file name -> (content hash, cached per-file analysis).
     cache: HashMap<String, (u64, FileAnalysis)>,
+    /// Observability recorder, reset at the start of every run so spans
+    /// and counters are per-run (never cumulative across incremental
+    /// re-analyses).
+    recorder: obs::Recorder,
 }
 
 impl Engine {
@@ -102,15 +110,22 @@ impl Engine {
         Engine {
             config,
             cache: HashMap::new(),
+            recorder: obs::Recorder::new(),
         }
+    }
+
+    /// The engine's recorder (e.g. to add caller-side spans around a run).
+    pub fn recorder(&self) -> &obs::Recorder {
+        &self.recorder
     }
 
     /// Analyze a corpus from scratch (cache is still populated for
     /// subsequent incremental runs).
     pub fn analyze(&mut self, files: &[SourceFile]) -> AnalysisResult {
-        let start = Instant::now();
+        self.recorder.reset();
+        let root = self.recorder.open("analyze");
         let analyses = self.analyze_files(files);
-        self.finish(analyses, start)
+        self.finish(analyses, root)
     }
 
     /// Re-analyze after edits: unchanged files come from the cache, only
@@ -134,10 +149,13 @@ impl Engine {
                         s.site.file = i;
                     }
                     results[i] = Some(fa);
+                    self.recorder.count("engine_cache_hits", 1);
                 }
                 _ => todo.push(i),
             }
         }
+        self.recorder
+            .count("engine_files_analyzed", todo.len() as u64);
         // Parallel per-file analysis of the remainder.
         let workers = std::thread::available_parallelism()
             .map(|n| n.get())
@@ -146,6 +164,8 @@ impl Engine {
         let next = AtomicUsize::new(0);
         let done: Mutex<Vec<(usize, FileAnalysis)>> = Mutex::new(Vec::new());
         let config = &self.config;
+        let rec = &self.recorder;
+        let frontend = ckit::FrontendConfig::default();
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
@@ -155,16 +175,19 @@ impl Engine {
                     }
                     let i = todo[k];
                     let f = &files[i];
-                    let fa = match ckit::parse_string(&f.name, &f.content) {
-                        Ok(parsed) => analyze_file(i, &parsed, config),
-                        Err(_) => FileAnalysis {
-                            file: i,
-                            name: f.name.clone(),
-                            source: f.content.clone(),
-                            sites: Vec::new(),
-                            functions: Vec::new(),
-                            parse_error_count: 1,
-                        },
+                    let fa = match ckit::parse_traced(&f.name, &f.content, &frontend, rec) {
+                        Ok(parsed) => analyze_file_traced(i, &parsed, config, rec),
+                        Err(_) => {
+                            rec.count("engine_unparseable_files", 1);
+                            FileAnalysis {
+                                file: i,
+                                name: f.name.clone(),
+                                source: f.content.clone(),
+                                sites: Vec::new(),
+                                functions: Vec::new(),
+                                parse_error_count: 1,
+                            }
+                        }
                     };
                     done.lock().expect("worker poisoned").push((i, fa));
                 });
@@ -183,7 +206,8 @@ impl Engine {
             .collect()
     }
 
-    fn finish(&self, mut files: Vec<FileAnalysis>, start: Instant) -> AnalysisResult {
+    fn finish(&self, mut files: Vec<FileAnalysis>, root: u64) -> AnalysisResult {
+        let rec = &self.recorder;
         // Assign global barrier ids, deterministic in file order.
         let mut sites: Vec<BarrierSite> = Vec::new();
         for fa in &mut files {
@@ -192,34 +216,40 @@ impl Engine {
                 sites.push(site.clone());
             }
         }
-        let pairing = pair_barriers(&sites, &self.config);
-        let mut deviations = check_all(&sites, &pairing, &files, &self.config);
+        let pairing = pair_barriers_traced(&sites, &self.config, rec);
+        let mut deviations = check_all_traced(&sites, &pairing, &files, &self.config, rec);
         if self.config.detect_missing {
-            deviations.extend(crate::missing::detect(
+            deviations.extend(crate::missing::detect_traced(
                 &files,
                 &sites,
                 &pairing,
                 &self.config,
+                rec,
             ));
         }
-        let patches: Vec<Patch> = deviations
-            .iter()
-            .filter_map(|d| synthesize(d, &files[d.site.file]))
-            .collect();
-        let annotations = annotate::find_missing_annotations(&sites, &pairing);
-        let annotation_patches: Vec<Patch> = annotations
-            .iter()
-            .filter_map(|d| annotate::synthesize_annotation(d, &files[d.site.file]))
-            .collect();
-        let elapsed_ms = start.elapsed().as_millis() as u64;
-        let stats = Stats::compute(
-            &files,
-            &sites,
-            &pairing,
-            &deviations,
-            patches.len(),
-            elapsed_ms,
-        );
+        let patches: Vec<Patch> = {
+            let _span = rec.span("patch");
+            deviations
+                .iter()
+                .filter_map(|d| synthesize(d, &files[d.site.file]))
+                .collect()
+        };
+        rec.count("patches_emitted", patches.len() as u64);
+        let (annotations, annotation_patches) = {
+            let _span = rec.span("annotate");
+            let annotations = annotate::find_missing_annotations(&sites, &pairing);
+            let annotation_patches: Vec<Patch> = annotations
+                .iter()
+                .filter_map(|d| annotate::synthesize_annotation(d, &files[d.site.file]))
+                .collect();
+            (annotations, annotation_patches)
+        };
+        rec.count("annotations_emitted", annotations.len() as u64);
+        // Close the root span so the snapshot contains it, then derive the
+        // run's wall-clock from that span (replaces the old ad-hoc Instant).
+        rec.close(root);
+        let obs = rec.snapshot();
+        let stats = Stats::compute(&files, &sites, &pairing, &deviations, patches.len(), &obs);
         AnalysisResult {
             files,
             sites,
@@ -229,6 +259,7 @@ impl Engine {
             annotations,
             annotation_patches,
             stats,
+            obs,
         }
     }
 

@@ -1,0 +1,133 @@
+//! Stable JSON serialization of [`AnalysisResult`].
+//!
+//! `ofence analyze --json` used to dump an ad-hoc subset of the result;
+//! tooling built on it broke whenever a field moved. This module defines
+//! the versioned schema documented in `docs/SCHEMA.md`: a top-level
+//! `schema_version` integer, the same `stats` / `pairings` / `deviations`
+//! keys as before (so existing consumers keep working), plus the full
+//! site list, unpaired reasons, patches, annotations, per-file summaries,
+//! and the run's observability data (per-phase timings and counters).
+//!
+//! Compatibility rule: within a `schema_version`, keys are only added,
+//! never renamed or removed. Renames/removals bump the version.
+
+use crate::engine::AnalysisResult;
+use crate::ir::UnpairedReason;
+
+/// Bump on any backwards-incompatible change to [`AnalysisResult::to_json`].
+pub const SCHEMA_VERSION: u32 = 1;
+
+impl AnalysisResult {
+    /// The full result as a `serde_json::Value` following the documented
+    /// stable schema (see `docs/SCHEMA.md`).
+    pub fn to_json(&self) -> serde_json::Value {
+        let files: Vec<serde_json::Value> = self
+            .files
+            .iter()
+            .map(|fa| {
+                serde_json::json!({
+                    "name": fa.name,
+                    "barriers": fa.sites.len(),
+                    "functions": fa.functions.len(),
+                    "parse_errors": fa.parse_error_count,
+                })
+            })
+            .collect();
+        let unpaired: Vec<serde_json::Value> = self
+            .pairing
+            .unpaired
+            .iter()
+            .map(|(id, reason)| {
+                serde_json::json!({
+                    "id": id.0,
+                    "reason": match reason {
+                        UnpairedReason::ImplicitIpc => "implicit_ipc",
+                        UnpairedReason::NoMatch => "no_match",
+                    },
+                })
+            })
+            .collect();
+        serde_json::json!({
+            "schema_version": SCHEMA_VERSION,
+            "stats": self.stats,
+            "sites": self.sites,
+            "pairings": self.pairing.pairings,
+            "unpaired": unpaired,
+            "deviations": self.deviations,
+            "patches": self.patches,
+            "annotations": self.annotations,
+            "annotation_patches": self.annotation_patches,
+            "files": files,
+            "observability": {
+                "phase_us": self.stats.phase_us,
+                "slowest_files": self.stats.slowest_files,
+                "counters": self.obs.counters,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::AnalysisConfig;
+    use crate::engine::{Engine, SourceFile};
+
+    fn demo_files() -> Vec<SourceFile> {
+        vec![SourceFile::new(
+            "demo.c",
+            r#"struct m { int init; int y; };
+void reader(struct m *a) { if (!a->init) return; smp_rmb(); f(a->y); }
+void writer(struct m *b) { b->y = 1; smp_wmb(); b->init = 1; }
+"#,
+        )]
+    }
+
+    #[test]
+    fn schema_has_all_top_level_keys() {
+        let r = Engine::new(AnalysisConfig::default()).analyze(&demo_files());
+        let v = r.to_json();
+        for key in [
+            "schema_version",
+            "stats",
+            "sites",
+            "pairings",
+            "unpaired",
+            "deviations",
+            "patches",
+            "annotations",
+            "annotation_patches",
+            "files",
+            "observability",
+        ] {
+            assert!(
+                v.as_object().unwrap().contains_key(key),
+                "missing key {key}"
+            );
+        }
+        assert_eq!(v["schema_version"], super::SCHEMA_VERSION);
+        assert_eq!(v["sites"].as_array().unwrap().len(), 2);
+        assert_eq!(v["pairings"].as_array().unwrap().len(), 1);
+        assert_eq!(v["files"].as_array().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn json_roundtrips_through_text() {
+        let r = Engine::new(AnalysisConfig::default()).analyze(&demo_files());
+        let text = serde_json::to_string_pretty(&r.to_json()).unwrap();
+        let back: serde_json::Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(back["schema_version"], super::SCHEMA_VERSION);
+        assert!(back["observability"]["phase_us"].as_object().is_some());
+    }
+
+    #[test]
+    fn observability_counters_present() {
+        let r = Engine::new(AnalysisConfig::default()).analyze(&demo_files());
+        let v = r.to_json();
+        let counters = v["observability"]["counters"].as_object().unwrap();
+        assert!(counters.contains_key("ckit_files_parsed"), "{counters:?}");
+        assert!(
+            counters.contains_key("extract_barriers_found"),
+            "{counters:?}"
+        );
+    }
+}

@@ -18,6 +18,13 @@
 //! 6. [`engine`] drives whole-corpus runs: parallel, incremental, with
 //!    [`report::Stats`] matching the paper's evaluation numbers.
 //!
+//! Every run is observable: the engine threads an [`obs::Recorder`]
+//! through the pipeline, so [`AnalysisResult::obs`] carries per-phase
+//! spans (parse / cfg / extract / pair / check) with per-file
+//! attribution plus decision counters — exportable as a Chrome trace or
+//! Prometheus text. [`explain`] replays the pairing decision for a
+//! single barrier, and [`json`] serializes results to a stable schema.
+//!
 //! ```
 //! use ofence::{AnalysisConfig, Engine, SourceFile};
 //!
@@ -34,8 +41,10 @@ pub mod annotate;
 pub mod config;
 pub mod deviation;
 pub mod engine;
+pub mod explain;
 pub mod extract;
 pub mod ir;
+pub mod json;
 pub mod missing;
 pub mod pairing;
 pub mod patch;
@@ -45,6 +54,7 @@ pub mod sites;
 pub use config::AnalysisConfig;
 pub use deviation::{Deviation, DeviationKind};
 pub use engine::{AnalysisResult, Engine, SourceFile};
+pub use explain::{explain_site, explain_site_with, Explanation};
 pub use ir::*;
 pub use patch::{apply_edits, Patch};
 pub use report::{DistanceHistogram, Stats};

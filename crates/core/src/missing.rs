@@ -69,6 +69,31 @@ pub fn detect(
     pairing: &PairingResult,
     config: &AnalysisConfig,
 ) -> Vec<Deviation> {
+    let rec = obs::Recorder::new();
+    detect_traced(files, sites, pairing, config, &rec)
+}
+
+/// [`detect`] with a `missing` phase span and decision counters.
+pub fn detect_traced(
+    files: &[FileAnalysis],
+    sites: &[BarrierSite],
+    pairing: &PairingResult,
+    config: &AnalysisConfig,
+    rec: &obs::Recorder,
+) -> Vec<Deviation> {
+    let _span = rec.span("missing");
+    let out = detect_inner(files, sites, pairing, config, rec);
+    rec.count("missing_reports_emitted", out.len() as u64);
+    out
+}
+
+fn detect_inner(
+    files: &[FileAnalysis],
+    sites: &[BarrierSite],
+    pairing: &PairingResult,
+    config: &AnalysisConfig,
+    rec: &obs::Recorder,
+) -> Vec<Deviation> {
     let writers: Vec<&BarrierSite> = pairing
         .unpaired
         .iter()
@@ -76,11 +101,13 @@ pub fn detect(
         .filter_map(|(id, _)| sites.iter().find(|s| s.id == *id))
         .filter(|s| s.is_write_barrier() && s.seqcount.is_none() && s.wakeup_after.is_none())
         .collect();
+    rec.count("missing_writers_examined", writers.len() as u64);
     if writers.is_empty() {
         return Vec::new();
     }
 
     let readers = collect_readers(files, config);
+    rec.count("missing_readers_summarized", readers.len() as u64);
     let mut out = Vec::new();
     for writer in writers {
         detect_for_writer(writer, &readers, sites, config, &mut out);

@@ -36,8 +36,64 @@ struct Candidate {
     objects: [SharedObject; 2],
 }
 
+/// Pairing counters, accumulated locally and flushed once per run so the
+/// candidate loops stay lock-free.
+#[derive(Default)]
+pub(crate) struct PairCounters {
+    pub object_pairs_scanned: u64,
+    pub candidates_considered: u64,
+    pub rejected_same_function: u64,
+    pub rejected_missing_object: u64,
+    pub rejected_worse_weight: u64,
+    pub rejected_unordered: u64,
+    pub arbitration_losers: u64,
+    pub dropped_min_objects: u64,
+    pub extended_members: u64,
+}
+
 /// Run Algorithm 1 over all barrier sites of the corpus.
 pub fn pair_barriers(sites: &[BarrierSite], config: &AnalysisConfig) -> PairingResult {
+    let rec = obs::Recorder::new();
+    pair_barriers_traced(sites, config, &rec)
+}
+
+/// Run Algorithm 1, recording a `pair` span and the candidate-decision
+/// counters (pairs considered, rejection reasons, pairings formed) into
+/// the given recorder.
+pub fn pair_barriers_traced(
+    sites: &[BarrierSite],
+    config: &AnalysisConfig,
+    rec: &obs::Recorder,
+) -> PairingResult {
+    let _span = rec.span("pair");
+    let mut ctr = PairCounters::default();
+    let result = pair_barriers_counted(sites, config, &mut ctr);
+    rec.count("pair_object_pairs_scanned", ctr.object_pairs_scanned);
+    rec.count("pair_candidates_considered", ctr.candidates_considered);
+    rec.count("pair_rejected_same_function", ctr.rejected_same_function);
+    rec.count("pair_rejected_missing_object", ctr.rejected_missing_object);
+    rec.count("pair_rejected_worse_weight", ctr.rejected_worse_weight);
+    rec.count("pair_rejected_unordered", ctr.rejected_unordered);
+    rec.count("pair_arbitration_losers", ctr.arbitration_losers);
+    rec.count("pair_dropped_min_objects", ctr.dropped_min_objects);
+    rec.count("pair_extended_members", ctr.extended_members);
+    rec.count("pairings_formed", result.pairings.len() as u64);
+    rec.count(
+        "barriers_implicit_ipc",
+        result
+            .unpaired
+            .iter()
+            .filter(|(_, r)| *r == UnpairedReason::ImplicitIpc)
+            .count() as u64,
+    );
+    result
+}
+
+fn pair_barriers_counted(
+    sites: &[BarrierSite],
+    config: &AnalysisConfig,
+    ctr: &mut PairCounters,
+) -> PairingResult {
     // Line 2-8: shared object -> barriers that access it.
     let mut obj_to_barriers: HashMap<&SharedObject, Vec<usize>> = HashMap::new();
     let objects: Vec<Vec<(SharedObject, u32)>> = sites.iter().map(|s| s.objects()).collect();
@@ -72,9 +128,10 @@ pub fn pair_barriers(sites: &[BarrierSite], config: &AnalysisConfig) -> PairingR
                 if o1 == o2 {
                     continue;
                 }
+                ctr.object_pairs_scanned += 1;
                 let my_weight = u64::from(*d1) * u64::from(*d2);
                 let Some((pi, pair_weight)) =
-                    get_pair(bi, o1, o2, sites, &object_maps, &obj_to_barriers)
+                    get_pair(bi, o1, o2, sites, &object_maps, &obj_to_barriers, ctr)
                 else {
                     continue;
                 };
@@ -86,6 +143,7 @@ pub fn pair_barriers(sites: &[BarrierSite], config: &AnalysisConfig) -> PairingR
                 // Line 19-20: the object pair must be ordered by b or by
                 // the candidate.
                 if !(b.orders(o1, o2) || sites[pi].orders(o1, o2)) {
+                    ctr.rejected_unordered += 1;
                     continue;
                 }
                 let better = match &best {
@@ -137,6 +195,7 @@ pub fn pair_barriers(sites: &[BarrierSite], config: &AnalysisConfig) -> PairingR
         }
         proposals[bi].sort_by_key(|&(_, w, _)| w);
         let losers: Vec<(usize, u64, [SharedObject; 2])> = proposals[bi].split_off(1);
+        ctr.arbitration_losers += losers.len() as u64;
         for (other, _, _) in losers {
             proposals[other].retain(|&(p, _, _)| p != bi);
         }
@@ -179,6 +238,7 @@ pub fn pair_barriers(sites: &[BarrierSite], config: &AnalysisConfig) -> PairingR
             if covers {
                 members.push(bi);
                 paired.set(bi);
+                ctr.extended_members += 1;
             }
         }
         // Enforce the minimum common-object requirement.
@@ -190,6 +250,7 @@ pub fn pair_barriers(sites: &[BarrierSite], config: &AnalysisConfig) -> PairingR
         }
         if objects_for_pairing.len() < config.min_shared_objects {
             // Un-pair: too few shared objects.
+            ctr.dropped_min_objects += 1;
             for &m in &members {
                 paired.unset(m);
             }
@@ -263,6 +324,7 @@ fn merge_equal_object_sets(pairings: Vec<Pairing>) -> Vec<Pairing> {
 
 /// Paper Algorithm 1, `get_pair`: the best other barrier that accesses
 /// both `o1` and `o2`, weighted by its distances to them.
+#[allow(clippy::too_many_arguments)]
 fn get_pair(
     bi: usize,
     o1: &SharedObject,
@@ -270,6 +332,7 @@ fn get_pair(
     sites: &[BarrierSite],
     object_maps: &[HashMap<&SharedObject, u32>],
     obj_to_barriers: &HashMap<&SharedObject, Vec<usize>>,
+    ctr: &mut PairCounters,
 ) -> Option<(usize, u64)> {
     let l1 = obj_to_barriers.get(o1)?;
     let l2 = obj_to_barriers.get(o2)?;
@@ -281,20 +344,25 @@ fn get_pair(
         if cand == bi {
             continue;
         }
+        ctr.candidates_considered += 1;
         // Pairing infers concurrency between functions: a barrier does not
         // pair with another barrier of the same function (those are added
         // later by the multi-pairing extension).
         if sites[cand].site.function == sites[bi].site.function
             && sites[cand].site.file == sites[bi].site.file
         {
+            ctr.rejected_same_function += 1;
             continue;
         }
         let (Some(&d1), Some(&d2)) = (object_maps[cand].get(o1), object_maps[cand].get(o2)) else {
+            ctr.rejected_missing_object += 1;
             continue;
         };
         let w = u64::from(d1) * u64::from(d2);
         if best.is_none_or(|(_, bw)| w < bw) {
             best = Some((cand, w));
+        } else {
+            ctr.rejected_worse_weight += 1;
         }
     }
     best

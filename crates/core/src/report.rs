@@ -36,9 +36,30 @@ pub struct Stats {
     pub deviations_total: usize,
     pub patches_generated: usize,
 
-    /// Wall-clock analysis time in milliseconds.
+    /// Wall-clock analysis time in milliseconds (duration of the run's
+    /// root `analyze` span).
     pub elapsed_ms: u64,
+    /// Per-phase wall-clock breakdown in microseconds, summed over all
+    /// spans of each phase (parse / cfg / extract / pair / check /
+    /// missing / patch / annotate). Parallel phases can sum to more than
+    /// `elapsed_ms`.
+    pub phase_us: BTreeMap<String, u64>,
+    /// Top 5 slowest files by per-file analysis time (parse + cfg +
+    /// extract spans), `(file, microseconds)` sorted descending.
+    pub slowest_files: Vec<(String, u64)>,
 }
+
+/// Span names that make up the per-phase breakdown. The nested ckit
+/// sub-spans (`lex`/`pp`/`parse-tokens`) and per-function `cfg-build`
+/// spans are deliberately excluded — their time is already inside their
+/// parents and would double-count.
+pub const PHASES: [&str; 8] = [
+    "parse", "cfg", "extract", "pair", "check", "missing", "patch", "annotate",
+];
+
+/// Span names carrying per-file attribution; their summed durations give
+/// the per-file cost used for the "slowest files" ranking.
+const PER_FILE_PHASES: [&str; 3] = ["parse", "cfg", "extract"];
 
 pub(crate) fn deviation_class(kind: &DeviationKind) -> &'static str {
     match kind {
@@ -58,14 +79,39 @@ impl Stats {
         pairing: &PairingResult,
         deviations: &[Deviation],
         patches_generated: usize,
-        elapsed_ms: u64,
+        obs: &obs::Snapshot,
     ) -> Stats {
+        let elapsed_ms = obs
+            .spans_named("analyze")
+            .map(|sp| sp.dur_us)
+            .max()
+            .unwrap_or(0)
+            / 1000;
         let mut s = Stats {
             files_total: files.len(),
             elapsed_ms,
             patches_generated,
             ..Default::default()
         };
+        for phase in PHASES {
+            let total = obs.total_us_of(phase);
+            if total > 0 {
+                s.phase_us.insert(phase.to_string(), total);
+            }
+        }
+        let mut per_file: BTreeMap<String, u64> = BTreeMap::new();
+        for sp in &obs.spans {
+            if !PER_FILE_PHASES.contains(&sp.name.as_str()) {
+                continue;
+            }
+            if let Some(file) = sp.attr("file") {
+                *per_file.entry(file.to_string()).or_default() += sp.dur_us;
+            }
+        }
+        let mut ranked: Vec<(String, u64)> = per_file.into_iter().collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        ranked.truncate(5);
+        s.slowest_files = ranked;
         for fa in files {
             s.functions_total += fa.functions.len();
             s.parse_errors += fa.parse_error_count;
@@ -154,6 +200,23 @@ impl Stats {
             out.push_str(&format!("  {kind:<24} {count}\n"));
         }
         out.push_str(&format!("analysis time:         {} ms\n", self.elapsed_ms));
+        if !self.phase_us.is_empty() {
+            // Fixed pipeline order, not BTreeMap (alphabetical) order.
+            for phase in PHASES {
+                if let Some(us) = self.phase_us.get(phase) {
+                    out.push_str(&format!("  {phase:<24} {:.1} ms\n", *us as f64 / 1000.0));
+                }
+            }
+        }
+        if !self.slowest_files.is_empty() {
+            let list = self
+                .slowest_files
+                .iter()
+                .map(|(f, us)| format!("{f} ({:.1} ms)", *us as f64 / 1000.0))
+                .collect::<Vec<_>>()
+                .join(", ");
+            out.push_str(&format!("top 5 slowest files:   {list}\n"));
+        }
         out
     }
 }

@@ -49,6 +49,16 @@ struct FoundBarrier {
     args: Vec<Expr>,
 }
 
+/// Extraction counters, accumulated locally per file and flushed to the
+/// recorder in one batch (keeps the hot walk loops lock-free).
+#[derive(Default)]
+struct ExtractCounters {
+    windows_swept: u64,
+    accesses_collected: u64,
+    callee_expansions: u64,
+    promoted_atomics: u64,
+}
+
 /// How a node bounds (or doesn't) a barrier window.
 enum NodeClass {
     /// Another explicit barrier / seqcount call: skip entirely.
@@ -62,7 +72,20 @@ enum NodeClass {
 
 /// Analyze one parsed file.
 pub fn analyze_file(file: usize, parsed: &ParsedFile, config: &AnalysisConfig) -> FileAnalysis {
-    let lowered = LoweredFile::lower(parsed);
+    let rec = obs::Recorder::new();
+    analyze_file_traced(file, parsed, config, &rec)
+}
+
+/// Analyze one parsed file, recording `cfg` and `extract` spans (per-file
+/// attribution) and the extraction counters into the given recorder.
+pub fn analyze_file_traced(
+    file: usize,
+    parsed: &ParsedFile,
+    config: &AnalysisConfig,
+    rec: &obs::Recorder,
+) -> FileAnalysis {
+    let lowered = LoweredFile::lower_traced(parsed, rec);
+    let _span = rec.span_with("extract", &[("file", parsed.map.file.as_str())]);
     let envs: Vec<TypeEnv<'_>> = (0..lowered.functions.len())
         .map(|i| lowered.env(i))
         .collect();
@@ -143,12 +166,24 @@ pub fn analyze_file(file: usize, parsed: &ParsedFile, config: &AnalysisConfig) -
     }
 
     let mut sites = Vec::new();
+    let mut ctr = ExtractCounters::default();
     for fb in &found {
         let site = build_site(
-            fb, &lowered, &envs, &summaries, &callers, config, file, parsed,
+            fb, &lowered, &envs, &summaries, &callers, config, file, parsed, &mut ctr,
         );
+        rec.observe("accesses_per_site", site.accesses.len() as u64);
+        ctr.accesses_collected += site.accesses.len() as u64;
+        if site.from_atomic.is_some() {
+            ctr.promoted_atomics += 1;
+        }
         sites.push(site);
     }
+    // Batched flush: one lock per counter per file, not per site.
+    rec.count("extract_barriers_found", sites.len() as u64);
+    rec.count("extract_windows_swept", ctr.windows_swept);
+    rec.count("extract_accesses_collected", ctr.accesses_collected);
+    rec.count("extract_callee_expansions", ctr.callee_expansions);
+    rec.count("extract_promoted_atomics", ctr.promoted_atomics);
 
     FileAnalysis {
         file,
@@ -243,6 +278,7 @@ fn build_site(
     config: &AnalysisConfig,
     file: usize,
     parsed: &ParsedFile,
+    ctr: &mut ExtractCounters,
 ) -> BarrierSite {
     let cfg = &lowered.cfgs[fb.func];
     let env = &envs[fb.func];
@@ -278,6 +314,7 @@ fn build_site(
 
     // Walk both directions.
     for (dir, side) in [(Dir::Bwd, Side::Before), (Dir::Fwd, Side::After)] {
+        ctr.windows_swept += 1;
         walk(
             cfg,
             fb.node,
@@ -286,7 +323,17 @@ fn build_site(
             |node, dist| match classify_node(cfg, node) {
                 NodeClass::Barrier => Step::Prune,
                 NodeClass::FullAtomic => {
-                    collect_node(cfg, node, env, side, dist, summaries, config, &mut accesses);
+                    collect_node(
+                        cfg,
+                        node,
+                        env,
+                        side,
+                        dist,
+                        summaries,
+                        config,
+                        &mut accesses,
+                        ctr,
+                    );
                     if dist == 1 {
                         if let Some(name) = full_atomic_callee_name(cfg, node) {
                             adjacent.get_or_insert(AdjacentBarrier {
@@ -302,7 +349,17 @@ fn build_site(
                     if side == Side::After {
                         wakeup_after = Some(wakeup_after.map_or(dist, |d| d.min(dist)));
                     }
-                    collect_node(cfg, node, env, side, dist, summaries, config, &mut accesses);
+                    collect_node(
+                        cfg,
+                        node,
+                        env,
+                        side,
+                        dist,
+                        summaries,
+                        config,
+                        &mut accesses,
+                        ctr,
+                    );
                     if dist == 1 {
                         adjacent.get_or_insert(AdjacentBarrier {
                             side,
@@ -313,7 +370,17 @@ fn build_site(
                     Step::Stop
                 }
                 NodeClass::Plain => {
-                    collect_node(cfg, node, env, side, dist, summaries, config, &mut accesses);
+                    collect_node(
+                        cfg,
+                        node,
+                        env,
+                        side,
+                        dist,
+                        summaries,
+                        config,
+                        &mut accesses,
+                        ctr,
+                    );
                     Step::Continue
                 }
             },
@@ -349,6 +416,7 @@ fn build_site(
                 let ccfg = &lowered.cfgs[caller_fi];
                 let cenv = &envs[caller_fi];
                 for (dir, side) in [(Dir::Bwd, Side::Before), (Dir::Fwd, Side::After)] {
+                    ctr.windows_swept += 1;
                     walk(
                         ccfg,
                         call_node,
@@ -527,6 +595,7 @@ fn collect_node(
     summaries: &HashMap<String, Vec<RawAccess>>,
     config: &AnalysisConfig,
     accesses: &mut Vec<Access>,
+    ctr: &mut ExtractCounters,
 ) {
     for raw in accesses_in_node(&cfg.node(node).kind, env) {
         push_access(accesses, raw, side, dist, false, config);
@@ -536,6 +605,7 @@ fn collect_node(
         if let Some(expr) = cfg.node(node).kind.expr() {
             for (name, _) in plain_calls_in_expr(expr) {
                 if let Some(summary) = summaries.get(&name) {
+                    ctr.callee_expansions += 1;
                     for raw in summary {
                         push_access(accesses, raw.clone(), side, dist, true, config);
                     }
