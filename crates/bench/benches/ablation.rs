@@ -23,6 +23,7 @@ fn corpus() -> ofence_corpus::Corpus {
         split_fraction: 0.2,
         reread_decoys: 3,
         unfenced_decoys: 3,
+        filler_files: 0,
         bugs: BugPlan {
             misplaced: 4,
             repeated_read: 2,

@@ -23,6 +23,7 @@ fn spec_with_files(files: usize) -> CorpusSpec {
         split_fraction: 0.2,
         reread_decoys: 0,
         unfenced_decoys: 0,
+        filler_files: 0,
         bugs: BugPlan::none(),
     }
 }

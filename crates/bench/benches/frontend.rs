@@ -16,6 +16,7 @@ fn corpus_text() -> String {
         split_fraction: 0.0,
         reread_decoys: 0,
         unfenced_decoys: 0,
+        filler_files: 0,
         bugs: BugPlan::none(),
     };
     generate(&spec)

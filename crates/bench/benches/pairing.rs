@@ -20,6 +20,7 @@ fn sites_for(files: usize) -> Vec<BarrierSite> {
         split_fraction: 0.2,
         reread_decoys: 0,
         unfenced_decoys: 0,
+        filler_files: 0,
         bugs: BugPlan::none(),
     };
     let corpus = generate(&spec);
@@ -69,6 +70,7 @@ fn bench_site_extraction(c: &mut Criterion) {
         split_fraction: 0.0,
         reread_decoys: 0,
         unfenced_decoys: 0,
+        filler_files: 0,
         bugs: BugPlan::none(),
     };
     let corpus = generate(&spec);

@@ -1,0 +1,161 @@
+//! Warm-vs-cold disk-cache benchmark.
+//!
+//! ```text
+//! cache [--scale small|paper|bench] [--seed N] [--out PATH] [--runs N]
+//! ```
+//!
+//! Models the edit-compile loop the persistent cache exists for: analyze
+//! a corpus cold, flush the per-file cache to disk, edit **one** file,
+//! then re-analyze in a fresh process image (new `Engine` + cache load
+//! from disk). The warm run re-parses only the edited file; everything
+//! else is a content-hash hit. Results land in `BENCH_cache.json`.
+//!
+//! The default `bench` scale mirrors a kernel tree's shape: a small core
+//! of barrier-heavy files plus hundreds of barrier-free ones, so
+//! per-file frontend work (parse / cfg / extract) dominates the global
+//! pairing phases and the warm speedup is visible. On `paper` scale the
+//! global phases are ~60% of the runtime and cap the speedup near 2×.
+
+use std::time::Instant;
+
+use ofence::{AnalysisConfig, Engine, SourceFile};
+use ofence_corpus::{generate, inject_edit, CorpusSpec};
+
+fn bench_spec(seed: u64) -> CorpusSpec {
+    CorpusSpec {
+        seed,
+        files: 40,
+        patterns_per_file: 1,
+        noise_per_file: 2,
+        decoy_pairs: 2,
+        far_decoy_pairs: 0,
+        lone_per_file: 1,
+        split_fraction: 0.2,
+        reread_decoys: 0,
+        unfenced_decoys: 0,
+        filler_files: 1160,
+        bugs: ofence_corpus::BugPlan::none(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = "bench".to_string();
+    let mut seed = 42u64;
+    let mut out = "BENCH_cache.json".to_string();
+    let mut runs = 3usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                scale = args.get(i + 1).cloned().unwrap_or_default();
+                i += 2;
+            }
+            "--seed" => {
+                seed = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(42);
+                i += 2;
+            }
+            "--out" => {
+                out = args.get(i + 1).cloned().unwrap_or(out);
+                i += 2;
+            }
+            "--runs" => {
+                runs = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(3);
+                i += 2;
+            }
+            other => {
+                eprintln!("cache: unknown option `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    let spec = match scale.as_str() {
+        "paper" => CorpusSpec::paper_scale(seed),
+        "small" => CorpusSpec::small(seed),
+        _ => bench_spec(seed),
+    };
+    eprintln!("generating corpus (scale={scale}, seed={seed})...");
+    let mut corpus = generate(&spec);
+    let cold_files: Vec<SourceFile> = corpus
+        .files
+        .iter()
+        .map(|f| SourceFile::new(f.name.clone(), f.content.clone()))
+        .collect();
+
+    let cache_dir = std::env::temp_dir().join(format!("ofence-bench-cache-{}", std::process::id()));
+    let config = AnalysisConfig::default();
+
+    // Cold: fresh engine, nothing on disk. Best-of-N to damp scheduler
+    // noise; the cache is saved from the last cold run.
+    let mut cold_ms = u64::MAX;
+    let mut saved_entries = 0;
+    for _ in 0..runs.max(1) {
+        let mut engine = Engine::new(config.clone());
+        let start = Instant::now();
+        let result = engine.analyze(&cold_files);
+        cold_ms = cold_ms.min(start.elapsed().as_millis() as u64);
+        assert_eq!(result.obs.count_of("engine_cache_hits"), 0);
+        saved_entries = engine.save_disk_cache(&cache_dir).expect("save cache");
+    }
+
+    // One edit, like a developer touching a single file between runs.
+    let edited = inject_edit(&mut corpus, seed ^ 1);
+    let warm_files: Vec<SourceFile> = corpus
+        .files
+        .iter()
+        .map(|f| SourceFile::new(f.name.clone(), f.content.clone()))
+        .collect();
+
+    // Warm: fresh engine per run (a new process image), cache loaded from
+    // disk each time — load cost is part of the measured warm time.
+    let mut warm_ms = u64::MAX;
+    let mut hits = 0;
+    let mut loads = 0;
+    for _ in 0..runs.max(1) {
+        let mut engine = Engine::new(config.clone());
+        let start = Instant::now();
+        engine.load_disk_cache(&cache_dir);
+        let result = engine.analyze(&warm_files);
+        warm_ms = warm_ms.min(start.elapsed().as_millis() as u64);
+        hits = result.obs.count_of("engine_cache_hits");
+        loads = result.obs.count_of("cache_loads");
+    }
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
+    assert_eq!(
+        hits as usize,
+        corpus.files.len() - 1,
+        "warm run should hit on every file but the edited one"
+    );
+    let speedup = cold_ms.max(1) as f64 / warm_ms.max(1) as f64;
+    println!(
+        "cold {} ms, warm {} ms (one file edited) — {:.1}x speedup",
+        cold_ms, warm_ms, speedup
+    );
+    println!(
+        "{} files, {} cache entries saved, {} loaded, {} hits",
+        corpus.files.len(),
+        saved_entries,
+        loads,
+        hits
+    );
+
+    let payload = serde_json::json!({
+        "scale": scale,
+        "seed": seed,
+        "runs": runs,
+        "files": corpus.files.len(),
+        "edited_file": edited,
+        "cold_ms": cold_ms,
+        "warm_ms": warm_ms,
+        "speedup": speedup,
+        "cache": {
+            "entries_saved": saved_entries,
+            "loads": loads,
+            "hits": hits,
+        },
+    });
+    let text = serde_json::to_string_pretty(&payload).expect("serialize cache report");
+    std::fs::write(&out, text).expect("write cache report");
+    eprintln!("wrote {out}");
+}

@@ -8,12 +8,13 @@
 
 use ckit::ast::{self, Stmt, StmtKind};
 use ckit::span::Span;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 pub type NodeId = usize;
 
 /// Kind of a CFG node.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub enum NodeKind {
     Entry,
     Exit,
@@ -59,7 +60,7 @@ impl NodeKind {
     }
 }
 
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Node {
     pub kind: NodeKind,
     pub span: Span,
@@ -68,7 +69,7 @@ pub struct Node {
 }
 
 /// A function's CFG.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Cfg {
     /// Function name.
     pub name: String,

@@ -72,7 +72,7 @@ pub struct Typedef {
 }
 
 /// Function signature shared by definitions and prototypes.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct FunctionSig {
     pub name: String,
     pub ret: Type,
@@ -83,14 +83,14 @@ pub struct FunctionSig {
     pub span: Span,
 }
 
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Param {
     pub name: String,
     pub ty: Type,
     pub span: Span,
 }
 
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct FunctionDef {
     pub sig: FunctionSig,
     pub body: Vec<Stmt>,
@@ -228,13 +228,13 @@ impl fmt::Display for Type {
 
 /// A declaration statement: `int a = 1, *b;` is one `DeclStmt` with two
 /// declarators.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct DeclStmt {
     pub decls: Vec<Declarator>,
     pub span: Span,
 }
 
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Declarator {
     pub name: String,
     pub ty: Type,
@@ -243,13 +243,13 @@ pub struct Declarator {
 }
 
 /// Statements.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Stmt {
     pub kind: StmtKind,
     pub span: Span,
 }
 
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum StmtKind {
     Expr(Expr),
     Decl(DeclStmt),
@@ -301,13 +301,13 @@ pub enum StmtKind {
 }
 
 /// Expressions.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Expr {
     pub kind: ExprKind,
     pub span: Span,
 }
 
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum ExprKind {
     Ident(String),
     IntLit {
@@ -348,14 +348,14 @@ pub enum ExprKind {
     StmtExpr(Vec<Stmt>),
 }
 
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Initializer {
     /// `.field =` designator, if present.
     pub designator: Option<String>,
     pub value: Expr,
 }
 
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum UnOp {
     Neg,    // -
     Plus,   // +
@@ -367,13 +367,13 @@ pub enum UnOp {
     PreDec,
 }
 
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum PostOp {
     Inc,
     Dec,
 }
 
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum BinOp {
     Add,
     Sub,
@@ -395,7 +395,7 @@ pub enum BinOp {
     Ge,
 }
 
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum AssignOp {
     Assign,
     Add,

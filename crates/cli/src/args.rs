@@ -9,11 +9,17 @@ usage:
   ofence annotate <paths...> [--apply] [--json] [window options]
   ofence stats    <paths...> [--json] [window options]
   ofence explain  <file:line> <paths...> [--json] [window options]
+  ofence watch    <paths...> [--interval-ms N] [--max-iterations N] [...]
   ofence gen      --out DIR [--files N] [--seed S] [--bugs]
 
 output options:
   --trace-out FILE   write a Chrome-tracing JSON trace of the run
   --metrics-out FILE write Prometheus text-format metrics of the run
+
+cache options (analysis subcommands and watch):
+  --cache-dir DIR    persist the per-file analysis cache here
+                     (default: .ofence-cache)
+  --no-cache         do not read or write the on-disk cache
 
 window options:
   --write-window N   statements explored around write barriers (default 5)
@@ -26,7 +32,13 @@ window options:
 
 `explain` replays the pairing decision for the barrier at <file:line>:
 the candidate set, shared-object overlap, distance-product weights, and
-why the winner won (or why the barrier stayed unpaired).";
+why the winner won (or why the barrier stayed unpaired).
+
+`watch` polls the given paths (mtime-free content hashing, no inotify
+dependency) and re-runs the incremental analysis when a file changes,
+printing only the deviation delta (+ new, - fixed). `--interval-ms`
+sets the poll period (default 500); `--max-iterations` exits after N
+analysis runs (default: run until interrupted).";
 
 /// A parsed invocation.
 #[derive(Debug, PartialEq)]
@@ -36,6 +48,7 @@ pub enum Command {
     Annotate(RunOpts),
     Stats(RunOpts),
     Explain(ExplainOpts),
+    Watch(WatchOpts),
     Gen(GenOpts),
 }
 
@@ -49,7 +62,22 @@ pub struct RunOpts {
     pub trace_out: Option<String>,
     /// Write Prometheus text-format metrics of the run to this file.
     pub metrics_out: Option<String>,
+    /// Where to persist the per-file analysis cache (`--cache-dir`);
+    /// `None` means the default `.ofence-cache` directory.
+    pub cache_dir: Option<String>,
+    /// `--no-cache`: skip reading and writing the on-disk cache.
+    pub no_cache: bool,
     pub config: AnalysisConfig,
+}
+
+/// `ofence watch <paths...>` — poll for changes and re-analyze.
+#[derive(Debug, PartialEq)]
+pub struct WatchOpts {
+    pub run: RunOpts,
+    /// Poll period in milliseconds.
+    pub interval_ms: u64,
+    /// Exit after this many analysis runs (`None`: until interrupted).
+    pub max_iterations: Option<u64>,
 }
 
 /// `ofence explain <file:line> <paths...>`.
@@ -80,6 +108,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         "annotate" => Ok(Command::Annotate(parse_run(rest)?)),
         "stats" => Ok(Command::Stats(parse_run(rest)?)),
         "explain" => Ok(Command::Explain(parse_explain(rest)?)),
+        "watch" => Ok(Command::Watch(parse_watch(rest)?)),
         "gen" => Ok(Command::Gen(parse_gen(rest)?)),
         "--help" | "-h" | "help" => Err("".into()),
         other => Err(format!("unknown subcommand `{other}`")),
@@ -93,6 +122,8 @@ fn parse_run(argv: &[String]) -> Result<RunOpts, String> {
         apply: false,
         trace_out: None,
         metrics_out: None,
+        cache_dir: None,
+        no_cache: false,
         config: AnalysisConfig::default(),
     };
     let mut i = 0;
@@ -100,6 +131,15 @@ fn parse_run(argv: &[String]) -> Result<RunOpts, String> {
         match argv[i].as_str() {
             "--json" => opts.json = true,
             "--apply" => opts.apply = true,
+            "--cache-dir" => {
+                i += 1;
+                opts.cache_dir = Some(
+                    argv.get(i)
+                        .ok_or("--cache-dir needs a directory")?
+                        .to_string(),
+                );
+            }
+            "--no-cache" => opts.no_cache = true,
             "--trace-out" => {
                 i += 1;
                 opts.trace_out = Some(argv.get(i).ok_or("--trace-out needs a file")?.to_string());
@@ -135,7 +175,41 @@ fn parse_run(argv: &[String]) -> Result<RunOpts, String> {
     if opts.paths.is_empty() {
         return Err("no input paths given".into());
     }
+    if opts.no_cache && opts.cache_dir.is_some() {
+        return Err("--cache-dir and --no-cache are mutually exclusive".into());
+    }
     Ok(opts)
+}
+
+fn parse_watch(argv: &[String]) -> Result<WatchOpts, String> {
+    // Split off the watch-specific flags, hand the rest to `parse_run`.
+    let mut rest: Vec<String> = Vec::new();
+    let mut interval_ms = 500u64;
+    let mut max_iterations = None;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--interval-ms" => {
+                i += 1;
+                interval_ms = num64(argv.get(i), "--interval-ms")?;
+            }
+            "--max-iterations" => {
+                i += 1;
+                max_iterations = Some(num64(argv.get(i), "--max-iterations")?);
+            }
+            other => rest.push(other.to_string()),
+        }
+        i += 1;
+    }
+    let run = parse_run(&rest)?;
+    if run.apply {
+        return Err("--apply is not supported in watch mode".into());
+    }
+    Ok(WatchOpts {
+        run,
+        interval_ms,
+        max_iterations,
+    })
 }
 
 fn parse_explain(argv: &[String]) -> Result<ExplainOpts, String> {
@@ -313,15 +387,65 @@ mod tests {
     }
 
     #[test]
+    fn cache_flags() {
+        let cmd = parse(&argv("analyze x.c --cache-dir /tmp/c")).unwrap();
+        match cmd {
+            Command::Analyze(o) => {
+                assert_eq!(o.cache_dir.as_deref(), Some("/tmp/c"));
+                assert!(!o.no_cache);
+            }
+            other => panic!("{other:?}"),
+        }
+        let cmd = parse(&argv("stats x.c --no-cache")).unwrap();
+        match cmd {
+            Command::Stats(o) => assert!(o.no_cache && o.cache_dir.is_none()),
+            other => panic!("{other:?}"),
+        }
+        let err = parse(&argv("analyze x.c --cache-dir d --no-cache")).unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
+    }
+
+    #[test]
+    fn watch_options() {
+        let cmd = parse(&argv(
+            "watch src/ --interval-ms 50 --max-iterations 3 --no-cache --missing",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Watch(o) => {
+                assert_eq!(o.run.paths, vec!["src/"]);
+                assert_eq!(o.interval_ms, 50);
+                assert_eq!(o.max_iterations, Some(3));
+                assert!(o.run.no_cache);
+                assert!(o.run.config.detect_missing);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Defaults.
+        let cmd = parse(&argv("watch src/")).unwrap();
+        match cmd {
+            Command::Watch(o) => {
+                assert_eq!(o.interval_ms, 500);
+                assert_eq!(o.max_iterations, None);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
     fn errors() {
         assert!(parse(&argv("")).is_err());
         assert!(parse(&argv("bogus")).is_err());
         assert!(parse(&argv("analyze")).is_err());
         assert!(parse(&argv("analyze x.c --write-window")).is_err());
         assert!(parse(&argv("analyze x.c --trace-out")).is_err());
+        assert!(parse(&argv("analyze x.c --cache-dir")).is_err());
         assert!(parse(&argv("gen --files 3")).is_err());
         assert!(parse(&argv("explain")).is_err());
         assert!(parse(&argv("explain not-a-target x.c")).is_err());
         assert!(parse(&argv("explain f.c:12")).is_err()); // no paths
+        assert!(parse(&argv("watch")).is_err()); // no paths
+        assert!(parse(&argv("watch d --interval-ms")).is_err());
+        assert!(parse(&argv("watch d --apply")).is_err());
     }
 }

@@ -1,8 +1,9 @@
 //! Subcommand implementations.
 
-use crate::args::{Command, ExplainOpts, GenOpts, RunOpts};
+use crate::args::{Command, ExplainOpts, GenOpts, RunOpts, WatchOpts};
 use crate::walk::collect_sources;
-use ofence::{AnalysisResult, Engine, Patch};
+use ofence::{AnalysisResult, Engine, LoadOutcome, Patch};
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 pub fn run(cmd: Command) -> Result<ExitCode, String> {
@@ -12,13 +13,59 @@ pub fn run(cmd: Command) -> Result<ExitCode, String> {
         Command::Annotate(o) => annotate(o),
         Command::Stats(o) => stats(o),
         Command::Explain(o) => explain(o),
+        Command::Watch(o) => watch(o),
         Command::Gen(o) => gen(o),
+    }
+}
+
+/// Where this invocation keeps its on-disk cache, if anywhere.
+fn cache_dir_of(opts: &RunOpts) -> Option<PathBuf> {
+    if opts.no_cache {
+        return None;
+    }
+    Some(PathBuf::from(
+        opts.cache_dir
+            .as_deref()
+            .unwrap_or(ofence::cache::DEFAULT_CACHE_DIR),
+    ))
+}
+
+/// Load the on-disk cache into `engine` (never fatal: a stale or corrupt
+/// cache is discarded with a note and the run proceeds cold).
+fn load_cache(engine: &mut Engine, dir: &std::path::Path) {
+    if let LoadOutcome::Discarded { reason } = engine.load_disk_cache(dir) {
+        eprintln!(
+            "ofence: discarding cache in {} ({reason}); analyzing cold",
+            dir.display()
+        );
+    }
+}
+
+/// Flush the engine's cache to disk. Failing to write an explicitly
+/// requested `--cache-dir` is an error; the implicit default directory
+/// only warns (the analysis itself succeeded).
+fn save_cache(engine: &Engine, opts: &RunOpts, dir: &std::path::Path) -> Result<(), String> {
+    match engine.save_disk_cache(dir) {
+        Ok(_) => Ok(()),
+        Err(e) if opts.cache_dir.is_some() => Err(format!("--cache-dir {}: {e}", dir.display())),
+        Err(e) => {
+            eprintln!("ofence: could not write cache to {}: {e}", dir.display());
+            Ok(())
+        }
     }
 }
 
 fn run_engine(opts: &RunOpts) -> Result<AnalysisResult, String> {
     let sources = collect_sources(&opts.paths)?;
-    let result = Engine::new(opts.config.clone()).analyze(&sources);
+    let mut engine = Engine::new(opts.config.clone());
+    let cache_dir = cache_dir_of(opts);
+    if let Some(dir) = &cache_dir {
+        load_cache(&mut engine, dir);
+    }
+    let result = engine.analyze(&sources);
+    if let Some(dir) = &cache_dir {
+        save_cache(&engine, opts, dir)?;
+    }
     write_observability(opts, &result)?;
     Ok(result)
 }
@@ -205,6 +252,98 @@ fn explain(opts: ExplainOpts) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// `ofence watch` — poll the given paths and re-run the incremental
+/// analysis whenever a file's content hash changes, printing only the
+/// deviation delta (`+` new findings, `-` fixed ones). The engine — and
+/// therefore the in-memory per-file cache — stays alive across runs, so
+/// each re-analysis costs roughly one changed file, not the whole tree.
+fn watch(opts: WatchOpts) -> Result<ExitCode, String> {
+    let mut engine = Engine::new(opts.run.config.clone());
+    let cache_dir = cache_dir_of(&opts.run);
+    if let Some(dir) = &cache_dir {
+        load_cache(&mut engine, dir);
+    }
+
+    // Fail fast on unwatchable paths (nonexistent directory, no .c files)
+    // before entering the loop.
+    let mut sources = collect_sources(&opts.run.paths)?;
+    let hash_all = |sources: &[ofence::SourceFile]| -> Vec<(String, u64)> {
+        sources
+            .iter()
+            .map(|s| {
+                (
+                    s.name.clone(),
+                    ofence::cache::content_hash(s.content.as_bytes()),
+                )
+            })
+            .collect()
+    };
+    let mut last_hashes = hash_all(&sources);
+    let mut known: Vec<String> = Vec::new();
+    let mut runs = 0u64;
+
+    loop {
+        runs += 1;
+        // The recorder resets per run, so queue the cumulative count:
+        // every snapshot (and metrics file) reports total runs so far.
+        engine.queue_count("watch_iterations", runs);
+        let result = engine.analyze_incremental(&sources);
+        if let Some(dir) = &cache_dir {
+            save_cache(&engine, &opts.run, dir)?;
+        }
+        write_observability(&opts.run, &result)?;
+
+        // One stable line per finding; the delta is a set difference.
+        let mut current: Vec<String> = result
+            .deviations
+            .iter()
+            .map(|d| {
+                format!(
+                    "{}:{}: {} in {}",
+                    d.site.file_name,
+                    d.site.line,
+                    ofence::report::deviation_class(&d.kind),
+                    d.site.function
+                )
+            })
+            .collect();
+        current.sort();
+        current.dedup();
+        let added: Vec<&String> = current.iter().filter(|l| !known.contains(l)).collect();
+        let fixed: Vec<&String> = known.iter().filter(|l| !current.contains(l)).collect();
+        println!(
+            "watch: run {} — {} files, {} deviations ({} new, {} fixed)",
+            runs,
+            sources.len(),
+            current.len(),
+            added.len(),
+            fixed.len()
+        );
+        for l in &added {
+            println!("  + {l}");
+        }
+        for l in &fixed {
+            println!("  - {l}");
+        }
+        known = current;
+
+        if opts.max_iterations.is_some_and(|max| runs >= max) {
+            return Ok(ExitCode::SUCCESS);
+        }
+
+        // Poll until something changes.
+        loop {
+            std::thread::sleep(std::time::Duration::from_millis(opts.interval_ms));
+            sources = collect_sources(&opts.run.paths)?;
+            let hashes = hash_all(&sources);
+            if hashes != last_hashes {
+                last_hashes = hashes;
+                break;
+            }
+        }
+    }
+}
+
 /// `ofence gen` — write a synthetic corpus to disk for experimentation.
 fn gen(opts: GenOpts) -> Result<ExitCode, String> {
     let spec = ofence_corpus::CorpusSpec {
@@ -218,6 +357,7 @@ fn gen(opts: GenOpts) -> Result<ExitCode, String> {
         split_fraction: 0.2,
         reread_decoys: 0,
         unfenced_decoys: 0,
+        filler_files: 0,
         bugs: if opts.with_bugs {
             ofence_corpus::BugPlan {
                 misplaced: (opts.files / 10).max(1),

@@ -7,6 +7,8 @@
 //! ofence annotate <paths...> [options]   READ_ONCE/WRITE_ONCE patches (§7)
 //! ofence stats    <paths...> [options]   corpus statistics only
 //! ofence explain  <file:line> <paths...> replay one pairing decision
+//! ofence watch    <paths...> [options]   re-analyze on change, print the
+//!                                        deviation delta (+ new, - fixed)
 //! ofence gen      --out DIR [--files N] [--seed S] [--bugs]
 //!                                        emit a synthetic demo corpus
 //!
@@ -14,10 +16,15 @@
 //!   --json                 machine-readable output
 //!   --trace-out FILE       Chrome-tracing JSON trace of the run
 //!   --metrics-out FILE     Prometheus text-format metrics of the run
+//!   --cache-dir DIR        persist the per-file analysis cache here
+//!                          (default .ofence-cache/)
+//!   --no-cache             skip the on-disk cache entirely
 //!   --write-window N       statements explored around write barriers (5)
 //!   --read-window N        statements explored around read barriers (50)
 //!   --no-ipc               disable implicit wake-up barrier detection
 //!   --no-expand            disable callee/caller expansion
+//!   --interval-ms N        watch: poll period (500)
+//!   --max-iterations N     watch: exit after N analysis runs
 //! ```
 //!
 //! Paths may be files or directories (searched recursively for `*.c`).

@@ -317,3 +317,195 @@ fn window_options_change_results() {
     assert_eq!(v["pairings"], 0, "{v}");
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn cache_roundtrip_warm_run_hits() {
+    let dir = tempdir("cache-rt");
+    let corpus = dir.join("corpus");
+    let cache = dir.join("cache");
+    let out = ofence()
+        .args(["gen", "--out"])
+        .arg(&corpus)
+        .args(["--files", "4", "--seed", "3"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    // Cold run populates the disk cache.
+    let m1 = dir.join("m1.txt");
+    let out = ofence()
+        .arg("analyze")
+        .arg(&corpus)
+        .arg("--cache-dir")
+        .arg(&cache)
+        .arg("--metrics-out")
+        .arg(&m1)
+        .output()
+        .unwrap();
+    assert!(matches!(out.status.code(), Some(0) | Some(1)), "{out:?}");
+    assert!(cache.join("cache.json").exists());
+    let t1 = std::fs::read_to_string(&m1).unwrap();
+    // Zero-valued counters are elided: a cold run records no hits.
+    assert!(!t1.contains("ofence_engine_cache_hits_total"), "{t1}");
+    // Edit one file, re-analyze warm: everything else hits.
+    let edited = corpus.join("gen/unit0000.c");
+    let mut text = std::fs::read_to_string(&edited).unwrap();
+    text.push_str("\nint cache_rt_added(void) { return 1; }\n");
+    std::fs::write(&edited, text).unwrap();
+    let m2 = dir.join("m2.txt");
+    let out = ofence()
+        .arg("analyze")
+        .arg(&corpus)
+        .arg("--cache-dir")
+        .arg(&cache)
+        .arg("--metrics-out")
+        .arg(&m2)
+        .output()
+        .unwrap();
+    assert!(matches!(out.status.code(), Some(0) | Some(1)), "{out:?}");
+    let t2 = std::fs::read_to_string(&m2).unwrap();
+    assert!(t2.contains("ofence_engine_cache_hits_total 3"), "{t2}");
+    assert!(t2.contains("ofence_cache_loads_total 4"), "{t2}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_cache_is_discarded_gracefully() {
+    let dir = tempdir("cache-corrupt");
+    let f = dir.join("clean.c");
+    std::fs::write(&f, CLEAN).unwrap();
+    let cache = dir.join("cache");
+    std::fs::create_dir_all(&cache).unwrap();
+    std::fs::write(cache.join("cache.json"), "{ not json !").unwrap();
+    let out = ofence()
+        .arg("analyze")
+        .arg(&f)
+        .arg("--cache-dir")
+        .arg(&cache)
+        .output()
+        .unwrap();
+    // The analysis still succeeds (cold), with a note on stderr.
+    assert!(out.status.success(), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("discarding cache"), "{stderr}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("no barrier-ordering issues"), "{stdout}");
+    // The bad cache was replaced by a valid one.
+    let rewritten = std::fs::read_to_string(cache.join("cache.json")).unwrap();
+    assert!(rewritten.contains("format_version"), "{rewritten}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unwritable_cache_dir_is_a_clear_error() {
+    let dir = tempdir("cache-unwritable");
+    let f = dir.join("clean.c");
+    std::fs::write(&f, CLEAN).unwrap();
+    // A regular file where a directory is needed: create_dir_all fails
+    // (works even when running as root, unlike permission bits).
+    let blocker = dir.join("blocker");
+    std::fs::write(&blocker, "not a directory").unwrap();
+    let out = ofence()
+        .arg("analyze")
+        .arg(&f)
+        .arg("--cache-dir")
+        .arg(blocker.join("sub"))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--cache-dir"), "{stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cache_dir_and_no_cache_conflict() {
+    let out = ofence()
+        .args(["analyze", "x.c", "--cache-dir", "d", "--no-cache"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("mutually exclusive"), "{stderr}");
+    assert!(stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
+fn watch_nonexistent_dir_exits_two() {
+    let out = ofence()
+        .args(["watch", "/no/such/ofence-dir", "--max-iterations", "1"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("no such file or directory"), "{stderr}");
+}
+
+#[test]
+fn watch_single_run_reports_deviations() {
+    let dir = tempdir("watch-one");
+    std::fs::write(dir.join("xprt.c"), BUGGY).unwrap();
+    let out = ofence()
+        .arg("watch")
+        .arg(&dir)
+        .args(["--max-iterations", "1", "--no-cache"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("watch: run 1"), "{stdout}");
+    assert!(stdout.contains("1 deviations (1 new, 0 fixed)"), "{stdout}");
+    assert!(stdout.contains("+ "), "{stdout}");
+    assert!(
+        stdout.contains("misplaced memory access in decode"),
+        "{stdout}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn watch_reports_delta_on_change() {
+    let dir = tempdir("watch-delta");
+    let src = dir.join("src");
+    std::fs::create_dir_all(&src).unwrap();
+    std::fs::write(src.join("xprt.c"), BUGGY).unwrap();
+    let metrics = dir.join("metrics.txt");
+    let mut child = ofence()
+        .arg("watch")
+        .arg(&src)
+        .args(["--max-iterations", "2", "--interval-ms", "50"])
+        .arg("--cache-dir")
+        .arg(dir.join("cache"))
+        .arg("--metrics-out")
+        .arg(&metrics)
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    // Give run 1 time to finish, then fix the bug: run 2 must report the
+    // finding as fixed and the process exits (max-iterations reached).
+    std::thread::sleep(std::time::Duration::from_millis(1500));
+    std::fs::write(src.join("xprt.c"), CLEAN).unwrap();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    let status = loop {
+        if let Some(s) = child.try_wait().unwrap() {
+            break s;
+        }
+        if std::time::Instant::now() > deadline {
+            let _ = child.kill();
+            panic!("watch did not exit after the second run");
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    };
+    let out = child.wait_with_output().unwrap();
+    assert!(status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("watch: run 1"), "{stdout}");
+    assert!(stdout.contains("watch: run 2"), "{stdout}");
+    assert!(stdout.contains("0 deviations (0 new, 1 fixed)"), "{stdout}");
+    assert!(stdout.contains("- "), "{stdout}");
+    // The per-run metrics carry the cumulative iteration counter.
+    let text = std::fs::read_to_string(&metrics).unwrap();
+    assert!(text.contains("ofence_watch_iterations_total 2"), "{text}");
+    assert!(dir.join("cache").join("cache.json").exists());
+    let _ = std::fs::remove_dir_all(&dir);
+}

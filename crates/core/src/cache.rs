@@ -1,0 +1,421 @@
+//! Persistent on-disk incremental cache (`.ofence-cache/`).
+//!
+//! The engine's per-file cache maps a path to `(content hash,
+//! FileAnalysis)`. This module makes that map survive the process: it is
+//! flushed to `<dir>/cache.json` after a run and re-hydrated before the
+//! next one, so a second `ofence analyze` (or every iteration of
+//! `ofence watch`) only re-parses the files that actually changed.
+//!
+//! ## Format
+//!
+//! A single JSON document with a header and an entry list:
+//!
+//! ```json
+//! {
+//!   "format_version": 1,
+//!   "tool_version": "0.1.0",
+//!   "config_fingerprint": 1234567890,
+//!   "entries": [ { "path": "...", "hash": 42, "analysis": { ... } } ]
+//! }
+//! ```
+//!
+//! ## Invalidation rules
+//!
+//! A cache is **never trusted blindly**. The whole file is discarded
+//! (and the run proceeds cold) when any of these mismatch:
+//!
+//! * `format_version` — bumped whenever the serialized shape changes;
+//! * `tool_version` — a different build may analyze differently;
+//! * `config_fingerprint` — a hash of the full [`AnalysisConfig`], so a
+//!   run with different windows/toggles never reuses results computed
+//!   under other settings;
+//! * any parse/decode failure — a truncated or hand-edited cache file is
+//!   treated as absent, not as an error.
+//!
+//! Per entry, the engine additionally compares the stored content hash
+//! against the current file content, so stale entries are simply misses.
+//!
+//! ## What is (and isn't) stored
+//!
+//! Entries do not store the file's source text: an entry is only ever
+//! used when its content hash matches the file on disk, so the engine
+//! restores `FileAnalysis::source` from the live corpus. Functions of
+//! files with no barrier sites are stored as name/span stubs without
+//! their CFG or AST: every downstream consumer of `FileAnalysis::
+//! functions` (re-read dataflow gate, patch synthesis, annotation
+//! synthesis) reaches a function only through a barrier site in the same
+//! file, and the missing-barrier detector re-lowers from source. This
+//! keeps warm loads cheap on realistic trees, where most files have no
+//! barriers at all.
+
+use crate::config::AnalysisConfig;
+use crate::ir::BarrierSite;
+use crate::sites::{FileAnalysis, FunctionInfo};
+use ckit::ast::{FunctionDef, FunctionSig, Type};
+use ckit::span::Span;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::path::Path;
+
+/// Bump on any change to the serialized cache shape.
+pub const CACHE_FORMAT_VERSION: u32 = 1;
+
+/// File name inside the cache directory.
+pub const CACHE_FILE_NAME: &str = "cache.json";
+
+/// Default cache directory name (relative to the working directory).
+pub const DEFAULT_CACHE_DIR: &str = ".ofence-cache";
+
+/// FNV-1a content hash — the cache key component for file contents.
+pub fn content_hash(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Fingerprint of the analysis configuration: any config change must
+/// invalidate the cache, because cached `FileAnalysis` values embed
+/// config-dependent decisions (window sizes, expansions, promotions).
+pub fn config_fingerprint(config: &AnalysisConfig) -> u64 {
+    let text = serde_json::to_string(config).expect("config serializes");
+    content_hash(text.as_bytes())
+}
+
+/// What `load` found on disk.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LoadOutcome {
+    /// A valid cache was hydrated with this many entries.
+    Loaded { entries: usize },
+    /// No cache file exists yet.
+    Missing,
+    /// A cache file exists but was stale or corrupt; it was ignored.
+    Discarded { reason: String },
+}
+
+#[derive(Serialize, Deserialize)]
+struct CacheDoc {
+    format_version: u32,
+    tool_version: String,
+    config_fingerprint: u64,
+    entries: Vec<CacheEntry>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct CacheEntry {
+    path: String,
+    hash: u64,
+    analysis: CachedFile,
+}
+
+/// `FileAnalysis` minus the source text (restored from the live corpus
+/// on a hash match), with site-free files' functions slimmed to stubs.
+#[derive(Serialize, Deserialize)]
+struct CachedFile {
+    name: String,
+    sites: Vec<BarrierSite>,
+    functions: Vec<CachedFunction>,
+    parse_error_count: usize,
+}
+
+#[derive(Serialize, Deserialize)]
+enum CachedFunction {
+    Full(FunctionInfo),
+    /// Function of a file with no barrier sites: downstream passes never
+    /// consult its CFG or AST, only its existence (function counts).
+    Stub {
+        name: String,
+        span: Span,
+    },
+}
+
+impl CachedFile {
+    fn from_analysis(fa: &FileAnalysis) -> CachedFile {
+        let slim = fa.sites.is_empty();
+        CachedFile {
+            name: fa.name.clone(),
+            sites: fa.sites.clone(),
+            functions: fa
+                .functions
+                .iter()
+                .map(|f| {
+                    if slim {
+                        CachedFunction::Stub {
+                            name: f.name.clone(),
+                            span: f.span,
+                        }
+                    } else {
+                        CachedFunction::Full(f.clone())
+                    }
+                })
+                .collect(),
+            parse_error_count: fa.parse_error_count,
+        }
+    }
+
+    fn into_analysis(self) -> FileAnalysis {
+        FileAnalysis {
+            file: 0, // re-indexed by the engine on every hit
+            name: self.name,
+            source: String::new(), // restored from the live corpus
+            sites: self.sites,
+            functions: self
+                .functions
+                .into_iter()
+                .map(|f| match f {
+                    CachedFunction::Full(info) => info,
+                    CachedFunction::Stub { name, span } => FunctionInfo {
+                        cfg: cfgir::Cfg {
+                            name: name.clone(),
+                            nodes: Vec::new(),
+                            entry: 0,
+                            exit: 0,
+                        },
+                        def: FunctionDef {
+                            sig: FunctionSig {
+                                name: name.clone(),
+                                ret: Type::Void,
+                                params: Vec::new(),
+                                variadic: false,
+                                is_static: false,
+                                is_inline: false,
+                                span,
+                            },
+                            body: Vec::new(),
+                            span,
+                        },
+                        name,
+                        span,
+                    },
+                })
+                .collect(),
+            parse_error_count: self.parse_error_count,
+        }
+    }
+}
+
+/// Load the cache from `dir`. Never fails: stale or corrupt caches are
+/// reported in the outcome and treated as empty.
+pub fn load(
+    dir: &Path,
+    config: &AnalysisConfig,
+) -> (HashMap<String, (u64, FileAnalysis)>, LoadOutcome) {
+    let path = dir.join(CACHE_FILE_NAME);
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(_) => return (HashMap::new(), LoadOutcome::Missing),
+    };
+    let discard = |reason: String| (HashMap::new(), LoadOutcome::Discarded { reason });
+    let doc: CacheDoc = match serde_json::from_str(&text) {
+        Ok(d) => d,
+        Err(e) => return discard(format!("unreadable cache: {e}")),
+    };
+    if doc.format_version != CACHE_FORMAT_VERSION {
+        return discard(format!(
+            "format version {} (expected {CACHE_FORMAT_VERSION})",
+            doc.format_version
+        ));
+    }
+    if doc.tool_version != env!("CARGO_PKG_VERSION") {
+        return discard(format!(
+            "written by ofence {} (this is {})",
+            doc.tool_version,
+            env!("CARGO_PKG_VERSION")
+        ));
+    }
+    let fp = config_fingerprint(config);
+    if doc.config_fingerprint != fp {
+        return discard("analysis configuration changed".to_string());
+    }
+    let entries = doc.entries.len();
+    let mut map = HashMap::with_capacity(entries);
+    for e in doc.entries {
+        map.insert(e.path, (e.hash, e.analysis.into_analysis()));
+    }
+    (map, LoadOutcome::Loaded { entries })
+}
+
+/// Write the cache to `dir` (created if needed). Writes to a temporary
+/// file first and renames, so a crashed writer never leaves a truncated
+/// cache behind.
+pub fn save(
+    dir: &Path,
+    config: &AnalysisConfig,
+    cache: &HashMap<String, (u64, FileAnalysis)>,
+) -> Result<usize, String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let mut entries: Vec<CacheEntry> = cache
+        .iter()
+        .map(|(path, (hash, fa))| CacheEntry {
+            path: path.clone(),
+            hash: *hash,
+            analysis: CachedFile::from_analysis(fa),
+        })
+        .collect();
+    entries.sort_by(|a, b| a.path.cmp(&b.path));
+    let n = entries.len();
+    let doc = CacheDoc {
+        format_version: CACHE_FORMAT_VERSION,
+        tool_version: env!("CARGO_PKG_VERSION").to_string(),
+        config_fingerprint: config_fingerprint(config),
+        entries,
+    };
+    let text = serde_json::to_string(&doc).expect("cache serializes");
+    let tmp = dir.join(format!("{CACHE_FILE_NAME}.tmp.{}", std::process::id()));
+    let path = dir.join(CACHE_FILE_NAME);
+    std::fs::write(&tmp, text).map_err(|e| format!("{}: {e}", tmp.display()))?;
+    std::fs::rename(&tmp, &path).map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Engine, SourceFile};
+
+    fn tempdir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("ofence-cache-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn demo_files() -> Vec<SourceFile> {
+        vec![
+            SourceFile::new(
+                "m.c",
+                r#"struct m { int init; int y; };
+void reader(struct m *a) { if (!a->init) return; smp_rmb(); f(a->y); }
+void writer(struct m *b) { b->y = 1; smp_wmb(); b->init = 1; }
+"#,
+            ),
+            SourceFile::new("plain.c", "int helper(int x) { return x + 1; }\n"),
+        ]
+    }
+
+    #[test]
+    fn roundtrip_preserves_results() {
+        let dir = tempdir("roundtrip");
+        let config = AnalysisConfig::default();
+        let files = demo_files();
+
+        let mut e1 = Engine::new(config.clone());
+        let r1 = e1.analyze(&files);
+        e1.save_disk_cache(&dir).unwrap();
+
+        let mut e2 = Engine::new(config.clone());
+        let outcome = e2.load_disk_cache(&dir);
+        assert_eq!(outcome, LoadOutcome::Loaded { entries: 2 });
+        let r2 = e2.analyze(&files);
+        assert_eq!(r2.obs.count_of("engine_cache_hits"), 2);
+        assert_eq!(r2.obs.count_of("cache_loads"), 2);
+        assert_eq!(r1.sites.len(), r2.sites.len());
+        assert_eq!(r1.pairing.pairings.len(), r2.pairing.pairings.len());
+        assert_eq!(r1.deviations.len(), r2.deviations.len());
+        assert_eq!(r1.annotations.len(), r2.annotations.len());
+        // Sources are restored from the live corpus, not the cache file.
+        for (a, b) in r1.files.iter().zip(&r2.files) {
+            assert_eq!(a.source, b.source);
+            assert_eq!(a.functions.len(), b.functions.len());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_cache_reported() {
+        let dir = tempdir("missing");
+        let (map, outcome) = load(&dir.join("nope"), &AnalysisConfig::default());
+        assert!(map.is_empty());
+        assert_eq!(outcome, LoadOutcome::Missing);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_cache_discarded() {
+        let dir = tempdir("corrupt");
+        std::fs::write(dir.join(CACHE_FILE_NAME), "{ not json").unwrap();
+        let (map, outcome) = load(&dir, &AnalysisConfig::default());
+        assert!(map.is_empty());
+        assert!(
+            matches!(outcome, LoadOutcome::Discarded { .. }),
+            "{outcome:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn format_version_mismatch_discarded() {
+        let dir = tempdir("version");
+        let config = AnalysisConfig::default();
+        let mut e = Engine::new(config.clone());
+        e.analyze(&demo_files());
+        e.save_disk_cache(&dir).unwrap();
+        let path = dir.join(CACHE_FILE_NAME);
+        let text = std::fs::read_to_string(&path).unwrap().replacen(
+            "\"format_version\":1",
+            "\"format_version\":999",
+            1,
+        );
+        std::fs::write(&path, text).unwrap();
+        let (map, outcome) = load(&dir, &config);
+        assert!(map.is_empty());
+        match outcome {
+            LoadOutcome::Discarded { reason } => assert!(reason.contains("format version")),
+            other => panic!("{other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn config_change_discards_cache() {
+        let dir = tempdir("config");
+        let mut e = Engine::new(AnalysisConfig::default());
+        e.analyze(&demo_files());
+        e.save_disk_cache(&dir).unwrap();
+        let other = AnalysisConfig {
+            write_window: 9,
+            ..Default::default()
+        };
+        let (map, outcome) = load(&dir, &other);
+        assert!(map.is_empty());
+        match outcome {
+            LoadOutcome::Discarded { reason } => assert!(reason.contains("configuration")),
+            other => panic!("{other:?}"),
+        }
+        // The original config still loads.
+        let (map, outcome) = load(&dir, &AnalysisConfig::default());
+        assert_eq!(map.len(), 2);
+        assert_eq!(outcome, LoadOutcome::Loaded { entries: 2 });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fingerprint_depends_on_config() {
+        let a = config_fingerprint(&AnalysisConfig::default());
+        let b = config_fingerprint(&AnalysisConfig {
+            read_window: 7,
+            ..Default::default()
+        });
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn site_free_files_are_slimmed() {
+        let dir = tempdir("slim");
+        let config = AnalysisConfig::default();
+        let mut e = Engine::new(config.clone());
+        e.analyze(&demo_files());
+        e.save_disk_cache(&dir).unwrap();
+        let text = std::fs::read_to_string(dir.join(CACHE_FILE_NAME)).unwrap();
+        // plain.c has no barriers: its helper is a stub, not a full AST.
+        assert!(text.contains("Stub"), "expected slim entry");
+        let (map, _) = load(&dir, &config);
+        let (_, fa) = &map["plain.c"];
+        assert_eq!(fa.functions.len(), 1);
+        assert_eq!(fa.functions[0].name, "helper");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

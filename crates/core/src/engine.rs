@@ -97,12 +97,18 @@ impl AnalysisResult {
 /// the run recorder.
 pub struct Engine {
     pub config: AnalysisConfig,
-    /// file name -> (content hash, cached per-file analysis).
+    /// file path -> (content hash, cached per-file analysis). An entry is
+    /// used only when both the path and the content hash match; entries
+    /// whose path vanished from the corpus are evicted on every run.
     cache: HashMap<String, (u64, FileAnalysis)>,
     /// Observability recorder, reset at the start of every run so spans
     /// and counters are per-run (never cumulative across incremental
     /// re-analyses).
     recorder: obs::Recorder,
+    /// Counters accumulated between runs (e.g. by a disk-cache load) and
+    /// flushed into the recorder right after the per-run reset, so they
+    /// land in the next run's snapshot.
+    pending_counts: Vec<(String, u64)>,
 }
 
 impl Engine {
@@ -111,6 +117,7 @@ impl Engine {
             config,
             cache: HashMap::new(),
             recorder: obs::Recorder::new(),
+            pending_counts: Vec::new(),
         }
     }
 
@@ -119,10 +126,41 @@ impl Engine {
         &self.recorder
     }
 
+    /// Hydrate the incremental cache from `dir` (see [`crate::cache`]).
+    /// Stale or corrupt caches are discarded, never an error; the number
+    /// of loaded entries is reported as `cache_loads` in the next run's
+    /// counters.
+    pub fn load_disk_cache(&mut self, dir: &std::path::Path) -> crate::cache::LoadOutcome {
+        let (entries, outcome) = crate::cache::load(dir, &self.config);
+        self.pending_counts
+            .push(("cache_loads".to_string(), entries.len() as u64));
+        if matches!(outcome, crate::cache::LoadOutcome::Discarded { .. }) {
+            self.pending_counts.push(("cache_discarded".to_string(), 1));
+        }
+        self.cache.extend(entries);
+        outcome
+    }
+
+    /// Flush the incremental cache to `dir`, creating it if needed.
+    /// Returns the number of entries written.
+    pub fn save_disk_cache(&self, dir: &std::path::Path) -> Result<usize, String> {
+        crate::cache::save(dir, &self.config, &self.cache)
+    }
+
+    /// Queue a counter for the next run's snapshot (used by drivers that
+    /// want their own counters — e.g. `watch_iterations` — exported next
+    /// to the engine's).
+    pub fn queue_count(&mut self, name: &str, delta: u64) {
+        self.pending_counts.push((name.to_string(), delta));
+    }
+
     /// Analyze a corpus from scratch (cache is still populated for
     /// subsequent incremental runs).
     pub fn analyze(&mut self, files: &[SourceFile]) -> AnalysisResult {
         self.recorder.reset();
+        for (name, delta) in self.pending_counts.drain(..) {
+            self.recorder.count(&name, delta);
+        }
         let root = self.recorder.open("analyze");
         let analyses = self.analyze_files(files);
         self.finish(analyses, root)
@@ -136,6 +174,15 @@ impl Engine {
     }
 
     fn analyze_files(&mut self, files: &[SourceFile]) -> Vec<FileAnalysis> {
+        // Evict entries whose path is gone from the corpus: a rename or
+        // deletion must not leave a stale FileAnalysis that a future save
+        // would write back to disk.
+        let current: std::collections::HashSet<&str> =
+            files.iter().map(|f| f.name.as_str()).collect();
+        let before = self.cache.len();
+        self.cache.retain(|path, _| current.contains(path.as_str()));
+        self.recorder
+            .count("cache_evictions", (before - self.cache.len()) as u64);
         // Split into cached and to-do.
         let mut results: Vec<Option<FileAnalysis>> = vec![None; files.len()];
         let mut todo: Vec<usize> = Vec::new();
@@ -145,6 +192,11 @@ impl Engine {
                 Some((ch, fa)) if *ch == h => {
                     let mut fa = fa.clone();
                     fa.file = i;
+                    // Disk-loaded entries carry no source text (the hash
+                    // match guarantees it equals the live content).
+                    if fa.source.is_empty() {
+                        fa.source = f.content.clone();
+                    }
                     for s in &mut fa.sites {
                         s.site.file = i;
                     }
@@ -284,15 +336,9 @@ impl Engine {
     }
 }
 
-/// FNV-1a content hash for the incremental cache.
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf29ce484222325;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x100000001b3);
-    }
-    h
-}
+/// FNV-1a content hash for the incremental cache (shared with the disk
+/// cache format).
+use crate::cache::content_hash as fnv1a;
 
 #[cfg(test)]
 mod tests {

@@ -62,6 +62,11 @@ impl AnalysisResult {
                 "phase_us": self.stats.phase_us,
                 "slowest_files": self.stats.slowest_files,
                 "counters": self.obs.counters,
+                "cache": {
+                    "hits": self.obs.count_of("engine_cache_hits"),
+                    "loads": self.obs.count_of("cache_loads"),
+                    "evictions": self.obs.count_of("cache_evictions"),
+                },
             },
         })
     }
@@ -129,5 +134,17 @@ void writer(struct m *b) { b->y = 1; smp_wmb(); b->init = 1; }
             counters.contains_key("extract_barriers_found"),
             "{counters:?}"
         );
+    }
+
+    #[test]
+    fn observability_cache_section_present() {
+        let files = demo_files();
+        let mut engine = Engine::new(AnalysisConfig::default());
+        engine.analyze(&files);
+        let r = engine.analyze(&files); // warm: everything from cache
+        let v = r.to_json();
+        assert_eq!(v["observability"]["cache"]["hits"], 1);
+        assert_eq!(v["observability"]["cache"]["loads"], 0);
+        assert_eq!(v["observability"]["cache"]["evictions"], 0);
     }
 }

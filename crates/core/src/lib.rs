@@ -38,6 +38,7 @@
 //! ```
 
 pub mod annotate;
+pub mod cache;
 pub mod config;
 pub mod deviation;
 pub mod engine;
@@ -51,6 +52,7 @@ pub mod patch;
 pub mod report;
 pub mod sites;
 
+pub use cache::LoadOutcome;
 pub use config::AnalysisConfig;
 pub use deviation::{Deviation, DeviationKind};
 pub use engine::{AnalysisResult, Engine, SourceFile};

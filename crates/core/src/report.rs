@@ -61,7 +61,9 @@ pub const PHASES: [&str; 8] = [
 /// the per-file cost used for the "slowest files" ranking.
 const PER_FILE_PHASES: [&str; 3] = ["parse", "cfg", "extract"];
 
-pub(crate) fn deviation_class(kind: &DeviationKind) -> &'static str {
+/// Short human-readable class name for a deviation (used in rendered
+/// reports and by `ofence watch` to key its deviation delta).
+pub fn deviation_class(kind: &DeviationKind) -> &'static str {
     match kind {
         DeviationKind::Misplaced { .. } => "misplaced memory access",
         DeviationKind::WrongBarrierType { .. } => "wrong barrier type",

@@ -16,7 +16,7 @@ use kmodel::{BarrierKind, CallSemantics, ImpliedAccess, SeqcountOp};
 use std::collections::HashMap;
 
 /// A function retained for downstream passes (checkers, patches).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct FunctionInfo {
     pub name: String,
     pub cfg: Cfg,
@@ -26,7 +26,7 @@ pub struct FunctionInfo {
 }
 
 /// Analysis result of one file.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct FileAnalysis {
     pub file: usize,
     pub name: String,

@@ -100,6 +100,11 @@ pub struct CorpusSpec {
     /// follow the guarded-read shape. The outlier rule keeps them quiet;
     /// the `no_outlier` ablation reports two false positives per decoy.
     pub unfenced_decoys: usize,
+    /// Barrier-free files appended after the pattern files. Real kernel
+    /// trees are mostly files with no barriers at all; the cache bench
+    /// uses this knob so per-file analysis cost dominates the global
+    /// pairing phases and warm-cache speedups are visible.
+    pub filler_files: usize,
     pub bugs: BugPlan,
 }
 
@@ -117,6 +122,7 @@ impl CorpusSpec {
             split_fraction: 0.25,
             reread_decoys: 0,
             unfenced_decoys: 0,
+            filler_files: 0,
             bugs: BugPlan::none(),
         }
     }
@@ -136,6 +142,7 @@ impl CorpusSpec {
             split_fraction: 0.2,
             reread_decoys: 6,
             unfenced_decoys: 6,
+            filler_files: 0,
             bugs: BugPlan {
                 missing_barrier: 6,
                 ..BugPlan::paper()
@@ -340,17 +347,48 @@ pub fn generate(spec: &CorpusSpec) -> Corpus {
         }
     }
 
-    Corpus {
-        files: file_bodies
-            .into_iter()
-            .enumerate()
-            .map(|(i, content)| GenFile {
-                name: file_name(i),
-                content,
-            })
-            .collect(),
-        manifest,
+    let mut files: Vec<GenFile> = file_bodies
+        .into_iter()
+        .enumerate()
+        .map(|(i, content)| GenFile {
+            name: file_name(i),
+            content,
+        })
+        .collect();
+
+    // Barrier-free filler files: no sites, no pairings, just helper code
+    // the frontend has to chew through.
+    for fi in 0..spec.filler_files {
+        let mut content = format!("/* synthetic kernel filler {fi} — generated, do not edit */\n");
+        for ni in 0..10 {
+            content.push_str(&patterns::noise_function(60_000 + fi, ni, &mut rng));
+        }
+        files.push(GenFile {
+            name: format!("gen/filler{fi:04}.c"),
+            content,
+        });
     }
+
+    Corpus { files, manifest }
+}
+
+/// Mutate one file of a generated corpus, deterministically in `seed`:
+/// appends a barrier-free helper function, so the file's content hash
+/// changes without touching any barrier protocol. Returns the edited
+/// file's name. Used by warm-cache benchmarks, the watch-mode tests, and
+/// the incremental property tests to model a developer edit. Apply at
+/// most once per (corpus, seed) — repeating the same seed would emit a
+/// duplicate definition.
+pub fn inject_edit(corpus: &mut Corpus, seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0f3e_c0de);
+    let idx = rng.gen_range(0..corpus.files.len());
+    let f = &mut corpus.files[idx];
+    f.content.push_str(&patterns::noise_function(
+        70_000 + idx,
+        (seed % 997) as usize,
+        &mut rng,
+    ));
+    f.name.clone()
 }
 
 #[cfg(test)]
@@ -452,6 +490,54 @@ mod tests {
         // 12 ordering bugs + 53 unneeded + 6 missing-barrier extension.
         assert_eq!(spec.bugs.total(), 71);
         assert_eq!(spec.files, 600);
+    }
+
+    #[test]
+    fn filler_files_are_barrier_free_and_parse() {
+        let mut spec = CorpusSpec::small(11);
+        spec.filler_files = 4;
+        let corpus = generate(&spec);
+        assert_eq!(corpus.files.len(), 8 + 4);
+        let fillers: Vec<_> = corpus
+            .files
+            .iter()
+            .filter(|f| f.name.starts_with("gen/filler"))
+            .collect();
+        assert_eq!(fillers.len(), 4);
+        for f in fillers {
+            assert!(!f.content.contains("smp_"), "{} has a barrier", f.name);
+            let parsed = ckit::parse_string(&f.name, &f.content).unwrap();
+            assert!(parsed.errors.is_empty(), "{}: {:?}", f.name, parsed.errors);
+        }
+        // The manifest's ground truth is untouched by filler.
+        let base = generate(&CorpusSpec::small(11));
+        assert_eq!(
+            corpus.manifest.expected_pairings.len(),
+            base.manifest.expected_pairings.len()
+        );
+    }
+
+    #[test]
+    fn inject_edit_changes_exactly_one_file() {
+        let base = generate(&CorpusSpec::small(12));
+        let mut edited = base.clone();
+        let name = inject_edit(&mut edited, 7);
+        let mut changed = 0;
+        for (a, b) in base.files.iter().zip(&edited.files) {
+            assert_eq!(a.name, b.name);
+            if a.content != b.content {
+                changed += 1;
+                assert_eq!(a.name, name);
+                assert!(b.content.starts_with(a.content.as_str()));
+                let parsed = ckit::parse_string(&b.name, &b.content).unwrap();
+                assert!(parsed.errors.is_empty(), "{}: {:?}", b.name, parsed.errors);
+            }
+        }
+        assert_eq!(changed, 1);
+        // Deterministic in the seed.
+        let mut again = base.clone();
+        assert_eq!(inject_edit(&mut again, 7), name);
+        assert_eq!(again.files, edited.files);
     }
 
     #[test]

@@ -26,5 +26,5 @@ pub mod manifest;
 pub mod patterns;
 
 pub use eval::{evaluate, EvalSummary, FoundBug, FoundPairing};
-pub use generator::{generate, BugPlan, Corpus, CorpusSpec, GenFile};
+pub use generator::{generate, inject_edit, BugPlan, Corpus, CorpusSpec, GenFile};
 pub use manifest::{BugKind, ExpectedPairing, InjectedBug, Manifest, PatternKind};

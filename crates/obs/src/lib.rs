@@ -281,6 +281,26 @@ impl Snapshot {
         self.counters.get(name).copied().unwrap_or(0)
     }
 
+    /// Fold this run's counters into a cumulative map. Long-running
+    /// drivers (e.g. a watch loop) reset their recorder every iteration;
+    /// this keeps a process-lifetime view for exported metrics.
+    pub fn accumulate_counters(&self, acc: &mut BTreeMap<String, u64>) {
+        for (name, value) in &self.counters {
+            *acc.entry(name.clone()).or_default() += value;
+        }
+    }
+
+    /// A copy of this snapshot with extra counters merged in (added to
+    /// any existing value) — lets a driver export its own counters next
+    /// to the engine's.
+    pub fn with_counters(&self, extra: impl IntoIterator<Item = (String, u64)>) -> Snapshot {
+        let mut out = self.clone();
+        for (name, value) in extra {
+            *out.counters.entry(name).or_default() += value;
+        }
+        out
+    }
+
     /// All finished spans with the given name.
     pub fn spans_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a SpanRecord> {
         self.spans.iter().filter(move |s| s.name == name)

@@ -25,6 +25,7 @@ fn main() {
         split_fraction: 0.2,
         reread_decoys: 0,
         unfenced_decoys: 0,
+        filler_files: 0,
         bugs: BugPlan {
             misplaced: 3,
             repeated_read: 2,

@@ -94,6 +94,7 @@ fn all_bug_classes_detected_across_seeds() {
             split_fraction: 0.2,
             reread_decoys: 0,
             unfenced_decoys: 0,
+            filler_files: 0,
             bugs: BugPlan {
                 misplaced: 6,
                 repeated_read: 3,
@@ -224,6 +225,7 @@ fn missing_detector_full_recall_without_false_positives() {
         split_fraction: 0.2,
         reread_decoys: 0,
         unfenced_decoys: 4,
+        filler_files: 0,
         bugs: BugPlan {
             missing_barrier: 5,
             ..BugPlan::none()
@@ -279,6 +281,7 @@ fn dataflow_reread_strictly_fewer_false_positives_than_window() {
         split_fraction: 0.0,
         reread_decoys: 5,
         unfenced_decoys: 0,
+        filler_files: 0,
         bugs: BugPlan {
             repeated_read: 4,
             ..BugPlan::none()

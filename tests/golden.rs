@@ -1,0 +1,113 @@
+//! Golden-file snapshot tests for the machine-readable surfaces:
+//! `analyze --json` (schema v1) and the `explain` rendering, pinned on
+//! the paper's own fixtures.
+//!
+//! Timing-dependent fields (`elapsed_ms`, `phase_us`, `slowest_files`)
+//! are scrubbed before comparison; everything else — site extraction,
+//! pairings, deviations, patches, annotations, counters — must match the
+//! checked-in snapshot byte for byte. To regenerate after an intentional
+//! output change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden
+//! ```
+
+use ofence::{AnalysisConfig, Engine, SourceFile};
+use ofence_corpus::fixtures;
+use std::path::PathBuf;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden")
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_dir().join(name);
+    if std::env::var("UPDATE_GOLDEN").as_deref() == Ok("1") {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with UPDATE_GOLDEN=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected, actual,
+        "output drifted from {name}; if the change is intentional, \
+         regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+/// Replace timing-dependent values anywhere in the tree so snapshots
+/// only pin semantic output.
+fn scrub(v: serde_json::Value) -> serde_json::Value {
+    use serde_json::Value;
+    match v {
+        Value::Object(m) => Value::Object(
+            m.into_iter()
+                .map(|(k, v)| {
+                    let v = if matches!(k.as_str(), "elapsed_ms" | "phase_us" | "slowest_files") {
+                        Value::String("<scrubbed>".to_string())
+                    } else {
+                        scrub(v)
+                    };
+                    (k, v)
+                })
+                .collect(),
+        ),
+        Value::Array(a) => Value::Array(a.into_iter().map(scrub).collect()),
+        other => other,
+    }
+}
+
+fn analyze(name: &str, source: &str) -> ofence::AnalysisResult {
+    Engine::new(AnalysisConfig::default()).analyze(&[SourceFile::new(name, source)])
+}
+
+fn json_snapshot(result: &ofence::AnalysisResult) -> String {
+    let mut text = serde_json::to_string_pretty(&scrub(result.to_json())).unwrap();
+    text.push('\n');
+    text
+}
+
+#[test]
+fn analyze_json_listing1_matches_golden() {
+    let r = analyze("listing1.c", fixtures::LISTING1);
+    check_golden("analyze_listing1.json", &json_snapshot(&r));
+}
+
+#[test]
+fn analyze_json_patch1_matches_golden() {
+    let r = analyze("xprt.c", fixtures::PATCH1_BUGGY);
+    check_golden("analyze_patch1.json", &json_snapshot(&r));
+}
+
+#[test]
+fn explain_patch1_matches_golden() {
+    let r = analyze("xprt.c", fixtures::PATCH1_BUGGY);
+    assert!(!r.sites.is_empty());
+    // Explain every barrier in the fixture, in site order, so the
+    // snapshot pins the whole decision replay surface.
+    let mut out = String::new();
+    for site in &r.sites {
+        let e =
+            ofence::explain_site_with(&r.sites, &r.pairing, &AnalysisConfig::default(), site.id)
+                .expect("site id from this result");
+        out.push_str(&e.render());
+        out.push('\n');
+    }
+    check_golden("explain_patch1.txt", &out);
+}
+
+#[test]
+fn explain_json_listing1_matches_golden() {
+    let r = analyze("listing1.c", fixtures::LISTING1);
+    let site = r.sites.first().expect("listing1 has barriers");
+    let e = ofence::explain_site_with(&r.sites, &r.pairing, &AnalysisConfig::default(), site.id)
+        .expect("site id from this result");
+    let mut text = serde_json::to_string_pretty(&serde_json::to_value(&e)).unwrap();
+    text.push('\n');
+    check_golden("explain_listing1.json", &text);
+}

@@ -17,6 +17,7 @@ fn bug_corpus(seed: u64) -> Vec<SourceFile> {
         split_fraction: 0.0, // keep each pattern in one file so single-file re-analysis sees both sides
         reread_decoys: 0,
         unfenced_decoys: 0,
+        filler_files: 0,
         bugs: BugPlan {
             misplaced: 6,
             repeated_read: 4,

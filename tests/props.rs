@@ -41,6 +41,7 @@ fn arb_spec() -> impl Strategy<Value = CorpusSpec> {
                 split_fraction: split,
                 reread_decoys,
                 unfenced_decoys,
+                filler_files: 0,
                 bugs: BugPlan {
                     misplaced,
                     repeated_read: repeated,
@@ -191,6 +192,7 @@ proptest! {
             split_fraction: 0.0,
             reread_decoys: 0,
             unfenced_decoys: 0,
+            filler_files: 0,
             bugs: BugPlan {
                 missing_barrier: nbugs,
                 ..BugPlan::none()
@@ -236,7 +238,9 @@ proptest! {
         }
     }
 
-    /// The incremental engine agrees with a fresh engine on any edit.
+    /// The incremental engine agrees with a fresh engine on any edit —
+    /// not just in counts: the same sites, the same pairings, the same
+    /// deviations and annotations, bit for bit.
     #[test]
     fn incremental_equals_fresh(seed in any::<u64>(), touch in 0usize..8) {
         let corpus = generate(&CorpusSpec::small(seed));
@@ -251,11 +255,68 @@ proptest! {
         files[idx].content.push_str("\nint prop_added(void) { return 1; }\n");
         let incremental = engine.analyze_incremental(&files);
         let fresh = Engine::new(AnalysisConfig::default()).analyze(&files);
-        prop_assert_eq!(incremental.sites.len(), fresh.sites.len());
-        prop_assert_eq!(
-            incremental.pairing.pairings.len(),
-            fresh.pairing.pairings.len()
-        );
-        prop_assert_eq!(incremental.deviations.len(), fresh.deviations.len());
+        prop_assert_eq!(result_fingerprint(&incremental), result_fingerprint(&fresh));
     }
+
+    /// Same equivalence across a **disk** round-trip: save the cache,
+    /// edit one file, load the cache into a brand-new engine (a new
+    /// process image), and the warm run must match a cold fresh run
+    /// exactly — while actually hitting the cache for every unchanged
+    /// file.
+    #[test]
+    fn disk_roundtrip_equals_fresh(spec in arb_spec(), edit_seed in any::<u64>()) {
+        let mut corpus = generate(&spec);
+        let files: Vec<SourceFile> = corpus
+            .files
+            .iter()
+            .map(|f| SourceFile::new(f.name.clone(), f.content.clone()))
+            .collect();
+        let dir = std::env::temp_dir().join(format!(
+            "ofence-prop-cache-{}-{}-{}",
+            std::process::id(),
+            spec.seed,
+            edit_seed
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let mut cold_engine = Engine::new(AnalysisConfig::default());
+        let _ = cold_engine.analyze(&files);
+        cold_engine.save_disk_cache(&dir).expect("save cache");
+
+        let edited = ofence_corpus::inject_edit(&mut corpus, edit_seed);
+        let files2: Vec<SourceFile> = corpus
+            .files
+            .iter()
+            .map(|f| SourceFile::new(f.name.clone(), f.content.clone()))
+            .collect();
+
+        let mut warm_engine = Engine::new(AnalysisConfig::default());
+        let outcome = warm_engine.load_disk_cache(&dir);
+        prop_assert!(
+            matches!(outcome, ofence::LoadOutcome::Loaded { entries } if entries == files2.len()),
+            "cache load failed: {outcome:?}"
+        );
+        let warm = warm_engine.analyze(&files2);
+        prop_assert_eq!(
+            warm.obs.count_of("engine_cache_hits") as usize,
+            files2.len() - 1,
+            "every file except {} must hit",
+            edited
+        );
+
+        let fresh = Engine::new(AnalysisConfig::default()).analyze(&files2);
+        prop_assert_eq!(result_fingerprint(&warm), result_fingerprint(&fresh));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Everything semantically observable about a run, in one comparable
+/// string: sites (with their extracted accesses), pairings, unpaired
+/// reasons, deviations, and annotations. Timing and per-file internals
+/// (which legitimately differ between cached and fresh runs) stay out.
+fn result_fingerprint(r: &ofence::AnalysisResult) -> String {
+    format!(
+        "{:?}\n{:?}\n{:?}\n{:?}\n{:?}",
+        r.sites, r.pairing.pairings, r.pairing.unpaired, r.deviations, r.annotations
+    )
 }

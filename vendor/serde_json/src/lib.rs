@@ -214,6 +214,19 @@ impl<'a> Parser<'a> {
         self.expect(b'"')?;
         let mut out = String::new();
         loop {
+            // Fast path: copy the maximal run of plain ASCII bytes in one
+            // shot instead of re-validating the rest of the input per
+            // character (which made parsing quadratic on large documents).
+            let run = self.pos;
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' || b >= 0x80 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > run {
+                out.push_str(std::str::from_utf8(&self.bytes[run..self.pos]).expect("ascii run"));
+            }
             match self.peek() {
                 None => return Err(Error::new("unterminated string")),
                 Some(b'"') => {
@@ -248,11 +261,18 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 code point.
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest)
-                        .map_err(|_| Error::new("invalid utf-8 in string"))?;
-                    let c = s.chars().next().expect("non-empty");
+                    // Consume one multi-byte UTF-8 code point (at most
+                    // four bytes — no need to validate the whole tail).
+                    let end = self.bytes.len().min(self.pos + 4);
+                    let rest = &self.bytes[self.pos..end];
+                    let valid = match std::str::from_utf8(rest) {
+                        Ok(s) => s,
+                        Err(e) if e.valid_up_to() > 0 => {
+                            std::str::from_utf8(&rest[..e.valid_up_to()]).expect("validated")
+                        }
+                        Err(_) => return Err(Error::new("invalid utf-8 in string")),
+                    };
+                    let c = valid.chars().next().expect("non-empty");
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
