@@ -1,20 +1,35 @@
 //! Argument parsing (hand-rolled; the tool has a small, stable surface).
 
-use ofence::AnalysisConfig;
+use ofence::{AnalysisConfig, FailOn};
 
 pub const USAGE: &str = "\
 usage:
-  ofence analyze  <paths...> [--json] [output options] [window options]
+  ofence analyze  <paths...> [--json] [--sarif-out FILE] [--baseline FILE]
+                  [--fail-on new|any|none] [output options] [window options]
   ofence patch    <paths...> [--apply] [--json] [window options]
   ofence annotate <paths...> [--apply] [--json] [window options]
   ofence stats    <paths...> [--json] [window options]
   ofence explain  <file:line> <paths...> [--json] [window options]
   ofence watch    <paths...> [--interval-ms N] [--max-iterations N] [...]
+  ofence diff     <old> <new> [--json] [--history-dir DIR]
+  ofence diff     --baseline FILE <paths...> [--json] [window options]
+  ofence baseline write <paths...> [--out FILE] [window options]
   ofence gen      --out DIR [--files N] [--seed S] [--bugs]
 
 output options:
   --trace-out FILE   write a Chrome-tracing JSON trace of the run
   --metrics-out FILE write Prometheus text-format metrics of the run
+  --sarif-out FILE   write findings as SARIF 2.1.0 with stable
+                     fingerprints in partialFingerprints
+
+triage options (analyze and watch):
+  --baseline FILE    compare findings against this baseline; known
+                     findings are reported as baselined
+  --fail-on POLICY   exit non-zero on: new (findings not in the
+                     baseline), any (default; any finding), none
+  --history-dir DIR  append the run record to DIR/history.jsonl
+                     (default: .ofence)
+  --no-history       do not write the run ledger
 
 cache options (analysis subcommands and watch):
   --cache-dir DIR    persist the per-file analysis cache here
@@ -36,9 +51,19 @@ why the winner won (or why the barrier stayed unpaired).
 
 `watch` polls the given paths (mtime-free content hashing, no inotify
 dependency) and re-runs the incremental analysis when a file changes,
-printing only the deviation delta (+ new, - fixed). `--interval-ms`
+printing only the finding delta (+ new, - fixed). `--interval-ms`
 sets the poll period (default 500); `--max-iterations` exits after N
-analysis runs (default: run until interrupted).";
+analysis runs (default: run until interrupted).
+
+`diff` classifies findings as new / fixed / unchanged by their stable
+fingerprints. <old> and <new> are ledger run ids (prefixes work) or
+`analyze --json` report files; with `--baseline FILE` the given paths
+are analyzed and compared against the baseline instead.
+
+`baseline write` analyzes the given paths and records every current
+finding (default: ofence-baseline.json) so `--fail-on=new` only gates
+on regressions. Inline `// ofence-ignore` comments suppress a finding
+at its source line.";
 
 /// A parsed invocation.
 #[derive(Debug, PartialEq)]
@@ -49,6 +74,8 @@ pub enum Command {
     Stats(RunOpts),
     Explain(ExplainOpts),
     Watch(WatchOpts),
+    Diff(DiffOpts),
+    BaselineWrite(BaselineWriteOpts),
     Gen(GenOpts),
 }
 
@@ -62,12 +89,41 @@ pub struct RunOpts {
     pub trace_out: Option<String>,
     /// Write Prometheus text-format metrics of the run to this file.
     pub metrics_out: Option<String>,
+    /// Write findings as a SARIF 2.1.0 document to this file.
+    pub sarif_out: Option<String>,
+    /// Compare findings against this baseline file.
+    pub baseline: Option<String>,
+    /// Exit-code policy; `None` means the subcommand's default.
+    pub fail_on: Option<FailOn>,
+    /// Run-ledger directory (`--history-dir`); `None` means the default
+    /// `.ofence` directory.
+    pub history_dir: Option<String>,
+    /// `--no-history`: skip appending to the run ledger.
+    pub no_history: bool,
     /// Where to persist the per-file analysis cache (`--cache-dir`);
     /// `None` means the default `.ofence-cache` directory.
     pub cache_dir: Option<String>,
     /// `--no-cache`: skip reading and writing the on-disk cache.
     pub no_cache: bool,
     pub config: AnalysisConfig,
+}
+
+/// `ofence diff` — compare two runs (or the current run vs a baseline).
+#[derive(Debug, PartialEq)]
+pub struct DiffOpts {
+    /// Two-operand mode: ledger run ids or `--json` report files.
+    /// Empty in `--baseline` mode (then `run.paths` holds the sources).
+    pub old: Option<String>,
+    pub new: Option<String>,
+    pub run: RunOpts,
+}
+
+/// `ofence baseline write` — snapshot current findings to a file.
+#[derive(Debug, PartialEq)]
+pub struct BaselineWriteOpts {
+    /// Output file (default `ofence-baseline.json`).
+    pub out: String,
+    pub run: RunOpts,
 }
 
 /// `ofence watch <paths...>` — poll for changes and re-analyze.
@@ -109,6 +165,8 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         "stats" => Ok(Command::Stats(parse_run(rest)?)),
         "explain" => Ok(Command::Explain(parse_explain(rest)?)),
         "watch" => Ok(Command::Watch(parse_watch(rest)?)),
+        "diff" => Ok(Command::Diff(parse_diff(rest)?)),
+        "baseline" => Ok(Command::BaselineWrite(parse_baseline(rest)?)),
         "gen" => Ok(Command::Gen(parse_gen(rest)?)),
         "--help" | "-h" | "help" => Err("".into()),
         other => Err(format!("unknown subcommand `{other}`")),
@@ -116,12 +174,25 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
 }
 
 fn parse_run(argv: &[String]) -> Result<RunOpts, String> {
+    let opts = parse_run_inner(argv)?;
+    if opts.paths.is_empty() {
+        return Err("no input paths given".into());
+    }
+    Ok(opts)
+}
+
+fn parse_run_inner(argv: &[String]) -> Result<RunOpts, String> {
     let mut opts = RunOpts {
         paths: Vec::new(),
         json: false,
         apply: false,
         trace_out: None,
         metrics_out: None,
+        sarif_out: None,
+        baseline: None,
+        fail_on: None,
+        history_dir: None,
+        no_history: false,
         cache_dir: None,
         no_cache: false,
         config: AnalysisConfig::default(),
@@ -149,6 +220,31 @@ fn parse_run(argv: &[String]) -> Result<RunOpts, String> {
                 opts.metrics_out =
                     Some(argv.get(i).ok_or("--metrics-out needs a file")?.to_string());
             }
+            "--sarif-out" => {
+                i += 1;
+                opts.sarif_out = Some(argv.get(i).ok_or("--sarif-out needs a file")?.to_string());
+            }
+            "--baseline" => {
+                i += 1;
+                opts.baseline = Some(argv.get(i).ok_or("--baseline needs a file")?.to_string());
+            }
+            "--fail-on" => {
+                i += 1;
+                let v = argv.get(i).ok_or("--fail-on needs new, any, or none")?;
+                opts.fail_on = Some(FailOn::parse(v)?);
+            }
+            flag if flag.starts_with("--fail-on=") => {
+                opts.fail_on = Some(FailOn::parse(&flag["--fail-on=".len()..])?);
+            }
+            "--history-dir" => {
+                i += 1;
+                opts.history_dir = Some(
+                    argv.get(i)
+                        .ok_or("--history-dir needs a directory")?
+                        .to_string(),
+                );
+            }
+            "--no-history" => opts.no_history = true,
             "--no-ipc" => opts.config.implicit_ipc = false,
             "--no-expand" => {
                 opts.config.callee_expansion = false;
@@ -172,13 +268,76 @@ fn parse_run(argv: &[String]) -> Result<RunOpts, String> {
         }
         i += 1;
     }
-    if opts.paths.is_empty() {
-        return Err("no input paths given".into());
-    }
     if opts.no_cache && opts.cache_dir.is_some() {
         return Err("--cache-dir and --no-cache are mutually exclusive".into());
     }
+    if opts.no_history && opts.history_dir.is_some() {
+        return Err("--history-dir and --no-history are mutually exclusive".into());
+    }
     Ok(opts)
+}
+
+fn parse_diff(argv: &[String]) -> Result<DiffOpts, String> {
+    let mut run = parse_run_inner(argv)?;
+    if run.apply {
+        return Err("--apply is not supported by diff".into());
+    }
+    if run.baseline.is_some() {
+        // Baseline mode: analyze the given paths, compare to the file.
+        if run.paths.is_empty() {
+            return Err("diff --baseline requires input paths to analyze".into());
+        }
+        return Ok(DiffOpts {
+            old: None,
+            new: None,
+            run,
+        });
+    }
+    // Two-operand mode: run ids or report files.
+    if run.paths.len() != 2 {
+        return Err(
+            "diff requires exactly two operands (ledger run ids or --json report files), \
+             or --baseline FILE with input paths"
+                .into(),
+        );
+    }
+    let new = run.paths.pop();
+    let old = run.paths.pop();
+    Ok(DiffOpts { old, new, run })
+}
+
+fn parse_baseline(argv: &[String]) -> Result<BaselineWriteOpts, String> {
+    match argv.first().map(String::as_str) {
+        Some("write") => {}
+        Some(other) => {
+            return Err(format!(
+                "unknown baseline action `{other}` (expected write)"
+            ))
+        }
+        None => return Err("baseline requires an action (write)".into()),
+    }
+    // Extract `--out FILE`; everything else goes to the shared parser.
+    let mut rest: Vec<String> = Vec::new();
+    let mut out = "ofence-baseline.json".to_string();
+    let args = &argv[1..];
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--out" {
+            i += 1;
+            out = args.get(i).ok_or("--out needs a file")?.to_string();
+        } else {
+            rest.push(args[i].clone());
+        }
+        i += 1;
+    }
+    let run = parse_run(&rest)?;
+    if run.apply {
+        return Err("--apply is not supported by baseline write".into());
+    }
+    if run.baseline.is_some() {
+        return Err("--baseline is not supported by baseline write (use --out)".into());
+    }
+    Ok(BaselineWriteOpts { out, run })
 }
 
 fn parse_watch(argv: &[String]) -> Result<WatchOpts, String> {
@@ -447,5 +606,114 @@ mod tests {
         assert!(parse(&argv("watch")).is_err()); // no paths
         assert!(parse(&argv("watch d --interval-ms")).is_err());
         assert!(parse(&argv("watch d --apply")).is_err());
+    }
+
+    #[test]
+    fn triage_flags() {
+        let cmd = parse(&argv(
+            "analyze x.c --sarif-out out.sarif --baseline base.json --fail-on new",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Analyze(o) => {
+                assert_eq!(o.sarif_out.as_deref(), Some("out.sarif"));
+                assert_eq!(o.baseline.as_deref(), Some("base.json"));
+                assert_eq!(o.fail_on, Some(FailOn::New));
+            }
+            other => panic!("{other:?}"),
+        }
+        // `--fail-on=new` form and the other policies.
+        for (flag, want) in [
+            ("--fail-on=new", FailOn::New),
+            ("--fail-on=any", FailOn::Any),
+            ("--fail-on=none", FailOn::None),
+        ] {
+            match parse(&argv(&format!("analyze x.c {flag}"))).unwrap() {
+                Command::Analyze(o) => assert_eq!(o.fail_on, Some(want)),
+                other => panic!("{other:?}"),
+            }
+        }
+        assert!(parse(&argv("analyze x.c --fail-on sometimes")).is_err());
+        assert!(parse(&argv("analyze x.c --fail-on")).is_err());
+        assert!(parse(&argv("analyze x.c --sarif-out")).is_err());
+    }
+
+    #[test]
+    fn history_flags() {
+        match parse(&argv("analyze x.c --history-dir /tmp/h")).unwrap() {
+            Command::Analyze(o) => {
+                assert_eq!(o.history_dir.as_deref(), Some("/tmp/h"));
+                assert!(!o.no_history);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&argv("analyze x.c --no-history")).unwrap() {
+            Command::Analyze(o) => assert!(o.no_history && o.history_dir.is_none()),
+            other => panic!("{other:?}"),
+        }
+        let err = parse(&argv("analyze x.c --history-dir d --no-history")).unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
+    }
+
+    #[test]
+    fn diff_two_operands() {
+        match parse(&argv("diff old.json new.json --json")).unwrap() {
+            Command::Diff(o) => {
+                assert_eq!(o.old.as_deref(), Some("old.json"));
+                assert_eq!(o.new.as_deref(), Some("new.json"));
+                assert!(o.run.json);
+                assert!(o.run.paths.is_empty());
+            }
+            other => panic!("{other:?}"),
+        }
+        // Run ids work the same way syntactically.
+        match parse(&argv("diff run-0011 run-0022 --history-dir .h")).unwrap() {
+            Command::Diff(o) => {
+                assert_eq!(o.old.as_deref(), Some("run-0011"));
+                assert_eq!(o.run.history_dir.as_deref(), Some(".h"));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&argv("diff only-one")).is_err());
+        assert!(parse(&argv("diff a b c")).is_err());
+        assert!(parse(&argv("diff")).is_err());
+        assert!(parse(&argv("diff a b --apply")).is_err());
+    }
+
+    #[test]
+    fn diff_baseline_mode() {
+        match parse(&argv("diff --baseline base.json src/ --missing")).unwrap() {
+            Command::Diff(o) => {
+                assert_eq!(o.old, None);
+                assert_eq!(o.new, None);
+                assert_eq!(o.run.baseline.as_deref(), Some("base.json"));
+                assert_eq!(o.run.paths, vec!["src/"]);
+                assert!(o.run.config.detect_missing);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&argv("diff --baseline base.json")).is_err()); // no paths
+    }
+
+    #[test]
+    fn baseline_write_options() {
+        match parse(&argv("baseline write src/ --out known.json --missing")).unwrap() {
+            Command::BaselineWrite(o) => {
+                assert_eq!(o.out, "known.json");
+                assert_eq!(o.run.paths, vec!["src/"]);
+                assert!(o.run.config.detect_missing);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Default output file.
+        match parse(&argv("baseline write src/")).unwrap() {
+            Command::BaselineWrite(o) => assert_eq!(o.out, "ofence-baseline.json"),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&argv("baseline")).is_err());
+        assert!(parse(&argv("baseline erase src/")).is_err());
+        assert!(parse(&argv("baseline write")).is_err()); // no paths
+        assert!(parse(&argv("baseline write src/ --out")).is_err());
+        assert!(parse(&argv("baseline write src/ --baseline b.json")).is_err());
     }
 }

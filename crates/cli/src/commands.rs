@@ -1,9 +1,9 @@
 //! Subcommand implementations.
 
-use crate::args::{Command, ExplainOpts, GenOpts, RunOpts, WatchOpts};
+use crate::args::{BaselineWriteOpts, Command, DiffOpts, ExplainOpts, GenOpts, RunOpts, WatchOpts};
 use crate::walk::collect_sources;
-use ofence::{AnalysisResult, Engine, LoadOutcome, Patch};
-use std::path::PathBuf;
+use ofence::{AnalysisResult, Engine, FailOn, FindingRecord, LoadOutcome, Patch};
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 pub fn run(cmd: Command) -> Result<ExitCode, String> {
@@ -14,6 +14,8 @@ pub fn run(cmd: Command) -> Result<ExitCode, String> {
         Command::Stats(o) => stats(o),
         Command::Explain(o) => explain(o),
         Command::Watch(o) => watch(o),
+        Command::Diff(o) => diff(o),
+        Command::BaselineWrite(o) => baseline_write(o),
         Command::Gen(o) => gen(o),
     }
 }
@@ -55,7 +57,10 @@ fn save_cache(engine: &Engine, opts: &RunOpts, dir: &std::path::Path) -> Result<
     }
 }
 
-fn run_engine(opts: &RunOpts) -> Result<AnalysisResult, String> {
+/// Run the engine over `opts.paths` without writing any observability
+/// outputs — callers that inject their own counters (analyze, diff,
+/// baseline) do that first and then call [`write_observability`].
+fn run_engine_raw(opts: &RunOpts) -> Result<AnalysisResult, String> {
     let sources = collect_sources(&opts.paths)?;
     let mut engine = Engine::new(opts.config.clone());
     let cache_dir = cache_dir_of(opts);
@@ -66,8 +71,57 @@ fn run_engine(opts: &RunOpts) -> Result<AnalysisResult, String> {
     if let Some(dir) = &cache_dir {
         save_cache(&engine, opts, dir)?;
     }
+    Ok(result)
+}
+
+fn run_engine(opts: &RunOpts) -> Result<AnalysisResult, String> {
+    let result = run_engine_raw(opts)?;
     write_observability(opts, &result)?;
     Ok(result)
+}
+
+/// Where this invocation appends its run ledger, if anywhere.
+fn history_dir_of(opts: &RunOpts) -> Option<PathBuf> {
+    if opts.no_history {
+        return None;
+    }
+    Some(PathBuf::from(
+        opts.history_dir
+            .as_deref()
+            .unwrap_or(ofence::history::DEFAULT_HISTORY_DIR),
+    ))
+}
+
+/// Append the run to the ledger. Failing to write an explicitly
+/// requested `--history-dir` is an error; the implicit default directory
+/// only warns (mirrors the cache policy).
+fn append_history(
+    opts: &RunOpts,
+    result: &AnalysisResult,
+    records: &[FindingRecord],
+) -> Result<(), String> {
+    let Some(dir) = history_dir_of(opts) else {
+        return Ok(());
+    };
+    let record = ofence::history::record_of(result, &opts.config, records.to_vec());
+    match ofence::history::append(&dir, &record) {
+        Ok(()) => Ok(()),
+        Err(e) if opts.history_dir.is_some() => Err(format!("--history-dir: {e}")),
+        Err(e) => {
+            eprintln!("ofence: could not append run ledger: {e}");
+            Ok(())
+        }
+    }
+}
+
+/// Honor `--sarif-out` for any subcommand that ran the engine.
+fn write_sarif(opts: &RunOpts, result: &AnalysisResult) -> Result<(), String> {
+    if let Some(path) = &opts.sarif_out {
+        let doc = serde_json::to_string_pretty(&ofence::to_sarif(result)).unwrap();
+        std::fs::write(path, doc + "\n").map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("wrote SARIF to {path}");
+    }
+    Ok(())
 }
 
 /// Honor `--trace-out` / `--metrics-out` for any analysis subcommand.
@@ -83,10 +137,30 @@ fn write_observability(opts: &RunOpts, result: &AnalysisResult) -> Result<(), St
     Ok(())
 }
 
-/// `ofence analyze` — findings + pairing summary. Exit code 1 when any
-/// deviation was found (CI-friendly).
+/// `ofence analyze` — findings + pairing summary. The exit code follows
+/// the `--fail-on` policy (default `any`: exit 1 when any deviation was
+/// found, the historical CI-friendly behaviour).
 fn analyze(opts: RunOpts) -> Result<ExitCode, String> {
-    let result = run_engine(&opts)?;
+    let mut result = run_engine_raw(&opts)?;
+    let records = ofence::finding_records(&result.deviations, &result.sites, &result.files);
+    // Against a baseline, classify so `--fail-on=new` gates only on
+    // regressions; without one, every finding counts as new.
+    let baseline = opts
+        .baseline
+        .as_deref()
+        .map(|p| ofence::diffing::load_baseline(Path::new(p)))
+        .transpose()?;
+    let delta = match &baseline {
+        Some(b) => ofence::classify(&b.findings, &records),
+        None => ofence::classify(&[], &records),
+    };
+    result.obs = result.obs.with_counters([
+        ("findings_new".to_string(), delta.new.len() as u64),
+        ("findings_fixed".to_string(), delta.fixed.len() as u64),
+    ]);
+    write_observability(&opts, &result)?;
+    write_sarif(&opts, &result)?;
+    append_history(&opts, &result, &records)?;
     if opts.json {
         // The stable, versioned schema documented in docs/SCHEMA.md.
         println!(
@@ -117,12 +191,105 @@ fn analyze(opts: RunOpts) -> Result<ExitCode, String> {
                 println!("{}", d.render(&result.files[d.site.file].source));
             }
         }
+        if baseline.is_some() {
+            println!(
+                "baseline: {} known, {} new, {} fixed",
+                delta.unchanged.len(),
+                delta.new.len(),
+                delta.fixed.len()
+            );
+        }
     }
-    Ok(if result.deviations.is_empty() {
-        ExitCode::SUCCESS
-    } else {
+    let fail = match opts.fail_on.unwrap_or(FailOn::Any) {
+        FailOn::Any => !result.deviations.is_empty(),
+        FailOn::New => !delta.new.is_empty(),
+        FailOn::None => false,
+    };
+    Ok(if fail {
         ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
     })
+}
+
+/// `ofence diff` — classify findings across two runs by their stable
+/// fingerprints. Operands are ledger run ids or `--json` report files;
+/// with `--baseline FILE` the given paths are analyzed and compared to
+/// the baseline. Exit code follows `--fail-on` (default `new`).
+fn diff(opts: DiffOpts) -> Result<ExitCode, String> {
+    let report = match (&opts.old, &opts.new) {
+        (Some(old), Some(new)) => {
+            let old_records = resolve_operand(&opts.run, old)?;
+            let new_records = resolve_operand(&opts.run, new)?;
+            ofence::classify(&old_records, &new_records)
+        }
+        _ => {
+            let path = opts.run.baseline.as_deref().expect("parser guarantees");
+            let baseline = ofence::diffing::load_baseline(Path::new(path))?;
+            let mut result = run_engine_raw(&opts.run)?;
+            let records = ofence::finding_records(&result.deviations, &result.sites, &result.files);
+            let report = ofence::classify(&baseline.findings, &records);
+            result.obs = result.obs.with_counters([
+                ("findings_new".to_string(), report.new.len() as u64),
+                ("findings_fixed".to_string(), report.fixed.len() as u64),
+            ]);
+            write_observability(&opts.run, &result)?;
+            write_sarif(&opts.run, &result)?;
+            append_history(&opts.run, &result, &records)?;
+            report
+        }
+    };
+    if opts.run.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report.to_json()).unwrap()
+        );
+    } else {
+        print!("{}", report.render());
+    }
+    let fail = match opts.run.fail_on.unwrap_or(FailOn::New) {
+        FailOn::Any => !report.new.is_empty() || !report.unchanged.is_empty(),
+        FailOn::New => !report.new.is_empty(),
+        FailOn::None => false,
+    };
+    Ok(if fail {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+/// Resolve a diff operand: an existing file is parsed as a JSON document
+/// (report, baseline, or ledger record); anything else is looked up in
+/// the run ledger by id or unambiguous prefix.
+fn resolve_operand(opts: &RunOpts, operand: &str) -> Result<Vec<FindingRecord>, String> {
+    let path = Path::new(operand);
+    if path.is_file() {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{operand}: {e}"))?;
+        let doc: serde_json::Value =
+            serde_json::from_str(&text).map_err(|e| format!("{operand}: not JSON: {e}"))?;
+        return ofence::diffing::records_from_json(&doc).map_err(|e| format!("{operand}: {e}"));
+    }
+    let dir = history_dir_of(opts).ok_or_else(|| {
+        format!("`{operand}` is not a file, and --no-history disables run-id lookup")
+    })?;
+    Ok(ofence::history::find(&dir, operand)?.findings)
+}
+
+/// `ofence baseline write` — analyze the given paths and snapshot every
+/// current finding so future runs can gate on regressions only.
+fn baseline_write(opts: BaselineWriteOpts) -> Result<ExitCode, String> {
+    let result = run_engine(&opts.run)?;
+    let records = ofence::finding_records(&result.deviations, &result.sites, &result.files);
+    let count = records.len();
+    let baseline = ofence::Baseline::new(&result.run_id, records);
+    ofence::diffing::write_baseline(Path::new(&opts.out), &baseline)
+        .map_err(|e| format!("baseline: {e}"))?;
+    println!(
+        "baseline: recorded {count} finding(s) from {} to {}",
+        result.run_id, opts.out
+    );
+    Ok(ExitCode::SUCCESS)
 }
 
 /// `ofence patch` — print (or apply) the generated fixes.
@@ -279,7 +446,12 @@ fn watch(opts: WatchOpts) -> Result<ExitCode, String> {
             .collect()
     };
     let mut last_hashes = hash_all(&sources);
-    let mut known: Vec<String> = Vec::new();
+    // A baseline seeds the known set, so long-known findings don't show
+    // up as `+` noise on the first iteration.
+    let mut known: Vec<FindingRecord> = match opts.run.baseline.as_deref() {
+        Some(p) => ofence::diffing::load_baseline(Path::new(p))?.findings,
+        None => Vec::new(),
+    };
     let mut runs = 0u64;
 
     loop {
@@ -287,45 +459,36 @@ fn watch(opts: WatchOpts) -> Result<ExitCode, String> {
         // The recorder resets per run, so queue the cumulative count:
         // every snapshot (and metrics file) reports total runs so far.
         engine.queue_count("watch_iterations", runs);
-        let result = engine.analyze_incremental(&sources);
+        let mut result = engine.analyze_incremental(&sources);
         if let Some(dir) = &cache_dir {
             save_cache(&engine, &opts.run, dir)?;
         }
-        write_observability(&opts.run, &result)?;
 
-        // One stable line per finding; the delta is a set difference.
-        let mut current: Vec<String> = result
-            .deviations
-            .iter()
-            .map(|d| {
-                format!(
-                    "{}:{}: {} in {}",
-                    d.site.file_name,
-                    d.site.line,
-                    ofence::report::deviation_class(&d.kind),
-                    d.site.function
-                )
-            })
-            .collect();
-        current.sort();
-        current.dedup();
-        let added: Vec<&String> = current.iter().filter(|l| !known.contains(l)).collect();
-        let fixed: Vec<&String> = known.iter().filter(|l| !current.contains(l)).collect();
+        // The same fingerprint diff engine `ofence diff` uses: watch and
+        // diff can never disagree about what counts as a new finding.
+        let records = ofence::finding_records(&result.deviations, &result.sites, &result.files);
+        let delta = ofence::classify(&known, &records);
+        result.obs = result.obs.with_counters([
+            ("findings_new".to_string(), delta.new.len() as u64),
+            ("findings_fixed".to_string(), delta.fixed.len() as u64),
+        ]);
+        write_observability(&opts.run, &result)?;
+        append_history(&opts.run, &result, &records)?;
         println!(
             "watch: run {} — {} files, {} deviations ({} new, {} fixed)",
             runs,
             sources.len(),
-            current.len(),
-            added.len(),
-            fixed.len()
+            records.len(),
+            delta.new.len(),
+            delta.fixed.len()
         );
-        for l in &added {
-            println!("  + {l}");
+        for r in &delta.new {
+            println!("  + {}", r.render_line());
         }
-        for l in &fixed {
-            println!("  - {l}");
+        for r in &delta.fixed {
+            println!("  - {}", r.render_line());
         }
-        known = current;
+        known = records;
 
         if opts.max_iterations.is_some_and(|max| runs >= max) {
             return Ok(ExitCode::SUCCESS);

@@ -8,7 +8,14 @@
 //! ofence stats    <paths...> [options]   corpus statistics only
 //! ofence explain  <file:line> <paths...> replay one pairing decision
 //! ofence watch    <paths...> [options]   re-analyze on change, print the
-//!                                        deviation delta (+ new, - fixed)
+//!                                        finding delta (+ new, - fixed)
+//! ofence diff     <old> <new> [options]  classify findings new/fixed/
+//!                                        unchanged by stable fingerprint
+//!                                        (run ids or --json reports)
+//! ofence diff     --baseline FILE <paths...>
+//!                                        current run vs a baseline
+//! ofence baseline write <paths...> [--out FILE]
+//!                                        snapshot current findings
 //! ofence gen      --out DIR [--files N] [--seed S] [--bugs]
 //!                                        emit a synthetic demo corpus
 //!
@@ -16,6 +23,11 @@
 //!   --json                 machine-readable output
 //!   --trace-out FILE       Chrome-tracing JSON trace of the run
 //!   --metrics-out FILE     Prometheus text-format metrics of the run
+//!   --sarif-out FILE       SARIF 2.1.0 export with partialFingerprints
+//!   --baseline FILE        compare findings against this baseline
+//!   --fail-on POLICY       exit non-zero on: new | any | none
+//!   --history-dir DIR      run-ledger directory (default .ofence/)
+//!   --no-history           skip the run ledger
 //!   --cache-dir DIR        persist the per-file analysis cache here
 //!                          (default .ofence-cache/)
 //!   --no-cache             skip the on-disk cache entirely

@@ -224,10 +224,16 @@ fn analyze_json_follows_schema() {
         .output()
         .unwrap();
     let v: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid json");
-    assert_eq!(v["schema_version"], 1, "{v}");
+    assert_eq!(v["schema_version"], 2, "{v}");
     assert_eq!(v["pairings"].as_array().unwrap().len(), 1);
     assert_eq!(v["sites"].as_array().unwrap().len(), 2);
     assert!(v["observability"]["phase_us"]["pair"].as_u64().is_some());
+    // v2 provenance: run id plus a fingerprint on every finding entry.
+    assert!(v["run_id"].as_str().unwrap().starts_with("run-"), "{v}");
+    assert!(v["findings"].as_array().is_some(), "{v}");
+    for entry in v["annotations"].as_array().unwrap() {
+        assert_eq!(entry["fingerprint"].as_str().unwrap().len(), 16, "{entry}");
+    }
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -507,5 +513,309 @@ fn watch_reports_delta_on_change() {
     let text = std::fs::read_to_string(&metrics).unwrap();
     assert!(text.contains("ofence_watch_iterations_total 2"), "{text}");
     assert!(dir.join("cache").join("cache.json").exists());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A second, independent copy of the misplaced-read pattern, used to
+/// introduce a fresh deviation next to the baselined one.
+const BUGGY_EXTRA: &str = r#"struct rpc2 { int len2; int recd2; int out2; };
+void complete2(struct rpc2 *req) {
+	req->len2 = 4;
+	smp_wmb();
+	req->recd2 = 1;
+}
+void decode2(struct rpc2 *req) {
+	smp_rmb();
+	if (!req->recd2)
+		return;
+	req->out2 = req->len2;
+}
+"#;
+
+#[test]
+fn fail_on_new_gates_via_baseline() {
+    let dir = tempdir("failon");
+    let f = dir.join("xprt.c");
+    std::fs::write(&f, BUGGY).unwrap();
+    let base = dir.join("base.json");
+    let hist = dir.join("hist");
+
+    // Without a baseline, every finding is new: --fail-on=new fails.
+    let out = ofence()
+        .args(["analyze", "--fail-on=new", "--no-history"])
+        .arg(&f)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    // --fail-on=none never fails on findings.
+    let out = ofence()
+        .args(["analyze", "--fail-on=none", "--no-history"])
+        .arg(&f)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+
+    // Record the known finding, then --fail-on=new passes...
+    let out = ofence()
+        .args(["baseline", "write"])
+        .arg(&f)
+        .arg("--out")
+        .arg(&base)
+        .arg("--history-dir")
+        .arg(&hist)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("recorded 1 finding(s)"),
+        "{out:?}"
+    );
+    let out = ofence()
+        .args(["analyze", "--fail-on=new", "--no-history", "--baseline"])
+        .arg(&base)
+        .arg(&f)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("baseline: 1 known, 0 new, 0 fixed"),
+        "{stdout}"
+    );
+
+    // ...until an edit introduces a fresh deviation.
+    std::fs::write(&f, format!("{BUGGY}{BUGGY_EXTRA}")).unwrap();
+    let out = ofence()
+        .args(["analyze", "--fail-on=new", "--no-history", "--baseline"])
+        .arg(&base)
+        .arg(&f)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("baseline: 1 known, 1 new, 0 fixed"),
+        "{stdout}"
+    );
+
+    // Re-baselining the new state makes the gate pass again.
+    let out = ofence()
+        .args(["baseline", "write"])
+        .arg(&f)
+        .arg("--out")
+        .arg(&base)
+        .arg("--history-dir")
+        .arg(&hist)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let out = ofence()
+        .args(["analyze", "--fail-on=new", "--no-history", "--baseline"])
+        .arg(&base)
+        .arg(&f)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn diff_two_json_reports_exact_delta() {
+    let dir = tempdir("diff-json");
+    let f = dir.join("xprt.c");
+    std::fs::write(&f, BUGGY).unwrap();
+    let run_json = |path: &std::path::Path| -> Vec<u8> {
+        let out = ofence()
+            .args(["analyze", "--json", "--no-history"])
+            .arg(path)
+            .output()
+            .unwrap();
+        out.stdout
+    };
+    let old = dir.join("old.json");
+    std::fs::write(&old, run_json(&f)).unwrap();
+
+    // A line shift plus one genuinely new deviation: the diff must report
+    // exactly the injected delta, nothing else.
+    std::fs::write(
+        &f,
+        format!("/* c1 */\n/* c2 */\n/* c3 */\n{BUGGY}{BUGGY_EXTRA}"),
+    )
+    .unwrap();
+    let new = dir.join("new.json");
+    std::fs::write(&new, run_json(&f)).unwrap();
+
+    let out = ofence().arg("diff").arg(&old).arg(&new).output().unwrap();
+    assert_eq!(out.status.code(), Some(1), "{out:?}"); // new finding => fail-on=new default
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("diff: 1 new, 0 fixed, 1 unchanged"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("misplaced memory access in decode2"),
+        "{stdout}"
+    );
+
+    // JSON output parses and agrees; --fail-on=none exits zero.
+    let out = ofence()
+        .arg("diff")
+        .arg(&old)
+        .arg(&new)
+        .args(["--json", "--fail-on=none"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let v: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid diff json");
+    assert_eq!(v["summary"]["new"], 1, "{v}");
+    assert_eq!(v["summary"]["fixed"], 0, "{v}");
+    assert_eq!(v["summary"]["unchanged"], 1, "{v}");
+    assert_eq!(v["new"][0]["function"].as_str(), Some("decode2"), "{v}");
+
+    // An identical pair of reports diffs clean (exit zero by default).
+    let out = ofence().arg("diff").arg(&new).arg(&new).output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("diff: 0 new, 0 fixed, 2 unchanged"),
+        "{out:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn diff_resolves_ledger_run_ids() {
+    let dir = tempdir("diff-ledger");
+    let f = dir.join("xprt.c");
+    let hist = dir.join("hist");
+    std::fs::write(&f, BUGGY).unwrap();
+    let analyze = |path: &std::path::Path| {
+        let out = ofence()
+            .arg("analyze")
+            .arg(path)
+            .arg("--history-dir")
+            .arg(&hist)
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code(), Some(1), "{out:?}");
+    };
+    analyze(&f);
+    std::fs::write(&f, format!("{BUGGY}{BUGGY_EXTRA}")).unwrap();
+    analyze(&f);
+
+    // Pull the two run ids back out of the ledger.
+    let ledger = std::fs::read_to_string(hist.join("history.jsonl")).unwrap();
+    let ids: Vec<String> = ledger
+        .lines()
+        .map(|l| {
+            let v: serde_json::Value = serde_json::from_str(l).unwrap();
+            v["run_id"].as_str().unwrap().to_string()
+        })
+        .collect();
+    assert_eq!(ids.len(), 2, "{ledger}");
+
+    let out = ofence()
+        .arg("diff")
+        .arg(&ids[0])
+        .arg(&ids[1])
+        .arg("--history-dir")
+        .arg(&hist)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("diff: 1 new, 0 fixed, 1 unchanged"),
+        "{stdout}"
+    );
+
+    // Unambiguous prefixes resolve too.
+    let out = ofence()
+        .arg("diff")
+        .arg(&ids[0][..9])
+        .arg(&ids[1][..9])
+        .arg("--history-dir")
+        .arg(&hist)
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("diff: 1 new"), "{out:?}");
+
+    // An unknown id is a usage error (exit 2), not a crash.
+    let out = ofence()
+        .arg("diff")
+        .arg("run-feedfacefeedface")
+        .arg(&ids[1])
+        .arg("--history-dir")
+        .arg(&hist)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("no run"),
+        "{out:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sarif_export_is_valid() {
+    let dir = tempdir("sarif");
+    let f = dir.join("xprt.c");
+    std::fs::write(&f, BUGGY).unwrap();
+    let sarif = dir.join("out.sarif");
+    let out = ofence()
+        .args(["analyze", "--no-history", "--sarif-out"])
+        .arg(&sarif)
+        .arg(&f)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "{out:?}"); // finding present
+    let v: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&sarif).unwrap()).expect("valid SARIF JSON");
+    assert_eq!(v["version"].as_str(), Some("2.1.0"), "{v}");
+    let results = v["runs"][0]["results"].as_array().unwrap();
+    assert!(!results.is_empty(), "{v}");
+    for r in results {
+        let fps = r["partialFingerprints"].as_object().unwrap();
+        assert!(!fps.is_empty(), "{r}");
+        assert_eq!(
+            r["partialFingerprints"]["ofenceFingerprint/v1"]
+                .as_str()
+                .unwrap()
+                .len(),
+            16
+        );
+        assert!(r["locations"][0]["physicalLocation"]["region"]["startLine"]
+            .as_u64()
+            .is_some());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn suppression_comment_silences_finding() {
+    let dir = tempdir("suppress");
+    let f = dir.join("xprt.c");
+    std::fs::write(
+        &f,
+        BUGGY.replace(
+            "\tif (!req->recd)",
+            "\t/* ofence-ignore: known-benign init race */\n\tif (!req->recd)",
+        ),
+    )
+    .unwrap();
+    let out = ofence()
+        .args(["analyze", "--no-history", "--metrics-out"])
+        .arg(dir.join("m.txt"))
+        .arg(&f)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("no barrier-ordering issues found"),
+        "{out:?}"
+    );
+    let metrics = std::fs::read_to_string(dir.join("m.txt")).unwrap();
+    assert!(metrics.contains("ofence_suppressed_total 1"), "{metrics}");
     let _ = std::fs::remove_dir_all(&dir);
 }

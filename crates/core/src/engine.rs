@@ -37,6 +37,10 @@ impl SourceFile {
 /// Complete result of one analysis run.
 #[derive(Debug)]
 pub struct AnalysisResult {
+    /// Unique id of this run (`run-` + 16 hex digits), recorded in the
+    /// JSON report and the `.ofence/history.jsonl` ledger so reports and
+    /// ledger entries can be cross-referenced by `ofence diff`.
+    pub run_id: String,
     pub files: Vec<FileAnalysis>,
     /// All barrier sites, globally numbered.
     pub sites: Vec<BarrierSite>,
@@ -279,6 +283,12 @@ impl Engine {
                 rec,
             ));
         }
+        // Inline suppression: drop findings whose anchor line (or the
+        // line above it) carries an `ofence-ignore` comment. Happens
+        // before patch synthesis so suppressed findings produce nothing.
+        let before = deviations.len();
+        deviations.retain(|d| !suppressed(d, &files));
+        rec.count("suppressed", (before - deviations.len()) as u64);
         let patches: Vec<Patch> = {
             let _span = rec.span("patch");
             deviations
@@ -289,7 +299,8 @@ impl Engine {
         rec.count("patches_emitted", patches.len() as u64);
         let (annotations, annotation_patches) = {
             let _span = rec.span("annotate");
-            let annotations = annotate::find_missing_annotations(&sites, &pairing);
+            let mut annotations = annotate::find_missing_annotations(&sites, &pairing);
+            annotations.retain(|d| !suppressed(d, &files));
             let annotation_patches: Vec<Patch> = annotations
                 .iter()
                 .filter_map(|d| annotate::synthesize_annotation(d, &files[d.site.file]))
@@ -303,6 +314,7 @@ impl Engine {
         let obs = rec.snapshot();
         let stats = Stats::compute(&files, &sites, &pairing, &deviations, patches.len(), &obs);
         AnalysisResult {
+            run_id: fresh_run_id(&self.config),
             files,
             sites,
             pairing,
@@ -339,6 +351,51 @@ impl Engine {
 /// FNV-1a content hash for the incremental cache (shared with the disk
 /// cache format).
 use crate::cache::content_hash as fnv1a;
+
+/// True when the finding's anchor line, or the line directly above it,
+/// carries an `ofence-ignore` comment.
+fn suppressed(d: &Deviation, files: &[FileAnalysis]) -> bool {
+    let Some(fa) = files.get(d.site.file) else {
+        return false;
+    };
+    let anchor = d.access_span.unwrap_or(d.site.span);
+    let lo = (anchor.lo as usize).min(fa.source.len());
+    let line_start = fa.source[..lo].rfind('\n').map(|i| i + 1).unwrap_or(0);
+    let line_end = fa.source[lo..]
+        .find('\n')
+        .map(|i| lo + i)
+        .unwrap_or(fa.source.len());
+    if fa.source[line_start..line_end].contains("ofence-ignore") {
+        return true;
+    }
+    if line_start == 0 {
+        return false;
+    }
+    let prev_start = fa.source[..line_start - 1]
+        .rfind('\n')
+        .map(|i| i + 1)
+        .unwrap_or(0);
+    fa.source[prev_start..line_start - 1].contains("ofence-ignore")
+}
+
+/// A unique run id: hash of the config fingerprint, the wall clock, and
+/// a process-wide counter (so two runs in the same nanosecond still get
+/// distinct ids). Not content-derived on purpose — two identical runs
+/// are still two ledger entries.
+fn fresh_run_id(config: &AnalysisConfig) -> String {
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos())
+        .unwrap_or(0);
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    let seed = format!(
+        "{:016x}:{nanos}:{seq}:{}",
+        crate::cache::config_fingerprint(config),
+        std::process::id()
+    );
+    format!("run-{:016x}", fnv1a(seed.as_bytes()))
+}
 
 #[cfg(test)]
 mod tests {

@@ -10,12 +10,19 @@
 //!
 //! Compatibility rule: within a `schema_version`, keys are only added,
 //! never renamed or removed. Renames/removals bump the version.
+//!
+//! Schema v2 adds finding provenance: a top-level `run_id`, a `findings`
+//! array of [`crate::fingerprint::FindingRecord`]s, and a `fingerprint` +
+//! `finding` pair injected into every `deviations` / `annotations` entry.
+//! All v1 keys are preserved unchanged.
 
 use crate::engine::AnalysisResult;
+use crate::fingerprint::finding_records;
 use crate::ir::UnpairedReason;
 
 /// Bump on any backwards-incompatible change to [`AnalysisResult::to_json`].
-pub const SCHEMA_VERSION: u32 = 1;
+/// v2: stable fingerprints on every finding, `run_id`, `findings` array.
+pub const SCHEMA_VERSION: u32 = 2;
 
 impl AnalysisResult {
     /// The full result as a `serde_json::Value` following the documented
@@ -47,15 +54,40 @@ impl AnalysisResult {
                 })
             })
             .collect();
+        // Schema v2: every finding entry carries its stable fingerprint
+        // plus the full diffable record (what `ofence diff` consumes).
+        let dev_records = finding_records(&self.deviations, &self.sites, &self.files);
+        let ann_records = finding_records(&self.annotations, &self.sites, &self.files);
+        let with_provenance =
+            |items: &[crate::deviation::Deviation],
+             records: &[crate::fingerprint::FindingRecord]| {
+                items
+                    .iter()
+                    .zip(records)
+                    .map(|(d, r)| {
+                        let mut v = serde_json::to_value(d);
+                        if let serde_json::Value::Object(ref mut obj) = v {
+                            obj.insert(
+                                "fingerprint".to_string(),
+                                serde_json::to_value(&r.fingerprint),
+                            );
+                            obj.insert("finding".to_string(), serde_json::to_value(r));
+                        }
+                        v
+                    })
+                    .collect::<Vec<serde_json::Value>>()
+            };
         serde_json::json!({
             "schema_version": SCHEMA_VERSION,
+            "run_id": self.run_id,
             "stats": self.stats,
             "sites": self.sites,
             "pairings": self.pairing.pairings,
             "unpaired": unpaired,
-            "deviations": self.deviations,
+            "findings": dev_records,
+            "deviations": with_provenance(&self.deviations, &dev_records),
             "patches": self.patches,
-            "annotations": self.annotations,
+            "annotations": with_provenance(&self.annotations, &ann_records),
             "annotation_patches": self.annotation_patches,
             "files": files,
             "observability": {
@@ -93,10 +125,12 @@ void writer(struct m *b) { b->y = 1; smp_wmb(); b->init = 1; }
         let v = r.to_json();
         for key in [
             "schema_version",
+            "run_id",
             "stats",
             "sites",
             "pairings",
             "unpaired",
+            "findings",
             "deviations",
             "patches",
             "annotations",
@@ -113,6 +147,24 @@ void writer(struct m *b) { b->y = 1; smp_wmb(); b->init = 1; }
         assert_eq!(v["sites"].as_array().unwrap().len(), 2);
         assert_eq!(v["pairings"].as_array().unwrap().len(), 1);
         assert_eq!(v["files"].as_array().unwrap().len(), 1);
+        assert!(v["run_id"].as_str().unwrap().starts_with("run-"));
+    }
+
+    #[test]
+    fn v2_findings_carry_fingerprints() {
+        let r = Engine::new(AnalysisConfig::default()).analyze(&demo_files());
+        let v = r.to_json();
+        // Every deviation and annotation entry carries fingerprint + the
+        // full finding record, and the report parses back through the
+        // diff engine's document reader.
+        for list in ["deviations", "annotations"] {
+            for entry in v[list].as_array().unwrap() {
+                assert_eq!(entry["fingerprint"].as_str().unwrap().len(), 16);
+                assert_eq!(entry["finding"]["fingerprint"], entry["fingerprint"]);
+            }
+        }
+        let records = crate::diffing::records_from_json(&v).unwrap();
+        assert_eq!(records.len(), r.deviations.len());
     }
 
     #[test]

@@ -41,22 +41,30 @@ pub mod annotate;
 pub mod cache;
 pub mod config;
 pub mod deviation;
+pub mod diffing;
 pub mod engine;
 pub mod explain;
 pub mod extract;
+pub mod fingerprint;
+pub mod history;
 pub mod ir;
 pub mod json;
 pub mod missing;
 pub mod pairing;
 pub mod patch;
 pub mod report;
+pub mod sarif;
 pub mod sites;
 
 pub use cache::LoadOutcome;
 pub use config::AnalysisConfig;
 pub use deviation::{Deviation, DeviationKind};
+pub use diffing::{classify, Baseline, DiffReport, FailOn};
 pub use engine::{AnalysisResult, Engine, SourceFile};
 pub use explain::{explain_site, explain_site_with, Explanation};
+pub use fingerprint::{finding_records, FindingRecord};
+pub use history::RunRecord;
 pub use ir::*;
 pub use patch::{apply_edits, Patch};
 pub use report::{DistanceHistogram, Stats};
+pub use sarif::to_sarif;

@@ -391,6 +391,51 @@ pub fn inject_edit(corpus: &mut Corpus, seed: u64) -> String {
     f.name.clone()
 }
 
+/// Prepend `lines` comment lines to every file of the corpus. Shifts all
+/// code down without changing any token, so content-based deviation
+/// fingerprints must be invariant under it. Used by the fingerprint
+/// stability tests and the CI diff gate.
+pub fn prepend_comment_lines(corpus: &mut Corpus, lines: usize) {
+    for f in &mut corpus.files {
+        let mut header = String::with_capacity(lines * 24 + f.content.len());
+        for i in 0..lines {
+            header.push_str(&format!("/* provenance pad {i} */\n"));
+        }
+        header.push_str(&f.content);
+        f.content = header;
+    }
+}
+
+/// Append one brand-new misplaced-access deviation to a file of the
+/// corpus, deterministically in `seed`: a fresh init-flag pattern whose
+/// reader touches the payload before checking the flag. Records the bug
+/// and its expected pairing in the manifest and returns the ground truth.
+/// The diff engine must classify exactly this one finding as new.
+pub fn inject_deviation(corpus: &mut Corpus, seed: u64) -> crate::manifest::InjectedBug {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0bad_f1a6_0de7_1a7e);
+    // Ids above every generator range so names never collide with the
+    // base corpus (patterns stop at 70_000 + files from inject_edit).
+    let id = 80_000 + (seed % 9_000) as usize;
+    let inst = emit(
+        PatternKind::InitFlag,
+        id,
+        &mut rng,
+        Some(BugKind::Misplaced),
+    );
+    let idx = rng.gen_range(0..corpus.files.len());
+    let f = &mut corpus.files[idx];
+    f.content.push_str(&inst.structs);
+    f.content.push_str(&inst.writer);
+    f.content.push_str(&inst.reader);
+    let mut bug = inst.bug.expect("InitFlag supports Misplaced");
+    bug.file = f.name.clone();
+    if let Some(e) = inst.expected {
+        corpus.manifest.expected_pairings.push(e);
+    }
+    corpus.manifest.bugs.push(bug.clone());
+    bug
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -537,6 +582,59 @@ mod tests {
         // Deterministic in the seed.
         let mut again = base.clone();
         assert_eq!(inject_edit(&mut again, 7), name);
+        assert_eq!(again.files, edited.files);
+    }
+
+    #[test]
+    fn prepend_comment_lines_only_shifts() {
+        let base = generate(&CorpusSpec::small(13));
+        let mut padded = base.clone();
+        prepend_comment_lines(&mut padded, 100);
+        for (a, b) in base.files.iter().zip(&padded.files) {
+            assert_eq!(a.name, b.name);
+            assert!(b.content.ends_with(a.content.as_str()));
+            assert_eq!(
+                b.content.lines().count(),
+                a.content.lines().count() + 100,
+                "{}",
+                a.name
+            );
+            let parsed = ckit::parse_string(&b.name, &b.content).unwrap();
+            assert!(parsed.errors.is_empty(), "{}: {:?}", b.name, parsed.errors);
+        }
+        // The manifest (line-free ground truth) is untouched.
+        assert_eq!(base.manifest.bugs, padded.manifest.bugs);
+    }
+
+    #[test]
+    fn inject_deviation_adds_exactly_one_bug() {
+        let base = generate(&CorpusSpec::small(14));
+        let mut edited = base.clone();
+        let bug = inject_deviation(&mut edited, 21);
+        assert_eq!(bug.kind, BugKind::Misplaced);
+        assert_eq!(edited.manifest.bugs.len(), base.manifest.bugs.len() + 1);
+        assert_eq!(
+            edited.manifest.expected_pairings.len(),
+            base.manifest.expected_pairings.len() + 1
+        );
+        let f = edited
+            .files
+            .iter()
+            .find(|f| f.name == bug.file)
+            .expect("bug file exists");
+        assert!(f.content.contains(&format!("{}(", bug.function)));
+        let parsed = ckit::parse_string(&f.name, &f.content).unwrap();
+        assert!(parsed.errors.is_empty(), "{}: {:?}", f.name, parsed.errors);
+        // Exactly one file changed, and deterministically in the seed.
+        let changed = base
+            .files
+            .iter()
+            .zip(&edited.files)
+            .filter(|(a, b)| a.content != b.content)
+            .count();
+        assert_eq!(changed, 1);
+        let mut again = base.clone();
+        assert_eq!(inject_deviation(&mut again, 21), bug);
         assert_eq!(again.files, edited.files);
     }
 

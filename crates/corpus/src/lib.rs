@@ -26,5 +26,8 @@ pub mod manifest;
 pub mod patterns;
 
 pub use eval::{evaluate, EvalSummary, FoundBug, FoundPairing};
-pub use generator::{generate, inject_edit, BugPlan, Corpus, CorpusSpec, GenFile};
+pub use generator::{
+    generate, inject_deviation, inject_edit, prepend_comment_lines, BugPlan, Corpus, CorpusSpec,
+    GenFile,
+};
 pub use manifest::{BugKind, ExpectedPairing, InjectedBug, Manifest, PatternKind};

@@ -1,9 +1,9 @@
 //! Golden-file snapshot tests for the machine-readable surfaces:
-//! `analyze --json` (schema v1) and the `explain` rendering, pinned on
+//! `analyze --json` (schema v2) and the `explain` rendering, pinned on
 //! the paper's own fixtures.
 //!
-//! Timing-dependent fields (`elapsed_ms`, `phase_us`, `slowest_files`)
-//! are scrubbed before comparison; everything else — site extraction,
+//! Run-dependent fields (`elapsed_ms`, `phase_us`, `slowest_files`,
+//! `run_id`) are scrubbed before comparison; everything else — site extraction,
 //! pairings, deviations, patches, annotations, counters — must match the
 //! checked-in snapshot byte for byte. To regenerate after an intentional
 //! output change:
@@ -40,15 +40,18 @@ fn check_golden(name: &str, actual: &str) {
     );
 }
 
-/// Replace timing-dependent values anywhere in the tree so snapshots
-/// only pin semantic output.
+/// Replace run-dependent values anywhere in the tree so snapshots only
+/// pin semantic output.
 fn scrub(v: serde_json::Value) -> serde_json::Value {
     use serde_json::Value;
     match v {
         Value::Object(m) => Value::Object(
             m.into_iter()
                 .map(|(k, v)| {
-                    let v = if matches!(k.as_str(), "elapsed_ms" | "phase_us" | "slowest_files") {
+                    let v = if matches!(
+                        k.as_str(),
+                        "elapsed_ms" | "phase_us" | "slowest_files" | "run_id"
+                    ) {
                         Value::String("<scrubbed>".to_string())
                     } else {
                         scrub(v)
