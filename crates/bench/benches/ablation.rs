@@ -24,6 +24,9 @@ fn corpus() -> ofence_corpus::Corpus {
         reread_decoys: 3,
         unfenced_decoys: 3,
         filler_files: 0,
+        cross_file_chains: 0,
+        chain_depth: 2,
+        chain_bugs: 0,
         bugs: BugPlan {
             misplaced: 4,
             repeated_read: 2,

@@ -24,6 +24,9 @@ fn spec_with_files(files: usize) -> CorpusSpec {
         reread_decoys: 0,
         unfenced_decoys: 0,
         filler_files: 0,
+        cross_file_chains: 0,
+        chain_depth: 2,
+        chain_bugs: 0,
         bugs: BugPlan::none(),
     }
 }

@@ -17,6 +17,9 @@ fn corpus_text() -> String {
         reread_decoys: 0,
         unfenced_decoys: 0,
         filler_files: 0,
+        cross_file_chains: 0,
+        chain_depth: 2,
+        chain_bugs: 0,
         bugs: BugPlan::none(),
     };
     generate(&spec)

@@ -21,6 +21,9 @@ fn sites_for(files: usize) -> Vec<BarrierSite> {
         reread_decoys: 0,
         unfenced_decoys: 0,
         filler_files: 0,
+        cross_file_chains: 0,
+        chain_depth: 2,
+        chain_bugs: 0,
         bugs: BugPlan::none(),
     };
     let corpus = generate(&spec);
@@ -71,6 +74,9 @@ fn bench_site_extraction(c: &mut Criterion) {
         reread_decoys: 0,
         unfenced_decoys: 0,
         filler_files: 0,
+        cross_file_chains: 0,
+        chain_depth: 2,
+        chain_bugs: 0,
         bugs: BugPlan::none(),
     };
     let corpus = generate(&spec);

@@ -34,6 +34,9 @@ fn bench_spec(seed: u64) -> CorpusSpec {
         reread_decoys: 0,
         unfenced_decoys: 0,
         filler_files: 1160,
+        cross_file_chains: 0,
+        chain_depth: 2,
+        chain_bugs: 0,
         bugs: ofence_corpus::BugPlan::none(),
     }
 }

@@ -1,0 +1,240 @@
+//! Corpus-wide call graph and its SCC condensation.
+//!
+//! The inter-procedural summary pass composes per-function summaries
+//! along call edges. Recursion (direct or mutual) would make naive
+//! composition diverge, so composition runs over the *condensation* of
+//! the call graph: strongly connected components collapsed to single
+//! nodes, yielding a DAG that can be processed callees-first.
+//!
+//! Nodes are plain `usize` handles registered by the caller (typically
+//! `(file, function)` pairs flattened to an index), so this module stays
+//! independent of how functions are named or resolved.
+
+/// A directed call graph over function handles `0..len`.
+#[derive(Clone, Debug, Default)]
+pub struct CallGraph {
+    /// `edges[caller]` lists callee nodes (duplicates allowed; the
+    /// condensation dedups).
+    edges: Vec<Vec<usize>>,
+}
+
+impl CallGraph {
+    /// A graph with `n` isolated nodes.
+    pub fn with_nodes(n: usize) -> Self {
+        CallGraph {
+            edges: vec![Vec::new(); n],
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Record a call edge. Self-edges are kept: they mark a trivially
+    /// cyclic SCC.
+    pub fn add_call(&mut self, caller: usize, callee: usize) {
+        self.edges[caller].push(callee);
+    }
+
+    pub fn callees(&self, caller: usize) -> &[usize] {
+        &self.edges[caller]
+    }
+
+    /// Tarjan's strongly-connected-components algorithm (iterative — call
+    /// chains in real corpora can be deep enough to overflow the stack).
+    /// Returns the condensation; SCC ids come out in reverse topological
+    /// order (an SCC's callees always have *smaller* ids), which is
+    /// exactly the order bottom-up summary composition wants.
+    pub fn condense(&self) -> Condensation {
+        let n = self.edges.len();
+        const UNVISITED: usize = usize::MAX;
+        let mut index = vec![UNVISITED; n];
+        let mut lowlink = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut next_index = 0usize;
+        let mut scc_of = vec![UNVISITED; n];
+        let mut sccs: Vec<Vec<usize>> = Vec::new();
+
+        // Explicit DFS frames: (node, next child position).
+        let mut frames: Vec<(usize, usize)> = Vec::new();
+        for root in 0..n {
+            if index[root] != UNVISITED {
+                continue;
+            }
+            frames.push((root, 0));
+            index[root] = next_index;
+            lowlink[root] = next_index;
+            next_index += 1;
+            stack.push(root);
+            on_stack[root] = true;
+
+            while let Some(frame) = frames.last_mut() {
+                let v = frame.0;
+                if frame.1 < self.edges[v].len() {
+                    let w = self.edges[v][frame.1];
+                    frame.1 += 1;
+                    if index[w] == UNVISITED {
+                        index[w] = next_index;
+                        lowlink[w] = next_index;
+                        next_index += 1;
+                        stack.push(w);
+                        on_stack[w] = true;
+                        frames.push((w, 0));
+                    } else if on_stack[w] {
+                        lowlink[v] = lowlink[v].min(index[w]);
+                    }
+                } else {
+                    frames.pop();
+                    if let Some(&(parent, _)) = frames.last() {
+                        lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                    }
+                    if lowlink[v] == index[v] {
+                        let mut members = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("tarjan stack underflow");
+                            on_stack[w] = false;
+                            scc_of[w] = sccs.len();
+                            members.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        members.sort_unstable();
+                        sccs.push(members);
+                    }
+                }
+            }
+        }
+
+        // Condensed DAG edges, deduped. Self-loops inside an SCC are
+        // recorded as `cyclic` instead of edges.
+        let mut cyclic = vec![false; sccs.len()];
+        for (i, members) in sccs.iter().enumerate() {
+            if members.len() > 1 {
+                cyclic[i] = true;
+            }
+        }
+        let mut dag: Vec<Vec<usize>> = vec![Vec::new(); sccs.len()];
+        for v in 0..n {
+            for &w in &self.edges[v] {
+                let (sv, sw) = (scc_of[v], scc_of[w]);
+                if sv == sw {
+                    cyclic[sv] = true; // covers single-node self-calls
+                } else if !dag[sv].contains(&sw) {
+                    dag[sv].push(sw);
+                }
+            }
+        }
+        Condensation {
+            scc_of,
+            sccs,
+            edges: dag,
+            cyclic,
+        }
+    }
+}
+
+/// The call graph with SCCs collapsed: a DAG over component ids.
+#[derive(Clone, Debug)]
+pub struct Condensation {
+    /// Node handle -> SCC id.
+    pub scc_of: Vec<usize>,
+    /// SCC id -> member node handles (sorted).
+    pub sccs: Vec<Vec<usize>>,
+    /// DAG edges between SCC ids (deduped, no self-loops).
+    pub edges: Vec<Vec<usize>>,
+    /// True when the component contains a cycle (≥2 members, or a
+    /// self-call) — composition must treat its members as one unit.
+    pub cyclic: Vec<bool>,
+}
+
+impl Condensation {
+    /// SCC ids callees-first: every edge `a -> b` has `b` before `a`.
+    /// Tarjan already emits components in this order, so this is just
+    /// `0..sccs.len()`, kept as a method to document the invariant.
+    pub fn topo_order(&self) -> impl Iterator<Item = usize> {
+        0..self.sccs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_chain_condenses_to_singletons() {
+        // 0 -> 1 -> 2
+        let mut g = CallGraph::with_nodes(3);
+        g.add_call(0, 1);
+        g.add_call(1, 2);
+        let c = g.condense();
+        assert_eq!(c.sccs.len(), 3);
+        assert!(c.cyclic.iter().all(|&b| !b));
+        // Callees-first: 2's SCC precedes 1's precedes 0's.
+        assert!(c.scc_of[2] < c.scc_of[1]);
+        assert!(c.scc_of[1] < c.scc_of[0]);
+        for scc in c.topo_order() {
+            for &succ in &c.edges[scc] {
+                assert!(succ < scc, "edge {scc} -> {succ} breaks topo order");
+            }
+        }
+    }
+
+    #[test]
+    fn self_call_is_a_cyclic_singleton() {
+        let mut g = CallGraph::with_nodes(2);
+        g.add_call(0, 0);
+        g.add_call(0, 1);
+        let c = g.condense();
+        assert_eq!(c.sccs.len(), 2);
+        assert!(c.cyclic[c.scc_of[0]]);
+        assert!(!c.cyclic[c.scc_of[1]]);
+    }
+
+    #[test]
+    fn mutual_recursion_collapses() {
+        // 0 <-> 1, both call 2.
+        let mut g = CallGraph::with_nodes(3);
+        g.add_call(0, 1);
+        g.add_call(1, 0);
+        g.add_call(0, 2);
+        g.add_call(1, 2);
+        let c = g.condense();
+        assert_eq!(c.sccs.len(), 2);
+        assert_eq!(c.scc_of[0], c.scc_of[1]);
+        assert!(c.cyclic[c.scc_of[0]]);
+        let cycle = c.scc_of[0];
+        assert_eq!(c.sccs[cycle], vec![0, 1]);
+        // One deduped DAG edge cycle -> {2}.
+        assert_eq!(c.edges[cycle], vec![c.scc_of[2]]);
+    }
+
+    #[test]
+    fn diamond_keeps_all_edges() {
+        // 0 -> 1 -> 3, 0 -> 2 -> 3
+        let mut g = CallGraph::with_nodes(4);
+        g.add_call(0, 1);
+        g.add_call(0, 2);
+        g.add_call(1, 3);
+        g.add_call(2, 3);
+        let c = g.condense();
+        assert_eq!(c.sccs.len(), 4);
+        assert_eq!(c.edges[c.scc_of[0]].len(), 2);
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow() {
+        let n = 50_000;
+        let mut g = CallGraph::with_nodes(n);
+        for i in 0..n - 1 {
+            g.add_call(i, i + 1);
+        }
+        let c = g.condense();
+        assert_eq!(c.sccs.len(), n);
+    }
+}

@@ -12,12 +12,14 @@
 //! assert_eq!(lowered.cfgs.len(), 1);
 //! ```
 
+pub mod callgraph;
 pub mod cfg;
 pub mod dataflow;
 pub mod symbols;
 pub mod types;
 pub mod walk;
 
+pub use callgraph::{CallGraph, Condensation};
 pub use cfg::{Cfg, Node, NodeId, NodeKind};
 pub use dataflow::{
     def_use_chains, dominators, post_dominators, reaching_definitions, Def, DomTree, ReachingDefs,

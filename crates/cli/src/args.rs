@@ -15,6 +15,7 @@ usage:
   ofence diff     --baseline FILE <paths...> [--json] [window options]
   ofence baseline write <paths...> [--out FILE] [window options]
   ofence gen      --out DIR [--files N] [--seed S] [--bugs]
+                  [--chains N] [--chain-depth D] [--chain-bugs B]
 
 output options:
   --trace-out FILE   write a Chrome-tracing JSON trace of the run
@@ -41,6 +42,8 @@ window options:
   --read-window N    statements explored around read barriers (default 50)
   --no-ipc           disable implicit wake-up barrier detection
   --no-expand        disable callee/caller expansion
+  --ipa-depth N      compose function summaries across up to N call
+                     levels (inter-procedural pairing; default 0 = off)
   --missing          enable the missing-barrier detector (dataflow)
   --no-outlier       report all fence-less readers, not just outliers
   --window-reread    use the bounded-window re-read heuristic (no dataflow)
@@ -151,6 +154,14 @@ pub struct GenOpts {
     pub files: usize,
     pub seed: u64,
     pub with_bugs: bool,
+    /// Cross-file call-chain instances (`--chains`).
+    pub chains: usize,
+    /// Call levels between each chain barrier and its accesses
+    /// (`--chain-depth`, default 2).
+    pub chain_depth: usize,
+    /// Chain instances carrying a deep-callee misplaced read
+    /// (`--chain-bugs`).
+    pub chain_bugs: usize,
 }
 
 pub fn parse(argv: &[String]) -> Result<Command, String> {
@@ -260,6 +271,10 @@ fn parse_run_inner(argv: &[String]) -> Result<RunOpts, String> {
             "--read-window" => {
                 i += 1;
                 opts.config.read_window = num(argv.get(i), "--read-window")?;
+            }
+            "--ipa-depth" => {
+                i += 1;
+                opts.config.ipa_depth = num(argv.get(i), "--ipa-depth")?;
             }
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown option `{flag}`"));
@@ -395,6 +410,9 @@ fn parse_gen(argv: &[String]) -> Result<GenOpts, String> {
         files: 20,
         seed: 1,
         with_bugs: false,
+        chains: 0,
+        chain_depth: 2,
+        chain_bugs: 0,
     };
     let mut i = 0;
     while i < argv.len() {
@@ -412,6 +430,18 @@ fn parse_gen(argv: &[String]) -> Result<GenOpts, String> {
                 opts.seed = num64(argv.get(i), "--seed")?;
             }
             "--bugs" => opts.with_bugs = true,
+            "--chains" => {
+                i += 1;
+                opts.chains = num(argv.get(i), "--chains")? as usize;
+            }
+            "--chain-depth" => {
+                i += 1;
+                opts.chain_depth = num(argv.get(i), "--chain-depth")? as usize;
+            }
+            "--chain-bugs" => {
+                i += 1;
+                opts.chain_bugs = num(argv.get(i), "--chain-bugs")? as usize;
+            }
             other => return Err(format!("unknown gen option `{other}`")),
         }
         i += 1;
@@ -511,9 +541,39 @@ mod tests {
                 out: "/tmp/x".into(),
                 files: 5,
                 seed: 9,
-                with_bugs: true
+                with_bugs: true,
+                chains: 0,
+                chain_depth: 2,
+                chain_bugs: 0,
             })
         );
+        let cmd = parse(&argv(
+            "gen --out /tmp/x --chains 4 --chain-depth 3 --chain-bugs 1",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Gen(o) => {
+                assert_eq!(o.chains, 4);
+                assert_eq!(o.chain_depth, 3);
+                assert_eq!(o.chain_bugs, 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn ipa_depth_flag() {
+        match parse(&argv("analyze x.c --ipa-depth 2")).unwrap() {
+            Command::Analyze(o) => assert_eq!(o.config.ipa_depth, 2),
+            other => panic!("{other:?}"),
+        }
+        // Off by default — the paper's intra-procedural pipeline.
+        match parse(&argv("analyze x.c")).unwrap() {
+            Command::Analyze(o) => assert_eq!(o.config.ipa_depth, 0),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&argv("analyze x.c --ipa-depth")).is_err());
+        assert!(parse(&argv("analyze x.c --ipa-depth deep")).is_err());
     }
 
     #[test]

@@ -521,6 +521,9 @@ fn gen(opts: GenOpts) -> Result<ExitCode, String> {
         reread_decoys: 0,
         unfenced_decoys: 0,
         filler_files: 0,
+        cross_file_chains: opts.chains,
+        chain_depth: opts.chain_depth,
+        chain_bugs: opts.chain_bugs,
         bugs: if opts.with_bugs {
             ofence_corpus::BugPlan {
                 misplaced: (opts.files / 10).max(1),

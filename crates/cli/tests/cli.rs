@@ -224,7 +224,7 @@ fn analyze_json_follows_schema() {
         .output()
         .unwrap();
     let v: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid json");
-    assert_eq!(v["schema_version"], 2, "{v}");
+    assert_eq!(v["schema_version"], ofence::json::SCHEMA_VERSION, "{v}");
     assert_eq!(v["pairings"].as_array().unwrap().len(), 1);
     assert_eq!(v["sites"].as_array().unwrap().len(), 2);
     assert!(v["observability"]["phase_us"]["pair"].as_u64().is_some());

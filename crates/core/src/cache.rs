@@ -58,7 +58,7 @@ use std::collections::HashMap;
 use std::path::Path;
 
 /// Bump on any change to the serialized cache shape.
-pub const CACHE_FORMAT_VERSION: u32 = 1;
+pub const CACHE_FORMAT_VERSION: u32 = 2;
 
 /// File name inside the cache directory.
 pub const CACHE_FILE_NAME: &str = "cache.json";
@@ -98,6 +98,11 @@ pub enum LoadOutcome {
 #[derive(Serialize, Deserialize)]
 struct CacheDoc {
     format_version: u32,
+    /// Version of the cached [`crate::summary::FnSummary`] shape and its
+    /// extraction rules — tracked separately from `format_version` so
+    /// summary-only changes invalidate warm caches without renumbering
+    /// the container format.
+    summary_version: u32,
     tool_version: String,
     config_fingerprint: u64,
     entries: Vec<CacheEntry>,
@@ -118,6 +123,11 @@ struct CachedFile {
     sites: Vec<BarrierSite>,
     functions: Vec<CachedFunction>,
     parse_error_count: usize,
+    /// Per-function summaries for the inter-procedural composition pass;
+    /// cached so a warm run composes without re-parsing unchanged files.
+    summaries: Vec<crate::summary::FnSummary>,
+    /// Window calls aligned with `sites` (see [`FileAnalysis`]).
+    window_calls: Vec<Vec<crate::summary::WindowCall>>,
 }
 
 #[derive(Serialize, Deserialize)]
@@ -152,6 +162,8 @@ impl CachedFile {
                 })
                 .collect(),
             parse_error_count: fa.parse_error_count,
+            summaries: fa.summaries.clone(),
+            window_calls: fa.window_calls.clone(),
         }
     }
 
@@ -192,6 +204,8 @@ impl CachedFile {
                 })
                 .collect(),
             parse_error_count: self.parse_error_count,
+            summaries: self.summaries,
+            window_calls: self.window_calls,
         }
     }
 }
@@ -216,6 +230,13 @@ pub fn load(
         return discard(format!(
             "format version {} (expected {CACHE_FORMAT_VERSION})",
             doc.format_version
+        ));
+    }
+    if doc.summary_version != crate::summary::SUMMARY_VERSION {
+        return discard(format!(
+            "summary version {} (expected {})",
+            doc.summary_version,
+            crate::summary::SUMMARY_VERSION
         ));
     }
     if doc.tool_version != env!("CARGO_PKG_VERSION") {
@@ -258,6 +279,7 @@ pub fn save(
     let n = entries.len();
     let doc = CacheDoc {
         format_version: CACHE_FORMAT_VERSION,
+        summary_version: crate::summary::SUMMARY_VERSION,
         tool_version: env!("CARGO_PKG_VERSION").to_string(),
         config_fingerprint: config_fingerprint(config),
         entries,
@@ -355,7 +377,7 @@ void writer(struct m *b) { b->y = 1; smp_wmb(); b->init = 1; }
         e.save_disk_cache(&dir).unwrap();
         let path = dir.join(CACHE_FILE_NAME);
         let text = std::fs::read_to_string(&path).unwrap().replacen(
-            "\"format_version\":1",
+            &format!("\"format_version\":{CACHE_FORMAT_VERSION}"),
             "\"format_version\":999",
             1,
         );
@@ -400,6 +422,33 @@ void writer(struct m *b) { b->y = 1; smp_wmb(); b->init = 1; }
             ..Default::default()
         });
         assert_ne!(a, b);
+    }
+
+    /// A warm cache written at one `--ipa-depth` must not be silently
+    /// reused at another: summaries are depth-independent but the
+    /// composed accesses derived from them are not, so the fingerprint
+    /// has to cover the depth.
+    #[test]
+    fn ipa_depth_change_discards_cache() {
+        let dir = tempdir("ipa-depth");
+        let mut e = Engine::new(AnalysisConfig::default());
+        e.analyze(&demo_files());
+        e.save_disk_cache(&dir).unwrap();
+        let deep = AnalysisConfig {
+            ipa_depth: 2,
+            ..Default::default()
+        };
+        assert_ne!(
+            config_fingerprint(&AnalysisConfig::default()),
+            config_fingerprint(&deep)
+        );
+        let (map, outcome) = load(&dir, &deep);
+        assert!(map.is_empty());
+        match outcome {
+            LoadOutcome::Discarded { reason } => assert!(reason.contains("configuration")),
+            other => panic!("{other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -22,6 +22,15 @@ pub struct AnalysisConfig {
     /// Merge accesses of same-file callees at call sites (±1 call level,
     /// §4.2).
     pub callee_expansion: bool,
+    /// Inter-procedural summary composition depth: merge accesses of
+    /// (transitive) callees reached through up to this many call edges,
+    /// across files, using composed function summaries. `0` disables the
+    /// pass entirely (paper behaviour: only the same-file ±1 expansion
+    /// above applies); `2` lets a barrier in `caller.c` order an access
+    /// two callee levels away in another translation unit. Cycles in the
+    /// call graph are collapsed via SCC condensation, so any depth
+    /// terminates.
+    pub ipa_depth: u32,
     /// Also look at immediate same-file callers of the barrier's function.
     pub caller_expansion: bool,
     /// Weight candidate pairings by the product of object distances
@@ -65,6 +74,7 @@ impl Default for AnalysisConfig {
             min_shared_objects: 2,
             implicit_ipc: true,
             callee_expansion: true,
+            ipa_depth: 0,
             caller_expansion: true,
             distance_weighting: true,
             filter_generic_types: false,
@@ -116,6 +126,9 @@ mod tests {
         assert_eq!(c.read_window, 50);
         assert_eq!(c.min_shared_objects, 2);
         assert!(c.implicit_ipc);
+        // Summary composition is an extension: off by default so the
+        // default pipeline matches the paper exactly.
+        assert_eq!(c.ipa_depth, 0);
     }
 
     #[test]

@@ -250,6 +250,7 @@ mod tests {
             column: 1,
             object: None,
             message: "m".to_string(),
+            via_calls: Vec::new(),
         }
     }
 

@@ -242,6 +242,8 @@ impl Engine {
                                 sites: Vec::new(),
                                 functions: Vec::new(),
                                 parse_error_count: 1,
+                                summaries: Vec::new(),
+                                window_calls: Vec::new(),
                             }
                         }
                     };
@@ -264,6 +266,34 @@ impl Engine {
 
     fn finish(&self, mut files: Vec<FileAnalysis>, root: u64) -> AnalysisResult {
         let rec = &self.recorder;
+        // Inter-procedural summary composition: merge (transitive) callee
+        // accesses into barrier windows before pairing. Runs on the
+        // cached per-file artifacts only — no re-parsing — so it is cheap
+        // even on warm-cache incremental runs.
+        let composed = if self.config.ipa_depth > 0 {
+            let _span = rec.span("compose");
+            // Composition is rooted at the callees named in barrier
+            // windows: only their call cones can ever be spliced, so the
+            // pass scales with the barrier neighborhood, not the corpus.
+            let roots: Vec<(usize, String)> = files
+                .iter()
+                .flat_map(|fa| {
+                    fa.window_calls
+                        .iter()
+                        .flatten()
+                        .map(|c| (fa.file, c.callee.clone()))
+                })
+                .collect();
+            let index =
+                crate::summary::ComposedIndex::build_rooted(&files, self.config.ipa_depth, &roots);
+            rec.count("ipa_compose_functions", index.len() as u64);
+            let (touched, added) = crate::summary::augment_sites(&mut files, &index, &self.config);
+            rec.count("ipa_sites_augmented", touched);
+            rec.count("ipa_composed_accesses", added);
+            Some(index)
+        } else {
+            None
+        };
         // Assign global barrier ids, deterministic in file order.
         let mut sites: Vec<BarrierSite> = Vec::new();
         for fa in &mut files {
@@ -280,6 +310,7 @@ impl Engine {
                 &sites,
                 &pairing,
                 &self.config,
+                composed.as_ref(),
                 rec,
             ));
         }

@@ -16,7 +16,7 @@ use crate::pairing::{pair_barriers, PairingResult};
 use serde::{Deserialize, Serialize};
 
 /// A compact, self-contained description of one barrier site.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct SiteSummary {
     pub id: u32,
     pub kind: String,
@@ -27,6 +27,54 @@ pub struct SiteSummary {
     /// Objects in the exploration window as `struct.field` with the
     /// minimum distance each is seen at.
     pub objects: Vec<(String, u32)>,
+    /// For objects only visible through the inter-procedural summary
+    /// pass: `object label -> rendered call chain` (the callees walked
+    /// from this site's function to reach the access, e.g.
+    /// `"fill() → deep_fill()"`). Empty below `--ipa-depth 1`.
+    pub via_chains: Vec<(String, String)>,
+}
+
+// Hand-written so `via_chains` is omitted when empty: explain output at
+// depth 0 stays byte-identical to pre-IPA reports.
+impl Serialize for SiteSummary {
+    fn to_value(&self) -> serde::Value {
+        let mut m = serde::Map::new();
+        m.insert("id".to_string(), self.id.to_value());
+        m.insert("kind".to_string(), self.kind.to_value());
+        m.insert("file".to_string(), self.file.to_value());
+        m.insert("function".to_string(), self.function.to_value());
+        m.insert("line".to_string(), self.line.to_value());
+        m.insert(
+            "is_write_barrier".to_string(),
+            self.is_write_barrier.to_value(),
+        );
+        m.insert("objects".to_string(), self.objects.to_value());
+        if !self.via_chains.is_empty() {
+            m.insert("via_chains".to_string(), self.via_chains.to_value());
+        }
+        serde::Value::Object(m)
+    }
+}
+
+impl Deserialize for SiteSummary {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let serde::Value::Object(m) = v else {
+            return Err(serde::Error::new("SiteSummary: expected object"));
+        };
+        Ok(SiteSummary {
+            id: serde::de_field(m.get("id"), "id")?,
+            kind: serde::de_field(m.get("kind"), "kind")?,
+            file: serde::de_field(m.get("file"), "file")?,
+            function: serde::de_field(m.get("function"), "function")?,
+            line: serde::de_field(m.get("line"), "line")?,
+            is_write_barrier: serde::de_field(m.get("is_write_barrier"), "is_write_barrier")?,
+            objects: serde::de_field(m.get("objects"), "objects")?,
+            via_chains: match m.get("via_chains") {
+                Some(v) => Deserialize::from_value(v)?,
+                None => Vec::new(),
+            },
+        })
+    }
 }
 
 /// Compact `struct.field` label (or the bare name for globals).
@@ -53,6 +101,20 @@ fn summarize(s: &BarrierSite) -> SiteSummary {
             .objects()
             .iter()
             .map(|(o, d)| (obj_label(o), *d))
+            .collect(),
+        via_chains: s
+            .objects()
+            .iter()
+            .filter_map(|(o, _)| {
+                s.via_of(o).map(|chain| {
+                    let rendered = chain
+                        .iter()
+                        .map(|f| format!("{f}()"))
+                        .collect::<Vec<_>>()
+                        .join(" → ");
+                    (obj_label(o), rendered)
+                })
+            })
             .collect(),
     }
 }
@@ -308,7 +370,13 @@ impl Explanation {
         ));
         out.push_str("objects in window:\n");
         for (o, d) in &t.objects {
-            out.push_str(&format!("  {o} (distance {d})\n"));
+            match t.via_chains.iter().find(|(vo, _)| vo == o) {
+                Some((_, chain)) => out.push_str(&format!(
+                    "  {o} (distance {d}) via {}() → {chain}\n",
+                    t.function
+                )),
+                None => out.push_str(&format!("  {o} (distance {d})\n")),
+            }
         }
         out.push_str(&format!(
             "\ncandidates ({} evaluated, {} sites shared no object):\n",
@@ -328,6 +396,11 @@ impl Explanation {
                 "    shared objects: {}\n",
                 c.shared_objects.join(", ")
             ));
+            for (o, chain) in &p.via_chains {
+                if c.shared_objects.contains(o) {
+                    out.push_str(&format!("    {o} via {}() → {chain}\n", p.function));
+                }
+            }
             if let Some(b) = &c.best_pair {
                 out.push_str(&format!(
                     "    best ordered pair: ({}, {}) weight {} = {}x{} (target) * {}x{} (candidate)\n",

@@ -36,7 +36,11 @@ pub const FINGERPRINT_VERSION: u32 = 1;
 /// A finding reduced to its longitudinal identity plus enough metadata
 /// to render a one-line report. This is the unit the ledger, baselines,
 /// and `ofence diff` operate on.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// `Serialize`/`Deserialize` are hand-written so `via_calls` is omitted
+/// when empty: schema v2 consumers and depth-0 reports see the exact
+/// pre-IPA shape.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct FindingRecord {
     /// Stable content-based identity, 16 hex digits.
     pub fingerprint: String,
@@ -54,6 +58,54 @@ pub struct FindingRecord {
     /// The shared object involved, rendered, when one is.
     pub object: Option<String>,
     pub message: String,
+    /// Call chain the summary composition pass walked from the barrier's
+    /// function to reach the finding's object (outermost callee first).
+    /// Empty for intra-procedural findings and below `--ipa-depth 1`.
+    /// Provenance only — never part of the fingerprint, so a finding
+    /// keeps its identity whether it was found directly or via calls.
+    pub via_calls: Vec<String>,
+}
+
+impl Serialize for FindingRecord {
+    fn to_value(&self) -> serde::Value {
+        let mut m = serde::Map::new();
+        m.insert("fingerprint".to_string(), self.fingerprint.to_value());
+        m.insert("class".to_string(), self.class.to_value());
+        m.insert("rule".to_string(), self.rule.to_value());
+        m.insert("file".to_string(), self.file.to_value());
+        m.insert("function".to_string(), self.function.to_value());
+        m.insert("line".to_string(), self.line.to_value());
+        m.insert("column".to_string(), self.column.to_value());
+        m.insert("object".to_string(), self.object.to_value());
+        m.insert("message".to_string(), self.message.to_value());
+        if !self.via_calls.is_empty() {
+            m.insert("via_calls".to_string(), self.via_calls.to_value());
+        }
+        serde::Value::Object(m)
+    }
+}
+
+impl Deserialize for FindingRecord {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let serde::Value::Object(m) = v else {
+            return Err(serde::Error::new("FindingRecord: expected object"));
+        };
+        Ok(FindingRecord {
+            fingerprint: serde::de_field(m.get("fingerprint"), "fingerprint")?,
+            class: serde::de_field(m.get("class"), "class")?,
+            rule: serde::de_field(m.get("rule"), "rule")?,
+            file: serde::de_field(m.get("file"), "file")?,
+            function: serde::de_field(m.get("function"), "function")?,
+            line: serde::de_field(m.get("line"), "line")?,
+            column: serde::de_field(m.get("column"), "column")?,
+            object: serde::de_field(m.get("object"), "object")?,
+            message: serde::de_field(m.get("message"), "message")?,
+            via_calls: match m.get("via_calls") {
+                Some(v) => Deserialize::from_value(v)?,
+                None => Vec::new(),
+            },
+        })
+    }
 }
 
 impl FindingRecord {
@@ -210,6 +262,13 @@ pub fn finding_records(
             } else {
                 ckit::SourceMap::new(d.site.file_name.clone(), source).lookup(anchor_span(d).lo)
             };
+            // Provenance: the call chain through which the barrier's
+            // window sees the finding's object, when it only sees it via
+            // the summary pass.
+            let via_calls = match (&d.object, sites.get(d.barrier.0 as usize)) {
+                (Some(o), Some(s)) => s.via_of(o).map(<[String]>::to_vec).unwrap_or_default(),
+                _ => Vec::new(),
+            };
             FindingRecord {
                 fingerprint: format!("{fp:016x}"),
                 class: crate::report::deviation_class(&d.kind).to_string(),
@@ -220,6 +279,7 @@ pub fn finding_records(
                 column: pos.col,
                 object: d.object.as_ref().map(|o| o.to_string()),
                 message: d.explanation.clone(),
+                via_calls,
             }
         })
         .collect()

@@ -77,7 +77,11 @@ impl Side {
 }
 
 /// One memory access found in the window around a barrier.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// `Serialize`/`Deserialize` are hand-written (not derived) so that the
+/// `via_calls` provenance field is omitted when empty: reports produced
+/// at `--ipa-depth=0` stay byte-identical to the pre-IPA schema.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Access {
     pub object: SharedObject,
     pub kind: AccessKind,
@@ -92,6 +96,48 @@ pub struct Access {
     /// Whether the access was found in a callee/caller rather than the
     /// barrier's own function.
     pub cross_function: bool,
+    /// Call chain the inter-procedural summary pass walked to reach this
+    /// access (outermost callee first), empty for direct and ±1-level
+    /// accesses. Provenance only: excluded from finding fingerprints.
+    pub via_calls: Vec<String>,
+}
+
+impl Serialize for Access {
+    fn to_value(&self) -> serde::Value {
+        let mut m = serde::Map::new();
+        m.insert("object".to_string(), self.object.to_value());
+        m.insert("kind".to_string(), self.kind.to_value());
+        m.insert("side".to_string(), self.side.to_value());
+        m.insert("distance".to_string(), self.distance.to_value());
+        m.insert("span".to_string(), self.span.to_value());
+        m.insert("annotated".to_string(), self.annotated.to_value());
+        m.insert("cross_function".to_string(), self.cross_function.to_value());
+        if !self.via_calls.is_empty() {
+            m.insert("via_calls".to_string(), self.via_calls.to_value());
+        }
+        serde::Value::Object(m)
+    }
+}
+
+impl Deserialize for Access {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let serde::Value::Object(m) = v else {
+            return Err(serde::Error::new("Access: expected object"));
+        };
+        Ok(Access {
+            object: serde::de_field(m.get("object"), "object")?,
+            kind: serde::de_field(m.get("kind"), "kind")?,
+            side: serde::de_field(m.get("side"), "side")?,
+            distance: serde::de_field(m.get("distance"), "distance")?,
+            span: serde::de_field(m.get("span"), "span")?,
+            annotated: serde::de_field(m.get("annotated"), "annotated")?,
+            cross_function: serde::de_field(m.get("cross_function"), "cross_function")?,
+            via_calls: match m.get("via_calls") {
+                Some(v) => Deserialize::from_value(v)?,
+                None => Vec::new(),
+            },
+        })
+    }
 }
 
 /// Identifies a barrier site across the whole analyzed corpus.
@@ -211,6 +257,22 @@ impl BarrierSite {
             .map(|a| a.distance)
             .min()
     }
+
+    /// Call chain through which `obj` is reached, when *every* access to
+    /// it at this site is summary-derived (the object would be invisible
+    /// without inter-procedural composition). Returns the shortest chain.
+    pub fn via_of(&self, obj: &SharedObject) -> Option<&[String]> {
+        let mut best: Option<&[String]> = None;
+        for a in self.accesses.iter().filter(|a| &a.object == obj) {
+            if a.via_calls.is_empty() {
+                return None; // directly visible too — not summary-only
+            }
+            if best.is_none_or(|b| a.via_calls.len() < b.len()) {
+                best = Some(&a.via_calls);
+            }
+        }
+        best
+    }
 }
 
 /// Why a pairing was formed (single textbook pair or a seqcount-style
@@ -282,6 +344,7 @@ mod tests {
             span: Span::DUMMY,
             annotated: false,
             cross_function: false,
+            via_calls: Vec::new(),
         }
     }
 
@@ -310,6 +373,27 @@ mod tests {
             acc("s", "y", AccessKind::Write, Side::Before, 2),
         ]);
         assert!(!same_side.orders(&SharedObject::new("s", "x"), &SharedObject::new("s", "y")));
+    }
+
+    #[test]
+    fn via_of_reports_summary_only_objects() {
+        let mut deep = acc("s", "x", AccessKind::Read, Side::After, 2);
+        deep.via_calls = vec!["outer".into(), "inner".into()];
+        let mut shallow = acc("s", "x", AccessKind::Read, Side::After, 3);
+        shallow.via_calls = vec!["outer".into()];
+        let direct = acc("s", "y", AccessKind::Write, Side::Before, 1);
+
+        // x reached only through calls: shortest chain wins.
+        let site = site_with(vec![deep.clone(), shallow, direct.clone()]);
+        assert_eq!(
+            site.via_of(&SharedObject::new("s", "x")),
+            Some(&["outer".to_string()][..])
+        );
+        // y is direct: no chain.
+        assert_eq!(site.via_of(&SharedObject::new("s", "y")), None);
+        // A direct access to x anywhere at the site disables the chain.
+        let mixed = site_with(vec![deep, acc("s", "x", AccessKind::Read, Side::After, 1)]);
+        assert_eq!(mixed.via_of(&SharedObject::new("s", "x")), None);
     }
 
     #[test]

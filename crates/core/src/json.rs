@@ -15,6 +15,12 @@
 //! array of [`crate::fingerprint::FindingRecord`]s, and a `fingerprint` +
 //! `finding` pair injected into every `deviations` / `annotations` entry.
 //! All v1 keys are preserved unchanged.
+//!
+//! Schema v3 adds inter-procedural provenance: site accesses and finding
+//! records gain a `via_calls` array (the callee chain the summary
+//! composition pass walked to reach the access). The field is omitted
+//! when empty, so depth-0 reports are byte-identical to v2 apart from
+//! the version number. All v2 keys are preserved unchanged.
 
 use crate::engine::AnalysisResult;
 use crate::fingerprint::finding_records;
@@ -22,7 +28,8 @@ use crate::ir::UnpairedReason;
 
 /// Bump on any backwards-incompatible change to [`AnalysisResult::to_json`].
 /// v2: stable fingerprints on every finding, `run_id`, `findings` array.
-pub const SCHEMA_VERSION: u32 = 2;
+/// v3: `via_calls` call-chain provenance on accesses and findings.
+pub const SCHEMA_VERSION: u32 = 3;
 
 impl AnalysisResult {
     /// The full result as a `serde_json::Value` following the documented

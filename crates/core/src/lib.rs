@@ -55,6 +55,7 @@ pub mod patch;
 pub mod report;
 pub mod sarif;
 pub mod sites;
+pub mod summary;
 
 pub use cache::LoadOutcome;
 pub use config::AnalysisConfig;
@@ -68,3 +69,4 @@ pub use ir::*;
 pub use patch::{apply_edits, Patch};
 pub use report::{DistanceHistogram, Stats};
 pub use sarif::to_sarif;
+pub use summary::{ComposedIndex, FnSummary, WindowCall, SUMMARY_VERSION};

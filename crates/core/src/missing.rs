@@ -25,6 +25,7 @@ use crate::extract::accesses_in_node;
 use crate::ir::*;
 use crate::pairing::PairingResult;
 use crate::sites::FileAnalysis;
+use crate::summary::ComposedIndex;
 use cfgir::{dominators, Cfg, LoweredFile, NodeId, NodeKind};
 use ckit::span::Span;
 
@@ -70,19 +71,23 @@ pub fn detect(
     config: &AnalysisConfig,
 ) -> Vec<Deviation> {
     let rec = obs::Recorder::new();
-    detect_traced(files, sites, pairing, config, &rec)
+    detect_traced(files, sites, pairing, config, None, &rec)
 }
 
-/// [`detect`] with a `missing` phase span and decision counters.
+/// [`detect`] with a `missing` phase span and decision counters. When a
+/// [`ComposedIndex`] is supplied (`ipa_depth > 0`), readers whose fence
+/// lives in a transitively reachable callee are exonerated — corpus-wide
+/// evidence the ±1 view cannot provide.
 pub fn detect_traced(
     files: &[FileAnalysis],
     sites: &[BarrierSite],
     pairing: &PairingResult,
     config: &AnalysisConfig,
+    index: Option<&ComposedIndex>,
     rec: &obs::Recorder,
 ) -> Vec<Deviation> {
     let _span = rec.span("missing");
-    let out = detect_inner(files, sites, pairing, config, rec);
+    let out = detect_inner(files, sites, pairing, config, index, rec);
     rec.count("missing_reports_emitted", out.len() as u64);
     out
 }
@@ -92,6 +97,7 @@ fn detect_inner(
     sites: &[BarrierSite],
     pairing: &PairingResult,
     config: &AnalysisConfig,
+    index: Option<&ComposedIndex>,
     rec: &obs::Recorder,
 ) -> Vec<Deviation> {
     let writers: Vec<&BarrierSite> = pairing
@@ -106,7 +112,17 @@ fn detect_inner(
         return Vec::new();
     }
 
-    let readers = collect_readers(files, config);
+    let mut readers = collect_readers(files, config);
+    if let Some(index) = index {
+        // Inter-procedural exoneration: a candidate whose fence lives in
+        // a callee within `ipa_depth` call edges is not fence-less.
+        let before = readers.len();
+        readers.retain(|r| !index.fence_within(r.file, &r.name, config.ipa_depth));
+        rec.count(
+            "missing_readers_exonerated",
+            (before - readers.len()) as u64,
+        );
+    }
     rec.count("missing_readers_summarized", readers.len() as u64);
     let mut out = Vec::new();
     for writer in writers {

@@ -78,6 +78,23 @@ pub fn pair_barriers_traced(
     rec.count("pair_dropped_min_objects", ctr.dropped_min_objects);
     rec.count("pair_extended_members", ctr.extended_members);
     rec.count("pairings_formed", result.pairings.len() as u64);
+    // Pairings that only exist because the summary pass spliced a callee
+    // access into a member's window (the object is summary-only there):
+    // the paper's ±1 view could not have formed them.
+    rec.count(
+        "pair_ipa_assisted",
+        result
+            .pairings
+            .iter()
+            .filter(|p| {
+                p.objects.iter().any(|o| {
+                    p.members
+                        .iter()
+                        .any(|&m| sites.get(m.0 as usize).and_then(|s| s.via_of(o)).is_some())
+                })
+            })
+            .count() as u64,
+    );
     rec.count(
         "barriers_implicit_ipc",
         result

@@ -53,8 +53,8 @@ pub struct Stats {
 /// sub-spans (`lex`/`pp`/`parse-tokens`) and per-function `cfg-build`
 /// spans are deliberately excluded — their time is already inside their
 /// parents and would double-count.
-pub const PHASES: [&str; 8] = [
-    "parse", "cfg", "extract", "pair", "check", "missing", "patch", "annotate",
+pub const PHASES: [&str; 9] = [
+    "parse", "cfg", "extract", "compose", "pair", "check", "missing", "patch", "annotate",
 ];
 
 /// Span names carrying per-file attribution; their summed durations give

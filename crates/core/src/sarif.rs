@@ -47,7 +47,7 @@ const RULES: &[(&str, &str)] = &[
 ];
 
 fn result_value(rec: &FindingRecord) -> serde_json::Value {
-    serde_json::json!({
+    let mut v = serde_json::json!({
         "ruleId": rec.rule,
         "level": "warning",
         "message": { "text": rec.message },
@@ -67,7 +67,18 @@ fn result_value(rec: &FindingRecord) -> serde_json::Value {
         "partialFingerprints": {
             "ofenceFingerprint/v1": rec.fingerprint,
         },
-    })
+    });
+    // Inter-procedural provenance rides in `properties` so it never
+    // perturbs partialFingerprints-based tracking across commits.
+    if !rec.via_calls.is_empty() {
+        if let serde_json::Value::Object(ref mut obj) = v {
+            obj.insert(
+                "properties".to_string(),
+                serde_json::json!({ "viaCalls": rec.via_calls }),
+            );
+        }
+    }
+    v
 }
 
 /// Render an analysis result as a SARIF 2.1.0 document. Deviations (the

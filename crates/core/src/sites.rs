@@ -8,6 +8,7 @@
 use crate::config::AnalysisConfig;
 use crate::extract::{accesses_in_node, plain_calls_in_expr, RawAccess};
 use crate::ir::*;
+use crate::summary::{FnSummary, WindowCall};
 use cfgir::{walk, Cfg, Dir, LoweredFile, NodeId, Step, TypeEnv};
 use ckit::ast::{Expr, ExprKind};
 use ckit::span::Span;
@@ -34,6 +35,12 @@ pub struct FileAnalysis {
     pub sites: Vec<BarrierSite>,
     pub functions: Vec<FunctionInfo>,
     pub parse_error_count: usize,
+    /// Composable per-function summaries (inter-procedural pass input),
+    /// same order as the file's functions.
+    pub summaries: Vec<FnSummary>,
+    /// Plain calls observed in each site's exploration window, aligned
+    /// with `sites` — consumed by the corpus-global summary composition.
+    pub window_calls: Vec<Vec<WindowCall>>,
 }
 
 /// A barrier call found in a CFG node.
@@ -166,10 +173,12 @@ pub fn analyze_file_traced(
     }
 
     let mut sites = Vec::new();
+    let mut window_calls: Vec<Vec<WindowCall>> = Vec::new();
     let mut ctr = ExtractCounters::default();
     for fb in &found {
+        let mut calls = Vec::new();
         let site = build_site(
-            fb, &lowered, &envs, &summaries, &callers, config, file, parsed, &mut ctr,
+            fb, &lowered, &envs, &summaries, &callers, config, file, parsed, &mut ctr, &mut calls,
         );
         rec.observe("accesses_per_site", site.accesses.len() as u64);
         ctr.accesses_collected += site.accesses.len() as u64;
@@ -177,6 +186,16 @@ pub fn analyze_file_traced(
             ctr.promoted_atomics += 1;
         }
         sites.push(site);
+        window_calls.push(calls);
+    }
+
+    // Inter-procedural summaries for every function — cached with the
+    // file and composed corpus-globally by the engine.
+    let fn_summaries = crate::summary::extract_summaries(&lowered, &envs);
+    if config.ipa_depth > 0 {
+        // Counted only when the composition pass is live, so depth-0
+        // reports (and their goldens) carry no IPA counters.
+        rec.count("ipa_summaries_extracted", fn_summaries.len() as u64);
     }
     // Batched flush: one lock per counter per file, not per site.
     rec.count("extract_barriers_found", sites.len() as u64);
@@ -202,6 +221,8 @@ pub fn analyze_file_traced(
             })
             .collect(),
         parse_error_count: parsed.errors.len(),
+        summaries: fn_summaries,
+        window_calls,
     }
 }
 
@@ -279,6 +300,7 @@ fn build_site(
     file: usize,
     parsed: &ParsedFile,
     ctr: &mut ExtractCounters,
+    window_calls: &mut Vec<WindowCall>,
 ) -> BarrierSite {
     let cfg = &lowered.cfgs[fb.func];
     let env = &envs[fb.func];
@@ -333,6 +355,7 @@ fn build_site(
                         config,
                         &mut accesses,
                         ctr,
+                        window_calls,
                     );
                     if dist == 1 {
                         if let Some(name) = full_atomic_callee_name(cfg, node) {
@@ -359,6 +382,7 @@ fn build_site(
                         config,
                         &mut accesses,
                         ctr,
+                        window_calls,
                     );
                     if dist == 1 {
                         adjacent.get_or_insert(AdjacentBarrier {
@@ -380,6 +404,7 @@ fn build_site(
                         config,
                         &mut accesses,
                         ctr,
+                        window_calls,
                     );
                     Step::Continue
                 }
@@ -596,14 +621,22 @@ fn collect_node(
     config: &AnalysisConfig,
     accesses: &mut Vec<Access>,
     ctr: &mut ExtractCounters,
+    window_calls: &mut Vec<WindowCall>,
 ) {
     for raw in accesses_in_node(&cfg.node(node).kind, env) {
         push_access(accesses, raw, side, dist, false, config);
     }
-    // Callee expansion at plain call sites.
-    if config.callee_expansion {
-        if let Some(expr) = cfg.node(node).kind.expr() {
-            for (name, _) in plain_calls_in_expr(expr) {
+    if let Some(expr) = cfg.node(node).kind.expr() {
+        for (name, _) in plain_calls_in_expr(expr) {
+            // Record every plain call for the corpus-global summary
+            // composition pass (it resolves callees across files).
+            window_calls.push(WindowCall {
+                callee: name.clone(),
+                side,
+                distance: dist,
+            });
+            // Same-file ±1 callee expansion (§4.2).
+            if config.callee_expansion {
                 if let Some(summary) = summaries.get(&name) {
                     ctr.callee_expansions += 1;
                     for raw in summary {
@@ -634,6 +667,7 @@ fn push_access(
         span: raw.span,
         annotated: raw.annotated,
         cross_function,
+        via_calls: Vec::new(),
     });
 }
 

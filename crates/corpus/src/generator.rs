@@ -105,6 +105,15 @@ pub struct CorpusSpec {
     /// uses this knob so per-file analysis cost dominates the global
     /// pairing phases and warm-cache speedups are visible.
     pub filler_files: usize,
+    /// Cross-file call-chain instances: barrier in a caller, payload
+    /// accesses `chain_depth` call levels away, every level in a
+    /// different file. Invisible at `--ipa-depth 0`.
+    pub cross_file_chains: usize,
+    /// Call edges between each chain barrier and its payload accesses.
+    pub chain_depth: usize,
+    /// How many of the chain instances carry a deep-callee misplaced
+    /// read (the first `chain_bugs` of them).
+    pub chain_bugs: usize,
     pub bugs: BugPlan,
 }
 
@@ -123,6 +132,9 @@ impl CorpusSpec {
             reread_decoys: 0,
             unfenced_decoys: 0,
             filler_files: 0,
+            cross_file_chains: 0,
+            chain_depth: 2,
+            chain_bugs: 0,
             bugs: BugPlan::none(),
         }
     }
@@ -143,6 +155,9 @@ impl CorpusSpec {
             reread_decoys: 6,
             unfenced_decoys: 6,
             filler_files: 0,
+            cross_file_chains: 0,
+            chain_depth: 2,
+            chain_bugs: 0,
             bugs: BugPlan {
                 missing_barrier: 6,
                 ..BugPlan::paper()
@@ -335,6 +350,39 @@ pub fn generate(spec: &CorpusSpec) -> Corpus {
     for d in 0..spec.unfenced_decoys {
         let fi = (d * 5 + 2) % spec.files.max(1);
         file_bodies[fi].push_str(&patterns::unfenced_decoy(total + 50_000 + d));
+    }
+
+    // Cross-file call chains: every fragment (caller, each chain level)
+    // in its own file when the corpus has enough files. Ids start at
+    // 90_000, above every other generator range.
+    let mut chain_defs: std::collections::HashSet<(usize, usize)> = Default::default();
+    for c in 0..spec.cross_file_chains {
+        let id = 90_000 + c;
+        let bug = (c < spec.chain_bugs).then_some(BugKind::Misplaced);
+        let inst = patterns::cross_file_chain(id, spec.chain_depth, bug);
+        let base = (c * 11) % spec.files.max(1);
+        let mut bug_file = None;
+        for (k, frag) in inst.fragments.iter().enumerate() {
+            let fi = (base + k) % spec.files.max(1);
+            if chain_defs.insert((fi, id)) {
+                file_bodies[fi].push_str(&inst.struct_def);
+            }
+            file_bodies[fi].push_str(frag);
+            // Fragment 1 is the reader caller — where the injected
+            // deep-callee misplaced read is reported.
+            if k == 1 {
+                bug_file = Some(file_name(fi));
+            }
+        }
+        *manifest
+            .pattern_counts
+            .entry(format!("{:?}", PatternKind::CrossFileChain))
+            .or_default() += 1;
+        manifest.expected_pairings.push(inst.expected);
+        if let Some(mut b) = inst.bug {
+            b.file = bug_file.clone().unwrap_or_default();
+            manifest.bugs.push(b);
+        }
     }
 
     // Lone barriers (lock-adjacent code: never pairs) and noise.
@@ -636,6 +684,56 @@ mod tests {
         let mut again = base.clone();
         assert_eq!(inject_deviation(&mut again, 21), bug);
         assert_eq!(again.files, edited.files);
+    }
+
+    #[test]
+    fn cross_file_chains_span_files_and_record_truth() {
+        let mut spec = CorpusSpec::small(15);
+        spec.files = 10;
+        spec.cross_file_chains = 3;
+        spec.chain_depth = 2;
+        spec.chain_bugs = 1;
+        let corpus = generate(&spec);
+        let base = generate(&CorpusSpec::small(15));
+        // Ground truth: one pairing per chain, one misplaced bug.
+        let chains: Vec<_> = corpus
+            .manifest
+            .expected_pairings
+            .iter()
+            .filter(|p| p.kind == PatternKind::CrossFileChain)
+            .collect();
+        assert_eq!(chains.len(), 3);
+        assert_eq!(corpus.manifest.bugs.len(), base.manifest.bugs.len() + 1);
+        let bug = corpus.manifest.bugs.last().unwrap();
+        assert_eq!(bug.kind, BugKind::Misplaced);
+        assert!(bug.function.starts_with("chain90000_"));
+        // The barrier callers and the payload leaves live in different
+        // files: no file holds both a chain's publish caller and its
+        // deepest fill.
+        for c in 0..3usize {
+            let id = 90_000 + c;
+            let caller = format!("void chain{id}_publish(");
+            let leaf = format!("void chain{id}_fill2(");
+            for f in &corpus.files {
+                assert!(
+                    !(f.content.contains(&caller) && f.content.contains(&leaf)),
+                    "{} holds caller and leaf of chain {id}",
+                    f.name
+                );
+            }
+        }
+        // Everything still parses.
+        for f in &corpus.files {
+            let parsed = ckit::parse_string(&f.name, &f.content).unwrap();
+            assert!(parsed.errors.is_empty(), "{}: {:?}", f.name, parsed.errors);
+        }
+        // Bug file ground truth points at the reader caller's file.
+        let bf = corpus
+            .files
+            .iter()
+            .find(|f| f.name == bug.file)
+            .expect("bug file exists");
+        assert!(bf.content.contains(&format!("{}(", bug.function)));
     }
 
     #[test]

@@ -32,10 +32,16 @@ pub enum PatternKind {
     SleepWake,
     /// `atomic_inc` upgraded by `smp_mb__after_atomic`.
     AfterAtomic,
+    /// Cross-file call chain: the barrier sits in a caller while the
+    /// payload accesses live several call levels away, each level in a
+    /// different file. Invisible intra-procedurally (the barrier sees a
+    /// single shared object); pairs only at `--ipa-depth >=` the chain
+    /// depth.
+    CrossFileChain,
 }
 
 impl PatternKind {
-    pub const ALL: [PatternKind; 10] = [
+    pub const ALL: [PatternKind; 11] = [
         PatternKind::InitFlag,
         PatternKind::RingBuffer,
         PatternKind::Seqcount,
@@ -46,6 +52,7 @@ impl PatternKind {
         PatternKind::RcuPublish,
         PatternKind::SleepWake,
         PatternKind::AfterAtomic,
+        PatternKind::CrossFileChain,
     ];
 
     /// Does this pattern produce a pairing (vs an intentionally unpaired

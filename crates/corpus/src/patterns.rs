@@ -46,6 +46,10 @@ pub fn emit(
         PatternKind::RcuPublish => rcu_publish(n, rng, bug),
         PatternKind::SleepWake => sleep_wake(n, rng, bug),
         PatternKind::AfterAtomic => after_atomic(n, rng, bug),
+        // Single-file flattening (depth 2) so `emit` stays total; the
+        // generator uses `cross_file_chain` directly to spread the
+        // fragments over files.
+        PatternKind::CrossFileChain => cross_file_chain(n, 2, bug).flatten(),
     }
 }
 
@@ -75,6 +79,9 @@ pub fn supported_bugs(kind: PatternKind) -> &'static [BugKind] {
         PatternKind::RcuPublish => &[BugKind::Misplaced],
         PatternKind::SleepWake => &[BugKind::Misplaced],
         PatternKind::AfterAtomic => &[BugKind::Misplaced, BugKind::MissingBarrier],
+        // The chain's only bug class: a payload read smuggled to the
+        // wrong side of the fence through a depth-deep callee.
+        PatternKind::CrossFileChain => &[BugKind::Misplaced],
     }
 }
 
@@ -812,6 +819,124 @@ pub fn unfenced_decoy(n: usize) -> String {
          int {st}_sum(struct {st} *p)\n{{\n\treturn p->lo + p->hi;\n}}\n\
          int {st}_diff(struct {st} *p)\n{{\n\treturn p->hi - p->lo;\n}}\n"
     )
+}
+
+/// A cross-file call-chain instance (`PatternKind::CrossFileChain`): the
+/// barriers sit in the two caller functions while every payload access
+/// lives `depth` call levels away, each level meant for a different file.
+/// At `--ipa-depth 0` each barrier sees a single shared object (`ready`)
+/// and nothing pairs; at `--ipa-depth >= depth` summary composition
+/// surfaces the payload fields and the protocol pairs across files.
+#[derive(Clone, Debug)]
+pub struct ChainInstance {
+    /// Struct definition — duplicate into every file holding a fragment.
+    pub struct_def: String,
+    /// Fragments in placement order: writer caller, reader caller, then
+    /// the chain levels outward (writer fill, reader take, and — for the
+    /// buggy variant — the wrong-side peek chain).
+    pub fragments: Vec<String>,
+    pub expected: ExpectedPairing,
+    /// Ground truth for the injected deep-callee misplaced read (`file`
+    /// is filled by the generator).
+    pub bug: Option<InjectedBug>,
+}
+
+impl ChainInstance {
+    /// Collapse to a single-file [`PatternInstance`] (used by `emit`).
+    pub fn flatten(self) -> PatternInstance {
+        PatternInstance {
+            structs: self.struct_def,
+            writer: self.fragments[0].clone(),
+            reader: self.fragments[1..].concat(),
+            expected: Some(self.expected),
+            bug: self.bug,
+            ipc_writer: None,
+        }
+    }
+}
+
+/// Emit one cross-file chain with `depth` call edges between each barrier
+/// and its payload accesses. The buggy variant reads `d0` *before* the
+/// read barrier through its own depth-deep peek chain (and only there),
+/// so the misplaced deviation is invisible below `--ipa-depth depth`.
+pub fn cross_file_chain(n: usize, depth: usize, bug: Option<BugKind>) -> ChainInstance {
+    let depth = depth.max(1);
+    let misplaced = bug == Some(BugKind::Misplaced);
+    let st = format!("chain{n}_obj");
+    let writer_fn = format!("chain{n}_publish");
+    let reader_fn = format!("chain{n}_consume");
+    let wl = |i: usize| format!("chain{n}_fill{i}");
+    let rl = |i: usize| format!("chain{n}_take{i}");
+    let pl = |i: usize| format!("chain{n}_peek{i}");
+
+    let struct_def = format!("struct {st} {{\n\tint d0;\n\tint d1;\n\tint ready;\n}};\n");
+
+    let writer = format!(
+        "void {writer_fn}(struct {st} *w, int v)\n{{\n\t{fill}(w, v);\n\tsmp_wmb();\n\tw->ready = 1;\n}}\n",
+        fill = wl(1)
+    );
+    let reader = if misplaced {
+        format!(
+            "void {reader_fn}(struct {st} *r)\n{{\n\tif (!r->ready)\n\t\treturn;\n\t{peek}(r);\n\tsmp_rmb();\n\t{take}(r);\n}}\n",
+            peek = pl(1),
+            take = rl(1)
+        )
+    } else {
+        format!(
+            "void {reader_fn}(struct {st} *r)\n{{\n\tif (!r->ready)\n\t\treturn;\n\tsmp_rmb();\n\t{take}(r);\n}}\n",
+            take = rl(1)
+        )
+    };
+
+    let mut fragments = vec![writer, reader];
+    for lvl in 1..=depth {
+        let wbody = if lvl == depth {
+            "\tw->d0 = v;\n\tw->d1 = v + 1;\n".to_string()
+        } else {
+            format!("\t{}(w, v);\n", wl(lvl + 1))
+        };
+        fragments.push(format!(
+            "void {}(struct {st} *w, int v)\n{{\n{wbody}}}\n",
+            wl(lvl)
+        ));
+        // The clean take chain reads both payload fields; the buggy one
+        // reads only d1 here — d0 moved wholly to the peek chain so the
+        // wrong-side read is not a benign re-read.
+        let rbody = if lvl == depth {
+            if misplaced {
+                "\tpat_sink(r->d1);\n".to_string()
+            } else {
+                "\tpat_sink(r->d0);\n\tpat_sink(r->d1);\n".to_string()
+            }
+        } else {
+            format!("\t{}(r);\n", rl(lvl + 1))
+        };
+        fragments.push(format!("void {}(struct {st} *r)\n{{\n{rbody}}}\n", rl(lvl)));
+        if misplaced {
+            let pbody = if lvl == depth {
+                "\tpat_sink(r->d0);\n".to_string()
+            } else {
+                format!("\t{}(r);\n", pl(lvl + 1))
+            };
+            fragments.push(format!("void {}(struct {st} *r)\n{{\n{pbody}}}\n", pl(lvl)));
+        }
+    }
+
+    ChainInstance {
+        struct_def,
+        fragments,
+        expected: ExpectedPairing {
+            functions: vec![writer_fn, reader_fn.clone()],
+            objects: vec![
+                (st.clone(), "d0".to_string()),
+                (st.clone(), "d1".to_string()),
+                (st.clone(), "ready".to_string()),
+            ],
+            kind: PatternKind::CrossFileChain,
+            decoy: false,
+        },
+        bug: misplaced.then(|| bug_record(&reader_fn, BugKind::Misplaced, &st, "d0")),
+    }
 }
 
 /// A "lone" barrier: a function whose barrier orders objects that appear

@@ -86,6 +86,55 @@ pub fn classify_call(name: &str) -> CallSemantics {
     CallSemantics::Plain
 }
 
+/// What a callee contributes to an inter-procedural *function summary*
+/// (the unit the summary composition pass reasons about, as opposed to
+/// the per-call classification of [`classify_call`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SummaryBarrier {
+    /// No ordering semantics: the call is transparent to composition.
+    None,
+    /// An explicit barrier or seqcount primitive somewhere in the callee:
+    /// composing past it would cross a bounding barrier, so the callee's
+    /// accesses must NOT be merged into a caller's window.
+    Explicit,
+    /// Full-barrier semantics without being a pairable site (fully
+    /// ordered atomics, wake-ups, RCU grace periods): recorded on the
+    /// summary so callers know the callee self-orders, but safe to note
+    /// without merging accesses across it.
+    Full,
+}
+
+/// Summary-level classification of a call: how `name` affects the
+/// [`SummaryBarrier`] of the function *containing* the call.
+pub fn summary_barrier_of_call(name: &str) -> SummaryBarrier {
+    match classify_call(name) {
+        CallSemantics::Barrier(_) | CallSemantics::Seqcount(_) => SummaryBarrier::Explicit,
+        CallSemantics::WakeUp => SummaryBarrier::Full,
+        CallSemantics::Atomic(sem) if sem.strength == BarrierStrength::Full => SummaryBarrier::Full,
+        _ => SummaryBarrier::None,
+    }
+}
+
+impl SummaryBarrier {
+    /// Combine two observations within one function: the strongest wins
+    /// (`Explicit` > `Full` > `None`).
+    pub fn join(self, other: SummaryBarrier) -> SummaryBarrier {
+        use SummaryBarrier::*;
+        match (self, other) {
+            (Explicit, _) | (_, Explicit) => Explicit,
+            (Full, _) | (_, Full) => Full,
+            _ => None,
+        }
+    }
+
+    /// May a caller merge this callee's accesses into its own barrier
+    /// window? Only when no explicit barrier inside the callee would
+    /// bound the window first.
+    pub fn allows_composition(self) -> bool {
+        !matches!(self, SummaryBarrier::Explicit)
+    }
+}
+
 /// Does a call to `name` provide full memory-barrier semantics on its own
 /// (so that an adjacent explicit barrier is redundant — paper §5.1)?
 pub fn has_full_barrier_semantics(name: &str) -> bool {
@@ -131,6 +180,36 @@ mod tests {
         assert!(!has_full_barrier_semantics("set_bit"));
         assert!(has_full_barrier_semantics("test_and_set_bit"));
         assert!(has_full_barrier_semantics("wake_up_process"));
+    }
+
+    #[test]
+    fn summary_barrier_classification() {
+        assert_eq!(summary_barrier_of_call("smp_wmb"), SummaryBarrier::Explicit);
+        assert_eq!(
+            summary_barrier_of_call("write_seqcount_begin"),
+            SummaryBarrier::Explicit
+        );
+        assert_eq!(
+            summary_barrier_of_call("wake_up_process"),
+            SummaryBarrier::Full
+        );
+        assert_eq!(
+            summary_barrier_of_call("atomic_inc_and_test"),
+            SummaryBarrier::Full
+        );
+        assert_eq!(summary_barrier_of_call("atomic_inc"), SummaryBarrier::None);
+        assert_eq!(summary_barrier_of_call("memcpy"), SummaryBarrier::None);
+    }
+
+    #[test]
+    fn summary_barrier_join_and_composition() {
+        use SummaryBarrier::*;
+        assert_eq!(None.join(Full), Full);
+        assert_eq!(Full.join(Explicit), Explicit);
+        assert_eq!(None.join(None), None);
+        assert!(None.allows_composition());
+        assert!(Full.allows_composition());
+        assert!(!Explicit.allows_composition());
     }
 
     #[test]

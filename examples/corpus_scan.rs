@@ -26,6 +26,9 @@ fn main() {
         reread_decoys: 0,
         unfenced_decoys: 0,
         filler_files: 0,
+        cross_file_chains: 0,
+        chain_depth: 2,
+        chain_bugs: 0,
         bugs: BugPlan {
             misplaced: 3,
             repeated_read: 2,

@@ -95,6 +95,9 @@ fn all_bug_classes_detected_across_seeds() {
             reread_decoys: 0,
             unfenced_decoys: 0,
             filler_files: 0,
+            cross_file_chains: 0,
+            chain_depth: 2,
+            chain_bugs: 0,
             bugs: BugPlan {
                 misplaced: 6,
                 repeated_read: 3,
@@ -226,6 +229,9 @@ fn missing_detector_full_recall_without_false_positives() {
         reread_decoys: 0,
         unfenced_decoys: 4,
         filler_files: 0,
+        cross_file_chains: 0,
+        chain_depth: 2,
+        chain_bugs: 0,
         bugs: BugPlan {
             missing_barrier: 5,
             ..BugPlan::none()
@@ -282,6 +288,9 @@ fn dataflow_reread_strictly_fewer_false_positives_than_window() {
         reread_decoys: 5,
         unfenced_decoys: 0,
         filler_files: 0,
+        cross_file_chains: 0,
+        chain_depth: 2,
+        chain_bugs: 0,
         bugs: BugPlan {
             repeated_read: 4,
             ..BugPlan::none()

@@ -18,6 +18,9 @@ fn bug_corpus(seed: u64) -> Vec<SourceFile> {
         reread_decoys: 0,
         unfenced_decoys: 0,
         filler_files: 0,
+        cross_file_chains: 0,
+        chain_depth: 2,
+        chain_bugs: 0,
         bugs: BugPlan {
             misplaced: 6,
             repeated_read: 4,

@@ -42,6 +42,9 @@ fn arb_spec() -> impl Strategy<Value = CorpusSpec> {
                 reread_decoys,
                 unfenced_decoys,
                 filler_files: 0,
+                cross_file_chains: 0,
+                chain_depth: 2,
+                chain_bugs: 0,
                 bugs: BugPlan {
                     misplaced,
                     repeated_read: repeated,
@@ -193,6 +196,9 @@ proptest! {
             reread_decoys: 0,
             unfenced_decoys: 0,
             filler_files: 0,
+            cross_file_chains: 0,
+            chain_depth: 2,
+            chain_bugs: 0,
             bugs: BugPlan {
                 missing_barrier: nbugs,
                 ..BugPlan::none()
