@@ -10,18 +10,25 @@ usage:
   ofence annotate <paths...> [--apply] [--json] [window options]
   ofence stats    <paths...> [--json] [window options]
   ofence explain  <file:line> <paths...> [--json] [window options]
-  ofence watch    <paths...> [--interval-ms N] [--max-iterations N] [...]
+  ofence watch    <paths...> [--interval-ms N] [--max-iterations N]
+                  [--serve-metrics ADDR] [...]
   ofence diff     <old> <new> [--json] [--history-dir DIR]
   ofence diff     --baseline FILE <paths...> [--json] [window options]
   ofence baseline write <paths...> [--out FILE] [window options]
+  ofence perf     [--ledger FILE] [--history-dir DIR] [--last N]
+                  [--gate] [--max-regress-pct P] [--json]
   ofence gen      --out DIR [--files N] [--seed S] [--bugs]
                   [--chains N] [--chain-depth D] [--chain-bugs B]
 
 output options:
   --trace-out FILE   write a Chrome-tracing JSON trace of the run
   --metrics-out FILE write Prometheus text-format metrics of the run
+  --events-out FILE  stream span/counter events as NDJSON while the
+                     analysis runs (`-` for stdout)
   --sarif-out FILE   write findings as SARIF 2.1.0 with stable
                      fingerprints in partialFingerprints
+  --slow-files N     list the top N slowest files in stats output
+                     (default 5)
 
 triage options (analyze and watch):
   --baseline FILE    compare findings against this baseline; known
@@ -56,7 +63,18 @@ why the winner won (or why the barrier stayed unpaired).
 dependency) and re-runs the incremental analysis when a file changes,
 printing only the finding delta (+ new, - fixed). `--interval-ms`
 sets the poll period (default 500); `--max-iterations` exits after N
-analysis runs (default: run until interrupted).
+analysis runs (default: run until interrupted). `--serve-metrics ADDR`
+(e.g. 127.0.0.1:9464, port 0 for an OS-picked port) serves live
+`GET /metrics` (Prometheus text) and `GET /health` (JSON) from the
+latest iteration on a background thread.
+
+`perf` reads the performance ledger (DIR/perf.jsonl, appended by every
+analysis run and watch iteration) and prints the last `--last N`
+records as a trend table (default 10). With `--gate`, the newest
+record is compared against the median elapsed time of earlier
+comparable records (same config fingerprint, corpus size, and
+cold/warm mode) and the command exits non-zero when it is more than
+`--max-regress-pct P` percent slower (default 10).
 
 `diff` classifies findings as new / fixed / unchanged by their stable
 fingerprints. <old> and <new> are ledger run ids (prefixes work) or
@@ -79,6 +97,7 @@ pub enum Command {
     Watch(WatchOpts),
     Diff(DiffOpts),
     BaselineWrite(BaselineWriteOpts),
+    Perf(PerfOpts),
     Gen(GenOpts),
 }
 
@@ -92,6 +111,12 @@ pub struct RunOpts {
     pub trace_out: Option<String>,
     /// Write Prometheus text-format metrics of the run to this file.
     pub metrics_out: Option<String>,
+    /// Stream NDJSON span/counter events here while the analysis runs
+    /// (`-` for stdout).
+    pub events_out: Option<String>,
+    /// Top-N slowest files to list in stats output (`--slow-files`);
+    /// `None` means the engine default of 5.
+    pub slow_files: Option<usize>,
     /// Write findings as a SARIF 2.1.0 document to this file.
     pub sarif_out: Option<String>,
     /// Compare findings against this baseline file.
@@ -137,6 +162,26 @@ pub struct WatchOpts {
     pub interval_ms: u64,
     /// Exit after this many analysis runs (`None`: until interrupted).
     pub max_iterations: Option<u64>,
+    /// Serve live `GET /metrics` + `GET /health` on this address
+    /// (`--serve-metrics`, e.g. `127.0.0.1:9464`; port 0 lets the OS
+    /// pick).
+    pub serve_metrics: Option<String>,
+}
+
+/// `ofence perf` — read the perf ledger as a trend table or CI gate.
+#[derive(Debug, PartialEq)]
+pub struct PerfOpts {
+    /// Explicit ledger file; overrides `--history-dir`.
+    pub ledger: Option<String>,
+    /// History directory holding `perf.jsonl` (default `.ofence`).
+    pub history_dir: Option<String>,
+    /// Records to show in the trend table.
+    pub last: usize,
+    /// Gate mode: compare the newest record against the baseline median.
+    pub gate: bool,
+    /// Maximum tolerated slowdown in percent for `--gate`.
+    pub max_regress_pct: f64,
+    pub json: bool,
 }
 
 /// `ofence explain <file:line> <paths...>`.
@@ -178,6 +223,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         "watch" => Ok(Command::Watch(parse_watch(rest)?)),
         "diff" => Ok(Command::Diff(parse_diff(rest)?)),
         "baseline" => Ok(Command::BaselineWrite(parse_baseline(rest)?)),
+        "perf" => Ok(Command::Perf(parse_perf(rest)?)),
         "gen" => Ok(Command::Gen(parse_gen(rest)?)),
         "--help" | "-h" | "help" => Err("".into()),
         other => Err(format!("unknown subcommand `{other}`")),
@@ -199,6 +245,8 @@ fn parse_run_inner(argv: &[String]) -> Result<RunOpts, String> {
         apply: false,
         trace_out: None,
         metrics_out: None,
+        events_out: None,
+        slow_files: None,
         sarif_out: None,
         baseline: None,
         fail_on: None,
@@ -230,6 +278,14 @@ fn parse_run_inner(argv: &[String]) -> Result<RunOpts, String> {
                 i += 1;
                 opts.metrics_out =
                     Some(argv.get(i).ok_or("--metrics-out needs a file")?.to_string());
+            }
+            "--events-out" => {
+                i += 1;
+                opts.events_out = Some(argv.get(i).ok_or("--events-out needs a file")?.to_string());
+            }
+            "--slow-files" => {
+                i += 1;
+                opts.slow_files = Some(num(argv.get(i), "--slow-files")? as usize);
             }
             "--sarif-out" => {
                 i += 1;
@@ -360,6 +416,7 @@ fn parse_watch(argv: &[String]) -> Result<WatchOpts, String> {
     let mut rest: Vec<String> = Vec::new();
     let mut interval_ms = 500u64;
     let mut max_iterations = None;
+    let mut serve_metrics = None;
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -370,6 +427,14 @@ fn parse_watch(argv: &[String]) -> Result<WatchOpts, String> {
             "--max-iterations" => {
                 i += 1;
                 max_iterations = Some(num64(argv.get(i), "--max-iterations")?);
+            }
+            "--serve-metrics" => {
+                i += 1;
+                serve_metrics = Some(
+                    argv.get(i)
+                        .ok_or("--serve-metrics needs an address (host:port)")?
+                        .to_string(),
+                );
             }
             other => rest.push(other.to_string()),
         }
@@ -383,7 +448,55 @@ fn parse_watch(argv: &[String]) -> Result<WatchOpts, String> {
         run,
         interval_ms,
         max_iterations,
+        serve_metrics,
     })
+}
+
+fn parse_perf(argv: &[String]) -> Result<PerfOpts, String> {
+    let mut opts = PerfOpts {
+        ledger: None,
+        history_dir: None,
+        last: 10,
+        gate: false,
+        max_regress_pct: 10.0,
+        json: false,
+    };
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--ledger" => {
+                i += 1;
+                opts.ledger = Some(argv.get(i).ok_or("--ledger needs a file")?.to_string());
+            }
+            "--history-dir" => {
+                i += 1;
+                opts.history_dir = Some(
+                    argv.get(i)
+                        .ok_or("--history-dir needs a directory")?
+                        .to_string(),
+                );
+            }
+            "--last" => {
+                i += 1;
+                opts.last = num(argv.get(i), "--last")? as usize;
+            }
+            "--gate" => opts.gate = true,
+            "--max-regress-pct" => {
+                i += 1;
+                let v = argv.get(i).ok_or("--max-regress-pct needs a number")?;
+                opts.max_regress_pct = v
+                    .parse()
+                    .map_err(|_| "--max-regress-pct needs a number".to_string())?;
+            }
+            "--json" => opts.json = true,
+            other => return Err(format!("unknown perf option `{other}`")),
+        }
+        i += 1;
+    }
+    if opts.ledger.is_some() && opts.history_dir.is_some() {
+        return Err("--ledger and --history-dir are mutually exclusive".into());
+    }
+    Ok(opts)
 }
 
 fn parse_explain(argv: &[String]) -> Result<ExplainOpts, String> {
@@ -589,6 +702,80 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn events_and_slow_files_flags() {
+        let cmd = parse(&argv(
+            "analyze x.c --events-out events.ndjson --slow-files 12",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Analyze(o) => {
+                assert_eq!(o.events_out.as_deref(), Some("events.ndjson"));
+                assert_eq!(o.slow_files, Some(12));
+            }
+            other => panic!("{other:?}"),
+        }
+        // `-` streams to stdout; defaults stay off.
+        match parse(&argv("analyze x.c --events-out -")).unwrap() {
+            Command::Analyze(o) => {
+                assert_eq!(o.events_out.as_deref(), Some("-"));
+                assert_eq!(o.slow_files, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&argv("analyze x.c --events-out")).is_err());
+        assert!(parse(&argv("analyze x.c --slow-files many")).is_err());
+    }
+
+    #[test]
+    fn watch_serve_metrics() {
+        match parse(&argv("watch src/ --serve-metrics 127.0.0.1:0")).unwrap() {
+            Command::Watch(o) => {
+                assert_eq!(o.serve_metrics.as_deref(), Some("127.0.0.1:0"));
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&argv("watch src/")).unwrap() {
+            Command::Watch(o) => assert_eq!(o.serve_metrics, None),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&argv("watch src/ --serve-metrics")).is_err());
+    }
+
+    #[test]
+    fn perf_options() {
+        match parse(&argv("perf")).unwrap() {
+            Command::Perf(o) => {
+                assert_eq!(o.ledger, None);
+                assert_eq!(o.history_dir, None);
+                assert_eq!(o.last, 10);
+                assert!(!o.gate && !o.json);
+                assert_eq!(o.max_regress_pct, 10.0);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&argv(
+            "perf --ledger p.jsonl --last 3 --gate --max-regress-pct 25 --json",
+        ))
+        .unwrap()
+        {
+            Command::Perf(o) => {
+                assert_eq!(o.ledger.as_deref(), Some("p.jsonl"));
+                assert_eq!(o.last, 3);
+                assert!(o.gate && o.json);
+                assert_eq!(o.max_regress_pct, 25.0);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&argv("perf --history-dir .h")).unwrap() {
+            Command::Perf(o) => assert_eq!(o.history_dir.as_deref(), Some(".h")),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&argv("perf --ledger a --history-dir b")).is_err());
+        assert!(parse(&argv("perf --max-regress-pct soon")).is_err());
+        assert!(parse(&argv("perf stray-operand")).is_err());
     }
 
     #[test]

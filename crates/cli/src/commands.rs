@@ -1,10 +1,14 @@
 //! Subcommand implementations.
 
-use crate::args::{BaselineWriteOpts, Command, DiffOpts, ExplainOpts, GenOpts, RunOpts, WatchOpts};
+use crate::args::{
+    BaselineWriteOpts, Command, DiffOpts, ExplainOpts, GenOpts, PerfOpts, RunOpts, WatchOpts,
+};
 use crate::walk::collect_sources;
+use ofence::obs::NdjsonSink;
 use ofence::{AnalysisResult, Engine, FailOn, FindingRecord, LoadOutcome, Patch};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 pub fn run(cmd: Command) -> Result<ExitCode, String> {
     match cmd {
@@ -16,6 +20,7 @@ pub fn run(cmd: Command) -> Result<ExitCode, String> {
         Command::Watch(o) => watch(o),
         Command::Diff(o) => diff(o),
         Command::BaselineWrite(o) => baseline_write(o),
+        Command::Perf(o) => perf(o),
         Command::Gen(o) => gen(o),
     }
 }
@@ -57,12 +62,51 @@ fn save_cache(engine: &Engine, opts: &RunOpts, dir: &std::path::Path) -> Result<
     }
 }
 
+/// Build the engine for an invocation: config, presentation knobs, and
+/// the live event stream (`--events-out`), which attaches before any
+/// analysis so the stream covers the whole run. The sink handle comes
+/// back too, so the caller can flush it and report write errors when
+/// the run ends.
+fn build_engine(opts: &RunOpts) -> Result<(Engine, Option<Arc<NdjsonSink>>), String> {
+    let mut engine = Engine::new(opts.config.clone());
+    if let Some(n) = opts.slow_files {
+        engine.set_slow_files(n);
+    }
+    let mut events = None;
+    if let Some(path) = &opts.events_out {
+        let writer: Box<dyn std::io::Write + Send> = if path == "-" {
+            Box::new(std::io::stdout())
+        } else {
+            let f = std::fs::File::create(path).map_err(|e| format!("--events-out {path}: {e}"))?;
+            Box::new(std::io::BufWriter::new(f))
+        };
+        let sink = Arc::new(NdjsonSink::new(writer));
+        engine.recorder().add_sink(sink.clone());
+        events = Some(sink);
+    }
+    Ok((engine, events))
+}
+
+/// Flush the event stream and warn (never fail) on write errors — a
+/// broken event stream must not turn a finished analysis into a
+/// failure.
+fn finish_events(engine: &Engine, events: &Option<Arc<NdjsonSink>>) {
+    let Some(sink) = events else { return };
+    engine.recorder().flush_sinks();
+    if sink.write_errors() > 0 {
+        eprintln!(
+            "ofence: {} event(s) lost to write errors on the --events-out stream",
+            sink.write_errors()
+        );
+    }
+}
+
 /// Run the engine over `opts.paths` without writing any observability
 /// outputs — callers that inject their own counters (analyze, diff,
 /// baseline) do that first and then call [`write_observability`].
 fn run_engine_raw(opts: &RunOpts) -> Result<AnalysisResult, String> {
     let sources = collect_sources(&opts.paths)?;
-    let mut engine = Engine::new(opts.config.clone());
+    let (mut engine, events) = build_engine(opts)?;
     let cache_dir = cache_dir_of(opts);
     if let Some(dir) = &cache_dir {
         load_cache(&mut engine, dir);
@@ -71,6 +115,8 @@ fn run_engine_raw(opts: &RunOpts) -> Result<AnalysisResult, String> {
     if let Some(dir) = &cache_dir {
         save_cache(&engine, opts, dir)?;
     }
+    finish_events(&engine, &events);
+    append_perf(opts, &result, None)?;
     Ok(result)
 }
 
@@ -112,6 +158,64 @@ fn append_history(
             Ok(())
         }
     }
+}
+
+/// Append the run's timing profile to the perf ledger (next to the
+/// history ledger, same `--history-dir` / `--no-history` policy).
+fn append_perf(
+    opts: &RunOpts,
+    result: &AnalysisResult,
+    iteration_us: Option<u64>,
+) -> Result<(), String> {
+    let Some(dir) = history_dir_of(opts) else {
+        return Ok(());
+    };
+    let record = ofence::perf::record_of(result, &opts.config, iteration_us);
+    match ofence::perf::append(&dir, &record) {
+        Ok(()) => Ok(()),
+        Err(e) if opts.history_dir.is_some() => Err(format!("--history-dir: {e}")),
+        Err(e) => {
+            eprintln!("ofence: could not append perf ledger: {e}");
+            Ok(())
+        }
+    }
+}
+
+/// `ofence perf` — print the perf-ledger trend, or gate CI on a
+/// regression of the newest record against the baseline median.
+fn perf(opts: PerfOpts) -> Result<ExitCode, String> {
+    let ledger = match &opts.ledger {
+        Some(path) => PathBuf::from(path),
+        None => ofence::perf::ledger_path(Path::new(
+            opts.history_dir
+                .as_deref()
+                .unwrap_or(ofence::history::DEFAULT_HISTORY_DIR),
+        )),
+    };
+    let (records, skipped) = ofence::perf::load_file(&ledger)?;
+    if skipped > 0 {
+        eprintln!("ofence: skipped {skipped} corrupt perf-ledger line(s)");
+    }
+    if opts.gate {
+        let outcome = ofence::perf::gate(&records, opts.max_regress_pct)?;
+        if opts.json {
+            println!("{}", serde_json::to_string_pretty(&outcome).unwrap());
+        } else {
+            println!("perf gate: {}", outcome.note);
+        }
+        return Ok(if outcome.pass {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::from(1)
+        });
+    }
+    if opts.json {
+        let shown = &records[records.len().saturating_sub(opts.last)..];
+        println!("{}", serde_json::to_string_pretty(&shown).unwrap());
+    } else {
+        print!("{}", ofence::perf::render_trend(&records, opts.last));
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 /// Honor `--sarif-out` for any subcommand that ran the engine.
@@ -425,11 +529,25 @@ fn explain(opts: ExplainOpts) -> Result<ExitCode, String> {
 /// therefore the in-memory per-file cache — stays alive across runs, so
 /// each re-analysis costs roughly one changed file, not the whole tree.
 fn watch(opts: WatchOpts) -> Result<ExitCode, String> {
-    let mut engine = Engine::new(opts.run.config.clone());
+    let (mut engine, events) = build_engine(&opts.run)?;
     let cache_dir = cache_dir_of(&opts.run);
     if let Some(dir) = &cache_dir {
         load_cache(&mut engine, dir);
     }
+
+    // `--serve-metrics`: live /metrics + /health on a background thread,
+    // fed after every iteration. The bound address is printed (port 0
+    // lets the OS pick, so scripts need to read it back).
+    let live = Arc::new(ofence::obs::Live::new());
+    let server = match &opts.serve_metrics {
+        Some(addr) => {
+            let s = ofence::obs::serve::serve(addr, live.clone())
+                .map_err(|e| format!("--serve-metrics: {e}"))?;
+            println!("watch: serving /metrics and /health on http://{}", s.addr());
+            Some(s)
+        }
+        None => None,
+    };
 
     // Fail fast on unwatchable paths (nonexistent directory, no .c files)
     // before entering the loop.
@@ -453,9 +571,14 @@ fn watch(opts: WatchOpts) -> Result<ExitCode, String> {
         None => Vec::new(),
     };
     let mut runs = 0u64;
+    // Session-cumulative iteration-duration histogram: exported in every
+    // iteration's metrics and on /metrics, so scrapers see the full
+    // session's latency distribution, not just the last run.
+    let mut iteration_hist = ofence::obs::Histogram::default();
 
     loop {
         runs += 1;
+        let iteration_start = std::time::Instant::now();
         // The recorder resets per run, so queue the cumulative count:
         // every snapshot (and metrics file) reports total runs so far.
         engine.queue_count("watch_iterations", runs);
@@ -472,8 +595,19 @@ fn watch(opts: WatchOpts) -> Result<ExitCode, String> {
             ("findings_new".to_string(), delta.new.len() as u64),
             ("findings_fixed".to_string(), delta.fixed.len() as u64),
         ]);
+        let iteration_us = iteration_start.elapsed().as_micros() as u64;
+        iteration_hist.observe(iteration_us);
+        result.obs = result
+            .obs
+            .with_histogram("iteration_duration_us", iteration_hist.clone());
         write_observability(&opts.run, &result)?;
         append_history(&opts.run, &result, &records)?;
+        append_perf(&opts.run, &result, Some(iteration_us))?;
+        live.publish(&result.obs, records.len() as u64, iteration_us);
+        // Flush the event stream at every iteration boundary, so a
+        // consumer tailing `--events-out` (or a watch session that gets
+        // killed while polling) always sees complete, balanced events.
+        engine.recorder().flush_sinks();
         println!(
             "watch: run {} — {} files, {} deviations ({} new, {} fixed)",
             runs,
@@ -482,6 +616,17 @@ fn watch(opts: WatchOpts) -> Result<ExitCode, String> {
             delta.new.len(),
             delta.fixed.len()
         );
+        // `--slow-files N` opts into a per-iteration hot-file listing
+        // (same ranking `analyze` prints in its stats block).
+        if opts.run.slow_files.is_some() && !result.stats.slowest_files.is_empty() {
+            let listing: Vec<String> = result
+                .stats
+                .slowest_files
+                .iter()
+                .map(|(f, us)| format!("{f} ({us}us)"))
+                .collect();
+            println!("  slowest: {}", listing.join(", "));
+        }
         for r in &delta.new {
             println!("  + {}", r.render_line());
         }
@@ -491,6 +636,10 @@ fn watch(opts: WatchOpts) -> Result<ExitCode, String> {
         known = records;
 
         if opts.max_iterations.is_some_and(|max| runs >= max) {
+            finish_events(&engine, &events);
+            if let Some(s) = server {
+                s.shutdown();
+            }
             return Ok(ExitCode::SUCCESS);
         }
 

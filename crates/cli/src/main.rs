@@ -16,6 +16,8 @@
 //!                                        current run vs a baseline
 //! ofence baseline write <paths...> [--out FILE]
 //!                                        snapshot current findings
+//! ofence perf     [--gate] [options]     perf-ledger trend table, or a
+//!                                        CI regression gate
 //! ofence gen      --out DIR [--files N] [--seed S] [--bugs]
 //!                                        emit a synthetic demo corpus
 //!
@@ -23,6 +25,9 @@
 //!   --json                 machine-readable output
 //!   --trace-out FILE       Chrome-tracing JSON trace of the run
 //!   --metrics-out FILE     Prometheus text-format metrics of the run
+//!   --events-out FILE      stream NDJSON span/counter events live
+//!                          (`-` for stdout)
+//!   --slow-files N         list the top N slowest files (default 5)
 //!   --sarif-out FILE       SARIF 2.1.0 export with partialFingerprints
 //!   --baseline FILE        compare findings against this baseline
 //!   --fail-on POLICY       exit non-zero on: new | any | none
@@ -37,6 +42,10 @@
 //!   --no-expand            disable callee/caller expansion
 //!   --interval-ms N        watch: poll period (500)
 //!   --max-iterations N     watch: exit after N analysis runs
+//!   --serve-metrics ADDR   watch: live /metrics + /health endpoint
+//!   --ledger FILE          perf: explicit ledger file
+//!   --last N               perf: records shown in the trend (10)
+//!   --max-regress-pct P    perf: gate threshold in percent (10)
 //! ```
 //!
 //! Paths may be files or directories (searched recursively for `*.c`).

@@ -113,6 +113,10 @@ pub struct Engine {
     /// flushed into the recorder right after the per-run reset, so they
     /// land in the next run's snapshot.
     pending_counts: Vec<(String, u64)>,
+    /// How many entries the "slowest files" ranking keeps (`--slow-files`).
+    /// Presentation only — deliberately not part of [`AnalysisConfig`],
+    /// so changing it never invalidates caches or fingerprints.
+    slow_files: usize,
 }
 
 impl Engine {
@@ -122,7 +126,14 @@ impl Engine {
             cache: HashMap::new(),
             recorder: obs::Recorder::new(),
             pending_counts: Vec::new(),
+            slow_files: DEFAULT_SLOW_FILES,
         }
+    }
+
+    /// Keep the top `n` slowest files in [`Stats::slowest_files`]
+    /// (default [`DEFAULT_SLOW_FILES`]).
+    pub fn set_slow_files(&mut self, n: usize) {
+        self.slow_files = n;
     }
 
     /// The engine's recorder (e.g. to add caller-side spans around a run).
@@ -217,37 +228,59 @@ impl Engine {
             .map(|n| n.get())
             .unwrap_or(4)
             .min(todo.len().max(1));
+        self.recorder.count("workers", workers as u64);
         let next = AtomicUsize::new(0);
         let done: Mutex<Vec<(usize, FileAnalysis)>> = Mutex::new(Vec::new());
         let config = &self.config;
         let rec = &self.recorder;
-        let frontend = ckit::FrontendConfig::default();
+        let frontend = &ckit::FrontendConfig::default();
         std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let k = next.fetch_add(1, Ordering::Relaxed);
-                    if k >= todo.len() {
-                        break;
-                    }
-                    let i = todo[k];
-                    let f = &files[i];
-                    let fa = match ckit::parse_traced(&f.name, &f.content, &frontend, rec) {
-                        Ok(parsed) => analyze_file_traced(i, &parsed, config, rec),
-                        Err(_) => {
-                            rec.count("engine_unparseable_files", 1);
-                            FileAnalysis {
-                                file: i,
-                                name: f.name.clone(),
-                                source: f.content.clone(),
-                                sites: Vec::new(),
-                                functions: Vec::new(),
-                                parse_error_count: 1,
-                                summaries: Vec::new(),
-                                window_calls: Vec::new(),
-                            }
+            for w in 0..workers {
+                let (next, done, todo) = (&next, &done, &todo);
+                scope.spawn(move || {
+                    // Per-worker utilization: busy time is the sum of
+                    // per-file work; everything else inside the worker
+                    // span is idle (queue exhaustion tail, lock waits).
+                    // This is the baseline the planned work-stealing
+                    // pool has to beat.
+                    let label = w.to_string();
+                    let span = rec.span_with("worker", &[("worker", &label)]);
+                    let started = std::time::Instant::now();
+                    let mut busy_us = 0u64;
+                    let mut files_done = 0u64;
+                    loop {
+                        let k = next.fetch_add(1, Ordering::Relaxed);
+                        if k >= todo.len() {
+                            break;
                         }
-                    };
-                    done.lock().expect("worker poisoned").push((i, fa));
+                        let file_start = std::time::Instant::now();
+                        let i = todo[k];
+                        let f = &files[i];
+                        let fa = match ckit::parse_traced(&f.name, &f.content, frontend, rec) {
+                            Ok(parsed) => analyze_file_traced(i, &parsed, config, rec),
+                            Err(_) => {
+                                rec.count("engine_unparseable_files", 1);
+                                FileAnalysis {
+                                    file: i,
+                                    name: f.name.clone(),
+                                    source: f.content.clone(),
+                                    sites: Vec::new(),
+                                    functions: Vec::new(),
+                                    parse_error_count: 1,
+                                    summaries: Vec::new(),
+                                    window_calls: Vec::new(),
+                                }
+                            }
+                        };
+                        done.lock().expect("worker poisoned").push((i, fa));
+                        busy_us += file_start.elapsed().as_micros() as u64;
+                        files_done += 1;
+                    }
+                    let wall_us = started.elapsed().as_micros() as u64;
+                    rec.count("worker_busy_us", busy_us);
+                    rec.count("worker_idle_us", wall_us.saturating_sub(busy_us));
+                    rec.observe("worker_files", files_done);
+                    drop(span);
                 });
             }
         });
@@ -343,7 +376,15 @@ impl Engine {
         // run's wall-clock from that span (replaces the old ad-hoc Instant).
         rec.close(root);
         let obs = rec.snapshot();
-        let stats = Stats::compute(&files, &sites, &pairing, &deviations, patches.len(), &obs);
+        let stats = Stats::compute(
+            &files,
+            &sites,
+            &pairing,
+            &deviations,
+            patches.len(),
+            &obs,
+            self.slow_files,
+        );
         AnalysisResult {
             run_id: fresh_run_id(&self.config),
             files,
@@ -378,6 +419,9 @@ impl Engine {
             .collect()
     }
 }
+
+/// Default length of the "slowest files" ranking (the historical top-5).
+pub const DEFAULT_SLOW_FILES: usize = 5;
 
 /// FNV-1a content hash for the incremental cache (shared with the disk
 /// cache format).

@@ -52,10 +52,13 @@ pub mod json;
 pub mod missing;
 pub mod pairing;
 pub mod patch;
+pub mod perf;
 pub mod report;
 pub mod sarif;
 pub mod sites;
 pub mod summary;
+
+pub use obs;
 
 pub use cache::LoadOutcome;
 pub use config::AnalysisConfig;
@@ -67,6 +70,7 @@ pub use fingerprint::{finding_records, FindingRecord};
 pub use history::RunRecord;
 pub use ir::*;
 pub use patch::{apply_edits, Patch};
+pub use perf::{GateOutcome, PerfRecord};
 pub use report::{DistanceHistogram, Stats};
 pub use sarif::to_sarif;
 pub use summary::{ComposedIndex, FnSummary, WindowCall, SUMMARY_VERSION};

@@ -1,0 +1,422 @@
+//! The performance ledger: `.ofence/perf.jsonl`.
+//!
+//! Where [`crate::history`] records *what* a run found (findings with
+//! stable fingerprints, for diffing), this ledger records *how fast* it
+//! ran: phase timings, throughput, cache economics, and worker
+//! utilization. Every `analyze` run, every `ofence watch` iteration, and
+//! the cache benchmark (`--perf-ledger`) append one [`PerfRecord`] line.
+//!
+//! `ofence perf` reads the ledger back as a trend table, and
+//! `ofence perf --gate --max-regress-pct <p>` turns it into a CI
+//! regression gate: the newest record is compared against the median
+//! elapsed time of earlier *comparable* records (same config
+//! fingerprint, same corpus size, same cold/warm mode), and the command
+//! exits non-zero if it is more than `p` percent slower.
+//!
+//! Same file format and robustness rules as the history ledger: one JSON
+//! object per line, corrupt lines skipped on load, appends never rewrite
+//! existing lines.
+
+use crate::engine::AnalysisResult;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Ledger file name inside the history directory (next to
+/// [`crate::history::HISTORY_FILE_NAME`]).
+pub const PERF_FILE_NAME: &str = "perf.jsonl";
+
+/// One perf ledger line: the timing and throughput profile of one run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PerfRecord {
+    pub run_id: String,
+    /// Milliseconds since the Unix epoch at record time.
+    pub timestamp_ms: u64,
+    pub tool_version: String,
+    /// [`crate::cache::config_fingerprint`] of the analysis config.
+    /// Records with different fingerprints are never compared by the
+    /// gate — a config change legitimately changes the cost profile.
+    pub config_fingerprint: String,
+    pub files_total: usize,
+    /// True when the run started without a usable cache (first run, or
+    /// the bench's cold pass). Cold and warm runs have different cost
+    /// profiles, so the gate only compares like with like.
+    pub cold: bool,
+    pub cache_hits: u64,
+    pub cache_loads: u64,
+    pub cache_evictions: u64,
+    /// Worker threads of the parallel per-file phase, and their summed
+    /// busy/idle time in microseconds.
+    pub workers: usize,
+    pub worker_busy_us: u64,
+    pub worker_idle_us: u64,
+    /// Wall-clock of the run in milliseconds, and the derived
+    /// throughput.
+    pub elapsed_ms: u64,
+    pub files_per_sec: f64,
+    /// Per-phase wall time in microseconds, from the obs recorder.
+    pub phase_us: BTreeMap<String, u64>,
+    /// For watch iterations: the full iteration wall-clock (analysis
+    /// plus diffing and rendering), in microseconds. Absent for one-shot
+    /// runs.
+    pub iteration_us: Option<u64>,
+    pub deviations_total: usize,
+}
+
+/// Build the perf record of a finished run. `iteration_us` is `Some` for
+/// watch iterations (full iteration wall-clock), `None` for one-shot
+/// analyze runs.
+pub fn record_of(
+    result: &AnalysisResult,
+    config: &crate::config::AnalysisConfig,
+    iteration_us: Option<u64>,
+) -> PerfRecord {
+    let timestamp_ms = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0);
+    let stats = &result.stats;
+    let cache_hits = result.obs.count_of("engine_cache_hits");
+    let elapsed_ms = stats.elapsed_ms;
+    let files_per_sec = if elapsed_ms > 0 {
+        stats.files_total as f64 * 1000.0 / elapsed_ms as f64
+    } else {
+        0.0
+    };
+    PerfRecord {
+        run_id: result.run_id.clone(),
+        timestamp_ms,
+        tool_version: env!("CARGO_PKG_VERSION").to_string(),
+        config_fingerprint: format!("{:016x}", crate::cache::config_fingerprint(config)),
+        files_total: stats.files_total,
+        cold: cache_hits == 0,
+        cache_hits,
+        cache_loads: result.obs.count_of("cache_loads"),
+        cache_evictions: result.obs.count_of("cache_evictions"),
+        workers: stats.workers,
+        worker_busy_us: stats.worker_busy_us,
+        worker_idle_us: stats.worker_idle_us,
+        elapsed_ms,
+        files_per_sec,
+        phase_us: stats.phase_us.clone(),
+        iteration_us,
+        deviations_total: stats.deviations_total,
+    }
+}
+
+/// Path of the perf ledger file inside `dir`.
+pub fn ledger_path(dir: &Path) -> PathBuf {
+    dir.join(PERF_FILE_NAME)
+}
+
+/// Append one record to the ledger in `dir`, creating the directory and
+/// file on first use.
+pub fn append(dir: &Path, record: &PerfRecord) -> Result<(), String> {
+    append_to(&ledger_path(dir), record)
+}
+
+/// Append one record to an explicit ledger file (the bench's
+/// `--perf-ledger FILE` path).
+pub fn append_to(path: &Path, record: &PerfRecord) -> Result<(), String> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("create {}: {e}", parent.display()))?;
+        }
+    }
+    let mut line =
+        serde_json::to_string(record).map_err(|e| format!("serialize perf record: {e}"))?;
+    line.push('\n');
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map_err(|e| format!("open {}: {e}", path.display()))?;
+    f.write_all(line.as_bytes())
+        .map_err(|e| format!("append to {}: {e}", path.display()))
+}
+
+/// Load every parseable record from a ledger file, oldest first. Corrupt
+/// lines are counted, not fatal.
+pub fn load_file(path: &Path) -> Result<(Vec<PerfRecord>, usize), String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let mut records = Vec::new();
+    let mut skipped = 0usize;
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match serde_json::from_str::<PerfRecord>(line) {
+            Ok(r) => records.push(r),
+            Err(_) => skipped += 1,
+        }
+    }
+    Ok((records, skipped))
+}
+
+/// Load the ledger in `dir` (see [`load_file`]).
+pub fn load(dir: &Path) -> Result<(Vec<PerfRecord>, usize), String> {
+    load_file(&ledger_path(dir))
+}
+
+/// Render the last `last` records as a fixed-width trend table, newest
+/// last, with a summary line. Used by `ofence perf`.
+pub fn render_trend(records: &[PerfRecord], last: usize) -> String {
+    let mut out = String::new();
+    if records.is_empty() {
+        out.push_str("perf ledger is empty\n");
+        return out;
+    }
+    let start = records.len().saturating_sub(last);
+    out.push_str(&format!(
+        "{:<14} {:>6} {:>5} {:>9} {:>10} {:>6} {:>7} {:>6}  {}\n",
+        "run", "files", "cold", "elapsed", "files/s", "hits", "busy%", "dev", "iter_ms"
+    ));
+    for r in &records[start..] {
+        let short = r
+            .run_id
+            .strip_prefix("run-")
+            .unwrap_or(&r.run_id)
+            .chars()
+            .take(12)
+            .collect::<String>();
+        let busy_pct = {
+            let total = r.worker_busy_us + r.worker_idle_us;
+            if total > 0 {
+                r.worker_busy_us as f64 * 100.0 / total as f64
+            } else {
+                0.0
+            }
+        };
+        let iter = match r.iteration_us {
+            Some(us) => format!("{:.1}", us as f64 / 1000.0),
+            None => "-".to_string(),
+        };
+        out.push_str(&format!(
+            "{:<14} {:>6} {:>5} {:>7}ms {:>10.1} {:>6} {:>6.1}% {:>6}  {}\n",
+            short,
+            r.files_total,
+            if r.cold { "cold" } else { "warm" },
+            r.elapsed_ms,
+            r.files_per_sec,
+            r.cache_hits,
+            busy_pct,
+            r.deviations_total,
+            iter
+        ));
+    }
+    let shown = records.len() - start;
+    out.push_str(&format!(
+        "{} of {} records shown ({} total runs in ledger)\n",
+        shown,
+        records.len(),
+        records.len()
+    ));
+    out
+}
+
+/// The outcome of a regression-gate evaluation (`ofence perf --gate`).
+#[derive(Clone, Debug, Serialize)]
+pub struct GateOutcome {
+    /// False when the newest record regressed past the threshold.
+    pub pass: bool,
+    /// The newest record's run id and elapsed time.
+    pub run_id: String,
+    pub elapsed_ms: u64,
+    /// Median elapsed of the comparable baseline records, and how many
+    /// records formed it. Zero comparables ⇒ automatic pass.
+    pub baseline_median_ms: u64,
+    pub baseline_runs: usize,
+    /// Signed regression in percent (positive = slower than baseline);
+    /// 0 when there is no baseline.
+    pub regress_pct: f64,
+    /// The threshold the outcome was judged against.
+    pub max_regress_pct: f64,
+    /// Human-readable one-liner of the verdict.
+    pub note: String,
+}
+
+/// Evaluate the newest ledger record against the median of earlier
+/// comparable records. Comparable means: same config fingerprint, same
+/// `files_total`, same cold/warm mode — anything else measures a
+/// different workload, not a regression.
+pub fn gate(records: &[PerfRecord], max_regress_pct: f64) -> Result<GateOutcome, String> {
+    let latest = records
+        .last()
+        .ok_or("perf ledger is empty; nothing to gate")?;
+    let mut comparable: Vec<u64> = records[..records.len() - 1]
+        .iter()
+        .filter(|r| {
+            r.config_fingerprint == latest.config_fingerprint
+                && r.files_total == latest.files_total
+                && r.cold == latest.cold
+        })
+        .map(|r| r.elapsed_ms)
+        .collect();
+    if comparable.is_empty() {
+        return Ok(GateOutcome {
+            pass: true,
+            run_id: latest.run_id.clone(),
+            elapsed_ms: latest.elapsed_ms,
+            baseline_median_ms: 0,
+            baseline_runs: 0,
+            regress_pct: 0.0,
+            max_regress_pct,
+            note: "no comparable baseline runs; pass by default".to_string(),
+        });
+    }
+    comparable.sort_unstable();
+    let mid = comparable.len() / 2;
+    let median = if comparable.len() % 2 == 1 {
+        comparable[mid]
+    } else {
+        (comparable[mid - 1] + comparable[mid]) / 2
+    };
+    let regress_pct = if median > 0 {
+        (latest.elapsed_ms as f64 - median as f64) * 100.0 / median as f64
+    } else if latest.elapsed_ms > 0 {
+        // Baseline too fast to measure but the latest run is not: treat
+        // each elapsed millisecond as 100% regression over the floor.
+        latest.elapsed_ms as f64 * 100.0
+    } else {
+        0.0
+    };
+    let pass = regress_pct <= max_regress_pct;
+    let note = format!(
+        "{}: {}ms vs median {}ms over {} comparable runs ({}{:.1}% vs limit {:.1}%)",
+        if pass { "pass" } else { "REGRESSION" },
+        latest.elapsed_ms,
+        median,
+        comparable.len(),
+        if regress_pct >= 0.0 { "+" } else { "" },
+        regress_pct,
+        max_regress_pct
+    );
+    Ok(GateOutcome {
+        pass,
+        run_id: latest.run_id.clone(),
+        elapsed_ms: latest.elapsed_ms,
+        baseline_median_ms: median,
+        baseline_runs: comparable.len(),
+        regress_pct,
+        max_regress_pct,
+        note,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AnalysisConfig;
+    use crate::engine::{Engine, SourceFile};
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ofence-perf-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn run_once() -> PerfRecord {
+        let config = AnalysisConfig::default();
+        let r = Engine::new(config.clone()).analyze(&[SourceFile::new(
+            "m.c",
+            r#"struct m { int init; int y; };
+void reader(struct m *a) { if (!a->init) return; smp_rmb(); f(a->y); }
+void writer(struct m *b) { b->y = 1; smp_wmb(); b->init = 1; }
+"#,
+        )]);
+        record_of(&r, &config, None)
+    }
+
+    fn synthetic(elapsed_ms: u64) -> PerfRecord {
+        let mut r = run_once();
+        r.elapsed_ms = elapsed_ms;
+        r
+    }
+
+    #[test]
+    fn append_load_roundtrip() {
+        let dir = tmp("roundtrip");
+        let rec = run_once();
+        append(&dir, &rec).unwrap();
+        append(&dir, &rec).unwrap();
+        let (records, skipped) = load(&dir).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(skipped, 0);
+        assert_eq!(records[0].run_id, rec.run_id);
+        assert_eq!(records[0].files_total, 1);
+        assert!(records[0].cold);
+        assert!(records[0].phase_us.contains_key("pair"));
+        assert!(records[0].iteration_us.is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_lines_are_skipped_not_fatal() {
+        let dir = tmp("corrupt");
+        let rec = run_once();
+        append(&dir, &rec).unwrap();
+        let path = ledger_path(&dir);
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{not json\n");
+        std::fs::write(&path, text).unwrap();
+        append(&dir, &rec).unwrap();
+        let (records, skipped) = load(&dir).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(skipped, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn gate_passes_within_threshold_and_fails_past_it() {
+        let mut records: Vec<PerfRecord> = (0..5).map(|_| synthetic(100)).collect();
+        records.push(synthetic(105)); // +5% over the 100ms median
+        let ok = gate(&records, 10.0).unwrap();
+        assert!(ok.pass, "{}", ok.note);
+        assert_eq!(ok.baseline_median_ms, 100);
+        assert_eq!(ok.baseline_runs, 5);
+
+        records.pop();
+        records.push(synthetic(130)); // +30%
+        let bad = gate(&records, 25.0).unwrap();
+        assert!(!bad.pass, "{}", bad.note);
+        assert!(bad.regress_pct > 25.0, "{}", bad.regress_pct);
+    }
+
+    #[test]
+    fn gate_ignores_incomparable_records() {
+        let mut records = vec![synthetic(10)];
+        records[0].files_total = 999; // different corpus size
+        records.push(synthetic(500));
+        let out = gate(&records, 10.0).unwrap();
+        assert!(out.pass, "{}", out.note);
+        assert_eq!(out.baseline_runs, 0);
+        assert!(out.note.contains("no comparable baseline"), "{}", out.note);
+    }
+
+    #[test]
+    fn gate_on_empty_ledger_errors() {
+        assert!(gate(&[], 10.0).is_err());
+    }
+
+    #[test]
+    fn faster_runs_always_pass() {
+        let mut records: Vec<PerfRecord> = (0..4).map(|_| synthetic(200)).collect();
+        records.push(synthetic(120)); // 40% faster
+        let out = gate(&records, 0.0).unwrap();
+        assert!(out.pass, "{}", out.note);
+        assert!(out.regress_pct < 0.0);
+    }
+
+    #[test]
+    fn trend_renders_every_shown_record() {
+        let records: Vec<PerfRecord> = (0..3).map(|_| synthetic(50)).collect();
+        let table = render_trend(&records, 2);
+        assert!(table.contains("2 of 3 records shown"), "{table}");
+        assert!(table.contains("files/s"), "{table}");
+        assert!(render_trend(&[], 5).contains("empty"));
+    }
+}

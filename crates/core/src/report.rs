@@ -44,9 +44,20 @@ pub struct Stats {
     /// missing / patch / annotate). Parallel phases can sum to more than
     /// `elapsed_ms`.
     pub phase_us: BTreeMap<String, u64>,
-    /// Top 5 slowest files by per-file analysis time (parse + cfg +
-    /// extract spans), `(file, microseconds)` sorted descending.
+    /// Top-N slowest files by per-file analysis time (parse + cfg +
+    /// extract spans), `(file, microseconds)` sorted descending. N is 5
+    /// by default and `--slow-files N` from the CLI.
     pub slowest_files: Vec<(String, u64)>,
+
+    /// Worker threads the parallel per-file phase ran with.
+    pub workers: usize,
+    /// Summed per-file work time across all workers, in microseconds.
+    pub worker_busy_us: u64,
+    /// Summed non-work time inside worker lifetimes (queue exhaustion
+    /// tail, lock waits), in microseconds.
+    pub worker_idle_us: u64,
+    /// busy / (busy + idle); 0 when no per-file work ran.
+    pub worker_utilization: f64,
 }
 
 /// Span names that make up the per-phase breakdown. The nested ckit
@@ -82,6 +93,7 @@ impl Stats {
         deviations: &[Deviation],
         patches_generated: usize,
         obs: &obs::Snapshot,
+        slow_files: usize,
     ) -> Stats {
         let elapsed_ms = obs
             .spans_named("analyze")
@@ -112,8 +124,17 @@ impl Stats {
         }
         let mut ranked: Vec<(String, u64)> = per_file.into_iter().collect();
         ranked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
-        ranked.truncate(5);
+        ranked.truncate(slow_files);
         s.slowest_files = ranked;
+        s.workers = obs.count_of("workers") as usize;
+        s.worker_busy_us = obs.count_of("worker_busy_us");
+        s.worker_idle_us = obs.count_of("worker_idle_us");
+        let worker_wall = s.worker_busy_us + s.worker_idle_us;
+        s.worker_utilization = if worker_wall > 0 {
+            s.worker_busy_us as f64 / worker_wall as f64
+        } else {
+            0.0
+        };
         for fa in files {
             s.functions_total += fa.functions.len();
             s.parse_errors += fa.parse_error_count;
@@ -202,6 +223,15 @@ impl Stats {
             out.push_str(&format!("  {kind:<24} {count}\n"));
         }
         out.push_str(&format!("analysis time:         {} ms\n", self.elapsed_ms));
+        if self.workers > 0 {
+            out.push_str(&format!(
+                "workers:               {} ({:.1}% busy, {:.1} ms busy / {:.1} ms idle)\n",
+                self.workers,
+                self.worker_utilization * 100.0,
+                self.worker_busy_us as f64 / 1000.0,
+                self.worker_idle_us as f64 / 1000.0
+            ));
+        }
         if !self.phase_us.is_empty() {
             // Fixed pipeline order, not BTreeMap (alphabetical) order.
             for phase in PHASES {
@@ -217,7 +247,10 @@ impl Stats {
                 .map(|(f, us)| format!("{f} ({:.1} ms)", *us as f64 / 1000.0))
                 .collect::<Vec<_>>()
                 .join(", ");
-            out.push_str(&format!("top 5 slowest files:   {list}\n"));
+            out.push_str(&format!(
+                "top {} slowest files:   {list}\n",
+                self.slowest_files.len()
+            ));
         }
         out
     }

@@ -27,8 +27,14 @@
 //! assert!(snap.chrome_trace_json().contains("\"parse\""));
 //! ```
 
+mod event;
+pub mod serve;
+
+pub use event::{Event, EventSink, NdjsonSink, RingSink};
+pub use serve::{Live, MetricsServer};
+
 use std::collections::{BTreeMap, HashMap};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::thread::ThreadId;
 use std::time::Instant;
 
@@ -103,7 +109,7 @@ struct OpenSpan {
     start: Instant,
 }
 
-#[derive(Debug, Default)]
+#[derive(Default)]
 struct Inner {
     spans: Vec<SpanRecord>,
     /// Per-thread stack of open spans (nesting is per thread).
@@ -113,6 +119,34 @@ struct Inner {
     /// ThreadId -> dense small number for trace output.
     tids: HashMap<ThreadId, u64>,
     next_span_id: u64,
+    /// Live event consumers. Emission happens under this struct's lock,
+    /// so every sink observes a totally ordered stream (an open always
+    /// precedes its close).
+    sinks: Vec<Arc<dyn EventSink>>,
+}
+
+impl Inner {
+    fn tid_no(&mut self, tid: ThreadId) -> u64 {
+        let next = self.tids.len() as u64;
+        *self.tids.entry(tid).or_insert(next)
+    }
+
+    fn emit(&self, ev: &Event) {
+        for sink in &self.sinks {
+            sink.emit(ev);
+        }
+    }
+}
+
+impl std::fmt::Debug for Inner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Inner")
+            .field("spans", &self.spans.len())
+            .field("counters", &self.counters)
+            .field("histograms", &self.histograms.len())
+            .field("sinks", &self.sinks.len())
+            .finish()
+    }
 }
 
 /// Thread-safe recorder for spans, counters, and histograms.
@@ -142,12 +176,36 @@ impl Recorder {
     /// Drop all recorded data (spans, counters, histograms). Open spans
     /// survive a reset: they re-register on close. The engine resets at
     /// the start of every run so incremental re-analysis reports per-run,
-    /// not cumulative, numbers.
+    /// not cumulative, numbers. Attached sinks survive resets: the event
+    /// stream spans the process lifetime, not one run.
     pub fn reset(&self) {
         let mut inner = self.lock();
         inner.spans.clear();
         inner.counters.clear();
         inner.histograms.clear();
+    }
+
+    /// Attach a live event sink; every span open/close, counter add, and
+    /// histogram observation is forwarded to it as it happens. Multiple
+    /// sinks all receive every event. With no sinks attached (the
+    /// default), the streaming path costs one empty-vec check.
+    pub fn add_sink(&self, sink: Arc<dyn EventSink>) {
+        self.lock().sinks.push(sink);
+    }
+
+    /// Detach all sinks (the reverse of [`Recorder::add_sink`]).
+    pub fn clear_sinks(&self) {
+        self.lock().sinks.clear();
+    }
+
+    /// Flush every attached sink (end of run / end of iteration).
+    pub fn flush_sinks(&self) {
+        // Clone the sink list out so flush (which may do I/O) runs
+        // without holding the recorder lock.
+        let sinks = self.lock().sinks.clone();
+        for sink in sinks {
+            sink.flush();
+        }
     }
 
     /// Open a span; it closes when the guard drops.
@@ -158,17 +216,29 @@ impl Recorder {
     /// Open a span with attributes (e.g. `[("file", "mm/ksm.c")]`).
     pub fn span_with(&self, name: &str, attrs: &[(&str, &str)]) -> SpanGuard<'_> {
         let tid = std::thread::current().id();
+        let start = Instant::now();
         let mut inner = self.lock();
         let id = inner.next_span_id;
         inner.next_span_id += 1;
+        let attrs: Vec<(String, String)> = attrs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        let tid_no = inner.tid_no(tid);
+        if !inner.sinks.is_empty() {
+            inner.emit(&Event::SpanOpen {
+                id,
+                name: name.to_string(),
+                attrs: attrs.clone(),
+                ts_us: start.saturating_duration_since(self.epoch).as_micros() as u64,
+                tid: tid_no,
+            });
+        }
         inner.open.entry(tid).or_default().push(OpenSpan {
             id,
             name: name.to_string(),
-            attrs: attrs
-                .iter()
-                .map(|(k, v)| (k.to_string(), v.to_string()))
-                .collect(),
-            start: Instant::now(),
+            attrs,
+            start,
         });
         SpanGuard { rec: self, id }
     }
@@ -194,16 +264,32 @@ impl Recorder {
         if delta == 0 {
             return;
         }
-        *self.lock().counters.entry(name.to_string()).or_default() += delta;
+        let mut inner = self.lock();
+        *inner.counters.entry(name.to_string()).or_default() += delta;
+        if !inner.sinks.is_empty() {
+            inner.emit(&Event::Counter {
+                name: name.to_string(),
+                delta,
+                ts_us: self.epoch.elapsed().as_micros() as u64,
+            });
+        }
     }
 
     /// Record one observation into a named histogram.
     pub fn observe(&self, name: &str, value: u64) {
-        self.lock()
+        let mut inner = self.lock();
+        inner
             .histograms
             .entry(name.to_string())
             .or_default()
             .observe(value);
+        if !inner.sinks.is_empty() {
+            inner.emit(&Event::Observe {
+                name: name.to_string(),
+                value,
+                ts_us: self.epoch.elapsed().as_micros() as u64,
+            });
+        }
     }
 
     /// Microseconds since creation/last `Instant` epoch.
@@ -233,8 +319,7 @@ impl Recorder {
         let tid = std::thread::current().id();
         let end = Instant::now();
         let mut inner = self.lock();
-        let ntids = inner.tids.len() as u64;
-        let tid_no = *inner.tids.entry(tid).or_insert(ntids);
+        let tid_no = inner.tid_no(tid);
         let stack = inner.open.entry(tid).or_default();
         let Some(pos) = stack.iter().rposition(|s| s.id == id) else {
             return; // closed twice or across threads; ignore
@@ -243,6 +328,15 @@ impl Recorder {
         let parent = stack.last().map(|s| s.id);
         let start_us = span.start.saturating_duration_since(self.epoch).as_micros() as u64;
         let dur_us = end.saturating_duration_since(span.start).as_micros() as u64;
+        if !inner.sinks.is_empty() {
+            inner.emit(&Event::SpanClose {
+                id: span.id,
+                name: span.name.clone(),
+                ts_us: end.saturating_duration_since(self.epoch).as_micros() as u64,
+                dur_us,
+                tid: tid_no,
+            });
+        }
         inner.spans.push(SpanRecord {
             id: span.id,
             parent,
@@ -298,6 +392,16 @@ impl Snapshot {
         for (name, value) in extra {
             *out.counters.entry(name).or_default() += value;
         }
+        out
+    }
+
+    /// A copy of this snapshot with a whole histogram inserted under
+    /// `name` (replacing any existing one) — lets a driver export a
+    /// session-cumulative histogram (e.g. `iteration_duration_us` across
+    /// all watch iterations) next to the engine's per-run data.
+    pub fn with_histogram(&self, name: &str, histogram: Histogram) -> Snapshot {
+        let mut out = self.clone();
+        out.histograms.insert(name.to_string(), histogram);
         out
     }
 
@@ -396,7 +500,7 @@ impl Snapshot {
 }
 
 /// JSON-escape a string, with quotes.
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

@@ -1,0 +1,327 @@
+//! A zero-dependency live metrics endpoint.
+//!
+//! [`Live`] is the shared state a long-running driver (today: `ofence
+//! watch`; tomorrow: the analysis daemon of ROADMAP item 1) publishes
+//! into after every analysis run. [`serve`] binds a `std::net::
+//! TcpListener` and answers two routes from that state on a background
+//! thread:
+//!
+//! * `GET /metrics` — the latest run's Prometheus text (the exact output
+//!   of [`crate::Snapshot::prometheus_text`]), pre-rendered at publish
+//!   time so a scrape never observes a half-updated snapshot;
+//! * `GET /health` — a small JSON document: run count, last-iteration
+//!   duration, cache hit rate, and deviation totals.
+//!
+//! The server is deliberately minimal — HTTP/1.x, `Connection: close`,
+//! one short-lived thread per connection — because its only clients are
+//! scrapers (`curl`, Prometheus) hitting it a few times a minute. No
+//! external crates, no async runtime.
+
+use crate::Snapshot;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+#[derive(Clone, Debug, Default)]
+struct LiveState {
+    /// Pre-rendered Prometheus text of the latest published snapshot.
+    metrics_text: String,
+    /// Analysis runs published so far.
+    runs: u64,
+    /// Wall-clock of the most recent run, in microseconds.
+    last_iteration_us: u64,
+    /// Deviations reported by the most recent run.
+    deviations_total: u64,
+    /// Cumulative cache hits / files analyzed across all published runs.
+    cache_hits: u64,
+    files_analyzed: u64,
+}
+
+/// Shared live telemetry: the publisher half is the analysis driver, the
+/// consumer half is the HTTP server (and anything else holding the Arc).
+///
+/// All methods take `&self`; the state swap is atomic under one mutex,
+/// so a concurrent scrape sees either the previous run's telemetry or
+/// the new run's — never a torn mixture.
+#[derive(Debug, Default)]
+pub struct Live {
+    inner: Mutex<LiveState>,
+}
+
+impl Live {
+    pub fn new() -> Live {
+        Live::default()
+    }
+
+    /// Publish a finished run: its observability snapshot, the number of
+    /// deviations it reported, and its wall-clock duration.
+    pub fn publish(&self, snapshot: &Snapshot, deviations_total: u64, iteration_us: u64) {
+        let metrics_text = snapshot.prometheus_text();
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.metrics_text = metrics_text;
+        inner.runs += 1;
+        inner.last_iteration_us = iteration_us;
+        inner.deviations_total = deviations_total;
+        inner.cache_hits += snapshot.count_of("engine_cache_hits");
+        inner.files_analyzed += snapshot.count_of("engine_files_analyzed");
+    }
+
+    /// Runs published so far.
+    pub fn runs(&self) -> u64 {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).runs
+    }
+
+    /// The latest `/metrics` body (empty before the first publish).
+    pub fn metrics_text(&self) -> String {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .metrics_text
+            .clone()
+    }
+
+    /// The `/health` body: one flat JSON object.
+    pub fn health_json(&self) -> String {
+        let s = self.inner.lock().unwrap_or_else(|e| e.into_inner()).clone();
+        let seen = s.cache_hits + s.files_analyzed;
+        let hit_rate = if seen > 0 {
+            s.cache_hits as f64 / seen as f64
+        } else {
+            0.0
+        };
+        format!(
+            "{{\"status\":\"{}\",\"runs\":{},\"last_iteration_us\":{},\"cache_hit_rate\":{:.4},\"deviations_total\":{}}}",
+            if s.runs > 0 { "ok" } else { "starting" },
+            s.runs,
+            s.last_iteration_us,
+            hit_rate,
+            s.deviations_total
+        )
+    }
+}
+
+/// Handle on a running metrics server. Dropping it (or calling
+/// [`MetricsServer::shutdown`]) stops the listener thread.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// The actually bound address — with `addr:0` the OS picks the port,
+    /// and this is where callers learn it.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting connections and join the listener thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept() call with a throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(250));
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        if self.handle.is_some() {
+            self.stop_and_join();
+        }
+    }
+}
+
+/// Bind `addr` (e.g. `127.0.0.1:9464`, or port `0` to let the OS pick)
+/// and serve `GET /metrics` + `GET /health` from `live` on a background
+/// thread until the returned handle is shut down or dropped.
+pub fn serve(addr: &str, live: Arc<Live>) -> Result<MetricsServer, String> {
+    let listener = TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| format!("local_addr: {e}"))?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let thread_stop = stop.clone();
+    let handle = std::thread::Builder::new()
+        .name("ofence-metrics".into())
+        .spawn(move || {
+            for stream in listener.incoming() {
+                if thread_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let live = live.clone();
+                // One short-lived thread per connection: a slow or stuck
+                // client must not block the next scrape.
+                let _ = std::thread::Builder::new()
+                    .name("ofence-metrics-conn".into())
+                    .spawn(move || handle_connection(stream, &live));
+            }
+        })
+        .map_err(|e| format!("spawn listener thread: {e}"))?;
+    Ok(MetricsServer {
+        addr: local,
+        stop,
+        handle: Some(handle),
+    })
+}
+
+fn handle_connection(mut stream: TcpStream, live: &Live) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+    let Some(path) = read_request_path(&mut stream) else {
+        return;
+    };
+    let (status, content_type, body) = match path.as_str() {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            live.metrics_text(),
+        ),
+        "/health" => ("200 OK", "application/json", live.health_json()),
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found; try /metrics or /health\n".to_string(),
+        ),
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.flush();
+}
+
+/// Read the request head (up to 8 KiB) and return the path of the
+/// request line. `None` on malformed or non-GET requests.
+fn read_request_path(stream: &mut TcpStream) -> Option<String> {
+    let mut buf = [0u8; 8192];
+    let mut filled = 0usize;
+    loop {
+        if filled == buf.len() {
+            return None; // oversized request head
+        }
+        let n = stream.read(&mut buf[filled..]).ok()?;
+        if n == 0 {
+            break;
+        }
+        filled += n;
+        if buf[..filled].windows(4).any(|w| w == b"\r\n\r\n")
+            || buf[..filled].windows(2).any(|w| w == b"\n\n")
+        {
+            break;
+        }
+    }
+    let head = std::str::from_utf8(&buf[..filled]).ok()?;
+    let request_line = head.lines().next()?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next()?;
+    let path = parts.next()?;
+    if method != "GET" {
+        return None;
+    }
+    // Ignore any query string; scrapers sometimes add one.
+    Some(path.split('?').next().unwrap_or(path).to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Recorder;
+
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let (head, body) = response
+            .split_once("\r\n\r\n")
+            .expect("response has a header/body split");
+        (head.to_string(), body.to_string())
+    }
+
+    fn sample_snapshot() -> Snapshot {
+        let rec = Recorder::new();
+        rec.count("watch_iterations", 1);
+        rec.count("engine_cache_hits", 3);
+        rec.count("engine_files_analyzed", 1);
+        drop(rec.span("analyze"));
+        rec.snapshot()
+    }
+
+    #[test]
+    fn serves_metrics_and_health() {
+        let live = Arc::new(Live::new());
+        live.publish(&sample_snapshot(), 2, 1234);
+        let server = serve("127.0.0.1:0", live.clone()).unwrap();
+        let (head, body) = get(server.addr(), "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(head.contains("text/plain"), "{head}");
+        assert!(body.contains("ofence_watch_iterations_total 1"), "{body}");
+        let (head, body) = get(server.addr(), "/health");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(head.contains("application/json"), "{head}");
+        assert!(body.contains("\"status\":\"ok\""), "{body}");
+        assert!(body.contains("\"runs\":1"), "{body}");
+        assert!(body.contains("\"last_iteration_us\":1234"), "{body}");
+        assert!(body.contains("\"cache_hit_rate\":0.75"), "{body}");
+        assert!(body.contains("\"deviations_total\":2"), "{body}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_route_is_404() {
+        let live = Arc::new(Live::new());
+        let server = serve("127.0.0.1:0", live).unwrap();
+        let (head, _) = get(server.addr(), "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn health_before_first_publish_reports_starting() {
+        let live = Arc::new(Live::new());
+        let server = serve("127.0.0.1:0", live).unwrap();
+        let (head, body) = get(server.addr(), "/health");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(body.contains("\"status\":\"starting\""), "{body}");
+        assert!(body.contains("\"runs\":0"), "{body}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_frees_the_port() {
+        let live = Arc::new(Live::new());
+        let server = serve("127.0.0.1:0", live.clone()).unwrap();
+        let addr = server.addr();
+        server.shutdown();
+        // After shutdown the listener is gone: a fresh bind to the same
+        // port succeeds.
+        let rebound = TcpListener::bind(addr);
+        assert!(rebound.is_ok(), "{rebound:?}");
+    }
+
+    #[test]
+    fn publish_is_visible_to_subsequent_scrapes() {
+        let live = Arc::new(Live::new());
+        let server = serve("127.0.0.1:0", live.clone()).unwrap();
+        live.publish(&sample_snapshot(), 0, 10);
+        live.publish(&sample_snapshot(), 5, 20);
+        let (_, body) = get(server.addr(), "/health");
+        assert!(body.contains("\"runs\":2"), "{body}");
+        assert!(body.contains("\"deviations_total\":5"), "{body}");
+        assert!(body.contains("\"last_iteration_us\":20"), "{body}");
+        server.shutdown();
+    }
+}

@@ -1,0 +1,92 @@
+//! Live telemetry: attach event sinks to the engine, analyze a small
+//! corpus, and show what streamed out — the in-process mirror of
+//! `ofence analyze --events-out` and `ofence watch --serve-metrics`.
+//!
+//! Two sinks observe the same run: an NDJSON sink writing every event to
+//! a file, and a bounded ring buffer keeping the most recent events in
+//! memory. At the end the run is also published to a [`Live`] endpoint
+//! state, the same object the `/metrics` + `/health` server reads from.
+//!
+//! ```text
+//! cargo run -p ofence-examples --example live_telemetry [files] [seed]
+//! ```
+
+use ofence::obs::{Event, Live, NdjsonSink, RingSink};
+use ofence::{AnalysisConfig, Engine, SourceFile};
+use ofence_corpus::{generate, CorpusSpec};
+use std::sync::Arc;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let files: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(12);
+    let seed: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(5);
+
+    let spec = CorpusSpec {
+        files,
+        ..CorpusSpec::small(seed)
+    };
+    let sources: Vec<SourceFile> = generate(&spec)
+        .files
+        .iter()
+        .map(|f| SourceFile::new(f.name.clone(), f.content.clone()))
+        .collect();
+
+    // Sink 1: every event as one NDJSON line, streamed while the
+    // analysis runs (what `--events-out` wires up in the CLI).
+    let path = std::env::temp_dir().join("ofence-live-telemetry.ndjson");
+    let file = std::fs::File::create(&path).expect("create event log");
+    let ndjson = Arc::new(NdjsonSink::new(std::io::BufWriter::new(file)));
+
+    // Sink 2: a bounded in-memory ring holding the last 64 events.
+    let ring = Arc::new(RingSink::new(64));
+
+    let mut engine = Engine::new(AnalysisConfig::default());
+    engine.recorder().add_sink(ndjson.clone());
+    engine.recorder().add_sink(ring.clone());
+
+    let result = engine.analyze(&sources);
+    engine.recorder().flush_sinks();
+
+    println!(
+        "analyzed {} files: {} barriers, {} pairings, {} deviations",
+        result.stats.files_total,
+        result.stats.barriers_total,
+        result.stats.pairings,
+        result.stats.deviations_total
+    );
+
+    // Count what streamed, by kind.
+    let (mut opens, mut closes, mut counters, mut observes) = (0u64, 0u64, 0u64, 0u64);
+    for ev in ring.events() {
+        match ev {
+            Event::SpanOpen { .. } => opens += 1,
+            Event::SpanClose { .. } => closes += 1,
+            Event::Counter { .. } => counters += 1,
+            Event::Observe { .. } => observes += 1,
+        }
+    }
+    println!(
+        "ndjson sink: {} events written to {}",
+        ndjson.emitted(),
+        path.display()
+    );
+    println!(
+        "ring sink:   {} of {} total events retained (capacity {}) — \
+         last window: {opens} opens, {closes} closes, {counters} counters, {observes} observes",
+        ring.len(),
+        ring.total(),
+        ring.capacity()
+    );
+
+    // Publish to the same live state the /metrics server scrapes.
+    let live = Live::new();
+    live.publish(&result.obs, result.stats.deviations_total as u64, 0);
+    println!("\n/health after publish:\n{}", live.health_json());
+    let metrics = live.metrics_text();
+    let preview: Vec<&str> = metrics.lines().take(8).collect();
+    println!(
+        "\n/metrics preview ({} lines total):\n{}",
+        metrics.lines().count(),
+        preview.join("\n")
+    );
+}

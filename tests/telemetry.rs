@@ -1,0 +1,244 @@
+//! Live-telemetry integration tests: the NDJSON event stream and the
+//! `/metrics` + `/health` endpoint under concurrent load.
+//!
+//! Two invariants matter here:
+//!
+//! * the event stream is a totally ordered, well-formed NDJSON log —
+//!   every line parses, and every `span_open` is matched by exactly one
+//!   `span_close` with the same id (events are emitted under the
+//!   recorder's lock, so no interleaving can break this);
+//! * a scrape racing an active re-analysis never observes a torn
+//!   snapshot — `/metrics` is always a complete, valid Prometheus text
+//!   document, because the text is pre-rendered at publish time.
+
+use ofence::obs::serve::serve;
+use ofence::obs::{Event, Live, NdjsonSink, RingSink};
+use ofence::{AnalysisConfig, Engine, SourceFile};
+use ofence_corpus::{generate, CorpusSpec};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+fn corpus_sources(seed: u64, files: usize) -> Vec<SourceFile> {
+    let spec = CorpusSpec {
+        files,
+        ..CorpusSpec::small(seed)
+    };
+    generate(&spec)
+        .files
+        .iter()
+        .map(|f| SourceFile::new(f.name.clone(), f.content.clone()))
+        .collect()
+}
+
+/// Shared writer that collects the NDJSON stream into a buffer the test
+/// can read back after the run.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+fn http_get(addr: std::net::SocketAddr, path: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .write_all(format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes())
+        .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    let (head, body) = response.split_once("\r\n\r\n").expect("head/body split");
+    (head.to_string(), body.to_string())
+}
+
+/// Check one NDJSON stream: every line parses as a flat JSON object with
+/// an `ev` discriminator, and span opens/closes pair up exactly by id.
+fn check_event_stream(text: &str) {
+    let mut open: BTreeMap<u64, String> = BTreeMap::new();
+    let mut events = 0usize;
+    for line in text.lines() {
+        let v: serde_json::Value =
+            serde_json::from_str(line).unwrap_or_else(|e| panic!("bad NDJSON line `{line}`: {e}"));
+        assert!(v.as_object().is_some(), "not an object: {line}");
+        events += 1;
+        match v["ev"].as_str().expect("ev discriminator") {
+            "span_open" => {
+                let id = v["id"].as_u64().expect("span id");
+                let name = v["name"].as_str().expect("span name").to_string();
+                let prev = open.insert(id, name);
+                assert!(prev.is_none(), "span id {id} opened twice");
+            }
+            "span_close" => {
+                let id = v["id"].as_u64().expect("span id");
+                let name = v["name"].as_str().expect("span name");
+                let opened = open
+                    .remove(&id)
+                    .unwrap_or_else(|| panic!("close without open for span id {id}"));
+                assert_eq!(opened, name, "span id {id} closed under a different name");
+                assert!(
+                    v["dur_us"].as_u64().is_some(),
+                    "close missing dur_us: {line}"
+                );
+            }
+            "counter" => {
+                assert!(
+                    v["delta"].as_u64().is_some(),
+                    "counter missing delta: {line}"
+                );
+            }
+            "observe" => {
+                assert!(
+                    v["value"].as_u64().is_some(),
+                    "observe missing value: {line}"
+                );
+            }
+            other => panic!("unknown event kind `{other}`"),
+        }
+    }
+    assert!(events > 0, "stream is empty");
+    assert!(
+        open.is_empty(),
+        "spans left open at end of stream: {open:?}"
+    );
+}
+
+#[test]
+fn ndjson_stream_is_well_formed_and_balanced() {
+    let buf = SharedBuf::default();
+    let engine_buf = buf.clone();
+    let mut engine = Engine::new(AnalysisConfig::default());
+    engine
+        .recorder()
+        .add_sink(Arc::new(NdjsonSink::new(engine_buf)));
+    let sources = corpus_sources(7, 6);
+    let result = engine.analyze(&sources);
+    engine.recorder().flush_sinks();
+    assert!(result.stats.files_total > 0);
+    let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+    check_event_stream(&text);
+    // The stream must cover the whole pipeline, not just the root span.
+    for phase in ["analyze", "parse", "pair", "check"] {
+        assert!(
+            text.contains(&format!("\"name\":\"{phase}\"")),
+            "no {phase} span in stream"
+        );
+    }
+}
+
+#[test]
+fn ring_sink_sees_the_same_open_close_balance() {
+    let ring = Arc::new(RingSink::new(100_000));
+    let mut engine = Engine::new(AnalysisConfig::default());
+    engine.recorder().add_sink(ring.clone());
+    engine.analyze(&corpus_sources(11, 4));
+    let mut balance = 0i64;
+    let mut closes_before_opens = false;
+    for ev in ring.events() {
+        match ev {
+            Event::SpanOpen { .. } => balance += 1,
+            Event::SpanClose { .. } => {
+                balance -= 1;
+                if balance < 0 {
+                    closes_before_opens = true;
+                }
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(balance, 0, "unbalanced span events");
+    assert!(!closes_before_opens, "a close preceded its open");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any corpus shape and seed yields a well-formed, balanced stream.
+    #[test]
+    fn event_stream_well_formed_for_any_corpus(seed in any::<u64>(), files in 1usize..5) {
+        let buf = SharedBuf::default();
+        let mut engine = Engine::new(AnalysisConfig::default());
+        engine.recorder().add_sink(Arc::new(NdjsonSink::new(buf.clone())));
+        engine.analyze(&corpus_sources(seed, files));
+        engine.recorder().flush_sinks();
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        check_event_stream(&text);
+    }
+}
+
+/// Scrape `/metrics` and `/health` in a tight loop while another thread
+/// republishes fresh snapshots from live re-analysis. Every response
+/// must be complete and internally consistent — the pre-rendered text
+/// swap means a scrape can never see half an update.
+#[test]
+fn concurrent_scrape_during_reanalysis_never_tears() {
+    let live = Arc::new(Live::new());
+    let server = serve("127.0.0.1:0", live.clone()).unwrap();
+    let addr = server.addr();
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let publisher = {
+        let live = live.clone();
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            let mut engine = Engine::new(AnalysisConfig::default());
+            let sources = corpus_sources(23, 5);
+            let mut iterations = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                iterations += 1;
+                engine.queue_count("watch_iterations", iterations);
+                let result = engine.analyze_incremental(&sources);
+                live.publish(&result.obs, result.deviations.len() as u64, 1000);
+            }
+            iterations
+        })
+    };
+
+    // Wait for the first publish, then hammer both endpoints.
+    while live.runs() == 0 {
+        std::thread::yield_now();
+    }
+    for i in 0..50 {
+        let (head, body) = http_get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200"), "scrape {i}: {head}");
+        // Valid Prometheus text: every exposition line is `name value`
+        // with a parseable number, and the iteration counter is present.
+        assert!(
+            body.contains("ofence_watch_iterations_total"),
+            "scrape {i} missing counter: {body}"
+        );
+        for line in body
+            .lines()
+            .filter(|l| !l.starts_with('#') && !l.is_empty())
+        {
+            let (_, value) = line.rsplit_once(' ').expect("name value");
+            assert!(
+                value.parse::<f64>().is_ok(),
+                "scrape {i}: bad line `{line}`"
+            );
+        }
+        // A complete body ends in a newline — a torn write would not.
+        assert!(body.ends_with('\n'), "scrape {i}: truncated body");
+
+        let (head, body) = http_get(addr, "/health");
+        assert!(head.starts_with("HTTP/1.1 200"), "scrape {i}: {head}");
+        let v: serde_json::Value = serde_json::from_str(&body)
+            .unwrap_or_else(|e| panic!("scrape {i}: /health not JSON ({e}): {body}"));
+        assert_eq!(v["status"], "ok", "scrape {i}: {body}");
+        assert!(v["runs"].as_u64().unwrap() >= 1, "scrape {i}: {body}");
+    }
+
+    stop.store(true, Ordering::Relaxed);
+    let iterations = publisher.join().unwrap();
+    assert!(iterations >= 1);
+    assert_eq!(live.runs(), iterations);
+    server.shutdown();
+}
