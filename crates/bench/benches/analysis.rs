@@ -69,7 +69,8 @@ fn bench_incremental(c: &mut Criterion) {
                 // Alternate the edit so the cache entry really misses.
                 flip = !flip;
                 let suffix = if flip { "\n/* a */\n" } else { "\n/* b */\n" };
-                edited[files / 2].content.push_str(suffix);
+                let bumped = format!("{}{}", edited[files / 2].content, suffix);
+                edited[files / 2].content = bumped.into();
                 let result = engine.analyze_incremental(&edited);
                 result.stats.pairings
             });

@@ -305,7 +305,7 @@ fn runtime(
     let mut engine = Engine::new(AnalysisConfig::default());
     let _ = engine.analyze(&files);
     let touched = files.len() / 2;
-    files[touched].content.push_str("\n/* touched */\n");
+    files[touched].content = format!("{}\n/* touched */\n", files[touched].content).into();
     let inc = engine.analyze_incremental(&files);
     println!(
         "single-file incremental:  {} ms  (paper: <30 s per file)",

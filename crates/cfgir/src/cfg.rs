@@ -31,9 +31,9 @@ pub enum NodeKind {
     /// Inline assembly (opaque; no tracked accesses).
     Asm,
     /// A `goto` (no computation; single successor is the label target).
-    Goto(String),
+    Goto(ckit::Name),
     /// A named label.
-    Label(String),
+    Label(ckit::Name),
 }
 
 impl NodeKind {
@@ -109,7 +109,7 @@ impl Cfg {
             b.connect(node, target);
         }
         Cfg {
-            name: func.sig.name.clone(),
+            name: func.sig.name.to_string(),
             nodes: b.nodes,
             entry: ENTRY,
             exit: EXIT,
@@ -131,8 +131,8 @@ const EXIT: NodeId = 1;
 
 struct Builder {
     nodes: Vec<Node>,
-    labels: HashMap<String, NodeId>,
-    goto_fixups: Vec<(NodeId, String)>,
+    labels: HashMap<ckit::Name, NodeId>,
+    goto_fixups: Vec<(NodeId, ckit::Name)>,
     breaks: Vec<Vec<NodeId>>,
     continues: Vec<Vec<NodeId>>,
 }

@@ -37,35 +37,35 @@ impl FileSymbols {
                     let fields = s
                         .fields
                         .iter()
-                        .map(|f| (f.name.clone(), f.ty.clone()))
+                        .map(|f| (f.name.to_string(), f.ty.clone()))
                         .collect();
                     // Anonymous structs get a synthetic name so their fields
                     // remain reachable (rare around barriers).
                     let name = if s.name.is_empty() {
                         format!("<anon@{}>", s.span.lo)
                     } else {
-                        s.name.clone()
+                        s.name.to_string()
                     };
                     sym.structs.insert(name, fields);
                 }
                 Item::Enum(e) => {
                     for (v, _) in &e.variants {
-                        sym.enum_consts.insert(v.clone(), e.name.clone());
+                        sym.enum_consts.insert(v.to_string(), e.name.to_string());
                     }
                 }
                 Item::Typedef(t) => {
-                    sym.typedefs.insert(t.name.clone(), t.ty.clone());
+                    sym.typedefs.insert(t.name.to_string(), t.ty.clone());
                 }
                 Item::Function(f) => {
                     sym.functions.insert(
-                        f.sig.name.clone(),
+                        f.sig.name.to_string(),
                         FnSig {
                             ret: f.sig.ret.clone(),
                             params: f
                                 .sig
                                 .params
                                 .iter()
-                                .map(|p| (p.name.clone(), p.ty.clone()))
+                                .map(|p| (p.name.to_string(), p.ty.clone()))
                                 .collect(),
                             is_static: f.sig.is_static,
                             has_body: true,
@@ -75,13 +75,13 @@ impl FileSymbols {
                 Item::Prototype(sig) => {
                     // A body seen earlier wins over a later prototype.
                     sym.functions
-                        .entry(sig.name.clone())
+                        .entry(sig.name.to_string())
                         .or_insert_with(|| FnSig {
                             ret: sig.ret.clone(),
                             params: sig
                                 .params
                                 .iter()
-                                .map(|p| (p.name.clone(), p.ty.clone()))
+                                .map(|p| (p.name.to_string(), p.ty.clone()))
                                 .collect(),
                             is_static: sig.is_static,
                             has_body: false,
@@ -89,7 +89,7 @@ impl FileSymbols {
                 }
                 Item::Global(g) => {
                     for d in &g.decls {
-                        sym.globals.insert(d.name.clone(), d.ty.clone());
+                        sym.globals.insert(d.name.to_string(), d.ty.clone());
                     }
                 }
             }
@@ -108,7 +108,7 @@ impl FileSymbols {
                         return current;
                     }
                     fuel -= 1;
-                    match self.typedefs.get(name) {
+                    match self.typedefs.get(name.as_str()) {
                         Some(inner) => current = inner.clone(),
                         None => return current,
                     }
@@ -130,7 +130,7 @@ impl FileSymbols {
     pub fn pointee_struct(&self, ty: &Type) -> Option<String> {
         let resolved = self.resolve(ty);
         match resolved.base() {
-            Type::Struct { name, .. } => Some(name.clone()),
+            Type::Struct { name, .. } => Some(name.to_string()),
             _ => None,
         }
     }
@@ -155,7 +155,7 @@ pub fn collect_locals(body: &[ast::Stmt]) -> HashMap<String, Type> {
             Decl(d) => {
                 for decl in &d.decls {
                     if !decl.name.is_empty() {
-                        locals.insert(decl.name.clone(), decl.ty.clone());
+                        locals.insert(decl.name.to_string(), decl.ty.clone());
                     }
                 }
             }

@@ -22,7 +22,8 @@ impl<'a> TypeEnv<'a> {
     pub fn for_function(file: &'a FileSymbols, func: &ckit::ast::FunctionDef) -> TypeEnv<'a> {
         let mut vars = crate::symbols::collect_locals(&func.body);
         for p in &func.sig.params {
-            vars.entry(p.name.clone()).or_insert_with(|| p.ty.clone());
+            vars.entry(p.name.to_string())
+                .or_insert_with(|| p.ty.clone());
         }
         TypeEnv { file, vars }
     }
@@ -31,13 +32,13 @@ impl<'a> TypeEnv<'a> {
     pub fn type_of(&self, e: &Expr) -> Option<Type> {
         match &e.kind {
             ExprKind::Ident(name) => {
-                if let Some(t) = self.vars.get(name) {
+                if let Some(t) = self.vars.get(name.as_str()) {
                     return Some(t.clone());
                 }
-                if let Some(t) = self.file.globals.get(name) {
+                if let Some(t) = self.file.globals.get(name.as_str()) {
                     return Some(t.clone());
                 }
-                if self.file.enum_consts.contains_key(name) {
+                if self.file.enum_consts.contains_key(name.as_str()) {
                     return Some(Type::int());
                 }
                 None

@@ -1,10 +1,12 @@
 //! Abstract syntax tree for the kernel-C subset.
 //!
-//! The AST is deliberately plain (`Box`-based, `String` names): translation
-//! units in the corpus are small and the analysis passes copy what they need
-//! into their own interned representations. Every node carries a [`Span`]
+//! The AST is `Box`-based with interned [`Name`] identifiers: names are
+//! shared `Arc<str>`s from the file's lexer symbol table, so cloning a
+//! subtree (into `FunctionInfo`, CFG lowering, summaries) bumps
+//! refcounts instead of copying strings. Every node carries a [`Span`]
 //! back into the original source — patch synthesis depends on it.
 
+use crate::intern::Name;
 use crate::span::Span;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -44,7 +46,7 @@ impl Item {
 /// `struct`/`union` definition.
 #[derive(Clone, Debug, PartialEq)]
 pub struct StructDef {
-    pub name: String,
+    pub name: Name,
     pub is_union: bool,
     pub fields: Vec<FieldDecl>,
     pub span: Span,
@@ -52,21 +54,21 @@ pub struct StructDef {
 
 #[derive(Clone, Debug, PartialEq)]
 pub struct FieldDecl {
-    pub name: String,
+    pub name: Name,
     pub ty: Type,
     pub span: Span,
 }
 
 #[derive(Clone, Debug, PartialEq)]
 pub struct EnumDef {
-    pub name: String,
-    pub variants: Vec<(String, Option<Expr>)>,
+    pub name: Name,
+    pub variants: Vec<(Name, Option<Expr>)>,
     pub span: Span,
 }
 
 #[derive(Clone, Debug, PartialEq)]
 pub struct Typedef {
-    pub name: String,
+    pub name: Name,
     pub ty: Type,
     pub span: Span,
 }
@@ -74,7 +76,7 @@ pub struct Typedef {
 /// Function signature shared by definitions and prototypes.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct FunctionSig {
-    pub name: String,
+    pub name: Name,
     pub ret: Type,
     pub params: Vec<Param>,
     pub variadic: bool,
@@ -85,7 +87,7 @@ pub struct FunctionSig {
 
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Param {
-    pub name: String,
+    pub name: Name,
     pub ty: Type,
     pub span: Span,
 }
@@ -113,13 +115,13 @@ pub enum Type {
     Float,
     Double,
     /// A typedef name (`u64`, `atomic_t`, `seqcount_t`, …).
-    Named(String),
+    Named(Name),
     /// `struct foo` / `union foo` reference.
     Struct {
-        name: String,
+        name: Name,
         is_union: bool,
     },
-    Enum(String),
+    Enum(Name),
     Ptr(Box<Type>),
     Array(Box<Type>, Option<u64>),
     /// Function type (for function pointers).
@@ -146,7 +148,7 @@ impl Type {
 
     pub fn strukt(name: &str) -> Type {
         Type::Struct {
-            name: name.to_string(),
+            name: name.into(),
             is_union: false,
         }
     }
@@ -236,7 +238,7 @@ pub struct DeclStmt {
 
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Declarator {
-    pub name: String,
+    pub name: Name,
     pub ty: Type,
     pub init: Option<Expr>,
     pub span: Span,
@@ -282,9 +284,9 @@ pub enum StmtKind {
         value: Option<Expr>,
         stmt: Box<Stmt>,
     },
-    Goto(String),
+    Goto(Name),
     Label {
-        name: String,
+        name: Name,
         stmt: Box<Stmt>,
     },
     Return(Option<Expr>),
@@ -309,9 +311,9 @@ pub struct Expr {
 
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum ExprKind {
-    Ident(String),
+    Ident(Name),
     IntLit {
-        raw: String,
+        raw: Name,
         value: u64,
     },
     FloatLit(String),
@@ -334,7 +336,7 @@ pub enum ExprKind {
     /// `base.field` (`arrow == false`) or `base->field` (`arrow == true`).
     Member {
         base: Box<Expr>,
-        field: String,
+        field: Name,
         arrow: bool,
     },
     Index(Box<Expr>, Box<Expr>),
@@ -351,7 +353,7 @@ pub enum ExprKind {
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Initializer {
     /// `.field =` designator, if present.
-    pub designator: Option<String>,
+    pub designator: Option<Name>,
     pub value: Expr,
 }
 

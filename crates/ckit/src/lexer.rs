@@ -6,6 +6,7 @@
 //! preprocessor via the `at_line_start` flag on each token.
 
 use crate::error::{Error, Result};
+use crate::intern::Interner;
 use crate::span::Span;
 use crate::token::{Token, TokenKind};
 
@@ -15,6 +16,9 @@ pub struct Lexer<'a> {
     pos: usize,
     /// True until the first token of the current line is produced.
     line_start: bool,
+    /// Per-file symbol table: identifiers (and integer-literal spellings)
+    /// are interned so every repeat is a refcount bump, not a `String`.
+    interner: Interner,
 }
 
 impl<'a> Lexer<'a> {
@@ -24,6 +28,7 @@ impl<'a> Lexer<'a> {
             bytes: src.as_bytes(),
             pos: 0,
             line_start: true,
+            interner: Interner::new(),
         }
     }
 
@@ -242,7 +247,7 @@ impl<'a> Lexer<'a> {
         } {
             self.pos += 1;
         }
-        TokenKind::Ident(self.src[start..self.pos].to_string())
+        TokenKind::Ident(self.interner.intern(&self.src[start..self.pos]))
     }
 
     fn number(&mut self, start: usize) -> Result<TokenKind> {
@@ -295,7 +300,7 @@ impl<'a> Lexer<'a> {
             digits.parse().unwrap_or(u64::MAX)
         };
         Ok(TokenKind::Int {
-            raw: raw.to_string(),
+            raw: self.interner.intern(raw),
             value,
         })
     }

@@ -13,6 +13,7 @@
 
 pub mod ast;
 pub mod error;
+pub mod intern;
 pub mod lexer;
 pub mod parser;
 pub mod pp;
@@ -22,17 +23,19 @@ pub mod token;
 
 pub use ast::TranslationUnit;
 pub use error::{Error, Result};
+pub use intern::{Interner, Name};
 pub use parser::{ParseOutput, ParserConfig};
 pub use pp::{PpConfig, PpOutput};
 pub use span::{SourceMap, Span};
 
 /// A fully parsed source file: AST, source map, recovered errors, and the
-/// original text (kept for span-based patch synthesis).
+/// original text (kept for span-based patch synthesis, shared rather
+/// than copied — `Arc<str>` clones are refcount bumps).
 #[derive(Clone, Debug)]
 pub struct ParsedFile {
     pub unit: TranslationUnit,
     pub map: SourceMap,
-    pub source: String,
+    pub source: std::sync::Arc<str>,
     pub errors: Vec<Error>,
     pub includes: Vec<String>,
 }
@@ -68,6 +71,19 @@ pub fn parse_traced(
     config: &FrontendConfig,
     rec: &obs::Recorder,
 ) -> Result<ParsedFile> {
+    parse_traced_shared(file, &std::sync::Arc::from(src), config, rec)
+}
+
+/// Like [`parse_traced`], but shares an already-`Arc`ed source instead of
+/// copying it — the engine holds file contents as `Arc<str>` and every
+/// downstream layer (the parsed file, `FileAnalysis`, patch synthesis)
+/// borrows the same buffer.
+pub fn parse_traced_shared(
+    file: &str,
+    src: &std::sync::Arc<str>,
+    config: &FrontendConfig,
+    rec: &obs::Recorder,
+) -> Result<ParsedFile> {
     let _span = rec.span_with("parse", &[("file", file)]);
     let tokens = {
         let _lex = rec.span_with("lex", &[("file", file)]);
@@ -88,7 +104,7 @@ pub fn parse_traced(
     Ok(ParsedFile {
         unit: out.unit,
         map: SourceMap::new(file, src),
-        source: src.to_string(),
+        source: src.clone(),
         errors: out.errors,
         includes: ppo.includes,
     })

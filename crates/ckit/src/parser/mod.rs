@@ -14,6 +14,7 @@ mod tests;
 
 use crate::ast::*;
 use crate::error::{Error, Result};
+use crate::intern::Name;
 use crate::span::Span;
 use crate::token::{Token, TokenKind};
 use std::collections::HashSet;
@@ -227,7 +228,7 @@ impl Parser {
         }
     }
 
-    pub(crate) fn expect_ident(&mut self) -> Result<(String, Span)> {
+    pub(crate) fn expect_ident(&mut self) -> Result<(Name, Span)> {
         match self.peek().clone() {
             TokenKind::Ident(s) => {
                 let sp = self.span();
@@ -368,7 +369,7 @@ impl Parser {
         if name.is_empty() {
             return Err(Error::parse("typedef without a name", span));
         }
-        self.typedefs.insert(name.clone());
+        self.typedefs.insert(name.to_string());
         Ok(Typedef { name, ty, span })
     }
 
@@ -393,7 +394,7 @@ impl Parser {
             let (n, _) = self.expect_ident()?;
             n
         } else {
-            String::new()
+            Name::default()
         };
         self.expect(&TokenKind::LBrace)?;
         let mut items = Vec::new();
@@ -459,7 +460,7 @@ impl Parser {
                     fields.push(FieldDecl {
                         name: mname,
                         ty: Type::Struct {
-                            name: String::new(),
+                            name: Name::default(),
                             is_union: false,
                         },
                         span: msp,
@@ -492,7 +493,7 @@ impl Parser {
         Ok(fields)
     }
 
-    fn parse_enum_body(&mut self) -> Result<Vec<(String, Option<Expr>)>> {
+    fn parse_enum_body(&mut self) -> Result<Vec<(Name, Option<Expr>)>> {
         let mut variants = Vec::new();
         while !self.at(&TokenKind::RBrace) && !self.at_eof() {
             let (name, _) = self.expect_ident()?;

@@ -3,6 +3,7 @@
 use super::{Parser, SpecFlags};
 use crate::ast::*;
 use crate::error::{Error, Result};
+use crate::intern::Name;
 use crate::span::Span;
 use crate::token::TokenKind;
 
@@ -181,7 +182,7 @@ impl Parser {
                         crate::pretty::print_expr(&e)
                     };
                     self.expect(&TokenKind::RParen)?;
-                    base = Some(Type::Named(format!("typeof({inner})")));
+                    base = Some(Type::Named(format!("typeof({inner})").into()));
                 }
                 "double" => {
                     base = Some(Type::Double);
@@ -197,7 +198,7 @@ impl Parser {
                             self.bump();
                             n
                         }
-                        _ => String::new(),
+                        _ => Name::default(),
                     };
                     // Inline body in a declaration context (e.g. inside
                     // another struct): parse and discard the body shape —
@@ -220,7 +221,7 @@ impl Parser {
                             self.bump();
                             n
                         }
-                        _ => String::new(),
+                        _ => Name::default(),
                     };
                     if self.at(&TokenKind::LBrace) {
                         // Skip the enumerator list.
@@ -257,7 +258,7 @@ impl Parser {
                         let next_is_declaratorish =
                             matches!(self.peek_n(1), TokenKind::Ident(_) | TokenKind::Star);
                         if known || next_is_declaratorish {
-                            base = Some(Type::Named(other.to_string()));
+                            base = Some(Type::Named(other.into()));
                             self.bump();
                         }
                     }
@@ -309,7 +310,7 @@ impl Parser {
     ///
     /// Handles pointers (`*`, with qualifiers), parenthesized declarators
     /// (function pointers), array suffixes, and function parameter lists.
-    pub(crate) fn parse_declarator(&mut self, base: Type) -> Result<(String, Type, Span)> {
+    pub(crate) fn parse_declarator(&mut self, base: Type) -> Result<(Name, Type, Span)> {
         let mut ty = base;
         self.skip_attributes();
         while self.at(&TokenKind::Star) {
@@ -344,12 +345,12 @@ impl Parser {
                         self.bump();
                         (n, sp)
                     }
-                    _ => (String::new(), self.span()),
+                    _ => (Name::default(), self.span()),
                 };
                 self.expect(&TokenKind::RParen)?;
                 (n, sp, true)
             }
-            _ => (String::new(), self.span(), false),
+            _ => (Name::default(), self.span(), false),
         };
         // Suffixes: arrays and parameter lists.
         loop {

@@ -19,6 +19,7 @@
 //! downstream diagnostics and patches point into real source text.
 
 use crate::error::{Error, Result};
+use crate::intern::Name;
 use crate::span::Span;
 use crate::token::{Token, TokenKind};
 use std::collections::HashMap;
@@ -52,7 +53,7 @@ impl PpConfig {
                 variadic: false,
                 body: vec![Token::new(
                     TokenKind::Int {
-                        raw: value.to_string(),
+                        raw: value.to_string().into(),
                         value,
                     },
                     Span::DUMMY,
@@ -139,7 +140,21 @@ impl Pp {
                 _ => {
                     self.pos += 1;
                     if self.active() {
-                        self.emit(tok)?;
+                        // Fast path: a token that can't start a macro
+                        // expansion goes straight to the output. This is
+                        // the overwhelmingly common case (most files
+                        // define no macros at all), and skipping the
+                        // general expansion machinery avoids a Vec
+                        // allocation per token.
+                        let expandable = tok
+                            .kind
+                            .ident()
+                            .is_some_and(|n| self.macros.contains_key(n));
+                        if expandable {
+                            self.emit(tok)?;
+                        } else {
+                            self.out.push(tok);
+                        }
                     }
                 }
             }
@@ -316,14 +331,14 @@ impl Pp {
     /// Expand one token (possibly consuming following argument tokens from
     /// the main stream for function-like macros). `hide` is the set of macro
     /// names currently being expanded — the standard recursion guard.
-    fn expand_token(&mut self, tok: Token, hide: &mut Vec<String>) -> Result<Vec<Token>> {
-        let Some(name) = tok.kind.ident().map(str::to_string) else {
+    fn expand_token(&mut self, tok: Token, hide: &mut Vec<Name>) -> Result<Vec<Token>> {
+        let Some(name) = tok.kind.ident_name().cloned() else {
             return Ok(vec![tok]);
         };
         if hide.contains(&name) {
             return Ok(vec![tok]);
         }
-        let Some(def) = self.macros.get(&name).cloned() else {
+        let Some(def) = self.macros.get(name.as_str()).cloned() else {
             return Ok(vec![tok]);
         };
         match def.params {
@@ -425,7 +440,7 @@ impl Pp {
         body: &[Token],
         binding: &HashMap<String, Vec<Token>>,
         site: Span,
-        hide: &mut Vec<String>,
+        hide: &mut Vec<Name>,
     ) -> Result<Vec<Token>> {
         let mut out = Vec::new();
         let mut i = 0;
@@ -475,14 +490,14 @@ impl Pp {
     /// Expand a single token without access to the following main-stream
     /// tokens (so function-like macros are left alone unless their `(` is
     /// adjacent in the stream — handled by the caller at top level).
-    fn expand_inline(&mut self, tok: Token, hide: &mut Vec<String>) -> Result<Vec<Token>> {
-        let Some(name) = tok.kind.ident().map(str::to_string) else {
+    fn expand_inline(&mut self, tok: Token, hide: &mut Vec<Name>) -> Result<Vec<Token>> {
+        let Some(name) = tok.kind.ident_name().cloned() else {
             return Ok(vec![tok]);
         };
         if hide.contains(&name) {
             return Ok(vec![tok]);
         }
-        let Some(def) = self.macros.get(&name).cloned() else {
+        let Some(def) = self.macros.get(name.as_str()).cloned() else {
             return Ok(vec![tok]);
         };
         if def.params.is_some() {
@@ -522,7 +537,7 @@ impl Pp {
                 let v = u64::from(self.macros.contains_key(&name));
                 resolved.push(Token::new(
                     TokenKind::Int {
-                        raw: v.to_string(),
+                        raw: v.to_string().into(),
                         value: v,
                     },
                     t.span,
@@ -672,8 +687,8 @@ mod tests {
             .iter()
             .filter(|t| !t.kind.is_eof())
             .map(|t| match &t.kind {
-                TokenKind::Ident(s) => s.clone(),
-                TokenKind::Int { raw, .. } => raw.clone(),
+                TokenKind::Ident(s) => s.to_string(),
+                TokenKind::Int { raw, .. } => raw.to_string(),
                 TokenKind::Str(s) => s.clone(),
                 k => k.lexeme().to_string(),
             })

@@ -393,8 +393,8 @@ fn assign_str(op: AssignOp) -> &'static str {
 
 fn expr_string(e: &Expr, parent_prec: u8) -> String {
     match &e.kind {
-        ExprKind::Ident(s) => s.clone(),
-        ExprKind::IntLit { raw, .. } => raw.clone(),
+        ExprKind::Ident(s) => s.to_string(),
+        ExprKind::IntLit { raw, .. } => raw.to_string(),
         ExprKind::FloatLit(raw) => raw.clone(),
         ExprKind::StrLit(s) => s.clone(),
         ExprKind::CharLit(c) => c.clone(),

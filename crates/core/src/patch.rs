@@ -328,7 +328,7 @@ fn receiving_variable(body: &[Stmt], read_span: Span) -> Option<String> {
             for decl in &d.decls {
                 if let Some(init) = &decl.init {
                     if init.span.contains(read_span) && !decl.name.is_empty() {
-                        return Some(decl.name.clone());
+                        return Some(decl.name.to_string());
                     }
                 }
             }
@@ -359,7 +359,7 @@ fn moved_reads_assigned_in_gap(body: &[Stmt], moved: &Stmt, gap: Span) -> bool {
         }
         if let StmtKind::Decl(d) = &s.kind {
             for decl in &d.decls {
-                out.insert(decl.name.clone());
+                out.insert(decl.name.to_string());
             }
         }
         s.walk_exprs(&mut |e| {
@@ -408,7 +408,7 @@ fn moved_reads_assigned_in_gap(body: &[Stmt], moved: &Stmt, gap: Span) -> bool {
     let mut reads_assigned = false;
     moved.walk_exprs(&mut |e| {
         if let ExprKind::Ident(name) = &e.kind {
-            if assigned.contains(name) {
+            if assigned.contains(name.as_str()) {
                 reads_assigned = true;
             }
         }
@@ -576,8 +576,12 @@ mod tests {
             s.id = BarrierId(i as u32);
         }
         let pairing = pair_barriers(&fa.sites, &config);
-        let devs =
-            crate::deviation::check_all(&fa.sites, &pairing, std::slice::from_ref(&fa), &config);
+        let devs = crate::deviation::check_all(
+            &fa.sites,
+            &pairing,
+            &[std::sync::Arc::new(fa.clone())],
+            &config,
+        );
         let patches = devs.iter().filter_map(|d| synthesize(d, &fa)).collect();
         (fa, patches)
     }

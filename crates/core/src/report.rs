@@ -87,7 +87,7 @@ pub fn deviation_class(kind: &DeviationKind) -> &'static str {
 
 impl Stats {
     pub(crate) fn compute(
-        files: &[crate::sites::FileAnalysis],
+        files: &[std::sync::Arc<crate::sites::FileAnalysis>],
         sites: &[BarrierSite],
         pairing: &PairingResult,
         deviations: &[Deviation],

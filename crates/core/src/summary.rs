@@ -162,7 +162,7 @@ pub fn extract_summaries(lowered: &LoweredFile<'_>, envs: &[TypeEnv<'_>]) -> Vec
                 .collect();
             accesses.truncate(SUMMARY_ACCESS_CAP);
             FnSummary {
-                name: f.sig.name.clone(),
+                name: f.sig.name.to_string(),
                 accesses,
                 barrier: barrier.into(),
                 callees,
@@ -202,7 +202,7 @@ impl ComposedIndex {
     /// Build and compose summaries for the whole corpus up to `depth`
     /// call edges. `depth == 0` yields an index whose composed sets are
     /// just each function's own accesses (callers then merge nothing).
-    pub fn build(files: &[FileAnalysis], depth: u32) -> ComposedIndex {
+    pub fn build(files: &[std::sync::Arc<FileAnalysis>], depth: u32) -> ComposedIndex {
         Self::build_inner(files, depth, None)
     }
 
@@ -215,7 +215,7 @@ impl ComposedIndex {
     /// rather than the corpus: on a kernel-shaped tree most functions
     /// are nowhere near a barrier.
     pub fn build_rooted(
-        files: &[FileAnalysis],
+        files: &[std::sync::Arc<FileAnalysis>],
         depth: u32,
         roots: &[(usize, String)],
     ) -> ComposedIndex {
@@ -223,7 +223,7 @@ impl ComposedIndex {
     }
 
     fn build_inner(
-        files: &[FileAnalysis],
+        files: &[std::sync::Arc<FileAnalysis>],
         depth: u32,
         roots: Option<&[(usize, String)]>,
     ) -> ComposedIndex {
@@ -511,7 +511,7 @@ fn push_composed(
 /// per-file extraction; a no-op at `ipa_depth == 0`. Returns
 /// `(sites touched, accesses added)`.
 pub fn augment_sites(
-    files: &mut [FileAnalysis],
+    files: &mut [std::sync::Arc<FileAnalysis>],
     index: &ComposedIndex,
     config: &AnalysisConfig,
 ) -> (u64, u64) {
@@ -544,7 +544,10 @@ pub fn augment_sites(
                     if config.is_generic_type(&ca.object.strukt) {
                         continue;
                     }
-                    let site = &mut fa.sites[si];
+                    // Copy-on-write: the first mutation clones the
+                    // cache-shared analysis; after that the Arc is unique
+                    // and `make_mut` is a plain `get_mut`.
+                    let site = &mut std::sync::Arc::make_mut(fa).sites[si];
                     // Skip objects the site already sees on this side with
                     // this kind (notably the same-file ±1 expansion).
                     if site
@@ -660,6 +663,8 @@ void deep_fill(struct s *p) { p->a = 7; }
         for (i, f) in files.iter_mut().enumerate() {
             f.file = i;
         }
+        let files: Vec<std::sync::Arc<FileAnalysis>> =
+            files.into_iter().map(std::sync::Arc::new).collect();
         let index = ComposedIndex::build(&files, 2);
         let h = index.resolve(0, "fill").expect("fill resolved cross-file");
         let composed = index.composed(h);
@@ -691,6 +696,8 @@ void fenced(struct s *p) { smp_mb(); p->x = 1; }
         for (i, f) in files.iter_mut().enumerate() {
             f.file = i;
         }
+        let files: Vec<std::sync::Arc<FileAnalysis>> =
+            files.into_iter().map(std::sync::Arc::new).collect();
         let index = ComposedIndex::build(&files, 4);
         let h = index.resolve(0, "outer").unwrap();
         // outer's composed set must not contain fenced's access.
@@ -712,6 +719,8 @@ void user(struct s *p) { rec(p, 3); }
         );
         let mut files = vec![fa];
         files[0].file = 0;
+        let files: Vec<std::sync::Arc<FileAnalysis>> =
+            files.into_iter().map(std::sync::Arc::new).collect();
         let index = ComposedIndex::build(&files, 8);
         let h = index.resolve(0, "rec").unwrap();
         // One access, despite the self-call (SCC collapsed).
@@ -743,6 +752,8 @@ void pong(struct s *p, int n) { if (n) ping(p, n - 1); p->y = 1; }
         );
         let mut files = vec![fa];
         files[0].file = 0;
+        let files: Vec<std::sync::Arc<FileAnalysis>> =
+            files.into_iter().map(std::sync::Arc::new).collect();
         let index = ComposedIndex::build(&files, 8);
         let h = index.resolve(0, "ping").unwrap();
         let objs: Vec<_> = index.composed(h).iter().map(|c| &c.object).collect();
@@ -768,6 +779,8 @@ void pong(struct s *p, int n) { if (n) ping(p, n - 1); p->y = 1; }
         for (i, f) in files.iter_mut().enumerate() {
             f.file = i;
         }
+        let files: Vec<std::sync::Arc<FileAnalysis>> =
+            files.into_iter().map(std::sync::Arc::new).collect();
         let index = ComposedIndex::build(&files, 2);
         assert!(index.resolve(2, "helper").is_none());
         let h = index.resolve(2, "top").unwrap();

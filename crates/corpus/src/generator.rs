@@ -139,6 +139,37 @@ impl CorpusSpec {
         }
     }
 
+    /// Monorepo throughput tiers shared by `bench --bin scale`, the CI
+    /// `scale-smoke` job, and `ofence gen --tier`: a fixed 40-file
+    /// barrier core plus filler growth to the named total, mirroring a
+    /// kernel tree's shape (barrier code is a thin crust on a large
+    /// barrier-free bulk). Accepts `1200`/`1.2k`, `12k`, and `100k`.
+    pub fn tier(name: &str, seed: u64) -> Option<CorpusSpec> {
+        let total: usize = match name {
+            "1200" | "1.2k" => 1_200,
+            "12k" => 12_000,
+            "100k" => 100_000,
+            _ => return None,
+        };
+        Some(CorpusSpec {
+            seed,
+            files: 40,
+            patterns_per_file: 1,
+            noise_per_file: 2,
+            decoy_pairs: 2,
+            far_decoy_pairs: 0,
+            lone_per_file: 1,
+            split_fraction: 0.2,
+            reread_decoys: 0,
+            unfenced_decoys: 0,
+            filler_files: total - 40,
+            cross_file_chains: 0,
+            chain_depth: 2,
+            chain_bugs: 0,
+            bugs: BugPlan::none(),
+        })
+    }
+
     /// Paper-scale corpus: ~600 files with barriers (the paper analyzes
     /// 614), Table 3 bug counts, 15 decoy pairings (§6.4), plus the
     /// dataflow extension's missing-barrier bugs and decoys.
@@ -405,14 +436,31 @@ pub fn generate(spec: &CorpusSpec) -> Corpus {
         .collect();
 
     // Barrier-free filler files: no sites, no pairings, just helper code
-    // the frontend has to chew through.
+    // the frontend has to chew through. Each file draws from its own rng
+    // stream seeded by (corpus seed, file index), so generation is O(1)
+    // per file regardless of position — the 100k tier costs the same per
+    // file as the 1.2k tier, and files could be produced in any order.
+    // Ids live at 200_000+, above every other generator and injection
+    // range (patterns stop below total+50_000, chains at 90_000+count,
+    // inject_edit at 70_000+index, inject_deviation below 89_000), so
+    // filler names never collide even at 100k files.
+    files.reserve_exact(spec.filler_files);
     for fi in 0..spec.filler_files {
-        let mut content = format!("/* synthetic kernel filler {fi} — generated, do not edit */\n");
+        let mut frng = StdRng::seed_from_u64(
+            spec.seed
+                ^ (0xf111_e500u64).wrapping_add((fi as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+        );
+        let mut content = String::with_capacity(4096);
+        use std::fmt::Write as _;
+        let _ = writeln!(
+            content,
+            "/* synthetic kernel filler {fi} — generated, do not edit */"
+        );
         for ni in 0..10 {
-            content.push_str(&patterns::noise_function(60_000 + fi, ni, &mut rng));
+            content.push_str(&patterns::noise_function(200_000 + fi, ni, &mut frng));
         }
         files.push(GenFile {
-            name: format!("gen/filler{fi:04}.c"),
+            name: format!("gen/filler{fi:05}.c"),
             content,
         });
     }
@@ -608,6 +656,45 @@ mod tests {
             corpus.manifest.expected_pairings.len(),
             base.manifest.expected_pairings.len()
         );
+    }
+
+    #[test]
+    fn tier_specs_share_one_shape() {
+        assert!(CorpusSpec::tier("2400", 1).is_none());
+        let t12 = CorpusSpec::tier("1200", 1).unwrap();
+        let t12k = CorpusSpec::tier("12k", 1).unwrap();
+        let t100k = CorpusSpec::tier("100k", 1).unwrap();
+        assert_eq!(t12.files + t12.filler_files, 1_200);
+        assert_eq!(t12k.files + t12k.filler_files, 12_000);
+        assert_eq!(t100k.files + t100k.filler_files, 100_000);
+        // "1.2k" is an alias.
+        let alias = CorpusSpec::tier("1.2k", 1).unwrap();
+        assert_eq!(alias.filler_files, t12.filler_files);
+        // The barrier core is tier-independent: only filler grows, so
+        // ground truth (pairings, bugs) is identical across tiers.
+        let a = generate(&CorpusSpec {
+            filler_files: 0,
+            ..t12.clone()
+        });
+        let b = generate(&CorpusSpec {
+            filler_files: 0,
+            ..t100k.clone()
+        });
+        assert_eq!(
+            a.manifest.expected_pairings.len(),
+            b.manifest.expected_pairings.len()
+        );
+        // Filler generation is per-file seeded: a tier prefix is stable
+        // under growth, so a corpus is a strict extension of smaller ones.
+        let small = generate(&CorpusSpec {
+            filler_files: 3,
+            ..t12.clone()
+        });
+        let big = generate(&CorpusSpec {
+            filler_files: 6,
+            ..t12.clone()
+        });
+        assert_eq!(&big.files[..small.files.len()], &small.files[..]);
     }
 
     #[test]

@@ -91,7 +91,7 @@ fn counters_reset_between_incremental_runs() {
 
     // Touch one file: exactly one re-parse.
     let mut files = files;
-    files[0].content.push_str("\n/* touched */\n");
+    files[0].content = format!("{}\n/* touched */\n", files[0].content).into();
     let r3 = engine.analyze_incremental(&files);
     assert_eq!(r3.obs.count_of("ckit_files_parsed"), 1);
     assert_eq!(r3.obs.count_of("engine_cache_hits"), 1);

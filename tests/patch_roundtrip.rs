@@ -179,7 +179,7 @@ fn fixing_everything_yields_clean_corpus() {
             }
         }
         let fixed = ofence::apply_edits(&files[file].content, &kept).expect("apply");
-        fixed_files[file].content = fixed;
+        fixed_files[file].content = fixed.into();
     }
     let r2 = Engine::new(AnalysisConfig::default()).analyze(&fixed_files);
     assert!(

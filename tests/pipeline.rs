@@ -94,9 +94,11 @@ fn editing_one_file_changes_only_its_sites() {
 
     // Add an unrelated function to the reader file.
     let mut files2 = files.clone();
-    files2[1]
-        .content
-        .push_str("\nint unrelated(void) { return 3; }\n");
+    files2[1].content = format!(
+        "{}\nint unrelated(void) {{ return 3; }}\n",
+        files2[1].content
+    )
+    .into();
     let r2 = engine.analyze_incremental(&files2);
     // Cached writer analysis is reused: same span, same function.
     let writer_site2 = r2
@@ -113,7 +115,7 @@ fn breaking_the_reader_unpairs_the_writer() {
     let broken_reader = READER.replace("smp_rmb();", "/* lost barrier */;");
     let files = vec![
         SourceFile::new("a.c", WRITER),
-        SourceFile::new("b.c", &broken_reader),
+        SourceFile::new("b.c", broken_reader.as_str()),
     ];
     let r = Engine::new(AnalysisConfig::default()).analyze(&files);
     assert_eq!(r.sites.len(), 1);

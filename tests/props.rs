@@ -258,7 +258,8 @@ proptest! {
         let mut engine = Engine::new(AnalysisConfig::default());
         let _ = engine.analyze(&files);
         let idx = touch % files.len();
-        files[idx].content.push_str("\nint prop_added(void) { return 1; }\n");
+        files[idx].content =
+            format!("{}\nint prop_added(void) {{ return 1; }}\n", files[idx].content).into();
         let incremental = engine.analyze_incremental(&files);
         let fresh = Engine::new(AnalysisConfig::default()).analyze(&files);
         prop_assert_eq!(result_fingerprint(&incremental), result_fingerprint(&fresh));

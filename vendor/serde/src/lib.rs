@@ -234,55 +234,80 @@ impl Value {
 
 pub(crate) fn escape_json_str(s: &str, out: &mut String) {
     out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
+    let bytes = s.as_bytes();
+    let mut clean = 0; // start of the current run needing no escapes
+    for (i, &b) in bytes.iter().enumerate() {
+        if b == b'"' || b == b'\\' || b < 0x20 {
+            out.push_str(&s[clean..i]);
+            clean = i + 1;
+            match b {
+                b'"' => out.push_str("\\\""),
+                b'\\' => out.push_str("\\\\"),
+                b'\n' => out.push_str("\\n"),
+                b'\t' => out.push_str("\\t"),
+                b'\r' => out.push_str("\\r"),
+                _ => {
+                    out.push_str("\\u");
+                    for shift in [12u32, 8, 4, 0] {
+                        let d = (b as u32 >> shift) & 0xf;
+                        out.push(char::from_digit(d, 16).unwrap());
+                    }
+                }
+            }
         }
     }
+    out.push_str(&s[clean..]);
     out.push('"');
+}
+
+impl Value {
+    /// Append this value's compact JSON text to `out`. This is the
+    /// workhorse behind `Display`/`to_string`: a direct recursion into
+    /// one growing buffer, with none of the `fmt::Formatter` per-node
+    /// overhead (which dominates when serializing multi-megabyte
+    /// documents like the on-disk analysis cache).
+    pub fn write_json(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(true) => out.push_str("true"),
+            Value::Bool(false) => out.push_str("false"),
+            Value::Number(n) => {
+                use fmt::Write as _;
+                write!(out, "{n}").expect("write to String");
+            }
+            Value::String(s) => escape_json_str(s, out),
+            Value::Array(a) => {
+                out.push('[');
+                for (i, v) in a.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write_json(out);
+                }
+                out.push(']');
+            }
+            Value::Object(m) => {
+                out.push('{');
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    escape_json_str(k, out);
+                    out.push(':');
+                    v.write_json(out);
+                }
+                out.push('}');
+            }
+        }
+    }
 }
 
 impl fmt::Display for Value {
     /// Compact JSON text.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Value::Null => f.write_str("null"),
-            Value::Bool(b) => write!(f, "{b}"),
-            Value::Number(n) => write!(f, "{n}"),
-            Value::String(s) => {
-                let mut buf = String::new();
-                escape_json_str(s, &mut buf);
-                f.write_str(&buf)
-            }
-            Value::Array(a) => {
-                f.write_str("[")?;
-                for (i, v) in a.iter().enumerate() {
-                    if i > 0 {
-                        f.write_str(",")?;
-                    }
-                    write!(f, "{v}")?;
-                }
-                f.write_str("]")
-            }
-            Value::Object(m) => {
-                f.write_str("{")?;
-                for (i, (k, v)) in m.iter().enumerate() {
-                    if i > 0 {
-                        f.write_str(",")?;
-                    }
-                    let mut buf = String::new();
-                    escape_json_str(k, &mut buf);
-                    write!(f, "{buf}:{v}")?;
-                }
-                f.write_str("}")
-            }
-        }
+        let mut buf = String::with_capacity(128);
+        self.write_json(&mut buf);
+        f.write_str(&buf)
     }
 }
 
@@ -510,6 +535,12 @@ impl<T: Serialize + ?Sized> Serialize for Box<T> {
     }
 }
 
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
 impl<T: Serialize> Serialize for Option<T> {
     fn to_value(&self) -> Value {
         match self {
@@ -667,6 +698,21 @@ impl<T: Deserialize> Deserialize for Option<T> {
 impl<T: Deserialize> Deserialize for Box<T> {
     fn from_value(v: &Value) -> Result<Box<T>, Error> {
         T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::sync::Arc<T> {
+    fn from_value(v: &Value) -> Result<std::sync::Arc<T>, Error> {
+        T::from_value(v).map(std::sync::Arc::new)
+    }
+}
+
+impl Deserialize for std::sync::Arc<str> {
+    fn from_value(v: &Value) -> Result<std::sync::Arc<str>, Error> {
+        match v {
+            Value::String(s) => Ok(std::sync::Arc::from(s.as_str())),
+            other => Err(Error::new(format!("expected string, got {other:?}"))),
+        }
     }
 }
 
