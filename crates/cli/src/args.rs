@@ -12,6 +12,9 @@ usage:
   ofence explain  <file:line> <paths...> [--json] [window options]
   ofence watch    <paths...> [--interval-ms N] [--max-iterations N]
                   [--serve-metrics ADDR] [...]
+  ofence serve    <paths...> [--addr HOST:PORT] [--metrics HOST:PORT]
+                  [cache/history/window options]
+  ofence call     <host:port> <method> [--params JSON]
   ofence diff     <old> <new> [--json] [--history-dir DIR]
   ofence diff     --baseline FILE <paths...> [--json] [window options]
   ofence baseline write <paths...> [--out FILE] [window options]
@@ -68,6 +71,17 @@ analysis runs (default: run until interrupted). `--serve-metrics ADDR`
 `GET /metrics` (Prometheus text) and `GET /health` (JSON) from the
 latest iteration on a background thread.
 
+`serve` runs the analysis daemon: newline-delimited JSON-RPC over TCP
+(default --addr 127.0.0.1:0; the bound address is printed). Concurrent
+clients share one warm engine cache and worker pool, and identical
+overlapping requests coalesce into a single analysis. Methods: ping,
+status, analyze, analyze-file, explain, diff, baseline-gate, shutdown.
+`--metrics HOST:PORT` additionally serves live `GET /metrics` +
+`GET /health`. `call` is the matching one-shot client: it sends one
+request and pretty-prints the `result` document (identical to the
+corresponding one-shot subcommand's `--json` output), exiting non-zero
+on an error response.
+
 `perf` reads the performance ledger (DIR/perf.jsonl, appended by every
 analysis run and watch iteration) and prints the last `--last N`
 records as a trend table (default 10). With `--gate`, the newest
@@ -95,6 +109,8 @@ pub enum Command {
     Stats(RunOpts),
     Explain(ExplainOpts),
     Watch(WatchOpts),
+    Serve(ServeOpts),
+    Call(CallOpts),
     Diff(DiffOpts),
     BaselineWrite(BaselineWriteOpts),
     Perf(PerfOpts),
@@ -168,6 +184,26 @@ pub struct WatchOpts {
     pub serve_metrics: Option<String>,
 }
 
+/// `ofence serve <paths...>` — the long-running analysis daemon.
+#[derive(Debug, PartialEq)]
+pub struct ServeOpts {
+    pub run: RunOpts,
+    /// Listen address (`--addr`; default `127.0.0.1:0`, port 0 lets the
+    /// OS pick — the bound address is printed).
+    pub addr: String,
+    /// Also serve live `GET /metrics` + `GET /health` here (`--metrics`).
+    pub metrics: Option<String>,
+}
+
+/// `ofence call <host:port> <method>` — one-shot daemon client.
+#[derive(Debug, PartialEq)]
+pub struct CallOpts {
+    pub addr: String,
+    pub method: String,
+    /// Raw JSON for the request's `params` field (`--params`).
+    pub params: Option<String>,
+}
+
 /// `ofence perf` — read the perf ledger as a trend table or CI gate.
 #[derive(Debug, PartialEq)]
 pub struct PerfOpts {
@@ -225,6 +261,8 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         "stats" => Ok(Command::Stats(parse_run(rest)?)),
         "explain" => Ok(Command::Explain(parse_explain(rest)?)),
         "watch" => Ok(Command::Watch(parse_watch(rest)?)),
+        "serve" => Ok(Command::Serve(parse_serve(rest)?)),
+        "call" => Ok(Command::Call(parse_call(rest)?)),
         "diff" => Ok(Command::Diff(parse_diff(rest)?)),
         "baseline" => Ok(Command::BaselineWrite(parse_baseline(rest)?)),
         "perf" => Ok(Command::Perf(parse_perf(rest)?)),
@@ -453,6 +491,74 @@ fn parse_watch(argv: &[String]) -> Result<WatchOpts, String> {
         interval_ms,
         max_iterations,
         serve_metrics,
+    })
+}
+
+fn parse_serve(argv: &[String]) -> Result<ServeOpts, String> {
+    // Split off the serve-specific flags, hand the rest to `parse_run`.
+    let mut rest: Vec<String> = Vec::new();
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut metrics = None;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--addr" => {
+                i += 1;
+                addr = argv
+                    .get(i)
+                    .ok_or("--addr needs an address (host:port)")?
+                    .to_string();
+            }
+            "--metrics" => {
+                i += 1;
+                metrics = Some(
+                    argv.get(i)
+                        .ok_or("--metrics needs an address (host:port)")?
+                        .to_string(),
+                );
+            }
+            other => rest.push(other.to_string()),
+        }
+        i += 1;
+    }
+    let run = parse_run(&rest)?;
+    if run.apply {
+        return Err("--apply is not supported by serve".into());
+    }
+    if run.json {
+        return Err("--json is not supported by serve (responses are always JSON)".into());
+    }
+    Ok(ServeOpts { run, addr, metrics })
+}
+
+fn parse_call(argv: &[String]) -> Result<CallOpts, String> {
+    let mut positional: Vec<String> = Vec::new();
+    let mut params = None;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--params" => {
+                i += 1;
+                params = Some(
+                    argv.get(i)
+                        .ok_or("--params needs a JSON value")?
+                        .to_string(),
+                );
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown call option `{flag}`"));
+            }
+            other => positional.push(other.to_string()),
+        }
+        i += 1;
+    }
+    let [addr, method] = positional.as_slice() else {
+        return Err("call requires exactly <host:port> and <method>".into());
+    };
+    Ok(CallOpts {
+        addr: addr.clone(),
+        method: method.clone(),
+        params,
     })
 }
 
@@ -757,6 +863,71 @@ mod tests {
             other => panic!("{other:?}"),
         }
         assert!(parse(&argv("watch src/ --serve-metrics")).is_err());
+    }
+
+    #[test]
+    fn serve_options() {
+        match parse(&argv(
+            "serve src/ --addr 127.0.0.1:7433 --metrics 127.0.0.1:0",
+        ))
+        .unwrap()
+        {
+            Command::Serve(o) => {
+                assert_eq!(o.run.paths, vec!["src/"]);
+                assert_eq!(o.addr, "127.0.0.1:7433");
+                assert_eq!(o.metrics.as_deref(), Some("127.0.0.1:0"));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Defaults: OS-picked port, no metrics endpoint; run options
+        // (cache, windows) flow through to the session.
+        match parse(&argv("serve src/ --no-cache --ipa-depth 2")).unwrap() {
+            Command::Serve(o) => {
+                assert_eq!(o.addr, "127.0.0.1:0");
+                assert_eq!(o.metrics, None);
+                assert!(o.run.no_cache);
+                assert_eq!(o.run.config.ipa_depth, 2);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&argv("serve")).is_err()); // no paths
+        assert!(parse(&argv("serve src/ --addr")).is_err());
+        assert!(parse(&argv("serve src/ --apply")).is_err());
+        assert!(parse(&argv("serve src/ --json")).is_err());
+    }
+
+    #[test]
+    fn call_options() {
+        match parse(&argv("call 127.0.0.1:7433 analyze")).unwrap() {
+            Command::Call(o) => {
+                assert_eq!(o.addr, "127.0.0.1:7433");
+                assert_eq!(o.method, "analyze");
+                assert_eq!(o.params, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        let cmd = parse(&[
+            "call".into(),
+            "127.0.0.1:7433".into(),
+            "explain".into(),
+            "--params".into(),
+            "{\"file\": \"m.c\", \"line\": 2}".into(),
+        ])
+        .unwrap();
+        match cmd {
+            Command::Call(o) => {
+                assert_eq!(o.method, "explain");
+                assert_eq!(
+                    o.params.as_deref(),
+                    Some("{\"file\": \"m.c\", \"line\": 2}")
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&argv("call 127.0.0.1:7433")).is_err());
+        assert!(parse(&argv("call 127.0.0.1:7433 ping extra")).is_err());
+        assert!(parse(&argv("call 127.0.0.1:7433 ping --params")).is_err());
+        assert!(parse(&argv("call 127.0.0.1:7433 ping --bogus")).is_err());
     }
 
     #[test]

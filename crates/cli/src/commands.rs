@@ -1,7 +1,8 @@
 //! Subcommand implementations.
 
 use crate::args::{
-    BaselineWriteOpts, Command, DiffOpts, ExplainOpts, GenOpts, PerfOpts, RunOpts, WatchOpts,
+    BaselineWriteOpts, CallOpts, Command, DiffOpts, ExplainOpts, GenOpts, PerfOpts, RunOpts,
+    ServeOpts, WatchOpts,
 };
 use crate::walk::collect_sources;
 use ofence::obs::NdjsonSink;
@@ -18,6 +19,8 @@ pub fn run(cmd: Command) -> Result<ExitCode, String> {
         Command::Stats(o) => stats(o),
         Command::Explain(o) => explain(o),
         Command::Watch(o) => watch(o),
+        Command::Serve(o) => serve(o),
+        Command::Call(o) => call(o),
         Command::Diff(o) => diff(o),
         Command::BaselineWrite(o) => baseline_write(o),
         Command::Perf(o) => perf(o),
@@ -314,6 +317,92 @@ fn analyze(opts: RunOpts) -> Result<ExitCode, String> {
     } else {
         ExitCode::SUCCESS
     })
+}
+
+/// `ofence serve` — the long-running analysis daemon: one shared
+/// [`ofence::Session`] (warm engine cache, persistent worker pool,
+/// coalesced identical requests) behind newline-delimited JSON-RPC.
+/// Runs until a client sends `shutdown`.
+fn serve(opts: ServeOpts) -> Result<ExitCode, String> {
+    // Fail fast on an unservable corpus (nonexistent path, no .c files)
+    // before binding anything.
+    ofence::collect_sources(&opts.run.paths)?;
+    let session = Arc::new(ofence::Session::new(ofence::SessionOptions {
+        config: opts.run.config.clone(),
+        paths: opts.run.paths.clone(),
+        cache_dir: cache_dir_of(&opts.run),
+        history_dir: history_dir_of(&opts.run),
+    }));
+    let metrics = match &opts.metrics {
+        Some(addr) => {
+            let s = ofence::obs::serve::serve(addr, session.live())
+                .map_err(|e| format!("--metrics: {e}"))?;
+            println!("serve: serving /metrics and /health on http://{}", s.addr());
+            Some(s)
+        }
+        None => None,
+    };
+    let server = ofence::server::serve(&opts.addr, session).map_err(|e| format!("--addr: {e}"))?;
+    // Scripts read the bound address back from this line (port 0 lets
+    // the OS pick) — same contract as watch's --serve-metrics print.
+    println!("serve: listening on {}", server.addr());
+    while !server.stopped() {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    server.shutdown();
+    drop(metrics);
+    println!("serve: shut down");
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `ofence call` — one-shot daemon client: send a single request, print
+/// the `result` document pretty-printed (so `call ADDR analyze` output
+/// is comparable to `analyze --json`), exit non-zero on error responses.
+fn call(opts: CallOpts) -> Result<ExitCode, String> {
+    use std::io::{BufRead, BufReader, Write as _};
+    let params: Option<serde_json::Value> = match &opts.params {
+        Some(text) => {
+            Some(serde_json::from_str(text).map_err(|e| format!("--params is not JSON: {e}"))?)
+        }
+        None => None,
+    };
+    let request = match params {
+        Some(p) => serde_json::json!({ "id": 0, "method": opts.method, "params": p }),
+        None => serde_json::json!({ "id": 0, "method": opts.method }),
+    };
+    let mut stream = std::net::TcpStream::connect(&opts.addr)
+        .map_err(|e| format!("connect {}: {e}", opts.addr))?;
+    let mut line = serde_json::to_string(&request).unwrap();
+    line.push('\n');
+    stream
+        .write_all(line.as_bytes())
+        .map_err(|e| format!("send to {}: {e}", opts.addr))?;
+    let mut reader = BufReader::new(stream);
+    let mut response = String::new();
+    reader
+        .read_line(&mut response)
+        .map_err(|e| format!("read from {}: {e}", opts.addr))?;
+    if response.is_empty() {
+        return Err(format!(
+            "{}: connection closed before a response",
+            opts.addr
+        ));
+    }
+    let response: serde_json::Value =
+        serde_json::from_str(&response).map_err(|e| format!("malformed response: {e}"))?;
+    if response["ok"] == true {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&response["result"]).unwrap()
+        );
+        Ok(ExitCode::SUCCESS)
+    } else {
+        Err(format!(
+            "server error ({}): {}",
+            response["error"]["code"].as_str().unwrap_or("unknown"),
+            response["error"]["message"].as_str().unwrap_or("?")
+        ))
+    }
 }
 
 /// `ofence diff` — classify findings across two runs by their stable

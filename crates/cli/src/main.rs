@@ -9,6 +9,11 @@
 //! ofence explain  <file:line> <paths...> replay one pairing decision
 //! ofence watch    <paths...> [options]   re-analyze on change, print the
 //!                                        finding delta (+ new, - fixed)
+//! ofence serve    <paths...> [options]   analysis daemon: JSON-RPC over
+//!                                        TCP, shared warm cache, identical
+//!                                        in-flight requests coalesced
+//! ofence call     <host:port> <method>   one-shot daemon client; prints
+//!                            [--params J] the result document
 //! ofence diff     <old> <new> [options]  classify findings new/fixed/
 //!                                        unchanged by stable fingerprint
 //!                                        (run ids or --json reports)
@@ -43,6 +48,8 @@
 //!   --interval-ms N        watch: poll period (500)
 //!   --max-iterations N     watch: exit after N analysis runs
 //!   --serve-metrics ADDR   watch: live /metrics + /health endpoint
+//!   --addr HOST:PORT       serve: listen address (default 127.0.0.1:0)
+//!   --metrics HOST:PORT    serve: live /metrics + /health endpoint
 //!   --ledger FILE          perf: explicit ledger file
 //!   --last N               perf: records shown in the trend (10)
 //!   --max-regress-pct P    perf: gate threshold in percent (10)

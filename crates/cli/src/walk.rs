@@ -1,53 +1,10 @@
 //! Input collection: expand files and directories into `SourceFile`s.
+//!
+//! The implementation moved to `ofence::walk` when the analysis daemon
+//! started snapshotting the corpus from inside `core`; this module stays
+//! as the CLI-side name for it.
 
-use ofence::SourceFile;
-use std::path::Path;
-
-/// Load every `.c` file reachable from the given paths, sorted by path
-/// for deterministic output.
-pub fn collect_sources(paths: &[String]) -> Result<Vec<SourceFile>, String> {
-    let mut files: Vec<(String, String)> = Vec::new();
-    for p in paths {
-        let path = Path::new(p);
-        if path.is_dir() {
-            walk_dir(path, &mut files)?;
-        } else if path.is_file() {
-            let content =
-                std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
-            files.push((p.clone(), content));
-        } else {
-            return Err(format!("{p}: no such file or directory"));
-        }
-    }
-    files.sort_by(|a, b| a.0.cmp(&b.0));
-    files.dedup_by(|a, b| a.0 == b.0);
-    if files.is_empty() {
-        return Err("no .c files found under the given paths".into());
-    }
-    Ok(files
-        .into_iter()
-        .map(|(name, content)| SourceFile::new(name, content))
-        .collect())
-}
-
-fn walk_dir(dir: &Path, out: &mut Vec<(String, String)>) -> Result<(), String> {
-    let entries = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
-    let mut entries: Vec<_> = entries
-        .collect::<Result<_, _>>()
-        .map_err(|e| format!("{}: {e}", dir.display()))?;
-    entries.sort_by_key(|e| e.path());
-    for entry in entries {
-        let path = entry.path();
-        if path.is_dir() {
-            walk_dir(&path, out)?;
-        } else if path.extension().and_then(|s| s.to_str()) == Some("c") {
-            let content =
-                std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
-            out.push((path.display().to_string(), content));
-        }
-    }
-    Ok(())
-}
+pub use ofence::walk::collect_sources;
 
 #[cfg(test)]
 mod tests {

@@ -56,8 +56,11 @@ pub mod perf;
 pub mod pool;
 pub mod report;
 pub mod sarif;
+pub mod server;
+pub mod session;
 pub mod sites;
 pub mod summary;
+pub mod walk;
 
 pub use obs;
 
@@ -74,4 +77,6 @@ pub use patch::{apply_edits, Patch};
 pub use perf::{GateOutcome, PerfRecord};
 pub use report::{DistanceHistogram, Stats};
 pub use sarif::to_sarif;
+pub use session::{Session, SessionOptions};
 pub use summary::{ComposedIndex, FnSummary, WindowCall, SUMMARY_VERSION};
+pub use walk::collect_sources;

@@ -19,9 +19,10 @@
 
 use crate::engine::AnalysisResult;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Ledger file name inside the history directory (next to
 /// [`crate::history::HISTORY_FILE_NAME`]).
@@ -118,23 +119,72 @@ pub fn append(dir: &Path, record: &PerfRecord) -> Result<(), String> {
 
 /// Append one record to an explicit ledger file (the bench's
 /// `--perf-ledger FILE` path).
+///
+/// All appends in the process go through one shared appender per ledger
+/// file: `ofence watch --serve-metrics` and `ofence serve` both write
+/// the same `.ofence/perf.jsonl`, and two writers opening the file
+/// independently could interleave partial lines. The appender serializes
+/// whole-line writes under a per-file mutex (and each write is a single
+/// `O_APPEND` `write_all`, so even writers in *different* processes
+/// interleave at line granularity on POSIX).
 pub fn append_to(path: &Path, record: &PerfRecord) -> Result<(), String> {
+    let mut line =
+        serde_json::to_string(record).map_err(|e| format!("serialize perf record: {e}"))?;
+    line.push('\n');
+    appender_for(path)?.append(line.as_bytes())
+}
+
+/// One ledger file's process-wide append handle.
+struct Appender {
+    path: PathBuf,
+    file: Mutex<std::fs::File>,
+}
+
+impl Appender {
+    fn append(&self, line: &[u8]) -> Result<(), String> {
+        let mut file = self.file.lock().unwrap_or_else(|e| e.into_inner());
+        file.write_all(line)
+            .map_err(|e| format!("append to {}: {e}", self.path.display()))
+    }
+}
+
+/// The process-global appender registry: canonical ledger path → shared
+/// handle. The file is opened (and its directory created) once per
+/// process, on first append.
+fn appender_for(path: &Path) -> Result<Arc<Appender>, String> {
+    static REGISTRY: OnceLock<Mutex<HashMap<PathBuf, Arc<Appender>>>> = OnceLock::new();
     if let Some(parent) = path.parent() {
         if !parent.as_os_str().is_empty() {
             std::fs::create_dir_all(parent)
                 .map_err(|e| format!("create {}: {e}", parent.display()))?;
         }
     }
-    let mut line =
-        serde_json::to_string(record).map_err(|e| format!("serialize perf record: {e}"))?;
-    line.push('\n');
-    let mut f = std::fs::OpenOptions::new()
+    // Canonicalize so `.ofence/perf.jsonl` and an absolute spelling of
+    // the same file share one handle (the file exists by open time; the
+    // parent was just created, so canonicalize the parent + file name).
+    let canonical = match (path.parent(), path.file_name()) {
+        (Some(parent), Some(name)) if !parent.as_os_str().is_empty() => parent
+            .canonicalize()
+            .map(|p| p.join(name))
+            .unwrap_or_else(|_| path.to_path_buf()),
+        _ => path.to_path_buf(),
+    };
+    let registry = REGISTRY.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut registry = registry.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(appender) = registry.get(&canonical) {
+        return Ok(appender.clone());
+    }
+    let file = std::fs::OpenOptions::new()
         .create(true)
         .append(true)
         .open(path)
         .map_err(|e| format!("open {}: {e}", path.display()))?;
-    f.write_all(line.as_bytes())
-        .map_err(|e| format!("append to {}: {e}", path.display()))
+    let appender = Arc::new(Appender {
+        path: canonical.clone(),
+        file: Mutex::new(file),
+    });
+    registry.insert(canonical, appender.clone());
+    Ok(appender)
 }
 
 /// Load every parseable record from a ledger file, oldest first. Corrupt
@@ -351,6 +401,58 @@ void writer(struct m *b) { b->y = 1; smp_wmb(); b->init = 1; }
         assert!(records[0].cold);
         assert!(records[0].phase_us.contains_key("pair"));
         assert!(records[0].iteration_us.is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn concurrent_writers_interleave_whole_lines() {
+        // The watch loop and the analysis daemon can share one ledger;
+        // simultaneous appends must interleave at line granularity —
+        // every line parseable, every record accounted for.
+        let dir = tmp("interleave");
+        let path = ledger_path(&dir);
+        let template = run_once();
+        const WRITERS: usize = 4;
+        const PER_WRITER: usize = 50;
+        std::thread::scope(|scope| {
+            for w in 0..WRITERS {
+                let mut record = template.clone();
+                record.run_id = format!("writer-{w}");
+                let path = &path;
+                scope.spawn(move || {
+                    for _ in 0..PER_WRITER {
+                        append_to(path, &record).unwrap();
+                    }
+                });
+            }
+        });
+        let (records, skipped) = load_file(&path).unwrap();
+        assert_eq!(skipped, 0, "torn JSONL lines");
+        assert_eq!(records.len(), WRITERS * PER_WRITER);
+        for w in 0..WRITERS {
+            let id = format!("writer-{w}");
+            assert_eq!(
+                records.iter().filter(|r| r.run_id == id).count(),
+                PER_WRITER
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn path_spellings_share_one_appender() {
+        // A relative and an absolute spelling of the same ledger file
+        // resolve to the same process-wide appender (the registry keys
+        // by canonical path), so they serialize against each other.
+        let dir = tmp("spelling");
+        let path = ledger_path(&dir);
+        let rec = run_once();
+        append_to(&path, &rec).unwrap();
+        let respelled = dir.join(".").join(PERF_FILE_NAME);
+        append_to(&respelled, &rec).unwrap();
+        let (records, skipped) = load_file(&path).unwrap();
+        assert_eq!(skipped, 0);
+        assert_eq!(records.len(), 2);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -1,0 +1,570 @@
+//! The analysis daemon's wire protocol: newline-delimited JSON-RPC over
+//! TCP, serving a shared [`Session`](crate::session::Session).
+//!
+//! One request per line, one response per line, any number of requests
+//! per connection:
+//!
+//! ```text
+//! → {"id": 1, "method": "analyze"}
+//! ← {"id": 1, "ok": true, "result": { ...schema v3 report... }}
+//! → {"id": 2, "method": "explain", "params": {"file": "m.c", "line": 7}}
+//! ← {"id": 2, "ok": false, "error": {"code": "failed", "message": "no barrier at m.c:7"}}
+//! ```
+//!
+//! `id` is echoed verbatim (any JSON value; `null` when the request was
+//! too broken to extract one). Methods: `ping`, `status`, `analyze`,
+//! `analyze-file`, `explain`, `diff`, `baseline-gate`, `shutdown`.
+//! `result` payloads are exactly the documents the one-shot CLI prints
+//! (`analyze --json`, `explain --json`, `diff --json`), so a client can
+//! swap between the two without reparsing.
+//!
+//! The transport is deliberately boring — `std::net`, thread per
+//! connection, no async runtime — mirroring `obs/serve.rs`. What makes
+//! it safe under fire is the error discipline: every malformed input
+//! (truncated line, oversized payload, invalid UTF-8, unknown method,
+//! non-object request) produces a structured error response on the same
+//! connection, a panic inside a handler is caught and answered as
+//! `internal`, and a mid-request disconnect just ends that connection's
+//! thread. The protocol fuzz suite in `tests/server.rs` holds the daemon
+//! to exactly that contract.
+
+use crate::session::{Session, SessionCounters};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Longest accepted request line, newline excluded. Anything longer is
+/// answered with an `oversized` error; the remainder of the line is
+/// drained (never buffered) so the connection stays usable.
+pub const MAX_REQUEST_BYTES: usize = 4 << 20;
+
+/// A structured protocol error: machine-readable code + human message.
+struct RpcError {
+    code: &'static str,
+    message: String,
+}
+
+impl RpcError {
+    fn bad_request(message: impl Into<String>) -> RpcError {
+        RpcError {
+            code: "bad_request",
+            message: message.into(),
+        }
+    }
+
+    fn failed(message: String) -> RpcError {
+        RpcError {
+            code: "failed",
+            message,
+        }
+    }
+}
+
+/// Handle on a running analysis server. Dropping it (or calling
+/// [`Server::shutdown`]) stops the listener thread; connection threads
+/// end when their clients disconnect.
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+    session: Arc<Session>,
+}
+
+impl Server {
+    /// The actually bound address — with port `0` the OS picks, and this
+    /// is where callers learn it.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    pub fn session(&self) -> Arc<Session> {
+        self.session.clone()
+    }
+
+    /// True once a client's `shutdown` request (or [`Server::shutdown`])
+    /// has stopped the listener.
+    pub fn stopped(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    /// Stop accepting connections and join the listener thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock accept() with a throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(250));
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.handle.is_some() {
+            self.stop_and_join();
+        }
+    }
+}
+
+/// Bind `addr` (e.g. `127.0.0.1:7433`, or port `0` to let the OS pick)
+/// and serve the session's methods until the handle is shut down, a
+/// client sends `shutdown`, or the handle is dropped.
+pub fn serve(addr: &str, session: Arc<Session>) -> Result<Server, String> {
+    let listener = TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| format!("local_addr: {e}"))?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let thread_stop = stop.clone();
+    let thread_session = session.clone();
+    let handle = std::thread::Builder::new()
+        .name("ofence-serve".into())
+        .spawn(move || {
+            for stream in listener.incoming() {
+                if thread_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let session = thread_session.clone();
+                let stop = thread_stop.clone();
+                let _ = std::thread::Builder::new()
+                    .name("ofence-serve-conn".into())
+                    .spawn(move || handle_connection(stream, session, local, stop));
+            }
+        })
+        .map_err(|e| format!("spawn listener thread: {e}"))?;
+    Ok(Server {
+        addr: local,
+        stop,
+        handle: Some(handle),
+        session,
+    })
+}
+
+/// What one attempt to read a request line produced.
+enum LineRead {
+    /// A complete line (without the trailing newline) is in the buffer.
+    Line,
+    /// Clean end of stream (or a mid-line disconnect: nobody to answer).
+    Eof,
+    /// The line exceeded [`MAX_REQUEST_BYTES`]; the excess was drained.
+    Oversized,
+}
+
+/// Read one newline-terminated line into `buf`, refusing to buffer more
+/// than the cap: once a line exceeds it, the rest is read and discarded
+/// so the next request starts clean — a hostile client can not make the
+/// daemon hold its payload in memory.
+fn read_line_capped(reader: &mut impl BufRead, buf: &mut Vec<u8>) -> LineRead {
+    buf.clear();
+    let mut over = false;
+    loop {
+        let chunk = match reader.fill_buf() {
+            // EOF — including mid-line (truncated request: nobody left
+            // to answer) and mid-oversized-line.
+            Ok([]) => return LineRead::Eof,
+            Ok(chunk) => chunk,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return LineRead::Eof,
+        };
+        let newline = chunk.iter().position(|&b| b == b'\n');
+        let take = newline.map(|i| i + 1).unwrap_or(chunk.len());
+        if !over {
+            let keep = take - usize::from(newline.is_some());
+            if buf.len() + keep > MAX_REQUEST_BYTES {
+                over = true;
+            } else {
+                buf.extend_from_slice(&chunk[..keep]);
+            }
+        }
+        reader.consume(take);
+        if newline.is_some() {
+            return if over {
+                LineRead::Oversized
+            } else {
+                LineRead::Line
+            };
+        }
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    session: Arc<Session>,
+    server_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let line = match read_line_capped(&mut reader, &mut buf) {
+            LineRead::Eof => return,
+            LineRead::Oversized => {
+                SessionCounters::bump_errors(&session.counters);
+                let resp = error_response(
+                    serde_json::Value::Null,
+                    "oversized",
+                    &format!("request exceeds {MAX_REQUEST_BYTES} bytes"),
+                );
+                if write_line(&mut writer, &resp).is_err() {
+                    return;
+                }
+                continue;
+            }
+            LineRead::Line => &buf,
+        };
+        if line.iter().all(|b| b.is_ascii_whitespace()) {
+            continue;
+        }
+        let (response, shutdown) = respond(&session, line);
+        if write_line(&mut writer, &response).is_err() {
+            return;
+        }
+        if shutdown {
+            stop.store(true, Ordering::SeqCst);
+            // Unblock the listener's accept() so it observes the flag.
+            let _ = TcpStream::connect_timeout(&server_addr, Duration::from_millis(250));
+            return;
+        }
+    }
+}
+
+fn write_line(writer: &mut TcpStream, response: &serde_json::Value) -> std::io::Result<()> {
+    let mut line = serde_json::to_string(response).expect("response serializes");
+    line.push('\n');
+    writer.write_all(line.as_bytes())?;
+    writer.flush()
+}
+
+fn ok_response(id: serde_json::Value, result: serde_json::Value) -> serde_json::Value {
+    serde_json::json!({ "id": id, "ok": true, "result": result })
+}
+
+fn error_response(id: serde_json::Value, code: &str, message: &str) -> serde_json::Value {
+    serde_json::json!({
+        "id": id,
+        "ok": false,
+        "error": { "code": code, "message": message },
+    })
+}
+
+/// Parse and dispatch one request line. Returns the response and whether
+/// the client asked the daemon to shut down.
+fn respond(session: &Session, line: &[u8]) -> (serde_json::Value, bool) {
+    let fail = |id: serde_json::Value, e: RpcError| {
+        SessionCounters::bump_errors(&session.counters);
+        (error_response(id, e.code, &e.message), false)
+    };
+    let text = match std::str::from_utf8(line) {
+        Ok(t) => t,
+        Err(_) => {
+            return fail(
+                serde_json::Value::Null,
+                RpcError::bad_request("request is not valid UTF-8"),
+            )
+        }
+    };
+    let doc: serde_json::Value = match serde_json::from_str(text) {
+        Ok(d) => d,
+        Err(e) => {
+            return fail(
+                serde_json::Value::Null,
+                RpcError::bad_request(format!("request is not JSON: {e}")),
+            )
+        }
+    };
+    let Some(obj) = doc.as_object() else {
+        return fail(
+            serde_json::Value::Null,
+            RpcError::bad_request("request must be a JSON object"),
+        );
+    };
+    let id = obj.get("id").cloned().unwrap_or(serde_json::Value::Null);
+    let Some(method) = obj.get("method").and_then(|m| m.as_str()) else {
+        return fail(id, RpcError::bad_request("missing string field `method`"));
+    };
+    if method == "shutdown" {
+        return (
+            ok_response(id, serde_json::json!({ "stopping": true })),
+            true,
+        );
+    }
+    let params = obj.get("params");
+    // A handler panic must kill neither the daemon nor the connection:
+    // catch it and answer `internal`. Session state stays usable — its
+    // locks recover from poisoning.
+    let outcome = catch_unwind(AssertUnwindSafe(|| dispatch(session, method, params)));
+    match outcome {
+        Ok(Ok(result)) => (ok_response(id, result), false),
+        Ok(Err(e)) => {
+            // `failed` errors were already counted by the session's own
+            // request tracking; protocol-level ones were not.
+            if e.code != "failed" {
+                SessionCounters::bump_errors(&session.counters);
+            }
+            (error_response(id, e.code, &e.message), false)
+        }
+        Err(panic) => {
+            let message = panic_message(&panic);
+            SessionCounters::bump_errors(&session.counters);
+            (
+                error_response(id, "internal", &format!("handler panicked: {message}")),
+                false,
+            )
+        }
+    }
+}
+
+fn dispatch(
+    session: &Session,
+    method: &str,
+    params: Option<&serde_json::Value>,
+) -> Result<serde_json::Value, RpcError> {
+    match method {
+        "ping" => Ok(serde_json::json!({ "pong": true })),
+        "status" => Ok(session.status_document()),
+        "analyze" => session.analyze_document().map_err(RpcError::failed),
+        "analyze-file" => {
+            let file = param_str(params, "file")?;
+            session
+                .analyze_file_document(file)
+                .map_err(RpcError::failed)
+        }
+        "explain" => {
+            let file = param_str(params, "file")?;
+            let line = param_u32(params, "line")?;
+            session
+                .explain_document(file, line)
+                .map_err(RpcError::failed)
+        }
+        "diff" => {
+            let old = param_str(params, "old")?;
+            let new = param_str(params, "new")?;
+            session.diff_document(old, new).map_err(RpcError::failed)
+        }
+        "baseline-gate" => {
+            let baseline = params
+                .and_then(|p| p.get("baseline"))
+                .ok_or_else(|| RpcError::bad_request("missing params field `baseline`"))?;
+            let fail_on = match params.and_then(|p| p.get("fail_on")) {
+                None => crate::diffing::FailOn::New,
+                Some(v) => {
+                    let s = v.as_str().ok_or_else(|| {
+                        RpcError::bad_request("params field `fail_on` must be a string")
+                    })?;
+                    crate::diffing::FailOn::parse(s).map_err(RpcError::bad_request)?
+                }
+            };
+            session
+                .baseline_gate_document(baseline, fail_on)
+                .map_err(RpcError::failed)
+        }
+        other => Err(RpcError {
+            code: "unknown_method",
+            message: format!(
+                "unknown method `{other}`; expected ping, status, analyze, analyze-file, explain, diff, baseline-gate, or shutdown"
+            ),
+        }),
+    }
+}
+
+fn param_str<'p>(params: Option<&'p serde_json::Value>, key: &str) -> Result<&'p str, RpcError> {
+    params
+        .and_then(|p| p.get(key))
+        .and_then(|v| v.as_str())
+        .ok_or_else(|| RpcError::bad_request(format!("missing string params field `{key}`")))
+}
+
+fn param_u32(params: Option<&serde_json::Value>, key: &str) -> Result<u32, RpcError> {
+    params
+        .and_then(|p| p.get(key))
+        .and_then(|v| v.as_u64())
+        .and_then(|v| u32::try_from(v).ok())
+        .ok_or_else(|| RpcError::bad_request(format!("missing integer params field `{key}`")))
+}
+
+fn panic_message(panic: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AnalysisConfig;
+    use crate::session::SessionOptions;
+    use std::io::BufRead;
+
+    const CLEAN: &str = "struct m { int init; int y; };\n\
+void reader(struct m *a) { if (!a->init) return; smp_rmb(); f(a->y); }\n\
+void writer(struct m *b) { b->y = 1; smp_wmb(); b->init = 1; }\n";
+
+    fn corpus(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("ofence-server-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("m.c"), CLEAN).unwrap();
+        dir
+    }
+
+    fn start(dir: &std::path::Path) -> Server {
+        let session = Arc::new(Session::new(SessionOptions {
+            config: AnalysisConfig::default(),
+            paths: vec![dir.display().to_string()],
+            cache_dir: None,
+            history_dir: None,
+        }));
+        serve("127.0.0.1:0", session).unwrap()
+    }
+
+    struct Client {
+        reader: BufReader<TcpStream>,
+        writer: TcpStream,
+    }
+
+    impl Client {
+        fn connect(addr: SocketAddr) -> Client {
+            let writer = TcpStream::connect(addr).unwrap();
+            let reader = BufReader::new(writer.try_clone().unwrap());
+            Client { reader, writer }
+        }
+
+        fn send_raw(&mut self, line: &[u8]) {
+            self.writer.write_all(line).unwrap();
+            self.writer.write_all(b"\n").unwrap();
+        }
+
+        fn recv(&mut self) -> serde_json::Value {
+            let mut line = String::new();
+            self.reader.read_line(&mut line).unwrap();
+            serde_json::from_str(&line).unwrap()
+        }
+
+        fn call(&mut self, request: serde_json::Value) -> serde_json::Value {
+            self.send_raw(serde_json::to_string(&request).unwrap().as_bytes());
+            self.recv()
+        }
+    }
+
+    #[test]
+    fn ping_analyze_and_unknown_method_roundtrip() {
+        let dir = corpus("roundtrip");
+        let server = start(&dir);
+        let mut client = Client::connect(server.addr());
+        let pong = client.call(serde_json::json!({"id": 1, "method": "ping"}));
+        assert_eq!(pong["ok"], true);
+        assert_eq!(pong["id"], 1);
+        assert_eq!(pong["result"]["pong"], true);
+        let report = client.call(serde_json::json!({"id": "a", "method": "analyze"}));
+        assert_eq!(report["ok"], true, "{report}");
+        assert_eq!(report["id"], "a");
+        assert_eq!(
+            report["result"]["schema_version"],
+            crate::json::SCHEMA_VERSION
+        );
+        let err = client.call(serde_json::json!({"id": 2, "method": "frobnicate"}));
+        assert_eq!(err["ok"], false);
+        assert_eq!(err["error"]["code"], "unknown_method");
+        // The connection survives the error.
+        let pong = client.call(serde_json::json!({"id": 3, "method": "ping"}));
+        assert_eq!(pong["ok"], true);
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn malformed_lines_get_structured_errors() {
+        let dir = corpus("malformed");
+        let server = start(&dir);
+        let mut client = Client::connect(server.addr());
+        client.send_raw(b"this is not json");
+        let err = client.recv();
+        assert_eq!(err["error"]["code"], "bad_request");
+        assert!(err["id"].is_null());
+        client.send_raw(&[0xff, 0xfe, 0x80]);
+        let err = client.recv();
+        assert_eq!(err["error"]["code"], "bad_request");
+        client.send_raw(b"[1, 2, 3]");
+        let err = client.recv();
+        assert_eq!(err["error"]["code"], "bad_request");
+        client.send_raw(b"{\"id\": 9}");
+        let err = client.recv();
+        assert_eq!(err["error"]["code"], "bad_request");
+        assert_eq!(err["id"], 9);
+        // Still serving after the garbage.
+        let pong = client.call(serde_json::json!({"id": 4, "method": "ping"}));
+        assert_eq!(pong["ok"], true);
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn oversized_line_is_drained_and_rejected() {
+        let dir = corpus("oversized");
+        let server = start(&dir);
+        let mut client = Client::connect(server.addr());
+        let huge = vec![b'x'; MAX_REQUEST_BYTES + 64];
+        client.send_raw(&huge);
+        let err = client.recv();
+        assert_eq!(err["error"]["code"], "oversized");
+        // The oversized line was fully consumed: the next request parses.
+        let pong = client.call(serde_json::json!({"id": 1, "method": "ping"}));
+        assert_eq!(pong["ok"], true);
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shutdown_method_stops_the_listener() {
+        let dir = corpus("shutdown");
+        let server = start(&dir);
+        let addr = server.addr();
+        let mut client = Client::connect(addr);
+        let ack = client.call(serde_json::json!({"id": 1, "method": "shutdown"}));
+        assert_eq!(ack["result"]["stopping"], true);
+        // The listener notices promptly; poll until the flag flips.
+        for _ in 0..100 {
+            if server.stopped() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(server.stopped());
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn explain_requires_params() {
+        let dir = corpus("params");
+        let server = start(&dir);
+        let mut client = Client::connect(server.addr());
+        let err = client.call(serde_json::json!({"id": 1, "method": "explain"}));
+        assert_eq!(err["error"]["code"], "bad_request");
+        let ok = client.call(serde_json::json!({
+            "id": 2,
+            "method": "explain",
+            "params": {"file": "m.c", "line": 2},
+        }));
+        assert_eq!(ok["ok"], true, "{ok}");
+        assert!(ok["result"]["target"].is_object());
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,684 @@
+//! A long-lived analysis session: the state `ofence serve` (and any
+//! other multi-request driver) shares between overlapping requests.
+//!
+//! [`Session`] is the extraction ROADMAP item 1 asked for: the pieces a
+//! one-shot CLI invocation wires together ad hoc — the [`Engine`] with
+//! its parsed-AST/summary cache, the sharded disk cache, the history and
+//! perf ledgers, and the live telemetry publisher — owned by one object
+//! that can serve many concurrent `analyze` / `explain` / `diff` /
+//! `baseline-gate` requests against one warm cache and one persistent
+//! worker pool.
+//!
+//! ## Snapshot consistency
+//!
+//! Every analysis request starts by snapshotting the corpus from disk.
+//! Requests race with editors, so a naive single pass over the files
+//! could observe file A before an edit and file B after it — a **torn**
+//! corpus whose findings belong to two different snapshots. The session
+//! instead reads the corpus repeatedly until two consecutive passes hash
+//! identically ([`SNAPSHOT_ATTEMPTS`] tries): any edit landing inside a
+//! pass flips the next pass's hash, so a stable double read is a
+//! consistent snapshot (assuming writers replace files atomically, the
+//! usual tmp+rename discipline). The analysis then runs entirely from
+//! that in-memory snapshot — the response is a pure function of it.
+//!
+//! ## Batching and coalescing
+//!
+//! Requests are keyed by `(corpus snapshot hash, config fingerprint)`.
+//! A request arriving while an analysis with the same key is already in
+//! flight does not queue a second run: it **joins** the in-flight one
+//! and receives the very same [`RunHandle`] — identical findings,
+//! identical `run_id` — which is how a CI fleet pushing the same commit
+//! a hundred times costs one analysis. Distinct keys serialize on the
+//! engine lock (the queue), each running against the cache the previous
+//! request warmed. Coalesce and queue-depth counters are exported on
+//! `/metrics` via [`obs::Live`].
+
+use crate::cache;
+use crate::config::AnalysisConfig;
+use crate::engine::{AnalysisResult, Engine, SourceFile};
+use crate::fingerprint::{finding_records, FindingRecord};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// Passes the corpus snapshot loop makes before giving up on stability.
+/// Two consecutive identical hashes end the loop early; a corpus edited
+/// faster than it can be read twice is served best-effort from the last
+/// pass (counted in `serve_snapshot_unstable`).
+pub const SNAPSHOT_ATTEMPTS: usize = 8;
+
+/// How a session is wired to disk: what it analyzes and where it keeps
+/// its caches and ledgers. `None` directories disable that layer, the
+/// same contract as the CLI's `--no-cache` / `--no-history`.
+#[derive(Clone, Debug)]
+pub struct SessionOptions {
+    pub config: AnalysisConfig,
+    /// Files or directories the session serves (searched for `*.c`).
+    pub paths: Vec<String>,
+    pub cache_dir: Option<PathBuf>,
+    pub history_dir: Option<PathBuf>,
+}
+
+/// One finished (or joined) analysis run, shared by every request that
+/// coalesced onto it.
+pub struct RunHandle {
+    /// The snapshot key this run was computed from.
+    pub corpus_key: u64,
+    /// The full analysis result (sites, pairing, findings, stats, obs).
+    pub result: Arc<AnalysisResult>,
+    /// Diffable records of the run's deviations, in report order.
+    pub records: Vec<FindingRecord>,
+}
+
+/// An in-flight analysis other requests can join: the leader publishes
+/// into `slot` and notifies; joiners wait on the condvar.
+struct Flight {
+    slot: Mutex<Option<Result<Arc<RunHandle>, String>>>,
+    done: Condvar,
+}
+
+/// Cumulative session counters, exported on `/metrics` (as
+/// `ofence_serve_*_total`) and in `status` responses. Queue depth is
+/// `queue_enqueued - queue_dequeued`.
+#[derive(Debug, Default)]
+pub struct SessionCounters {
+    pub requests: AtomicU64,
+    pub errors: AtomicU64,
+    pub coalesced: AtomicU64,
+    pub runs: AtomicU64,
+    pub queue_enqueued: AtomicU64,
+    pub queue_dequeued: AtomicU64,
+    pub snapshot_retries: AtomicU64,
+    pub snapshot_unstable: AtomicU64,
+}
+
+impl SessionCounters {
+    fn get(v: &AtomicU64) -> u64 {
+        v.load(Ordering::Relaxed)
+    }
+
+    fn bump(v: &AtomicU64) {
+        v.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one error response (the wire protocol calls this for
+    /// failures that never reach a session method, e.g. parse errors).
+    pub fn bump_errors(&self) {
+        Self::bump(&self.errors);
+    }
+
+    /// Requests currently waiting for (or holding) the engine.
+    pub fn queue_depth(&self) -> u64 {
+        Self::get(&self.queue_enqueued).saturating_sub(Self::get(&self.queue_dequeued))
+    }
+
+    /// The counter pairs exported next to the engine's per-run counters.
+    pub fn export(&self) -> Vec<(String, u64)> {
+        [
+            ("serve_requests", Self::get(&self.requests)),
+            ("serve_errors", Self::get(&self.errors)),
+            ("serve_coalesced", Self::get(&self.coalesced)),
+            ("serve_runs", Self::get(&self.runs)),
+            ("serve_queue_enqueued", Self::get(&self.queue_enqueued)),
+            ("serve_queue_dequeued", Self::get(&self.queue_dequeued)),
+            ("serve_snapshot_retries", Self::get(&self.snapshot_retries)),
+            (
+                "serve_snapshot_unstable",
+                Self::get(&self.snapshot_unstable),
+            ),
+        ]
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect()
+    }
+}
+
+pub struct Session {
+    opts: SessionOptions,
+    /// The engine — and with it the in-memory parsed-AST/summary cache —
+    /// shared by every request. One analysis at a time; the per-file
+    /// parallelism inside a run comes from the persistent global pool.
+    engine: Mutex<Engine>,
+    /// In-flight analyses by snapshot key, for coalescing.
+    inflight: Mutex<HashMap<u64, Arc<Flight>>>,
+    pub counters: SessionCounters,
+    /// Live telemetry published after every engine run; `ofence serve
+    /// --metrics-addr` scrapes it.
+    live: Arc<obs::Live>,
+    /// Per-request latency across all methods, coalesced joins included.
+    request_hist: Mutex<obs::Histogram>,
+    /// Spans of requests since the last publish (reset at publish so a
+    /// long-lived daemon's span list stays bounded).
+    request_rec: obs::Recorder,
+    started: Instant,
+}
+
+impl Session {
+    /// Create a session and hydrate the engine from the disk cache (a
+    /// stale or corrupt cache is discarded silently, like the CLI path).
+    pub fn new(opts: SessionOptions) -> Session {
+        let mut engine = Engine::new(opts.config.clone());
+        if let Some(dir) = &opts.cache_dir {
+            let _ = engine.load_disk_cache(dir);
+        }
+        Session {
+            opts,
+            engine: Mutex::new(engine),
+            inflight: Mutex::new(HashMap::new()),
+            counters: SessionCounters::default(),
+            live: Arc::new(obs::Live::new()),
+            request_hist: Mutex::new(obs::Histogram::default()),
+            request_rec: obs::Recorder::new(),
+            started: Instant::now(),
+        }
+    }
+
+    pub fn options(&self) -> &SessionOptions {
+        &self.opts
+    }
+
+    /// The live telemetry publisher (hand to [`obs::serve::serve`] for a
+    /// `/metrics` + `/health` endpoint).
+    pub fn live(&self) -> Arc<obs::Live> {
+        self.live.clone()
+    }
+
+    /// Microseconds since the session started.
+    pub fn uptime_us(&self) -> u64 {
+        self.started.elapsed().as_micros() as u64
+    }
+
+    /// Snapshot the corpus from disk, re-reading until two consecutive
+    /// passes hash identically (see module docs). Returns the sources
+    /// and the snapshot key (corpus hash ⊕ config fingerprint).
+    fn snapshot_sources(&self) -> Result<(Vec<SourceFile>, u64), String> {
+        let mut prev: Option<(Vec<SourceFile>, u64)> = None;
+        for _ in 0..SNAPSHOT_ATTEMPTS {
+            let sources = crate::walk::collect_sources(&self.opts.paths)?;
+            let key = corpus_key(&sources, &self.opts.config);
+            match prev {
+                Some((_, prev_key)) if prev_key == key => return Ok((sources, key)),
+                Some(_) => SessionCounters::bump(&self.counters.snapshot_retries),
+                None => {}
+            }
+            prev = Some((sources, key));
+        }
+        SessionCounters::bump(&self.counters.snapshot_unstable);
+        Ok(prev.expect("at least one snapshot pass ran"))
+    }
+
+    /// Count and time one request around `f` (joins included): bumps
+    /// `serve_requests`, bumps `serve_errors` on failure, and feeds the
+    /// request-latency histogram.
+    fn tracked<T>(&self, f: impl FnOnce() -> Result<T, String>) -> Result<T, String> {
+        let t0 = Instant::now();
+        SessionCounters::bump(&self.counters.requests);
+        let out = f();
+        if out.is_err() {
+            SessionCounters::bump(&self.counters.errors);
+        }
+        self.request_hist
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .observe(t0.elapsed().as_micros() as u64);
+        out
+    }
+
+    /// The current analysis of the watched corpus: snapshot, coalesce,
+    /// run. Every analysis-backed method funnels through here.
+    pub fn current_run(&self) -> Result<Arc<RunHandle>, String> {
+        self.tracked(|| self.current_run_inner())
+    }
+
+    fn current_run_inner(&self) -> Result<Arc<RunHandle>, String> {
+        let (sources, key) = self.snapshot_sources()?;
+        // Join an in-flight run of the same snapshot, or lead a new one.
+        let (flight, leader) = {
+            let mut map = self.inflight.lock().unwrap_or_else(|e| e.into_inner());
+            match map.get(&key) {
+                Some(f) => {
+                    SessionCounters::bump(&self.counters.coalesced);
+                    (f.clone(), false)
+                }
+                None => {
+                    let f = Arc::new(Flight {
+                        slot: Mutex::new(None),
+                        done: Condvar::new(),
+                    });
+                    map.insert(key, f.clone());
+                    (f, true)
+                }
+            }
+        };
+        if !leader {
+            let _span = self.request_rec.span_with("coalesce", &[]);
+            let mut slot = flight.slot.lock().unwrap_or_else(|e| e.into_inner());
+            while slot.is_none() {
+                slot = flight.done.wait(slot).unwrap_or_else(|e| e.into_inner());
+            }
+            return slot.clone().expect("leader published before notify");
+        }
+        let outcome = self.lead_run(&sources, key);
+        // Publish to joiners and retire the flight — later identical
+        // requests start a fresh (warm, cheap) run rather than receiving
+        // a stale result forever.
+        {
+            let mut map = self.inflight.lock().unwrap_or_else(|e| e.into_inner());
+            map.remove(&key);
+        }
+        let mut slot = flight.slot.lock().unwrap_or_else(|e| e.into_inner());
+        *slot = Some(outcome.clone());
+        flight.done.notify_all();
+        outcome
+    }
+
+    /// Run the engine over a snapshot (leader side of a flight).
+    fn lead_run(&self, sources: &[SourceFile], key: u64) -> Result<Arc<RunHandle>, String> {
+        SessionCounters::bump(&self.counters.queue_enqueued);
+        let run_span = self.request_rec.open("serve_run");
+        let mut engine = self.engine.lock().unwrap_or_else(|e| e.into_inner());
+        SessionCounters::bump(&self.counters.queue_dequeued);
+        let result = engine.analyze_incremental(sources);
+        if let Some(dir) = &self.opts.cache_dir {
+            // A full disk is not a failed analysis: the result stands,
+            // the next cold start just pays the re-parse.
+            let _ = engine.save_disk_cache(dir);
+        }
+        drop(engine);
+        self.request_rec.close(run_span);
+        SessionCounters::bump(&self.counters.runs);
+        let records = finding_records(&result.deviations, &result.sites, &result.files);
+        if let Some(dir) = &self.opts.history_dir {
+            let run_record = crate::history::record_of(&result, &self.opts.config, records.clone());
+            let _ = crate::history::append(dir, &run_record);
+            let perf_record = crate::perf::record_of(&result, &self.opts.config, None);
+            let _ = crate::perf::append(dir, &perf_record);
+        }
+        let handle = Arc::new(RunHandle {
+            corpus_key: key,
+            result: Arc::new(result),
+            records,
+        });
+        self.publish(&handle);
+        Ok(handle)
+    }
+
+    /// Publish the latest run to the live endpoint: the engine's per-run
+    /// snapshot merged with the session's cumulative counters, request
+    /// spans since the last publish, and the request-latency histogram.
+    fn publish(&self, handle: &RunHandle) {
+        let request_spans = self.request_rec.snapshot().spans;
+        self.request_rec.reset();
+        let mut merged = handle.result.obs.with_counters(self.counters.export());
+        merged.spans.extend(request_spans);
+        let merged = merged.with_histogram(
+            "serve_request_duration_us",
+            self.request_hist
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .clone(),
+        );
+        self.live.publish(
+            &merged,
+            handle.records.len() as u64,
+            handle.result.stats.elapsed_ms * 1000,
+        );
+        self.live.set_server_stats(
+            self.counters.queue_depth(),
+            SessionCounters::get(&self.counters.coalesced),
+            SessionCounters::get(&self.counters.requests),
+        );
+    }
+
+    /// `analyze`: the full schema-v3 report — the exact document
+    /// `ofence analyze --json` prints for the same snapshot.
+    pub fn analyze_document(&self) -> Result<serde_json::Value, String> {
+        let _span = self
+            .request_rec
+            .span_with("request", &[("method", "analyze")]);
+        let handle = self.current_run()?;
+        Ok(handle.result.to_json())
+    }
+
+    /// `analyze-file`: the slice of the current run belonging to one
+    /// file (exact name, or unambiguous path suffix).
+    pub fn analyze_file_document(&self, file: &str) -> Result<serde_json::Value, String> {
+        let _span = self
+            .request_rec
+            .span_with("request", &[("method", "analyze-file")]);
+        let handle = self.current_run()?;
+        let result = &handle.result;
+        let matches: Vec<usize> = result
+            .files
+            .iter()
+            .enumerate()
+            .filter(|(_, fa)| name_matches(&fa.name, file))
+            .map(|(i, _)| i)
+            .collect();
+        let idx = match matches.as_slice() {
+            [one] => *one,
+            [] => return Err(format!("no corpus file matches `{file}`")),
+            _ => {
+                return Err(format!(
+                    "`{file}` is ambiguous: matches {} corpus files",
+                    matches.len()
+                ))
+            }
+        };
+        let fa = &result.files[idx];
+        let findings: Vec<&FindingRecord> = handle
+            .records
+            .iter()
+            .filter(|r| r.file == fa.name)
+            .collect();
+        Ok(serde_json::json!({
+            "schema_version": crate::json::SCHEMA_VERSION,
+            "run_id": result.run_id,
+            "file": fa.name,
+            "barriers": fa.sites.len(),
+            "functions": fa.functions.len(),
+            "parse_errors": fa.parse_error_count,
+            "findings": findings,
+        }))
+    }
+
+    /// `explain`: replay the pairing decision for the barrier at
+    /// `file:line` — the exact document `ofence explain --json` prints.
+    pub fn explain_document(&self, file: &str, line: u32) -> Result<serde_json::Value, String> {
+        let _span = self
+            .request_rec
+            .span_with("request", &[("method", "explain")]);
+        let handle = self.current_run()?;
+        let result = &handle.result;
+        let site = result
+            .sites
+            .iter()
+            .find(|s| name_matches(&s.site.file_name, file) && s.site.line == line)
+            .ok_or_else(|| format!("no barrier at {file}:{line}"))?;
+        let explanation = crate::explain::explain_site_with(
+            &result.sites,
+            &result.pairing,
+            &self.opts.config,
+            site.id,
+        )
+        .expect("site id comes from this result");
+        Ok(serde_json::to_value(&explanation))
+    }
+
+    /// `diff`: classify findings across two ledger runs (ids or
+    /// unambiguous prefixes) — the exact document `ofence diff --json`
+    /// prints for the same operands.
+    pub fn diff_document(&self, old: &str, new: &str) -> Result<serde_json::Value, String> {
+        let _span = self.request_rec.span_with("request", &[("method", "diff")]);
+        self.tracked(|| {
+            let dir = self
+                .opts
+                .history_dir
+                .as_ref()
+                .ok_or("this session runs without a history ledger; diff is unavailable")?;
+            let old_records = crate::history::find(dir, old)?.findings;
+            let new_records = crate::history::find(dir, new)?.findings;
+            Ok(crate::diffing::classify(&old_records, &new_records).to_json())
+        })
+    }
+
+    /// `baseline-gate`: analyze the current corpus, classify against an
+    /// inline baseline document, and report whether the `fail_on`
+    /// policy passes.
+    pub fn baseline_gate_document(
+        &self,
+        baseline: &serde_json::Value,
+        fail_on: crate::diffing::FailOn,
+    ) -> Result<serde_json::Value, String> {
+        let _span = self
+            .request_rec
+            .span_with("request", &[("method", "baseline-gate")]);
+        let known = crate::diffing::records_from_json(baseline)
+            .map_err(|e| format!("baseline document: {e}"))?;
+        let handle = self.current_run()?;
+        let report = crate::diffing::classify(&known, &handle.records);
+        let pass = match fail_on {
+            crate::diffing::FailOn::Any => report.new.is_empty() && report.unchanged.is_empty(),
+            crate::diffing::FailOn::New => report.new.is_empty(),
+            crate::diffing::FailOn::None => true,
+        };
+        Ok(serde_json::json!({
+            "run_id": handle.result.run_id,
+            "pass": pass,
+            "report": report.to_json(),
+        }))
+    }
+
+    /// `status`: session health — uptime, counters, queue depth, cache
+    /// economics. Cheap: never triggers an analysis.
+    pub fn status_document(&self) -> serde_json::Value {
+        let counters: serde_json::Map<String, serde_json::Value> = self
+            .counters
+            .export()
+            .into_iter()
+            .map(|(k, v)| (k, serde_json::Value::from(v)))
+            .collect();
+        serde_json::json!({
+            "uptime_us": self.uptime_us(),
+            "paths": self.opts.paths,
+            "queue_depth": self.counters.queue_depth(),
+            "counters": counters,
+        })
+    }
+}
+
+/// Exact name, or path-suffix match in either direction — the same rule
+/// `ofence explain` applies to its `<file:line>` target.
+fn name_matches(name: &str, wanted: &str) -> bool {
+    name == wanted || name.ends_with(&format!("/{wanted}")) || wanted.ends_with(&format!("/{name}"))
+}
+
+/// The coalescing key: FNV over every `(path, content hash)` pair plus
+/// the config fingerprint. Two requests share a key iff they observe the
+/// same corpus bytes under the same analysis configuration.
+pub fn corpus_key(sources: &[SourceFile], config: &AnalysisConfig) -> u64 {
+    let mut acc = String::new();
+    for s in sources {
+        acc.push_str(&s.name);
+        acc.push(':');
+        acc.push_str(&format!(
+            "{:016x}",
+            cache::content_hash(s.content.as_bytes())
+        ));
+        acc.push('\n');
+    }
+    acc.push_str(&format!("{:016x}", cache::config_fingerprint(config)));
+    cache::content_hash(acc.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ofence-session-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    const CLEAN: &str = "struct m { int init; int y; };\n\
+void reader(struct m *a) { if (!a->init) return; smp_rmb(); f(a->y); }\n\
+void writer(struct m *b) { b->y = 1; smp_wmb(); b->init = 1; }\n";
+
+    fn session_over(dir: &std::path::Path) -> Session {
+        Session::new(SessionOptions {
+            config: AnalysisConfig::default(),
+            paths: vec![dir.display().to_string()],
+            cache_dir: None,
+            history_dir: None,
+        })
+    }
+
+    #[test]
+    fn analyze_document_matches_engine_output() {
+        let dir = tempdir("doc");
+        std::fs::write(dir.join("m.c"), CLEAN).unwrap();
+        let session = session_over(&dir);
+        let doc = session.analyze_document().unwrap();
+        assert_eq!(doc["schema_version"], crate::json::SCHEMA_VERSION);
+        assert_eq!(doc["sites"].as_array().unwrap().len(), 2);
+        assert_eq!(doc["pairings"].as_array().unwrap().len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn identical_snapshots_share_a_key_and_edits_change_it() {
+        let dir = tempdir("key");
+        std::fs::write(dir.join("m.c"), CLEAN).unwrap();
+        let session = session_over(&dir);
+        let (s1, k1) = session.snapshot_sources().unwrap();
+        let (_, k2) = session.snapshot_sources().unwrap();
+        assert_eq!(k1, k2);
+        assert_eq!(s1.len(), 1);
+        std::fs::write(dir.join("m.c"), format!("{CLEAN}\nint pad;\n")).unwrap();
+        let (_, k3) = session.snapshot_sources().unwrap();
+        assert_ne!(k1, k3);
+        // Config changes the key too: same bytes, different analysis.
+        let other = Session::new(SessionOptions {
+            config: AnalysisConfig {
+                write_window: 9,
+                ..Default::default()
+            },
+            paths: vec![dir.display().to_string()],
+            cache_dir: None,
+            history_dir: None,
+        });
+        let (_, k4) = other.snapshot_sources().unwrap();
+        assert_ne!(k3, k4);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sequential_requests_do_not_coalesce_but_reuse_the_cache() {
+        let dir = tempdir("seq");
+        std::fs::write(dir.join("m.c"), CLEAN).unwrap();
+        let session = session_over(&dir);
+        let a = session.current_run().unwrap();
+        let b = session.current_run().unwrap();
+        // Two sequential runs: distinct run ids, zero coalescing, warm
+        // second run.
+        assert_ne!(a.result.run_id, b.result.run_id);
+        assert_eq!(SessionCounters::get(&session.counters.coalesced), 0);
+        assert_eq!(b.result.obs.count_of("engine_cache_hits"), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn overlapping_identical_requests_coalesce_to_one_run_id() {
+        let dir = tempdir("coalesce");
+        // A corpus big enough that the analysis has an in-flight window.
+        for i in 0..24 {
+            std::fs::write(dir.join(format!("f{i:02}.c")), CLEAN).unwrap();
+        }
+        let session = Arc::new(session_over(&dir));
+        let mut run_ids: Vec<String> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let session = session.clone();
+                    scope.spawn(move || session.current_run().unwrap().result.run_id.clone())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        run_ids.sort();
+        run_ids.dedup();
+        let coalesced = SessionCounters::get(&session.counters.coalesced);
+        // Exactly one engine run per distinct run id; every other
+        // request joined one of them.
+        assert_eq!(
+            run_ids.len() as u64 + coalesced,
+            8,
+            "run_ids={run_ids:?} coalesced={coalesced}"
+        );
+        assert_eq!(
+            SessionCounters::get(&session.counters.runs),
+            run_ids.len() as u64
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn explain_and_file_slice_work_from_one_warm_run() {
+        let dir = tempdir("methods");
+        std::fs::write(dir.join("m.c"), CLEAN).unwrap();
+        let session = session_over(&dir);
+        let explanation = session.explain_document("m.c", 2).unwrap();
+        assert!(explanation["target"].is_object(), "{explanation}");
+        let slice = session.analyze_file_document("m.c").unwrap();
+        assert_eq!(slice["barriers"], 2);
+        assert!(session.explain_document("m.c", 999).is_err());
+        assert!(session.analyze_file_document("nope.c").is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn diff_resolves_ledger_runs() {
+        let dir = tempdir("diff");
+        let corpus = dir.join("src");
+        std::fs::create_dir_all(&corpus).unwrap();
+        std::fs::write(corpus.join("m.c"), CLEAN).unwrap();
+        let session = Session::new(SessionOptions {
+            config: AnalysisConfig::default(),
+            paths: vec![corpus.display().to_string()],
+            cache_dir: None,
+            history_dir: Some(dir.join("ledger")),
+        });
+        let a = session.current_run().unwrap().result.run_id.clone();
+        // Introduce a bug: reader loses its fence ordering — simplest is
+        // a misplaced access corpus pattern appended to the file.
+        let buggy = format!(
+            "{CLEAN}\nstruct rpc {{ int len; int recd; }};\n\
+void complete(struct rpc *req) {{ req->len = 4; smp_wmb(); req->recd = 1; }}\n\
+void decode(struct rpc *req) {{ smp_rmb(); if (!req->recd) return; g(req->len); }}\n"
+        );
+        std::fs::write(corpus.join("m.c"), buggy).unwrap();
+        let b = session.current_run().unwrap().result.run_id.clone();
+        let report = session.diff_document(&a, &b).unwrap();
+        assert_eq!(report["summary"]["new"], 1, "{report}");
+        assert_eq!(report["summary"]["fixed"], 0, "{report}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn baseline_gate_passes_and_fails() {
+        let dir = tempdir("gate");
+        let buggy = "struct rpc { int len; int recd; };\n\
+void complete(struct rpc *req) { req->len = 4; smp_wmb(); req->recd = 1; }\n\
+void decode(struct rpc *req) { smp_rmb(); if (!req->recd) return; g(req->len); }\n";
+        std::fs::write(dir.join("m.c"), buggy).unwrap();
+        let session = session_over(&dir);
+        // Empty baseline: the finding is new, the gate fails.
+        let empty = serde_json::json!({ "findings": [] });
+        let out = session
+            .baseline_gate_document(&empty, crate::diffing::FailOn::New)
+            .unwrap();
+        assert_eq!(out["pass"], false, "{out}");
+        // Baseline = current findings: nothing new, the gate passes.
+        let doc = session.analyze_document().unwrap();
+        let out = session
+            .baseline_gate_document(&doc, crate::diffing::FailOn::New)
+            .unwrap();
+        assert_eq!(out["pass"], true, "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn status_is_cheap_and_counts_nothing() {
+        let dir = tempdir("status");
+        std::fs::write(dir.join("m.c"), CLEAN).unwrap();
+        let session = session_over(&dir);
+        let status = session.status_document();
+        assert_eq!(status["queue_depth"], 0);
+        assert_eq!(SessionCounters::get(&session.counters.runs), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -37,6 +37,16 @@ struct LiveState {
     /// Cumulative cache hits / files analyzed across all published runs.
     cache_hits: u64,
     files_analyzed: u64,
+    /// Daemon-mode request stats ([`Live::set_server_stats`]); `None`
+    /// outside `ofence serve`, and the `/health` body omits them then.
+    server: Option<ServerStats>,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct ServerStats {
+    queue_depth: u64,
+    coalesced: u64,
+    requests: u64,
 }
 
 /// Shared live telemetry: the publisher half is the analysis driver, the
@@ -68,6 +78,18 @@ impl Live {
         inner.files_analyzed += snapshot.count_of("engine_files_analyzed");
     }
 
+    /// Publish daemon request stats (analysis daemon only): current
+    /// queue depth plus cumulative coalesced-join and request counts.
+    /// Once set, `/health` carries them.
+    pub fn set_server_stats(&self, queue_depth: u64, coalesced: u64, requests: u64) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.server = Some(ServerStats {
+            queue_depth,
+            coalesced,
+            requests,
+        });
+    }
+
     /// Runs published so far.
     pub fn runs(&self) -> u64 {
         self.inner.lock().unwrap_or_else(|e| e.into_inner()).runs
@@ -91,8 +113,15 @@ impl Live {
         } else {
             0.0
         };
+        let server = match s.server {
+            Some(v) => format!(
+                ",\"queue_depth\":{},\"coalesced\":{},\"requests\":{}",
+                v.queue_depth, v.coalesced, v.requests
+            ),
+            None => String::new(),
+        };
         format!(
-            "{{\"status\":\"{}\",\"runs\":{},\"last_iteration_us\":{},\"cache_hit_rate\":{:.4},\"deviations_total\":{}}}",
+            "{{\"status\":\"{}\",\"runs\":{},\"last_iteration_us\":{},\"cache_hit_rate\":{:.4},\"deviations_total\":{}{server}}}",
             if s.runs > 0 { "ok" } else { "starting" },
             s.runs,
             s.last_iteration_us,
@@ -310,6 +339,18 @@ mod tests {
         // port succeeds.
         let rebound = TcpListener::bind(addr);
         assert!(rebound.is_ok(), "{rebound:?}");
+    }
+
+    #[test]
+    fn server_stats_appear_in_health_once_set() {
+        let live = Arc::new(Live::new());
+        live.publish(&sample_snapshot(), 0, 10);
+        assert!(!live.health_json().contains("queue_depth"));
+        live.set_server_stats(2, 7, 40);
+        let body = live.health_json();
+        assert!(body.contains("\"queue_depth\":2"), "{body}");
+        assert!(body.contains("\"coalesced\":7"), "{body}");
+        assert!(body.contains("\"requests\":40"), "{body}");
     }
 
     #[test]

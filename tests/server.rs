@@ -1,0 +1,695 @@
+//! End-to-end tests for `ofence serve` — the analysis daemon (DESIGN §15).
+//!
+//! The daemon runs as a real child process (`CARGO_BIN_EXE_ofence serve`)
+//! against a generated corpus on disk, and the tests speak the wire
+//! protocol over TCP, exactly as an editor integration would:
+//!
+//! * **byte-identity** — `analyze`, `explain`, and `diff` responses must
+//!   match the single-shot CLI output byte for byte (after scrubbing the
+//!   per-run volatile fields: `run_id`, `stats`, `observability`).
+//! * **coalescing** — a barrage of identical concurrent requests shares
+//!   runs: `serve_runs` equals the number of distinct run ids and the
+//!   `serve_coalesced` counter is exercised (> 0).
+//! * **torn results** — concurrent atomic corpus edits racing analyzes
+//!   never produce a response mixing two corpus versions, and never
+//!   corrupt the on-disk cache shards (proptest, PR 7 shard integrity).
+//! * **protocol fuzz** — garbage, truncated, oversized, and non-UTF-8
+//!   requests get structured errors, never a panic, and the daemon's
+//!   thread count returns to its post-warmup baseline.
+
+use std::collections::HashSet;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use ofence_corpus::generator::{generate, inject_deviation, inject_edit, Corpus, CorpusSpec};
+use proptest::prelude::*;
+use serde_json::Value;
+
+// ---------------------------------------------------------------------------
+// Harness: corpus on disk, daemon child process, wire client, CLI runner.
+// ---------------------------------------------------------------------------
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "ofence-server-test-{tag}-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Write every corpus file under `dir`, creating parents as needed.
+fn write_corpus(dir: &Path, corpus: &Corpus) {
+    for f in &corpus.files {
+        let path = dir.join(&f.name);
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent).unwrap();
+        }
+        std::fs::write(path, &f.content).unwrap();
+    }
+}
+
+/// Atomically replace one corpus file on disk (write + rename), so a
+/// racing snapshot sees either the old or the new content, never a
+/// half-written file.
+fn rewrite_file_atomic(dir: &Path, name: &str, content: &str) {
+    let path = dir.join(name);
+    let tmp = dir.join(format!("{name}.tmp-swap"));
+    std::fs::write(&tmp, content).unwrap();
+    std::fs::rename(&tmp, &path).unwrap();
+}
+
+/// A daemon child process. Spawns `ofence serve`, parses the bound
+/// address off stdout, and kills the child on drop if it is still alive.
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+impl Daemon {
+    fn spawn(corpus_dir: &Path, cache_dir: &Path, history_dir: &Path) -> Daemon {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_ofence"))
+            .arg("serve")
+            .arg(corpus_dir)
+            .args(["--addr", "127.0.0.1:0"])
+            .arg("--cache-dir")
+            .arg(cache_dir)
+            .arg("--history-dir")
+            .arg(history_dir)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn ofence serve");
+        let stdout = child.stdout.take().unwrap();
+        let mut reader = BufReader::new(stdout);
+        let mut addr = None;
+        let mut line = String::new();
+        while reader.read_line(&mut line).unwrap_or(0) > 0 {
+            if let Some(rest) = line.trim_end().strip_prefix("serve: listening on ") {
+                addr = Some(rest.to_string());
+                break;
+            }
+            line.clear();
+        }
+        let addr = addr.expect("daemon printed its listen address");
+        // Keep draining stdout so the child never blocks on a full pipe.
+        std::thread::spawn(move || {
+            let mut sink = String::new();
+            let _ = reader.read_to_string(&mut sink);
+        });
+        Daemon { child, addr }
+    }
+
+    fn client(&self) -> Client {
+        Client::connect(&self.addr)
+    }
+
+    /// Ask the daemon to stop, then wait for the process to exit.
+    fn shutdown(&mut self) {
+        let mut c = self.client();
+        let _ = c.call(serde_json::json!({"id": "bye", "method": "shutdown"}));
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while Instant::now() < deadline {
+            if self.child.try_wait().unwrap().is_some() {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        panic!("daemon did not exit after shutdown");
+    }
+
+    /// `Threads:` from /proc/<pid>/status — the daemon's live thread count.
+    fn thread_count(&self) -> usize {
+        let status = std::fs::read_to_string(format!("/proc/{}/status", self.child.id())).unwrap();
+        status
+            .lines()
+            .find_map(|l| l.strip_prefix("Threads:"))
+            .and_then(|v| v.trim().parse().ok())
+            .expect("Threads: line in /proc status")
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        if self.child.try_wait().map(|s| s.is_none()).unwrap_or(false) {
+            let _ = self.child.kill();
+        }
+        let _ = self.child.wait();
+    }
+}
+
+/// One wire connection: newline-delimited JSON requests and responses.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: &str) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect to daemon");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(120)))
+            .unwrap();
+        Client {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            writer: stream,
+        }
+    }
+
+    fn call(&mut self, request: Value) -> Value {
+        let mut line = serde_json::to_string(&request).unwrap();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes()).unwrap();
+        let mut response = String::new();
+        self.reader.read_line(&mut response).unwrap();
+        assert!(
+            !response.is_empty(),
+            "daemon closed the connection instead of answering"
+        );
+        serde_json::from_str(&response).expect("daemon response is valid JSON")
+    }
+
+    /// Call and unwrap a successful result document.
+    fn ok(&mut self, request: Value) -> Value {
+        let response = self.call(request);
+        assert_eq!(
+            response["ok"],
+            true,
+            "request failed: {}",
+            serde_json::to_string(&response).unwrap()
+        );
+        response["result"].clone()
+    }
+}
+
+/// Run the single-shot CLI; returns captured stdout. Panics on non-zero
+/// exit so a broken comparison command fails loudly.
+fn run_cli(args: &[&str]) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_ofence"))
+        .args(args)
+        .output()
+        .expect("run ofence CLI");
+    assert!(
+        out.status.success(),
+        "ofence {:?} failed: {}",
+        args,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("CLI output is UTF-8")
+}
+
+/// Null out the fields that legitimately differ between two runs over
+/// identical corpus bytes: the run id and the timing/counter blocks.
+/// Everything else — sites, pairings, findings, patches, files — must
+/// match byte for byte.
+fn scrub_volatile(doc: &mut Value) {
+    if let Value::Object(map) = doc {
+        for key in ["run_id", "stats", "observability"] {
+            if map.contains_key(key) {
+                map.insert(key.to_string(), Value::Null);
+            }
+        }
+    }
+}
+
+fn pretty_scrubbed(mut doc: Value) -> String {
+    scrub_volatile(&mut doc);
+    serde_json::to_string_pretty(&doc).unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Satellite 1: daemon responses are byte-identical to the single-shot CLI.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn daemon_matches_single_shot_cli_byte_for_byte() {
+    let corpus_dir = temp_dir("e2e-corpus");
+    let cache_dir = temp_dir("e2e-cache");
+    let history_dir = temp_dir("e2e-history");
+    let mut corpus = generate(&CorpusSpec::small(11));
+    write_corpus(&corpus_dir, &corpus);
+    let corpus_path = corpus_dir.display().to_string();
+
+    let mut daemon = Daemon::spawn(&corpus_dir, &cache_dir, &history_dir);
+    let mut client = daemon.client();
+
+    // analyze: same document the CLI prints for `analyze --json`.
+    let served = client.ok(serde_json::json!({"id": 1, "method": "analyze"}));
+    assert_eq!(served["schema_version"], 3);
+    for key in ["run_id", "sites", "pairings", "findings", "files"] {
+        assert!(served.get(key).is_some(), "analyze document has `{key}`");
+    }
+    let run_id_1 = served["run_id"].as_str().unwrap().to_string();
+    let cli_stdout = run_cli(&[
+        "analyze",
+        &corpus_path,
+        "--json",
+        "--fail-on",
+        "none",
+        "--no-history",
+        "--no-cache",
+    ]);
+    let cli_doc: Value = serde_json::from_str(&cli_stdout).unwrap();
+    assert_eq!(
+        pretty_scrubbed(served.clone()),
+        pretty_scrubbed(cli_doc),
+        "daemon analyze differs from single-shot CLI"
+    );
+
+    // explain: replay one pairing decision for a real barrier site.
+    let site = &served["sites"][0]["site"];
+    let file = site["file_name"].as_str().unwrap().to_string();
+    let line = site["line"].as_u64().unwrap();
+    let served_explain = client.ok(serde_json::json!({
+        "id": 2,
+        "method": "explain",
+        "params": {"file": file, "line": line},
+    }));
+    let cli_explain = run_cli(&[
+        "explain",
+        &format!("{file}:{line}"),
+        &corpus_path,
+        "--json",
+        "--no-history",
+        "--no-cache",
+    ]);
+    assert_eq!(
+        serde_json::to_string_pretty(&served_explain).unwrap(),
+        cli_explain.trim_end(),
+        "daemon explain differs from single-shot CLI"
+    );
+
+    // diff: edit the corpus, analyze again, then classify the two ledger
+    // runs through both front ends.
+    let edited = inject_edit(&mut corpus, 77);
+    let content = corpus
+        .files
+        .iter()
+        .find(|f| f.name == edited)
+        .unwrap()
+        .content
+        .clone();
+    rewrite_file_atomic(&corpus_dir, &edited, &content);
+    let second = client.ok(serde_json::json!({"id": 3, "method": "analyze"}));
+    let run_id_2 = second["run_id"].as_str().unwrap().to_string();
+    assert_ne!(run_id_1, run_id_2, "edited corpus produces a fresh run");
+    let served_diff = client.ok(serde_json::json!({
+        "id": 4,
+        "method": "diff",
+        "params": {"old": run_id_1, "new": run_id_2},
+    }));
+    let cli_diff = run_cli(&[
+        "diff",
+        &run_id_1,
+        &run_id_2,
+        "--json",
+        "--fail-on",
+        "none",
+        "--history-dir",
+        &history_dir.display().to_string(),
+    ]);
+    assert_eq!(
+        serde_json::to_string_pretty(&served_diff).unwrap(),
+        cli_diff.trim_end(),
+        "daemon diff differs from single-shot CLI"
+    );
+
+    // analyze-file: a coherent slice of the full document — the same
+    // findings the full run reports for that file (the run id is fresh;
+    // only concurrent requests share runs).
+    let slice = client.ok(serde_json::json!({
+        "id": 5,
+        "method": "analyze-file",
+        "params": {"file": file},
+    }));
+    assert_eq!(slice["schema_version"], 3);
+    assert_eq!(slice["file"].as_str().unwrap(), file);
+    let full_findings = Value::Array(
+        second["findings"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter(|f| f["file"].as_str() == Some(file.as_str()))
+            .cloned()
+            .collect(),
+    );
+    assert_eq!(
+        slice["findings"], full_findings,
+        "analyze-file slice differs from the full document's findings"
+    );
+
+    daemon.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Satellite 1 (cont.): identical concurrent requests coalesce.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn concurrent_identical_requests_coalesce() {
+    let corpus_dir = temp_dir("coalesce-corpus");
+    let cache_dir = temp_dir("coalesce-cache");
+    let history_dir = temp_dir("coalesce-history");
+    // A larger corpus than `small` so each run takes long enough for the
+    // barrage to overlap in flight.
+    let spec = CorpusSpec {
+        files: 24,
+        ..CorpusSpec::small(23)
+    };
+    write_corpus(&corpus_dir, &generate(&spec));
+
+    let mut daemon = Daemon::spawn(&corpus_dir, &cache_dir, &history_dir);
+
+    const THREADS: usize = 8;
+    const ROUNDS: usize = 3;
+    let barrier = std::sync::Barrier::new(THREADS);
+    let mut run_ids: Vec<String> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let addr = daemon.addr.clone();
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    let mut client = Client::connect(&addr);
+                    let mut ids = Vec::new();
+                    for round in 0..ROUNDS {
+                        barrier.wait();
+                        let doc = client.ok(
+                            serde_json::json!({"id": format!("{t}-{round}"), "method": "analyze"}),
+                        );
+                        ids.push(doc["run_id"].as_str().unwrap().to_string());
+                    }
+                    ids
+                })
+            })
+            .collect();
+        for h in handles {
+            run_ids.extend(h.join().unwrap());
+        }
+    });
+
+    assert_eq!(run_ids.len(), THREADS * ROUNDS);
+    let distinct: HashSet<&String> = run_ids.iter().collect();
+    let status = daemon
+        .client()
+        .ok(serde_json::json!({"id": "s", "method": "status"}));
+    let counter = |name: &str| status["counters"][name].as_u64().unwrap();
+    // Every analyze either led a run or joined one; nothing is lost and
+    // nothing is double-counted.
+    assert_eq!(
+        counter("serve_runs"),
+        distinct.len() as u64,
+        "one engine run per distinct run id"
+    );
+    assert_eq!(
+        counter("serve_runs") + counter("serve_coalesced"),
+        (THREADS * ROUNDS) as u64,
+        "every request either leads or joins"
+    );
+    assert!(
+        counter("serve_coalesced") > 0,
+        "the barrage must actually exercise coalescing \
+         (got {} runs for {} requests)",
+        counter("serve_runs"),
+        THREADS * ROUNDS
+    );
+    assert_eq!(counter("serve_errors"), 0);
+
+    daemon.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Satellite 2: concurrent edits racing analyzes — no torn results, no
+// corrupt cache shards.
+// ---------------------------------------------------------------------------
+
+/// Group the injected bugs by file, in injection order. A snapshot that
+/// mixes corpus versions *within* one file would surface as a gap in
+/// this sequence (bug k visible while bug j < k of the same file is not).
+fn per_file_prefixes(bugs: &[(String, String)]) -> Vec<(String, Vec<String>)> {
+    let mut grouped: Vec<(String, Vec<String>)> = Vec::new();
+    for (file, function) in bugs {
+        match grouped.iter_mut().find(|(f, _)| f == file) {
+            Some((_, fns)) => fns.push(function.clone()),
+            None => grouped.push((file.clone(), vec![function.clone()])),
+        }
+    }
+    grouped
+}
+
+fn assert_untorn(doc: &Value, bugs: &[(String, String)]) {
+    let findings = doc["findings"].as_array().expect("findings array");
+    let found: HashSet<String> = findings
+        .iter()
+        .filter_map(|f| f["function"].as_str())
+        .map(str::to_string)
+        .collect();
+    for (file, functions) in per_file_prefixes(bugs) {
+        let visible: Vec<bool> = functions.iter().map(|f| found.contains(f)).collect();
+        let first_missing = visible.iter().position(|v| !v).unwrap_or(visible.len());
+        assert!(
+            visible[first_missing..].iter().all(|v| !v),
+            "torn result for {file}: injected bugs visible out of order \
+             ({functions:?} -> {visible:?})"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    #[test]
+    fn edits_racing_analyzes_never_tear(seed in 0u64..500) {
+        let corpus_dir = temp_dir("race-corpus");
+        let cache_dir = temp_dir("race-cache");
+        let history_dir = temp_dir("race-history");
+        let mut corpus = generate(&CorpusSpec::small(seed));
+        write_corpus(&corpus_dir, &corpus);
+
+        let mut daemon = Daemon::spawn(&corpus_dir, &cache_dir, &history_dir);
+
+        const EDITS: usize = 6;
+        // Writer: inject one misplaced-access bug at a time, rewriting
+        // the touched file atomically, while readers keep analyzing.
+        let mut injected: Vec<(String, String)> = Vec::new();
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let addr = daemon.addr.clone();
+            let stop_ref = &stop;
+            let readers: Vec<_> = (0..2)
+                .map(|r| {
+                    let addr = addr.clone();
+                    scope.spawn(move || {
+                        let mut client = Client::connect(&addr);
+                        let mut docs = Vec::new();
+                        while !stop_ref.load(Ordering::Relaxed) {
+                            let doc = client.ok(
+                                serde_json::json!({"id": format!("r{r}"), "method": "analyze"}),
+                            );
+                            docs.push(doc);
+                        }
+                        docs
+                    })
+                })
+                .collect();
+
+            for j in 0..EDITS {
+                let bug = inject_deviation(&mut corpus, seed * 16 + j as u64);
+                let content = corpus
+                    .files
+                    .iter()
+                    .find(|f| f.name == bug.file)
+                    .unwrap()
+                    .content
+                    .clone();
+                rewrite_file_atomic(&corpus_dir, &bug.file, &content);
+                injected.push((bug.file.clone(), bug.function.clone()));
+                std::thread::sleep(Duration::from_millis(30));
+            }
+            stop.store(true, Ordering::Relaxed);
+            for reader in readers {
+                // Every response observed mid-race must be a coherent
+                // snapshot: per file, injected bugs appear oldest-first
+                // with no gaps.
+                for doc in reader.join().unwrap() {
+                    assert_untorn(&doc, &injected);
+                }
+            }
+        });
+
+        // The settled corpus shows every injected bug.
+        let final_doc = daemon
+            .client()
+            .ok(serde_json::json!({"id": "final", "method": "analyze"}));
+        let found: HashSet<String> = final_doc["findings"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter_map(|f| f["function"].as_str())
+            .map(str::to_string)
+            .collect();
+        for (_, function) in &injected {
+            prop_assert!(
+                found.contains(function),
+                "settled run is missing injected bug {function}"
+            );
+        }
+        let status = daemon
+            .client()
+            .ok(serde_json::json!({"id": "s", "method": "status"}));
+        prop_assert_eq!(status["counters"]["serve_errors"].as_u64(), Some(0));
+
+        daemon.shutdown();
+
+        // The disk cache survived the race: the shards reload cleanly
+        // instead of being discarded as corrupt (PR 7 shard integrity).
+        let mut engine = ofence::Engine::new(ofence::AnalysisConfig::default());
+        if let ofence::LoadOutcome::Discarded { reason } = engine.load_disk_cache(&cache_dir) {
+            prop_assert!(false, "cache shards corrupted by the race: {}", reason);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Satellite 3: protocol fuzz — structured errors, no panics, no thread
+// leaks.
+// ---------------------------------------------------------------------------
+
+/// Send raw bytes on a fresh connection and return the response line, if
+/// the daemon sent one before we closed.
+fn raw_exchange(addr: &str, payload: &[u8], expect_reply: bool) -> Option<Value> {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream.write_all(payload).unwrap();
+    if !expect_reply {
+        return None;
+    }
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    if line.is_empty() {
+        None
+    } else {
+        Some(serde_json::from_str(&line).expect("error responses are valid JSON"))
+    }
+}
+
+fn error_code(response: &Value) -> String {
+    assert_eq!(response["ok"], false);
+    response["error"]["code"].as_str().unwrap().to_string()
+}
+
+#[test]
+fn protocol_fuzz_yields_structured_errors_and_no_thread_leak() {
+    let corpus_dir = temp_dir("fuzz-corpus");
+    let cache_dir = temp_dir("fuzz-cache");
+    let history_dir = temp_dir("fuzz-history");
+    write_corpus(&corpus_dir, &generate(&CorpusSpec::small(5)));
+
+    let mut daemon = Daemon::spawn(&corpus_dir, &cache_dir, &history_dir);
+
+    // Warm up: one analyze so the engine's worker pool exists, then take
+    // the thread baseline the storm must return to.
+    let mut client = daemon.client();
+    client.ok(serde_json::json!({"id": 0, "method": "analyze"}));
+    let baseline = daemon.thread_count();
+
+    // Garbage that is not JSON.
+    let r = raw_exchange(&daemon.addr, b"this is not json\n", true).unwrap();
+    assert_eq!(error_code(&r), "bad_request");
+
+    // Valid JSON that is not a request object.
+    let r = raw_exchange(&daemon.addr, b"[1,2,3]\n", true).unwrap();
+    assert_eq!(error_code(&r), "bad_request");
+
+    // Missing method.
+    let r = raw_exchange(&daemon.addr, b"{\"id\": 9}\n", true).unwrap();
+    assert_eq!(error_code(&r), "bad_request");
+    assert_eq!(r["id"], 9, "the request id is echoed even on errors");
+
+    // Invalid UTF-8.
+    let r = raw_exchange(&daemon.addr, b"\xff\xfe{\"id\":1}\n", true).unwrap();
+    assert_eq!(error_code(&r), "bad_request");
+
+    // Unknown method.
+    let r = raw_exchange(
+        &daemon.addr,
+        b"{\"id\": 1, \"method\": \"frobnicate\"}\n",
+        true,
+    )
+    .unwrap();
+    assert_eq!(error_code(&r), "unknown_method");
+
+    // Missing params for a method that requires them.
+    let r = raw_exchange(
+        &daemon.addr,
+        b"{\"id\": 2, \"method\": \"explain\"}\n",
+        true,
+    )
+    .unwrap();
+    assert_eq!(error_code(&r), "bad_request");
+
+    // Oversized line (> 4 MiB): rejected, and the connection survives to
+    // serve the next request.
+    {
+        let mut stream = TcpStream::connect(&daemon.addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        let mut huge = vec![b'x'; 5 * 1024 * 1024];
+        huge.push(b'\n');
+        stream.write_all(&huge).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let r: Value = serde_json::from_str(&line).unwrap();
+        assert_eq!(error_code(&r), "oversized");
+        stream
+            .write_all(b"{\"id\": \"after\", \"method\": \"ping\"}\n")
+            .unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        let r: Value = serde_json::from_str(&line).unwrap();
+        assert_eq!(r["ok"], true, "connection survives an oversized line");
+    }
+
+    // Mid-request disconnects: a partial line with no newline, and an
+    // immediate close. No reply expected; the daemon must just shrug.
+    for _ in 0..10 {
+        raw_exchange(&daemon.addr, b"{\"id\": 1, \"method\": \"anal", false);
+        let _ = TcpStream::connect(&daemon.addr).unwrap();
+    }
+
+    // The daemon still answers on a fresh connection.
+    let pong = daemon
+        .client()
+        .ok(serde_json::json!({"id": "alive", "method": "ping"}));
+    assert_eq!(pong["pong"], true);
+
+    // Connection threads wind down to the post-warmup baseline.
+    let deadline = Instant::now() + Duration::from_secs(15);
+    loop {
+        // One live client of our own (`client`) is still connected.
+        if daemon.thread_count() <= baseline {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "thread leak: {} threads, baseline {}",
+            daemon.thread_count(),
+            baseline
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    daemon.shutdown();
+}

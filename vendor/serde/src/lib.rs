@@ -189,6 +189,20 @@ impl Value {
         }
     }
 
+    /// Object member lookup: `Some(&value)` when `self` is an object
+    /// with the key, `None` otherwise (upstream serde_json's `get`).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    pub fn is_object(&self) -> bool {
+        matches!(self, Value::Object(_))
+    }
+
     pub fn as_array(&self) -> Option<&[Value]> {
         match self {
             Value::Array(a) => Some(a),
