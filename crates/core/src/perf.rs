@@ -143,14 +143,56 @@ struct Appender {
 impl Appender {
     fn append(&self, line: &[u8]) -> Result<(), String> {
         let mut file = self.file.lock().unwrap_or_else(|e| e.into_inner());
+        // The ledger can be rotated or deleted externally while the
+        // daemon runs; a cached handle would then append to the unlinked
+        // inode and silently lose the record. Re-stat the path before
+        // every write and reopen when the handle no longer matches.
+        if !handle_is_current(&file, &self.path) {
+            if let Some(parent) = self.path.parent() {
+                if !parent.as_os_str().is_empty() {
+                    let _ = std::fs::create_dir_all(parent);
+                }
+            }
+            *file = open_append(&self.path)?;
+        }
         file.write_all(line)
             .map_err(|e| format!("append to {}: {e}", self.path.display()))
     }
 }
 
+/// True when the open handle still refers to the file at `path` (same
+/// device and inode). A missing path or unreadable metadata counts as
+/// stale so the appender reopens.
+fn handle_is_current(file: &std::fs::File, path: &Path) -> bool {
+    let Ok(on_disk) = std::fs::metadata(path) else {
+        return false;
+    };
+    #[cfg(unix)]
+    {
+        use std::os::unix::fs::MetadataExt;
+        file.metadata()
+            .map(|held| held.dev() == on_disk.dev() && held.ino() == on_disk.ino())
+            .unwrap_or(false)
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = (file, on_disk);
+        true
+    }
+}
+
+fn open_append(path: &Path) -> Result<std::fs::File, String> {
+    std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map_err(|e| format!("open {}: {e}", path.display()))
+}
+
 /// The process-global appender registry: canonical ledger path → shared
-/// handle. The file is opened (and its directory created) once per
-/// process, on first append.
+/// handle. The file is opened (and its directory created) on first
+/// append; [`Appender::append`] reopens it if the ledger is rotated or
+/// deleted underneath the cached handle.
 fn appender_for(path: &Path) -> Result<Arc<Appender>, String> {
     static REGISTRY: OnceLock<Mutex<HashMap<PathBuf, Arc<Appender>>>> = OnceLock::new();
     if let Some(parent) = path.parent() {
@@ -174,11 +216,7 @@ fn appender_for(path: &Path) -> Result<Arc<Appender>, String> {
     if let Some(appender) = registry.get(&canonical) {
         return Ok(appender.clone());
     }
-    let file = std::fs::OpenOptions::new()
-        .create(true)
-        .append(true)
-        .open(path)
-        .map_err(|e| format!("open {}: {e}", path.display()))?;
+    let file = open_append(path)?;
     let appender = Arc::new(Appender {
         path: canonical.clone(),
         file: Mutex::new(file),
@@ -401,6 +439,37 @@ void writer(struct m *b) { b->y = 1; smp_wmb(); b->init = 1; }
         assert!(records[0].cold);
         assert!(records[0].phase_us.contains_key("pair"));
         assert!(records[0].iteration_us.is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn appender_survives_ledger_rotation_and_deletion() {
+        // The registry caches one handle per ledger for the process
+        // lifetime; rotating or deleting the file must not send later
+        // appends to the unlinked inode.
+        let dir = tmp("rotate");
+        let path = ledger_path(&dir);
+        let mut rec = run_once();
+        rec.run_id = "before-rotate".to_string();
+        append_to(&path, &rec).unwrap();
+        // Rotate: the cached handle now points at the renamed inode.
+        let rotated = dir.join("perf.jsonl.1");
+        std::fs::rename(&path, &rotated).unwrap();
+        rec.run_id = "after-rotate".to_string();
+        append_to(&path, &rec).unwrap();
+        let (records, _) = load_file(&path).unwrap();
+        assert_eq!(records.len(), 1, "record lost to the rotated inode");
+        assert_eq!(records[0].run_id, "after-rotate");
+        let (old, _) = load_file(&rotated).unwrap();
+        assert_eq!(old.len(), 1);
+        assert_eq!(old[0].run_id, "before-rotate");
+        // Delete: the handle points at an unlinked inode.
+        std::fs::remove_file(&path).unwrap();
+        rec.run_id = "after-delete".to_string();
+        append_to(&path, &rec).unwrap();
+        let (records, _) = load_file(&path).unwrap();
+        assert_eq!(records.len(), 1, "record lost to the unlinked inode");
+        assert_eq!(records[0].run_id, "after-delete");
         std::fs::remove_dir_all(&dir).ok();
     }
 

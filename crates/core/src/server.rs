@@ -28,7 +28,7 @@
 //! thread. The protocol fuzz suite in `tests/server.rs` holds the daemon
 //! to exactly that contract.
 
-use crate::session::{Session, SessionCounters};
+use crate::session::{panic_message, Session, SessionCounters};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -308,15 +308,17 @@ fn respond(session: &Session, line: &[u8]) -> (serde_json::Value, bool) {
     match outcome {
         Ok(Ok(result)) => (ok_response(id, result), false),
         Ok(Err(e)) => {
-            // `failed` errors were already counted by the session's own
-            // request tracking; protocol-level ones were not.
+            // `failed` errors come from session methods, whose whole
+            // bodies run inside the session's request tracking — already
+            // counted in `serve_errors`. Protocol-level errors never
+            // reach a session method, so they are counted here.
             if e.code != "failed" {
                 SessionCounters::bump_errors(&session.counters);
             }
             (error_response(id, e.code, &e.message), false)
         }
         Err(panic) => {
-            let message = panic_message(&panic);
+            let message = panic_message(panic.as_ref());
             SessionCounters::bump_errors(&session.counters);
             (
                 error_response(id, "internal", &format!("handler panicked: {message}")),
@@ -392,16 +394,6 @@ fn param_u32(params: Option<&serde_json::Value>, key: &str) -> Result<u32, RpcEr
         .and_then(|v| v.as_u64())
         .and_then(|v| u32::try_from(v).ok())
         .ok_or_else(|| RpcError::bad_request(format!("missing integer params field `{key}`")))
-}
-
-fn panic_message(panic: &Box<dyn std::any::Any + Send>) -> String {
-    if let Some(s) = panic.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = panic.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "unknown panic".to_string()
-    }
 }
 
 #[cfg(test)]

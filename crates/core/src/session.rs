@@ -39,6 +39,7 @@ use crate::config::AnalysisConfig;
 use crate::engine::{AnalysisResult, Engine, SourceFile};
 use crate::fingerprint::{finding_records, FindingRecord};
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -154,6 +155,10 @@ pub struct Session {
     /// long-lived daemon's span list stays bounded).
     request_rec: obs::Recorder,
     started: Instant,
+    /// Test hook: make the next [`Session::lead_run`] panic, to prove
+    /// flight cleanup survives an unwinding analysis.
+    #[cfg(test)]
+    panic_next_lead: std::sync::atomic::AtomicBool,
 }
 
 impl Session {
@@ -173,6 +178,8 @@ impl Session {
             request_hist: Mutex::new(obs::Histogram::default()),
             request_rec: obs::Recorder::new(),
             started: Instant::now(),
+            #[cfg(test)]
+            panic_next_lead: std::sync::atomic::AtomicBool::new(false),
         }
     }
 
@@ -261,7 +268,19 @@ impl Session {
             }
             return slot.clone().expect("leader published before notify");
         }
-        let outcome = self.lead_run(&sources, key);
+        // The leader MUST reach the cleanup below even if the analysis
+        // panics: an unwind that skipped it would leave the dead flight
+        // in `inflight` with an empty slot, wedging every waiting and
+        // future request for this key on the condvar forever. Convert
+        // the panic to an error so joiners are notified and the flight
+        // retires; the engine's own lock recovers from the poisoning.
+        let outcome = match catch_unwind(AssertUnwindSafe(|| self.lead_run(&sources, key))) {
+            Ok(outcome) => outcome,
+            Err(panic) => Err(format!(
+                "analysis panicked: {}",
+                panic_message(panic.as_ref())
+            )),
+        };
         // Publish to joiners and retire the flight — later identical
         // requests start a fresh (warm, cheap) run rather than receiving
         // a stale result forever.
@@ -277,6 +296,10 @@ impl Session {
 
     /// Run the engine over a snapshot (leader side of a flight).
     fn lead_run(&self, sources: &[SourceFile], key: u64) -> Result<Arc<RunHandle>, String> {
+        #[cfg(test)]
+        if self.panic_next_lead.swap(false, Ordering::SeqCst) {
+            panic!("injected lead_run panic");
+        }
         SessionCounters::bump(&self.counters.queue_enqueued);
         let run_span = self.request_rec.open("serve_run");
         let mut engine = self.engine.lock().unwrap_or_else(|e| e.into_inner());
@@ -339,8 +362,10 @@ impl Session {
         let _span = self
             .request_rec
             .span_with("request", &[("method", "analyze")]);
-        let handle = self.current_run()?;
-        Ok(handle.result.to_json())
+        self.tracked(|| {
+            let handle = self.current_run_inner()?;
+            Ok(handle.result.to_json())
+        })
     }
 
     /// `analyze-file`: the slice of the current run belonging to one
@@ -349,40 +374,42 @@ impl Session {
         let _span = self
             .request_rec
             .span_with("request", &[("method", "analyze-file")]);
-        let handle = self.current_run()?;
-        let result = &handle.result;
-        let matches: Vec<usize> = result
-            .files
-            .iter()
-            .enumerate()
-            .filter(|(_, fa)| name_matches(&fa.name, file))
-            .map(|(i, _)| i)
-            .collect();
-        let idx = match matches.as_slice() {
-            [one] => *one,
-            [] => return Err(format!("no corpus file matches `{file}`")),
-            _ => {
-                return Err(format!(
-                    "`{file}` is ambiguous: matches {} corpus files",
-                    matches.len()
-                ))
-            }
-        };
-        let fa = &result.files[idx];
-        let findings: Vec<&FindingRecord> = handle
-            .records
-            .iter()
-            .filter(|r| r.file == fa.name)
-            .collect();
-        Ok(serde_json::json!({
-            "schema_version": crate::json::SCHEMA_VERSION,
-            "run_id": result.run_id,
-            "file": fa.name,
-            "barriers": fa.sites.len(),
-            "functions": fa.functions.len(),
-            "parse_errors": fa.parse_error_count,
-            "findings": findings,
-        }))
+        self.tracked(|| {
+            let handle = self.current_run_inner()?;
+            let result = &handle.result;
+            let matches: Vec<usize> = result
+                .files
+                .iter()
+                .enumerate()
+                .filter(|(_, fa)| name_matches(&fa.name, file))
+                .map(|(i, _)| i)
+                .collect();
+            let idx = match matches.as_slice() {
+                [one] => *one,
+                [] => return Err(format!("no corpus file matches `{file}`")),
+                _ => {
+                    return Err(format!(
+                        "`{file}` is ambiguous: matches {} corpus files",
+                        matches.len()
+                    ))
+                }
+            };
+            let fa = &result.files[idx];
+            let findings: Vec<&FindingRecord> = handle
+                .records
+                .iter()
+                .filter(|r| r.file == fa.name)
+                .collect();
+            Ok(serde_json::json!({
+                "schema_version": crate::json::SCHEMA_VERSION,
+                "run_id": result.run_id,
+                "file": fa.name,
+                "barriers": fa.sites.len(),
+                "functions": fa.functions.len(),
+                "parse_errors": fa.parse_error_count,
+                "findings": findings,
+            }))
+        })
     }
 
     /// `explain`: replay the pairing decision for the barrier at
@@ -391,21 +418,23 @@ impl Session {
         let _span = self
             .request_rec
             .span_with("request", &[("method", "explain")]);
-        let handle = self.current_run()?;
-        let result = &handle.result;
-        let site = result
-            .sites
-            .iter()
-            .find(|s| name_matches(&s.site.file_name, file) && s.site.line == line)
-            .ok_or_else(|| format!("no barrier at {file}:{line}"))?;
-        let explanation = crate::explain::explain_site_with(
-            &result.sites,
-            &result.pairing,
-            &self.opts.config,
-            site.id,
-        )
-        .expect("site id comes from this result");
-        Ok(serde_json::to_value(&explanation))
+        self.tracked(|| {
+            let handle = self.current_run_inner()?;
+            let result = &handle.result;
+            let site = result
+                .sites
+                .iter()
+                .find(|s| name_matches(&s.site.file_name, file) && s.site.line == line)
+                .ok_or_else(|| format!("no barrier at {file}:{line}"))?;
+            let explanation = crate::explain::explain_site_with(
+                &result.sites,
+                &result.pairing,
+                &self.opts.config,
+                site.id,
+            )
+            .expect("site id comes from this result");
+            Ok(serde_json::to_value(&explanation))
+        })
     }
 
     /// `diff`: classify findings across two ledger runs (ids or
@@ -436,20 +465,22 @@ impl Session {
         let _span = self
             .request_rec
             .span_with("request", &[("method", "baseline-gate")]);
-        let known = crate::diffing::records_from_json(baseline)
-            .map_err(|e| format!("baseline document: {e}"))?;
-        let handle = self.current_run()?;
-        let report = crate::diffing::classify(&known, &handle.records);
-        let pass = match fail_on {
-            crate::diffing::FailOn::Any => report.new.is_empty() && report.unchanged.is_empty(),
-            crate::diffing::FailOn::New => report.new.is_empty(),
-            crate::diffing::FailOn::None => true,
-        };
-        Ok(serde_json::json!({
-            "run_id": handle.result.run_id,
-            "pass": pass,
-            "report": report.to_json(),
-        }))
+        self.tracked(|| {
+            let known = crate::diffing::records_from_json(baseline)
+                .map_err(|e| format!("baseline document: {e}"))?;
+            let handle = self.current_run_inner()?;
+            let report = crate::diffing::classify(&known, &handle.records);
+            let pass = match fail_on {
+                crate::diffing::FailOn::Any => report.new.is_empty() && report.unchanged.is_empty(),
+                crate::diffing::FailOn::New => report.new.is_empty(),
+                crate::diffing::FailOn::None => true,
+            };
+            Ok(serde_json::json!({
+                "run_id": handle.result.run_id,
+                "pass": pass,
+                "report": report.to_json(),
+            }))
+        })
     }
 
     /// `status`: session health — uptime, counters, queue depth, cache
@@ -467,6 +498,18 @@ impl Session {
             "queue_depth": self.counters.queue_depth(),
             "counters": counters,
         })
+    }
+}
+
+/// Best-effort text of a caught panic payload (shared with the wire
+/// protocol's handler-panic backstop in [`crate::server`]).
+pub(crate) fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic".to_string()
     }
 }
 
@@ -668,6 +711,93 @@ void decode(struct rpc *req) { smp_rmb(); if (!req->recd) return; g(req->len); }
             .baseline_gate_document(&doc, crate::diffing::FailOn::New)
             .unwrap();
         assert_eq!(out["pass"], true, "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn leader_panic_retires_the_flight_and_reports_an_error() {
+        let dir = tempdir("panic");
+        std::fs::write(dir.join("m.c"), CLEAN).unwrap();
+        let session = session_over(&dir);
+        session
+            .panic_next_lead
+            .store(true, std::sync::atomic::Ordering::SeqCst);
+        // The panicking leader must come back as an error, not an unwind
+        // that strands the flight.
+        let err = session.current_run().err().expect("leader panic surfaced");
+        assert!(err.contains("analysis panicked"), "{err}");
+        assert!(err.contains("injected lead_run panic"), "{err}");
+        assert_eq!(SessionCounters::get(&session.counters.errors), 1);
+        // The dead flight was removed: the same key leads a fresh run
+        // instead of joining it (which would hang forever).
+        assert!(
+            session
+                .inflight
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .is_empty(),
+            "panicked flight left in the inflight map"
+        );
+        let handle = session.current_run().unwrap();
+        assert!(!handle.records.is_empty() || handle.result.stats.files_total == 1);
+        assert_eq!(SessionCounters::get(&session.counters.coalesced), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn joiners_survive_a_panicking_leader() {
+        let dir = tempdir("panic-join");
+        for i in 0..24 {
+            std::fs::write(dir.join(format!("f{i:02}.c")), CLEAN).unwrap();
+        }
+        let session = Arc::new(session_over(&dir));
+        // Exactly one request leads and panics; everyone who coalesced
+        // onto it must be woken with the leader's error, and later
+        // requests must be able to run clean.
+        session
+            .panic_next_lead
+            .store(true, std::sync::atomic::Ordering::SeqCst);
+        let outcomes: Vec<Result<Arc<RunHandle>, String>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let session = session.clone();
+                    scope.spawn(move || session.current_run())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // No thread hung (we got here), and every outcome is either the
+        // panic error or a successful run led after the flight retired.
+        assert!(outcomes.iter().any(|o| o.is_err()), "panic never surfaced");
+        for outcome in &outcomes {
+            if let Err(e) = outcome {
+                assert!(e.contains("analysis panicked"), "{e}");
+            }
+        }
+        assert!(session
+            .inflight
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .is_empty());
+        assert!(session.current_run().is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn method_failures_count_as_request_errors() {
+        let dir = tempdir("errcount");
+        std::fs::write(dir.join("m.c"), CLEAN).unwrap();
+        let session = session_over(&dir);
+        assert!(session.analyze_file_document("nope.c").is_err());
+        assert!(session.explain_document("m.c", 999).is_err());
+        let bad = serde_json::json!({ "findings": "not-a-list" });
+        assert!(session
+            .baseline_gate_document(&bad, crate::diffing::FailOn::New)
+            .is_err());
+        // Each failed request counted exactly once — including failures
+        // that happen *after* the underlying analysis succeeded.
+        assert_eq!(SessionCounters::get(&session.counters.errors), 3);
+        assert_eq!(SessionCounters::get(&session.counters.requests), 3);
         let _ = std::fs::remove_dir_all(&dir);
     }
 
