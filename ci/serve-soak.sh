@@ -7,7 +7,11 @@
 #   1. zero error responses over the whole soak (`serve_errors` == 0 and
 #      every client saw only ok:true),
 #   2. request coalescing actually exercised (`serve_coalesced` > 0),
-#   3. the disk cache survives: a fresh single-shot run over the soaked
+#   3. every soak response carries a non-empty `request_id`,
+#   4. `/metrics` publishes a per-method p99 quantile after the soak,
+#   5. `/debug/requests` retains at least one captured trace whose span
+#      tree is balanced (node count == span_count),
+#   6. the disk cache survives: a fresh single-shot run over the soaked
 #      cache dir reloads the shards instead of discarding them.
 #
 # Environment: OFENCE (binary path), SOAK_SECONDS (default 30).
@@ -25,7 +29,7 @@ trap cleanup EXIT
 
 "$BIN" gen --out "$WORK/corpus" --files 20 --seed 17 --bugs
 
-"$BIN" serve "$WORK/corpus" --addr 127.0.0.1:0 \
+"$BIN" serve "$WORK/corpus" --addr 127.0.0.1:0 --metrics 127.0.0.1:0 \
   --cache-dir "$WORK/cache" --history-dir "$WORK/history" \
   > "$WORK/serve.log" 2>&1 &
 SERVE=$!
@@ -37,14 +41,19 @@ for _ in $(seq 50); do
   sleep 0.2
 done
 test -n "$ADDR" || { echo "daemon never bound" >&2; cat "$WORK/serve.log"; exit 1; }
+METRICS_ADDR=$(sed -n 's|^serve: serving /metrics and /health on http://||p' "$WORK/serve.log" | head -1)
+test -n "$METRICS_ADDR" || { echo "daemon never bound its metrics endpoint" >&2; cat "$WORK/serve.log"; exit 1; }
 
-python3 - "$ADDR" "$WORK/corpus" "$DURATION" <<'EOF'
+python3 - "$ADDR" "$WORK/corpus" "$DURATION" "$METRICS_ADDR" <<'EOF'
 import json, os, socket, sys, threading, time
+import urllib.request
 
 addr, corpus_dir, duration = sys.argv[1], sys.argv[2], float(sys.argv[3])
+metrics_addr = sys.argv[4]
 host, port = addr.rsplit(":", 1)
 deadline = time.monotonic() + duration
 errors = []
+missing_request_ids = []
 
 def connect():
     sock = socket.create_connection((host, int(port)), timeout=120)
@@ -79,6 +88,8 @@ def client(n):
         resp = call(io, req)
         if not resp.get("ok"):
             errors.append(resp)
+        if not resp.get("request_id"):
+            missing_request_ids.append(resp)
         i += 1
     sock.close()
 
@@ -108,6 +119,30 @@ for t in threads:
 for t in threads:
     t.join()
 
+def http_get(path):
+    with urllib.request.urlopen(f"http://{metrics_addr}{path}", timeout=30) as r:
+        return r.read().decode()
+
+def tree_nodes(nodes):
+    return sum(1 + tree_nodes(n.get("children", [])) for n in nodes)
+
+# Gate 4: the post-soak scrape publishes a per-method p99.
+metrics = http_get("/metrics")
+assert 'quantile="0.99"' in metrics and 'method="analyze"' in metrics, (
+    "no per-method p99 in /metrics:\n" + metrics
+)
+
+# Gate 5: at least one captured trace reconstructs into a balanced tree.
+listing = json.loads(http_get("/debug/requests"))
+summaries = listing["recent"] + listing["slowest"]
+assert summaries, "no captured traces in /debug/requests"
+balanced = 0
+for summary in summaries:
+    trace = json.loads(http_get(f"/debug/trace/{summary['request_id']}"))
+    if tree_nodes(trace["spans"]) == trace["span_count"]:
+        balanced += 1
+assert balanced >= 1, f"no balanced trace among {len(summaries)} captured"
+
 sock, io = connect()
 status = call(io, {"id": "final", "method": "status"})["result"]
 counters = status["counters"]
@@ -118,10 +153,16 @@ assert not errors, f"{len(errors)} error responses, first: {errors[0]}"
 assert counters["serve_errors"] == 0, counters
 assert counters["serve_coalesced"] > 0, f"soak never coalesced: {counters}"
 assert counters["serve_runs"] > 0, counters
+# Gate 3: request ids everywhere.
+assert not missing_request_ids, (
+    f"{len(missing_request_ids)} responses without a request_id, "
+    f"first: {missing_request_ids[0]}"
+)
 print(
     f"soak OK: {counters['serve_requests']} requests, "
     f"{counters['serve_runs']} runs, "
-    f"{counters['serve_coalesced']} coalesced, 0 errors"
+    f"{counters['serve_coalesced']} coalesced, 0 errors, "
+    f"{balanced} balanced traces"
 )
 EOF
 

@@ -15,11 +15,12 @@ usage:
   ofence serve    <paths...> [--addr HOST:PORT] [--metrics HOST:PORT]
                   [cache/history/window options]
   ofence call     <host:port> <method> [--params JSON]
+  ofence trace    <host:port> <request-id> [--json]
   ofence diff     <old> <new> [--json] [--history-dir DIR]
   ofence diff     --baseline FILE <paths...> [--json] [window options]
   ofence baseline write <paths...> [--out FILE] [window options]
   ofence perf     [--ledger FILE] [--history-dir DIR] [--last N]
-                  [--gate] [--max-regress-pct P] [--json]
+                  [--gate] [--max-regress-pct P] [--requests] [--json]
   ofence gen      --out DIR [--files N | --tier 1200|12k|100k] [--seed S]
                   [--bugs] [--chains N] [--chain-depth D] [--chain-bugs B]
 
@@ -75,12 +76,19 @@ latest iteration on a background thread.
 (default --addr 127.0.0.1:0; the bound address is printed). Concurrent
 clients share one warm engine cache and worker pool, and identical
 overlapping requests coalesce into a single analysis. Methods: ping,
-status, analyze, analyze-file, explain, diff, baseline-gate, shutdown.
-`--metrics HOST:PORT` additionally serves live `GET /metrics` +
-`GET /health`. `call` is the matching one-shot client: it sends one
-request and pretty-prints the `result` document (identical to the
-corresponding one-shot subcommand's `--json` output), exiting non-zero
-on an error response.
+status, trace, analyze, analyze-file, explain, diff, baseline-gate,
+shutdown. `--metrics HOST:PORT` additionally serves live
+`GET /metrics` + `GET /health` + `GET /debug/requests` +
+`GET /debug/trace/<request-id>`. `call` is the matching one-shot
+client: it sends one request and pretty-prints the `result` document
+(identical to the corresponding one-shot subcommand's `--json`
+output), exiting non-zero on an error response (the message includes
+the server-assigned request id, for `ofence trace`).
+
+`trace` fetches the captured span tree of a completed daemon request
+by its request id (every response envelope carries one) and renders
+it as an indented tree with per-span durations, marking the slowest
+child at each level; `--json` prints the raw tree document instead.
 
 `perf` reads the performance ledger (DIR/perf.jsonl, appended by every
 analysis run and watch iteration) and prints the last `--last N`
@@ -88,7 +96,10 @@ records as a trend table (default 10). With `--gate`, the newest
 record is compared against the median elapsed time of earlier
 comparable records (same config fingerprint, corpus size, and
 cold/warm mode) and the command exits non-zero when it is more than
-`--max-regress-pct P` percent slower (default 10).
+`--max-regress-pct P` percent slower (default 10). With `--requests`,
+the daemon request ledger (DIR/requests.jsonl, appended by every
+completed `serve` request) is read instead and summarised as a
+per-method latency table (count, errors, coalesced, p50/p95/p99).
 
 `diff` classifies findings as new / fixed / unchanged by their stable
 fingerprints. <old> and <new> are ledger run ids (prefixes work) or
@@ -111,6 +122,7 @@ pub enum Command {
     Watch(WatchOpts),
     Serve(ServeOpts),
     Call(CallOpts),
+    Trace(TraceOpts),
     Diff(DiffOpts),
     BaselineWrite(BaselineWriteOpts),
     Perf(PerfOpts),
@@ -204,6 +216,16 @@ pub struct CallOpts {
     pub params: Option<String>,
 }
 
+/// `ofence trace <host:port> <request-id>` — fetch a captured request
+/// trace from a live daemon and pretty-print its span tree.
+#[derive(Debug, PartialEq)]
+pub struct TraceOpts {
+    pub addr: String,
+    pub request_id: String,
+    /// Print the raw trace document instead of the rendered tree.
+    pub json: bool,
+}
+
 /// `ofence perf` — read the perf ledger as a trend table or CI gate.
 #[derive(Debug, PartialEq)]
 pub struct PerfOpts {
@@ -217,6 +239,9 @@ pub struct PerfOpts {
     pub gate: bool,
     /// Maximum tolerated slowdown in percent for `--gate`.
     pub max_regress_pct: f64,
+    /// Read the daemon request ledger (`requests.jsonl`) instead and
+    /// print per-method latency trends.
+    pub requests: bool,
     pub json: bool,
 }
 
@@ -263,6 +288,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         "watch" => Ok(Command::Watch(parse_watch(rest)?)),
         "serve" => Ok(Command::Serve(parse_serve(rest)?)),
         "call" => Ok(Command::Call(parse_call(rest)?)),
+        "trace" => Ok(Command::Trace(parse_trace(rest)?)),
         "diff" => Ok(Command::Diff(parse_diff(rest)?)),
         "baseline" => Ok(Command::BaselineWrite(parse_baseline(rest)?)),
         "perf" => Ok(Command::Perf(parse_perf(rest)?)),
@@ -562,6 +588,28 @@ fn parse_call(argv: &[String]) -> Result<CallOpts, String> {
     })
 }
 
+fn parse_trace(argv: &[String]) -> Result<TraceOpts, String> {
+    let mut positional: Vec<String> = Vec::new();
+    let mut json = false;
+    for arg in argv {
+        match arg.as_str() {
+            "--json" => json = true,
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown trace option `{flag}`"));
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+    let [addr, request_id] = positional.as_slice() else {
+        return Err("trace requires exactly <host:port> and <request-id>".into());
+    };
+    Ok(TraceOpts {
+        addr: addr.clone(),
+        request_id: request_id.clone(),
+        json,
+    })
+}
+
 fn parse_perf(argv: &[String]) -> Result<PerfOpts, String> {
     let mut opts = PerfOpts {
         ledger: None,
@@ -569,6 +617,7 @@ fn parse_perf(argv: &[String]) -> Result<PerfOpts, String> {
         last: 10,
         gate: false,
         max_regress_pct: 10.0,
+        requests: false,
         json: false,
     };
     let mut i = 0;
@@ -598,6 +647,7 @@ fn parse_perf(argv: &[String]) -> Result<PerfOpts, String> {
                     .parse()
                     .map_err(|_| "--max-regress-pct needs a number".to_string())?;
             }
+            "--requests" => opts.requests = true,
             "--json" => opts.json = true,
             other => return Err(format!("unknown perf option `{other}`")),
         }
@@ -605,6 +655,9 @@ fn parse_perf(argv: &[String]) -> Result<PerfOpts, String> {
     }
     if opts.ledger.is_some() && opts.history_dir.is_some() {
         return Err("--ledger and --history-dir are mutually exclusive".into());
+    }
+    if opts.requests && opts.gate {
+        return Err("--requests and --gate are mutually exclusive".into());
     }
     Ok(opts)
 }
@@ -931,13 +984,35 @@ mod tests {
     }
 
     #[test]
+    fn trace_options() {
+        match parse(&argv("trace 127.0.0.1:7433 r000042")).unwrap() {
+            Command::Trace(o) => {
+                assert_eq!(o.addr, "127.0.0.1:7433");
+                assert_eq!(o.request_id, "r000042");
+                assert!(!o.json);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&argv("trace 127.0.0.1:7433 ci-7 --json")).unwrap() {
+            Command::Trace(o) => {
+                assert_eq!(o.request_id, "ci-7");
+                assert!(o.json);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&argv("trace 127.0.0.1:7433")).is_err());
+        assert!(parse(&argv("trace 127.0.0.1:7433 r1 extra")).is_err());
+        assert!(parse(&argv("trace 127.0.0.1:7433 r1 --bogus")).is_err());
+    }
+
+    #[test]
     fn perf_options() {
         match parse(&argv("perf")).unwrap() {
             Command::Perf(o) => {
                 assert_eq!(o.ledger, None);
                 assert_eq!(o.history_dir, None);
                 assert_eq!(o.last, 10);
-                assert!(!o.gate && !o.json);
+                assert!(!o.gate && !o.json && !o.requests);
                 assert_eq!(o.max_regress_pct, 10.0);
             }
             other => panic!("{other:?}"),
@@ -959,6 +1034,14 @@ mod tests {
             Command::Perf(o) => assert_eq!(o.history_dir.as_deref(), Some(".h")),
             other => panic!("{other:?}"),
         }
+        match parse(&argv("perf --requests --last 5")).unwrap() {
+            Command::Perf(o) => {
+                assert!(o.requests);
+                assert_eq!(o.last, 5);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&argv("perf --requests --gate")).is_err());
         assert!(parse(&argv("perf --ledger a --history-dir b")).is_err());
         assert!(parse(&argv("perf --max-regress-pct soon")).is_err());
         assert!(parse(&argv("perf stray-operand")).is_err());

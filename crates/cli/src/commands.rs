@@ -2,7 +2,7 @@
 
 use crate::args::{
     BaselineWriteOpts, CallOpts, Command, DiffOpts, ExplainOpts, GenOpts, PerfOpts, RunOpts,
-    ServeOpts, WatchOpts,
+    ServeOpts, TraceOpts, WatchOpts,
 };
 use crate::walk::collect_sources;
 use ofence::obs::NdjsonSink;
@@ -21,6 +21,7 @@ pub fn run(cmd: Command) -> Result<ExitCode, String> {
         Command::Watch(o) => watch(o),
         Command::Serve(o) => serve(o),
         Command::Call(o) => call(o),
+        Command::Trace(o) => trace(o),
         Command::Diff(o) => diff(o),
         Command::BaselineWrite(o) => baseline_write(o),
         Command::Perf(o) => perf(o),
@@ -187,13 +188,35 @@ fn append_perf(
 /// `ofence perf` — print the perf-ledger trend, or gate CI on a
 /// regression of the newest record against the baseline median.
 fn perf(opts: PerfOpts) -> Result<ExitCode, String> {
+    let history_dir = Path::new(
+        opts.history_dir
+            .as_deref()
+            .unwrap_or(ofence::history::DEFAULT_HISTORY_DIR),
+    );
+    if opts.requests {
+        // Daemon request ledger instead of the analysis perf ledger.
+        let ledger = match &opts.ledger {
+            Some(path) => PathBuf::from(path),
+            None => ofence::perf::requests_path(history_dir),
+        };
+        let (records, skipped) = ofence::perf::load_requests_file(&ledger)?;
+        if skipped > 0 {
+            eprintln!("ofence: skipped {skipped} corrupt request-ledger line(s)");
+        }
+        if opts.json {
+            let shown = &records[records.len().saturating_sub(opts.last)..];
+            println!("{}", serde_json::to_string_pretty(&shown).unwrap());
+        } else {
+            print!(
+                "{}",
+                ofence::perf::render_request_trends(&records, opts.last)
+            );
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
     let ledger = match &opts.ledger {
         Some(path) => PathBuf::from(path),
-        None => ofence::perf::ledger_path(Path::new(
-            opts.history_dir
-                .as_deref()
-                .unwrap_or(ofence::history::DEFAULT_HISTORY_DIR),
-        )),
+        None => ofence::perf::ledger_path(history_dir),
     };
     let (records, skipped) = ofence::perf::load_file(&ledger)?;
     if skipped > 0 {
@@ -359,7 +382,6 @@ fn serve(opts: ServeOpts) -> Result<ExitCode, String> {
 /// the `result` document pretty-printed (so `call ADDR analyze` output
 /// is comparable to `analyze --json`), exit non-zero on error responses.
 fn call(opts: CallOpts) -> Result<ExitCode, String> {
-    use std::io::{BufRead, BufReader, Write as _};
     let params: Option<serde_json::Value> = match &opts.params {
         Some(text) => {
             Some(serde_json::from_str(text).map_err(|e| format!("--params is not JSON: {e}"))?)
@@ -370,26 +392,7 @@ fn call(opts: CallOpts) -> Result<ExitCode, String> {
         Some(p) => serde_json::json!({ "id": 0, "method": opts.method, "params": p }),
         None => serde_json::json!({ "id": 0, "method": opts.method }),
     };
-    let mut stream = std::net::TcpStream::connect(&opts.addr)
-        .map_err(|e| format!("connect {}: {e}", opts.addr))?;
-    let mut line = serde_json::to_string(&request).unwrap();
-    line.push('\n');
-    stream
-        .write_all(line.as_bytes())
-        .map_err(|e| format!("send to {}: {e}", opts.addr))?;
-    let mut reader = BufReader::new(stream);
-    let mut response = String::new();
-    reader
-        .read_line(&mut response)
-        .map_err(|e| format!("read from {}: {e}", opts.addr))?;
-    if response.is_empty() {
-        return Err(format!(
-            "{}: connection closed before a response",
-            opts.addr
-        ));
-    }
-    let response: serde_json::Value =
-        serde_json::from_str(&response).map_err(|e| format!("malformed response: {e}"))?;
+    let response = rpc_once(&opts.addr, &request)?;
     if response["ok"] == true {
         println!(
             "{}",
@@ -397,11 +400,140 @@ fn call(opts: CallOpts) -> Result<ExitCode, String> {
         );
         Ok(ExitCode::SUCCESS)
     } else {
-        Err(format!(
-            "server error ({}): {}",
-            response["error"]["code"].as_str().unwrap_or("unknown"),
-            response["error"]["message"].as_str().unwrap_or("?")
-        ))
+        Err(rpc_error_of(&response))
+    }
+}
+
+/// Send one newline-delimited JSON-RPC request and read the one-line
+/// response (the `call` / `trace` transport).
+fn rpc_once(addr: &str, request: &serde_json::Value) -> Result<serde_json::Value, String> {
+    use std::io::{BufRead, BufReader, Write as _};
+    let mut stream =
+        std::net::TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut line = serde_json::to_string(request).unwrap();
+    line.push('\n');
+    stream
+        .write_all(line.as_bytes())
+        .map_err(|e| format!("send to {addr}: {e}"))?;
+    let mut reader = BufReader::new(stream);
+    let mut response = String::new();
+    reader
+        .read_line(&mut response)
+        .map_err(|e| format!("read from {addr}: {e}"))?;
+    if response.is_empty() {
+        return Err(format!("{addr}: connection closed before a response"));
+    }
+    serde_json::from_str(&response).map_err(|e| format!("malformed response: {e}"))
+}
+
+/// Render an error response, including the server-assigned request id
+/// so the failure can be traced with `ofence trace`.
+fn rpc_error_of(response: &serde_json::Value) -> String {
+    let mut msg = format!(
+        "server error ({}): {}",
+        response["error"]["code"].as_str().unwrap_or("unknown"),
+        response["error"]["message"].as_str().unwrap_or("?")
+    );
+    if let Some(id) = response["request_id"].as_str() {
+        if !id.is_empty() {
+            msg.push_str(&format!(" [request {id}]"));
+        }
+    }
+    msg
+}
+
+/// `ofence trace` — fetch the captured span tree of a completed daemon
+/// request and render it as an indented per-span duration tree, the way
+/// `explain` renders pairing decisions.
+fn trace(opts: TraceOpts) -> Result<ExitCode, String> {
+    let request = serde_json::json!({
+        "id": 0,
+        "method": "trace",
+        "params": { "request_id": opts.request_id },
+    });
+    let response = rpc_once(&opts.addr, &request)?;
+    if response["ok"] != true {
+        return Err(rpc_error_of(&response));
+    }
+    let doc = &response["result"];
+    if opts.json {
+        println!("{}", serde_json::to_string_pretty(doc).unwrap());
+    } else {
+        print!("{}", render_trace(doc));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Pretty-print a trace document (`/debug/trace/<id>` shape): header
+/// lines, then the span tree with per-span durations; at each level the
+/// slowest child is flagged so the hot path reads top to bottom.
+fn render_trace(doc: &serde_json::Value) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "request {} ({}): {} in {} µs\n",
+        doc["request_id"].as_str().unwrap_or("?"),
+        doc["method"].as_str().unwrap_or("?"),
+        doc["outcome"].as_str().unwrap_or("?"),
+        doc["latency_us"].as_u64().unwrap_or(0),
+    ));
+    if let Some(run_id) = doc["run_id"].as_str() {
+        let via = if doc["coalesced"] == true {
+            " (coalesced into the leader's analysis)"
+        } else {
+            ""
+        };
+        out.push_str(&format!("run: {run_id}{via}\n"));
+    }
+    out.push_str(&format!(
+        "spans: {}\n",
+        doc["span_count"].as_u64().unwrap_or(0)
+    ));
+    if let Some(roots) = doc["spans"].as_array() {
+        if !roots.is_empty() {
+            out.push('\n');
+            render_trace_nodes(&mut out, roots, 1, false);
+        }
+    }
+    out
+}
+
+fn render_trace_nodes(
+    out: &mut String,
+    nodes: &[serde_json::Value],
+    depth: usize,
+    mark_slowest: bool,
+) {
+    let slowest = nodes
+        .iter()
+        .map(|n| n["dur_us"].as_u64().unwrap_or(0))
+        .max()
+        .unwrap_or(0);
+    for node in nodes {
+        let dur = node["dur_us"].as_u64().unwrap_or(0);
+        let mut line = format!(
+            "{}{} {} µs",
+            "  ".repeat(depth),
+            node["name"].as_str().unwrap_or("?"),
+            dur,
+        );
+        if let Some(attrs) = node["attrs"].as_object() {
+            if !attrs.is_empty() {
+                let rendered: Vec<String> = attrs
+                    .iter()
+                    .map(|(k, v)| format!("{k}={}", v.as_str().unwrap_or("?")))
+                    .collect();
+                line.push_str(&format!(" [{}]", rendered.join(" ")));
+            }
+        }
+        // Flag the slowest sibling only where there is a choice to make.
+        if mark_slowest && nodes.len() > 1 && dur == slowest {
+            line.push_str("  <- slowest");
+        }
+        out.push_str(&line);
+        out.push('\n');
+        if let Some(children) = node["children"].as_array() {
+            render_trace_nodes(out, children, depth + 1, true);
+        }
     }
 }
 

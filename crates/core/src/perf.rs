@@ -28,6 +28,131 @@ use std::sync::{Arc, Mutex, OnceLock};
 /// [`crate::history::HISTORY_FILE_NAME`]).
 pub const PERF_FILE_NAME: &str = "perf.jsonl";
 
+/// Request ledger file name inside the history directory: one line per
+/// completed daemon request (`ofence perf --requests` reads it back).
+pub const REQUESTS_FILE_NAME: &str = "requests.jsonl";
+
+/// One request ledger line: who asked, what happened, how long it took.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RequestRecord {
+    /// The id echoed in the wire response (client-supplied or
+    /// server-assigned).
+    pub request_id: String,
+    /// Milliseconds since the Unix epoch at record time.
+    pub timestamp_ms: u64,
+    pub method: String,
+    pub ok: bool,
+    pub latency_us: u64,
+    /// True when the request joined another request's in-flight run.
+    pub coalesced: bool,
+    /// The analysis run the request returned, if it reached one.
+    pub run_id: Option<String>,
+}
+
+/// Build the ledger record of one completed daemon request.
+pub fn request_record_of(
+    request_id: &str,
+    method: &str,
+    ok: bool,
+    latency_us: u64,
+    coalesced: bool,
+    run_id: Option<String>,
+) -> RequestRecord {
+    let timestamp_ms = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0);
+    RequestRecord {
+        request_id: request_id.to_string(),
+        timestamp_ms,
+        method: method.to_string(),
+        ok,
+        latency_us,
+        coalesced,
+        run_id,
+    }
+}
+
+/// Path of the request ledger file inside `dir`.
+pub fn requests_path(dir: &Path) -> PathBuf {
+    dir.join(REQUESTS_FILE_NAME)
+}
+
+/// Append one request record to the ledger in `dir`, through the same
+/// rotation-safe process-global appender registry as the perf ledger.
+pub fn append_request(dir: &Path, record: &RequestRecord) -> Result<(), String> {
+    let mut line =
+        serde_json::to_string(record).map_err(|e| format!("serialize request record: {e}"))?;
+    line.push('\n');
+    appender_for(&requests_path(dir))?.append(line.as_bytes())
+}
+
+/// Load every parseable request record from `dir`'s ledger, oldest
+/// first. Corrupt lines are counted, not fatal.
+pub fn load_requests(dir: &Path) -> Result<(Vec<RequestRecord>, usize), String> {
+    load_requests_file(&requests_path(dir))
+}
+
+/// Load request records from an explicit ledger file (see
+/// [`load_requests`]).
+pub fn load_requests_file(path: &Path) -> Result<(Vec<RequestRecord>, usize), String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let mut records = Vec::new();
+    let mut skipped = 0usize;
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match serde_json::from_str::<RequestRecord>(line) {
+            Ok(r) => records.push(r),
+            Err(_) => skipped += 1,
+        }
+    }
+    Ok((records, skipped))
+}
+
+/// Render per-method latency trends over the last `last` request records
+/// as a fixed-width table. Used by `ofence perf --requests`.
+pub fn render_request_trends(records: &[RequestRecord], last: usize) -> String {
+    let mut out = String::new();
+    if records.is_empty() {
+        out.push_str("request ledger is empty\n");
+        return out;
+    }
+    let start = records.len().saturating_sub(last);
+    let window = &records[start..];
+    let mut by_method: BTreeMap<&str, Vec<&RequestRecord>> = BTreeMap::new();
+    for r in window {
+        by_method.entry(r.method.as_str()).or_default().push(r);
+    }
+    out.push_str(&format!(
+        "{:<14} {:>6} {:>6} {:>9} {:>9} {:>9} {:>9}\n",
+        "method", "count", "errors", "coalesced", "p50_us", "p95_us", "p99_us"
+    ));
+    for (method, rs) in &by_method {
+        let mut latencies: Vec<u64> = rs.iter().map(|r| r.latency_us).collect();
+        let (p50, p95, p99) = obs::quantiles_us(&mut latencies);
+        out.push_str(&format!(
+            "{:<14} {:>6} {:>6} {:>9} {:>9} {:>9} {:>9}\n",
+            method,
+            rs.len(),
+            rs.iter().filter(|r| !r.ok).count(),
+            rs.iter().filter(|r| r.coalesced).count(),
+            p50,
+            p95,
+            p99
+        ));
+    }
+    out.push_str(&format!(
+        "{} of {} requests shown across {} methods\n",
+        window.len(),
+        records.len(),
+        by_method.len()
+    ));
+    out
+}
+
 /// One perf ledger line: the timing and throughput profile of one run.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct PerfRecord {
@@ -580,6 +705,41 @@ void writer(struct m *b) { b->y = 1; smp_wmb(); b->init = 1; }
         let out = gate(&records, 0.0).unwrap();
         assert!(out.pass, "{}", out.note);
         assert!(out.regress_pct < 0.0);
+    }
+
+    #[test]
+    fn request_ledger_roundtrip_and_trends() {
+        let dir = tmp("requests");
+        for i in 0..6 {
+            let rec = request_record_of(
+                &format!("r{i:06}"),
+                if i % 2 == 0 { "analyze" } else { "explain" },
+                i != 5,
+                (i as u64 + 1) * 100,
+                i == 4,
+                (i != 5).then(|| format!("run-{i}")),
+            );
+            append_request(&dir, &rec).unwrap();
+        }
+        let (records, skipped) = load_requests(&dir).unwrap();
+        assert_eq!(skipped, 0);
+        assert_eq!(records.len(), 6);
+        assert_eq!(records[0].request_id, "r000000");
+        assert!(records[4].coalesced);
+        assert!(!records[5].ok);
+        assert!(records[5].run_id.is_none());
+        let table = render_request_trends(&records, 6);
+        assert!(table.contains("analyze"), "{table}");
+        assert!(table.contains("explain"), "{table}");
+        assert!(
+            table.contains("6 of 6 requests shown across 2 methods"),
+            "{table}"
+        );
+        // A smaller window only counts what it shows.
+        let table = render_request_trends(&records, 2);
+        assert!(table.contains("2 of 6 requests shown"), "{table}");
+        assert!(render_request_trends(&[], 5).contains("empty"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

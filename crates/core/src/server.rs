@@ -32,7 +32,7 @@ use crate::session::{panic_message, Session, SessionCounters};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -40,6 +40,11 @@ use std::time::Duration;
 /// answered with an `oversized` error; the remainder of the line is
 /// drained (never buffered) so the connection stays usable.
 pub const MAX_REQUEST_BYTES: usize = 4 << 20;
+
+/// Longest accepted client-supplied `request_id`. Ids are echoed into
+/// responses, traces, and ledger lines; an unbounded one would let a
+/// client inflate all three.
+pub const MAX_REQUEST_ID_CHARS: usize = 128;
 
 /// A structured protocol error: machine-readable code + human message.
 struct RpcError {
@@ -127,6 +132,11 @@ pub fn serve(addr: &str, session: Arc<Session>) -> Result<Server, String> {
     let handle = std::thread::Builder::new()
         .name("ofence-serve".into())
         .spawn(move || {
+            // Numbered connection threads (`serve-conn-<n>`) so a stuck
+            // connection is identifiable in /proc, plus an active-count
+            // gauge on /metrics + /health.
+            let conn_seq = AtomicU64::new(0);
+            let active = Arc::new(AtomicU64::new(0));
             for stream in listener.incoming() {
                 if thread_stop.load(Ordering::SeqCst) {
                     break;
@@ -134,9 +144,14 @@ pub fn serve(addr: &str, session: Arc<Session>) -> Result<Server, String> {
                 let Ok(stream) = stream else { continue };
                 let session = thread_session.clone();
                 let stop = thread_stop.clone();
+                let n = conn_seq.fetch_add(1, Ordering::Relaxed);
+                let gauge = ConnGauge::open(active.clone(), session.live());
                 let _ = std::thread::Builder::new()
-                    .name("ofence-serve-conn".into())
-                    .spawn(move || handle_connection(stream, session, local, stop));
+                    .name(format!("serve-conn-{n}"))
+                    .spawn(move || {
+                        let _gauge = gauge;
+                        handle_connection(stream, session, local, stop)
+                    });
             }
         })
         .map_err(|e| format!("spawn listener thread: {e}"))?;
@@ -146,6 +161,30 @@ pub fn serve(addr: &str, session: Arc<Session>) -> Result<Server, String> {
         handle: Some(handle),
         session,
     })
+}
+
+/// Keeps the `serve_connections_active` gauge honest: incremented when a
+/// connection is accepted, decremented when its handler thread ends —
+/// including panics and spawn failures, since the decrement lives in
+/// `Drop`.
+struct ConnGauge {
+    active: Arc<AtomicU64>,
+    live: Arc<obs::Live>,
+}
+
+impl ConnGauge {
+    fn open(active: Arc<AtomicU64>, live: Arc<obs::Live>) -> ConnGauge {
+        let now = active.fetch_add(1, Ordering::SeqCst) + 1;
+        live.set_gauge("serve_connections_active", now);
+        ConnGauge { active, live }
+    }
+}
+
+impl Drop for ConnGauge {
+    fn drop(&mut self) {
+        let now = self.active.fetch_sub(1, Ordering::SeqCst).saturating_sub(1);
+        self.live.set_gauge("serve_connections_active", now);
+    }
 }
 
 /// What one attempt to read a request line produced.
@@ -214,6 +253,7 @@ fn handle_connection(
                 SessionCounters::bump_errors(&session.counters);
                 let resp = error_response(
                     serde_json::Value::Null,
+                    &session.assign_request_id(),
                     "oversized",
                     &format!("request exceeds {MAX_REQUEST_BYTES} bytes"),
                 );
@@ -247,13 +287,23 @@ fn write_line(writer: &mut TcpStream, response: &serde_json::Value) -> std::io::
     writer.flush()
 }
 
-fn ok_response(id: serde_json::Value, result: serde_json::Value) -> serde_json::Value {
-    serde_json::json!({ "id": id, "ok": true, "result": result })
+fn ok_response(
+    id: serde_json::Value,
+    request_id: &str,
+    result: serde_json::Value,
+) -> serde_json::Value {
+    serde_json::json!({ "id": id, "request_id": request_id, "ok": true, "result": result })
 }
 
-fn error_response(id: serde_json::Value, code: &str, message: &str) -> serde_json::Value {
+fn error_response(
+    id: serde_json::Value,
+    request_id: &str,
+    code: &str,
+    message: &str,
+) -> serde_json::Value {
     serde_json::json!({
         "id": id,
+        "request_id": request_id,
         "ok": false,
         "error": { "code": code, "message": message },
     })
@@ -261,16 +311,23 @@ fn error_response(id: serde_json::Value, code: &str, message: &str) -> serde_jso
 
 /// Parse and dispatch one request line. Returns the response and whether
 /// the client asked the daemon to shut down.
+///
+/// Every response — success or any flavor of failure — carries a
+/// `request_id`: the client's, when the envelope supplied a valid one,
+/// or a server-assigned id otherwise. Requests too broken to parse get a
+/// server-assigned id too, so a daemon-side log line exists for every
+/// answered request.
 fn respond(session: &Session, line: &[u8]) -> (serde_json::Value, bool) {
-    let fail = |id: serde_json::Value, e: RpcError| {
+    let fail = |id: serde_json::Value, request_id: &str, e: RpcError| {
         SessionCounters::bump_errors(&session.counters);
-        (error_response(id, e.code, &e.message), false)
+        (error_response(id, request_id, e.code, &e.message), false)
     };
     let text = match std::str::from_utf8(line) {
         Ok(t) => t,
         Err(_) => {
             return fail(
                 serde_json::Value::Null,
+                &session.assign_request_id(),
                 RpcError::bad_request("request is not valid UTF-8"),
             )
         }
@@ -280,6 +337,7 @@ fn respond(session: &Session, line: &[u8]) -> (serde_json::Value, bool) {
         Err(e) => {
             return fail(
                 serde_json::Value::Null,
+                &session.assign_request_id(),
                 RpcError::bad_request(format!("request is not JSON: {e}")),
             )
         }
@@ -287,16 +345,38 @@ fn respond(session: &Session, line: &[u8]) -> (serde_json::Value, bool) {
     let Some(obj) = doc.as_object() else {
         return fail(
             serde_json::Value::Null,
+            &session.assign_request_id(),
             RpcError::bad_request("request must be a JSON object"),
         );
     };
     let id = obj.get("id").cloned().unwrap_or(serde_json::Value::Null);
+    // A client-supplied request id must be a usable one; anything else
+    // is answered (under a server-assigned id) rather than half-honored.
+    let request_id = match obj.get("request_id") {
+        None => session.assign_request_id(),
+        Some(v) => match v.as_str() {
+            Some(s) if !s.is_empty() && s.chars().count() <= MAX_REQUEST_ID_CHARS => s.to_string(),
+            _ => {
+                return fail(
+                    id,
+                    &session.assign_request_id(),
+                    RpcError::bad_request(format!(
+                        "field `request_id` must be a non-empty string of at most {MAX_REQUEST_ID_CHARS} characters"
+                    )),
+                )
+            }
+        },
+    };
     let Some(method) = obj.get("method").and_then(|m| m.as_str()) else {
-        return fail(id, RpcError::bad_request("missing string field `method`"));
+        return fail(
+            id,
+            &request_id,
+            RpcError::bad_request("missing string field `method`"),
+        );
     };
     if method == "shutdown" {
         return (
-            ok_response(id, serde_json::json!({ "stopping": true })),
+            ok_response(id, &request_id, serde_json::json!({ "stopping": true })),
             true,
         );
     }
@@ -304,9 +384,11 @@ fn respond(session: &Session, line: &[u8]) -> (serde_json::Value, bool) {
     // A handler panic must kill neither the daemon nor the connection:
     // catch it and answer `internal`. Session state stays usable — its
     // locks recover from poisoning.
-    let outcome = catch_unwind(AssertUnwindSafe(|| dispatch(session, method, params)));
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        dispatch(session, method, params, &request_id)
+    }));
     match outcome {
-        Ok(Ok(result)) => (ok_response(id, result), false),
+        Ok(Ok(result)) => (ok_response(id, &request_id, result), false),
         Ok(Err(e)) => {
             // `failed` errors come from session methods, whose whole
             // bodies run inside the session's request tracking — already
@@ -315,13 +397,18 @@ fn respond(session: &Session, line: &[u8]) -> (serde_json::Value, bool) {
             if e.code != "failed" {
                 SessionCounters::bump_errors(&session.counters);
             }
-            (error_response(id, e.code, &e.message), false)
+            (error_response(id, &request_id, e.code, &e.message), false)
         }
         Err(panic) => {
             let message = panic_message(panic.as_ref());
             SessionCounters::bump_errors(&session.counters);
             (
-                error_response(id, "internal", &format!("handler panicked: {message}")),
+                error_response(
+                    id,
+                    &request_id,
+                    "internal",
+                    &format!("handler panicked: {message}"),
+                ),
                 false,
             )
         }
@@ -332,28 +419,39 @@ fn dispatch(
     session: &Session,
     method: &str,
     params: Option<&serde_json::Value>,
+    request_id: &str,
 ) -> Result<serde_json::Value, RpcError> {
+    // Tracked methods get a request context carrying the wire-level id,
+    // so their spans, trace, and ledger line all correlate with the
+    // response envelope.
+    let ctx = || session.begin_request(method, Some(request_id.to_string()));
     match method {
         "ping" => Ok(serde_json::json!({ "pong": true })),
         "status" => Ok(session.status_document()),
-        "analyze" => session.analyze_document().map_err(RpcError::failed),
+        "trace" => {
+            let wanted = param_str(params, "request_id")?;
+            session.trace_document(wanted).map_err(RpcError::failed)
+        }
+        "analyze" => session.analyze_document(&ctx()).map_err(RpcError::failed),
         "analyze-file" => {
             let file = param_str(params, "file")?;
             session
-                .analyze_file_document(file)
+                .analyze_file_document(&ctx(), file)
                 .map_err(RpcError::failed)
         }
         "explain" => {
             let file = param_str(params, "file")?;
             let line = param_u32(params, "line")?;
             session
-                .explain_document(file, line)
+                .explain_document(&ctx(), file, line)
                 .map_err(RpcError::failed)
         }
         "diff" => {
             let old = param_str(params, "old")?;
             let new = param_str(params, "new")?;
-            session.diff_document(old, new).map_err(RpcError::failed)
+            session
+                .diff_document(&ctx(), old, new)
+                .map_err(RpcError::failed)
         }
         "baseline-gate" => {
             let baseline = params
@@ -369,13 +467,13 @@ fn dispatch(
                 }
             };
             session
-                .baseline_gate_document(baseline, fail_on)
+                .baseline_gate_document(&ctx(), baseline, fail_on)
                 .map_err(RpcError::failed)
         }
         other => Err(RpcError {
             code: "unknown_method",
             message: format!(
-                "unknown method `{other}`; expected ping, status, analyze, analyze-file, explain, diff, baseline-gate, or shutdown"
+                "unknown method `{other}`; expected ping, status, trace, analyze, analyze-file, explain, diff, baseline-gate, or shutdown"
             ),
         }),
     }
@@ -538,6 +636,76 @@ void writer(struct m *b) { b->y = 1; smp_wmb(); b->init = 1; }\n";
             std::thread::sleep(Duration::from_millis(10));
         }
         assert!(server.stopped());
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn every_response_carries_a_request_id() {
+        let dir = corpus("reqid");
+        let server = start(&dir);
+        let mut client = Client::connect(server.addr());
+        // Server-assigned when absent — and distinct per request.
+        let a = client.call(serde_json::json!({"id": 1, "method": "ping"}));
+        let b = client.call(serde_json::json!({"id": 2, "method": "ping"}));
+        let a_id = a["request_id"].as_str().unwrap().to_string();
+        let b_id = b["request_id"].as_str().unwrap().to_string();
+        assert!(!a_id.is_empty());
+        assert_ne!(a_id, b_id);
+        // Client-supplied ids are echoed verbatim.
+        let c = client.call(serde_json::json!({
+            "id": 3, "request_id": "ci-7", "method": "ping",
+        }));
+        assert_eq!(c["request_id"], "ci-7");
+        // Errors carry one too — including unparseable lines.
+        client.send_raw(b"not json at all");
+        let err = client.recv();
+        assert!(!err["request_id"].as_str().unwrap().is_empty(), "{err}");
+        let err = client.call(serde_json::json!({"id": 4, "method": "nope"}));
+        assert_eq!(err["error"]["code"], "unknown_method");
+        assert!(!err["request_id"].as_str().unwrap().is_empty());
+        // A bogus request_id is rejected, under a server-assigned id.
+        let err = client.call(serde_json::json!({
+            "id": 5, "request_id": 42, "method": "ping",
+        }));
+        assert_eq!(err["error"]["code"], "bad_request", "{err}");
+        assert!(err["error"]["message"]
+            .as_str()
+            .unwrap()
+            .contains("request_id"));
+        let err = client.call(serde_json::json!({
+            "id": 6, "request_id": "x".repeat(MAX_REQUEST_ID_CHARS + 1), "method": "ping",
+        }));
+        assert_eq!(err["error"]["code"], "bad_request", "{err}");
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trace_method_returns_the_span_tree_of_a_prior_request() {
+        let dir = corpus("trace");
+        let server = start(&dir);
+        let mut client = Client::connect(server.addr());
+        let report = client.call(serde_json::json!({
+            "id": 1, "request_id": "want-this-trace", "method": "analyze",
+        }));
+        assert_eq!(report["ok"], true, "{report}");
+        let trace = client.call(serde_json::json!({
+            "id": 2, "method": "trace", "params": {"request_id": "want-this-trace"},
+        }));
+        assert_eq!(trace["ok"], true, "{trace}");
+        let doc = &trace["result"];
+        assert_eq!(doc["request_id"], "want-this-trace");
+        assert_eq!(doc["method"], "analyze");
+        assert_eq!(doc["outcome"], "ok");
+        assert_eq!(doc["spans"][0]["name"], "request");
+        // Unknown id → failed; missing param → bad_request.
+        let err = client.call(serde_json::json!({
+            "id": 3, "method": "trace", "params": {"request_id": "never-seen"},
+        }));
+        assert_eq!(err["error"]["code"], "failed", "{err}");
+        let err = client.call(serde_json::json!({"id": 4, "method": "trace"}));
+        assert_eq!(err["error"]["code"], "bad_request", "{err}");
         server.shutdown();
         let _ = std::fs::remove_dir_all(&dir);
     }

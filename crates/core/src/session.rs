@@ -38,10 +38,10 @@ use crate::cache;
 use crate::config::AnalysisConfig;
 use crate::engine::{AnalysisResult, Engine, SourceFile};
 use crate::fingerprint::{finding_records, FindingRecord};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
@@ -79,6 +79,71 @@ pub struct RunHandle {
 struct Flight {
     slot: Mutex<Option<Result<Arc<RunHandle>, String>>>,
     done: Condvar,
+}
+
+/// Latency samples kept per method for exact quantile computation; the
+/// window is small enough to re-sort per request and large enough that
+/// p99 over it is meaningful.
+const QUANTILE_WINDOW: usize = 512;
+
+/// Upper bound on request spans buffered between two publishes, so a
+/// daemon hammered with failing requests (which never trigger a publish)
+/// stays bounded. Oldest spans are dropped first.
+const PENDING_SPAN_CAP: usize = 8192;
+
+/// One request's identity and trace state, created at the server
+/// boundary ([`Session::begin_request`]) and threaded through the
+/// session method handling it. Every span the request emits goes into
+/// its private recorder; on completion the session folds the finished
+/// spans into a [`obs::RequestTrace`] retained behind `/debug/requests`
+/// and the `trace` method.
+pub struct RequestCtx {
+    id: String,
+    method: String,
+    /// Request-scoped recorder overlay: spans recorded here belong to
+    /// exactly this request.
+    pub rec: obs::Recorder,
+    coalesced: AtomicBool,
+    run_id: Mutex<Option<String>>,
+}
+
+impl RequestCtx {
+    /// The id echoed in the wire response (client-supplied or
+    /// server-assigned).
+    pub fn request_id(&self) -> &str {
+        &self.id
+    }
+
+    pub fn method(&self) -> &str {
+        &self.method
+    }
+
+    /// True once this request joined another request's in-flight run.
+    pub fn coalesced(&self) -> bool {
+        self.coalesced.load(Ordering::Relaxed)
+    }
+
+    /// The analysis run this request returned — for coalesced joiners,
+    /// the leader's run.
+    pub fn run_id(&self) -> Option<String> {
+        self.run_id
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    fn set_run_id(&self, run_id: &str) {
+        *self.run_id.lock().unwrap_or_else(|e| e.into_inner()) = Some(run_id.to_string());
+    }
+}
+
+/// Per-method latency accounting: a cumulative histogram (exported as
+/// `serve_request_duration_us_<method>`) plus a bounded sample window
+/// for exact p50/p95/p99.
+#[derive(Debug, Default)]
+struct MethodStat {
+    hist: obs::Histogram,
+    samples: VecDeque<u64>,
 }
 
 /// Cumulative session counters, exported on `/metrics` (as
@@ -151,9 +216,13 @@ pub struct Session {
     live: Arc<obs::Live>,
     /// Per-request latency across all methods, coalesced joins included.
     request_hist: Mutex<obs::Histogram>,
-    /// Spans of requests since the last publish (reset at publish so a
-    /// long-lived daemon's span list stays bounded).
-    request_rec: obs::Recorder,
+    /// Per-method latency histograms + quantile sample windows.
+    method_stats: Mutex<BTreeMap<String, MethodStat>>,
+    /// Finished request spans awaiting the next publish (drained there so
+    /// a long-lived daemon's span list stays bounded).
+    pending_spans: Mutex<Vec<obs::SpanRecord>>,
+    /// Monotonic source of server-assigned request ids.
+    request_seq: AtomicU64,
     started: Instant,
     /// Test hook: make the next [`Session::lead_run`] panic, to prove
     /// flight cleanup survives an unwinding analysis.
@@ -176,7 +245,9 @@ impl Session {
             counters: SessionCounters::default(),
             live: Arc::new(obs::Live::new()),
             request_hist: Mutex::new(obs::Histogram::default()),
-            request_rec: obs::Recorder::new(),
+            method_stats: Mutex::new(BTreeMap::new()),
+            pending_spans: Mutex::new(Vec::new()),
+            request_seq: AtomicU64::new(0),
             started: Instant::now(),
             #[cfg(test)]
             panic_next_lead: std::sync::atomic::AtomicBool::new(false),
@@ -217,30 +288,148 @@ impl Session {
         Ok(prev.expect("at least one snapshot pass ran"))
     }
 
+    /// A fresh server-assigned request id (`r000001`, `r000002`, ...).
+    /// The wire layer uses these for requests whose clients did not
+    /// supply an id — including requests too broken to dispatch.
+    pub fn assign_request_id(&self) -> String {
+        format!(
+            "r{:06}",
+            self.request_seq.fetch_add(1, Ordering::Relaxed) + 1
+        )
+    }
+
+    /// Open a request context: the identity + trace state every tracked
+    /// session method takes. `client_id` is the wire envelope's
+    /// `request_id` when the client supplied one.
+    pub fn begin_request(&self, method: &str, client_id: Option<String>) -> Arc<RequestCtx> {
+        let id = client_id.unwrap_or_else(|| self.assign_request_id());
+        Arc::new(RequestCtx {
+            id,
+            method: method.to_string(),
+            rec: obs::Recorder::new(),
+            coalesced: AtomicBool::new(false),
+            run_id: Mutex::new(None),
+        })
+    }
+
     /// Count and time one request around `f` (joins included): bumps
-    /// `serve_requests`, bumps `serve_errors` on failure, and feeds the
-    /// request-latency histogram.
-    fn tracked<T>(&self, f: impl FnOnce() -> Result<T, String>) -> Result<T, String> {
+    /// `serve_requests`, bumps `serve_errors` on failure, feeds the
+    /// latency histograms, and retains the request's trace.
+    fn tracked<T>(
+        &self,
+        ctx: &RequestCtx,
+        f: impl FnOnce() -> Result<T, String>,
+    ) -> Result<T, String> {
         let t0 = Instant::now();
         SessionCounters::bump(&self.counters.requests);
         let out = f();
         if out.is_err() {
             SessionCounters::bump(&self.counters.errors);
         }
+        let latency_us = t0.elapsed().as_micros() as u64;
         self.request_hist
             .lock()
             .unwrap_or_else(|e| e.into_inner())
-            .observe(t0.elapsed().as_micros() as u64);
+            .observe(latency_us);
+        self.finish_request(ctx, out.is_ok(), latency_us);
         out
+    }
+
+    /// Close out a completed request: fold its latency into the
+    /// per-method stats (republishing quantiles), queue its spans for the
+    /// next publish, retain its trace, and append its ledger line.
+    fn finish_request(&self, ctx: &RequestCtx, ok: bool, latency_us: u64) {
+        let spans = ctx.rec.snapshot().spans;
+        {
+            let mut stats = self.method_stats.lock().unwrap_or_else(|e| e.into_inner());
+            let stat = stats.entry(ctx.method.clone()).or_default();
+            stat.hist.observe(latency_us);
+            if stat.samples.len() == QUANTILE_WINDOW {
+                stat.samples.pop_front();
+            }
+            stat.samples.push_back(latency_us);
+            let quantiles = stats
+                .iter()
+                .map(|(method, stat)| {
+                    let mut window: Vec<u64> = stat.samples.iter().copied().collect();
+                    let (p50_us, p95_us, p99_us) = obs::quantiles_us(&mut window);
+                    obs::MethodQuantiles {
+                        method: method.clone(),
+                        count: stat.hist.count,
+                        p50_us,
+                        p95_us,
+                        p99_us,
+                    }
+                })
+                .collect();
+            self.live.set_method_quantiles(quantiles);
+        }
+        {
+            let mut pending = self.pending_spans.lock().unwrap_or_else(|e| e.into_inner());
+            pending.extend(spans.iter().cloned());
+            if pending.len() > PENDING_SPAN_CAP {
+                let excess = pending.len() - PENDING_SPAN_CAP;
+                pending.drain(..excess);
+            }
+        }
+        if let Some(dir) = &self.opts.history_dir {
+            let _ = crate::perf::append_request(
+                dir,
+                &crate::perf::request_record_of(
+                    ctx.request_id(),
+                    ctx.method(),
+                    ok,
+                    latency_us,
+                    ctx.coalesced(),
+                    ctx.run_id(),
+                ),
+            );
+        }
+        self.live.record_trace(obs::RequestTrace {
+            request_id: ctx.id.clone(),
+            method: ctx.method.clone(),
+            latency_us,
+            outcome: if ok { "ok" } else { "error" }.to_string(),
+            coalesced: ctx.coalesced(),
+            run_id: ctx.run_id(),
+            spans,
+        });
+    }
+
+    /// The per-method latency quantiles over the current sample windows,
+    /// for the in-band `status` document.
+    fn method_quantiles(&self) -> Vec<obs::MethodQuantiles> {
+        let stats = self.method_stats.lock().unwrap_or_else(|e| e.into_inner());
+        stats
+            .iter()
+            .map(|(method, stat)| {
+                let mut window: Vec<u64> = stat.samples.iter().copied().collect();
+                let (p50_us, p95_us, p99_us) = obs::quantiles_us(&mut window);
+                obs::MethodQuantiles {
+                    method: method.clone(),
+                    count: stat.hist.count,
+                    p50_us,
+                    p95_us,
+                    p99_us,
+                }
+            })
+            .collect()
     }
 
     /// The current analysis of the watched corpus: snapshot, coalesce,
     /// run. Every analysis-backed method funnels through here.
     pub fn current_run(&self) -> Result<Arc<RunHandle>, String> {
-        self.tracked(|| self.current_run_inner())
+        let ctx = self.begin_request("analyze", None);
+        self.tracked(&ctx, || {
+            let _span = ctx.rec.span_with(
+                "request",
+                &[("method", ctx.method()), ("request_id", ctx.request_id())],
+            );
+            self.current_run_inner(&ctx)
+        })
     }
 
-    fn current_run_inner(&self) -> Result<Arc<RunHandle>, String> {
+    fn current_run_inner(&self, ctx: &RequestCtx) -> Result<Arc<RunHandle>, String> {
         let (sources, key) = self.snapshot_sources()?;
         // Join an in-flight run of the same snapshot, or lead a new one.
         let (flight, leader) = {
@@ -261,12 +450,22 @@ impl Session {
             }
         };
         if !leader {
-            let _span = self.request_rec.span_with("coalesce", &[]);
-            let mut slot = flight.slot.lock().unwrap_or_else(|e| e.into_inner());
-            while slot.is_none() {
-                slot = flight.done.wait(slot).unwrap_or_else(|e| e.into_inner());
+            ctx.coalesced.store(true, Ordering::Relaxed);
+            let outcome = {
+                let _span = ctx
+                    .rec
+                    .span_with("coalesce", &[("request_id", ctx.request_id())]);
+                let mut slot = flight.slot.lock().unwrap_or_else(|e| e.into_inner());
+                while slot.is_none() {
+                    slot = flight.done.wait(slot).unwrap_or_else(|e| e.into_inner());
+                }
+                slot.clone().expect("leader published before notify")
+            };
+            // Record which leader run this request joined.
+            if let Ok(handle) = &outcome {
+                ctx.set_run_id(&handle.result.run_id);
             }
-            return slot.clone().expect("leader published before notify");
+            return outcome;
         }
         // The leader MUST reach the cleanup below even if the analysis
         // panics: an unwind that skipped it would leave the dead flight
@@ -274,13 +473,16 @@ impl Session {
         // future request for this key on the condvar forever. Convert
         // the panic to an error so joiners are notified and the flight
         // retires; the engine's own lock recovers from the poisoning.
-        let outcome = match catch_unwind(AssertUnwindSafe(|| self.lead_run(&sources, key))) {
+        let outcome = match catch_unwind(AssertUnwindSafe(|| self.lead_run(ctx, &sources, key))) {
             Ok(outcome) => outcome,
             Err(panic) => Err(format!(
                 "analysis panicked: {}",
                 panic_message(panic.as_ref())
             )),
         };
+        if let Ok(handle) = &outcome {
+            ctx.set_run_id(&handle.result.run_id);
+        }
         // Publish to joiners and retire the flight — later identical
         // requests start a fresh (warm, cheap) run rather than receiving
         // a stale result forever.
@@ -295,13 +497,18 @@ impl Session {
     }
 
     /// Run the engine over a snapshot (leader side of a flight).
-    fn lead_run(&self, sources: &[SourceFile], key: u64) -> Result<Arc<RunHandle>, String> {
+    fn lead_run(
+        &self,
+        ctx: &RequestCtx,
+        sources: &[SourceFile],
+        key: u64,
+    ) -> Result<Arc<RunHandle>, String> {
         #[cfg(test)]
         if self.panic_next_lead.swap(false, Ordering::SeqCst) {
             panic!("injected lead_run panic");
         }
         SessionCounters::bump(&self.counters.queue_enqueued);
-        let run_span = self.request_rec.open("serve_run");
+        let run_span = ctx.rec.open("serve_run");
         let mut engine = self.engine.lock().unwrap_or_else(|e| e.into_inner());
         SessionCounters::bump(&self.counters.queue_dequeued);
         let result = engine.analyze_incremental(sources);
@@ -311,7 +518,7 @@ impl Session {
             let _ = engine.save_disk_cache(dir);
         }
         drop(engine);
-        self.request_rec.close(run_span);
+        ctx.rec.close(run_span);
         SessionCounters::bump(&self.counters.runs);
         let records = finding_records(&result.deviations, &result.sites, &result.files);
         if let Some(dir) = &self.opts.history_dir {
@@ -331,19 +538,31 @@ impl Session {
 
     /// Publish the latest run to the live endpoint: the engine's per-run
     /// snapshot merged with the session's cumulative counters, request
-    /// spans since the last publish, and the request-latency histogram.
+    /// spans since the last publish, and the request-latency histograms
+    /// (all-methods plus one per method).
     fn publish(&self, handle: &RunHandle) {
-        let request_spans = self.request_rec.snapshot().spans;
-        self.request_rec.reset();
+        let request_spans = {
+            let mut pending = self.pending_spans.lock().unwrap_or_else(|e| e.into_inner());
+            std::mem::take(&mut *pending)
+        };
         let mut merged = handle.result.obs.with_counters(self.counters.export());
         merged.spans.extend(request_spans);
-        let merged = merged.with_histogram(
+        let mut merged = merged.with_histogram(
             "serve_request_duration_us",
             self.request_hist
                 .lock()
                 .unwrap_or_else(|e| e.into_inner())
                 .clone(),
         );
+        {
+            let stats = self.method_stats.lock().unwrap_or_else(|e| e.into_inner());
+            for (method, stat) in stats.iter() {
+                merged = merged.with_histogram(
+                    &format!("serve_request_duration_us_{method}"),
+                    stat.hist.clone(),
+                );
+            }
+        }
         self.live.publish(
             &merged,
             handle.records.len() as u64,
@@ -356,26 +575,36 @@ impl Session {
         );
     }
 
+    /// Open this request's root span on its private recorder; every
+    /// later span (coalesce wait, engine run) nests under it, and both
+    /// attributes ride into the captured trace.
+    fn request_span<'a>(&self, ctx: &'a RequestCtx) -> obs::SpanGuard<'a> {
+        ctx.rec.span_with(
+            "request",
+            &[("method", ctx.method()), ("request_id", ctx.request_id())],
+        )
+    }
+
     /// `analyze`: the full schema-v3 report — the exact document
     /// `ofence analyze --json` prints for the same snapshot.
-    pub fn analyze_document(&self) -> Result<serde_json::Value, String> {
-        let _span = self
-            .request_rec
-            .span_with("request", &[("method", "analyze")]);
-        self.tracked(|| {
-            let handle = self.current_run_inner()?;
+    pub fn analyze_document(&self, ctx: &RequestCtx) -> Result<serde_json::Value, String> {
+        self.tracked(ctx, || {
+            let _span = self.request_span(ctx);
+            let handle = self.current_run_inner(ctx)?;
             Ok(handle.result.to_json())
         })
     }
 
     /// `analyze-file`: the slice of the current run belonging to one
     /// file (exact name, or unambiguous path suffix).
-    pub fn analyze_file_document(&self, file: &str) -> Result<serde_json::Value, String> {
-        let _span = self
-            .request_rec
-            .span_with("request", &[("method", "analyze-file")]);
-        self.tracked(|| {
-            let handle = self.current_run_inner()?;
+    pub fn analyze_file_document(
+        &self,
+        ctx: &RequestCtx,
+        file: &str,
+    ) -> Result<serde_json::Value, String> {
+        self.tracked(ctx, || {
+            let _span = self.request_span(ctx);
+            let handle = self.current_run_inner(ctx)?;
             let result = &handle.result;
             let matches: Vec<usize> = result
                 .files
@@ -414,12 +643,15 @@ impl Session {
 
     /// `explain`: replay the pairing decision for the barrier at
     /// `file:line` — the exact document `ofence explain --json` prints.
-    pub fn explain_document(&self, file: &str, line: u32) -> Result<serde_json::Value, String> {
-        let _span = self
-            .request_rec
-            .span_with("request", &[("method", "explain")]);
-        self.tracked(|| {
-            let handle = self.current_run_inner()?;
+    pub fn explain_document(
+        &self,
+        ctx: &RequestCtx,
+        file: &str,
+        line: u32,
+    ) -> Result<serde_json::Value, String> {
+        self.tracked(ctx, || {
+            let _span = self.request_span(ctx);
+            let handle = self.current_run_inner(ctx)?;
             let result = &handle.result;
             let site = result
                 .sites
@@ -440,9 +672,14 @@ impl Session {
     /// `diff`: classify findings across two ledger runs (ids or
     /// unambiguous prefixes) — the exact document `ofence diff --json`
     /// prints for the same operands.
-    pub fn diff_document(&self, old: &str, new: &str) -> Result<serde_json::Value, String> {
-        let _span = self.request_rec.span_with("request", &[("method", "diff")]);
-        self.tracked(|| {
+    pub fn diff_document(
+        &self,
+        ctx: &RequestCtx,
+        old: &str,
+        new: &str,
+    ) -> Result<serde_json::Value, String> {
+        self.tracked(ctx, || {
+            let _span = self.request_span(ctx);
             let dir = self
                 .opts
                 .history_dir
@@ -459,16 +696,15 @@ impl Session {
     /// policy passes.
     pub fn baseline_gate_document(
         &self,
+        ctx: &RequestCtx,
         baseline: &serde_json::Value,
         fail_on: crate::diffing::FailOn,
     ) -> Result<serde_json::Value, String> {
-        let _span = self
-            .request_rec
-            .span_with("request", &[("method", "baseline-gate")]);
-        self.tracked(|| {
+        self.tracked(ctx, || {
+            let _span = self.request_span(ctx);
             let known = crate::diffing::records_from_json(baseline)
                 .map_err(|e| format!("baseline document: {e}"))?;
-            let handle = self.current_run_inner()?;
+            let handle = self.current_run_inner(ctx)?;
             let report = crate::diffing::classify(&known, &handle.records);
             let pass = match fail_on {
                 crate::diffing::FailOn::Any => report.new.is_empty() && report.unchanged.is_empty(),
@@ -484,7 +720,8 @@ impl Session {
     }
 
     /// `status`: session health — uptime, counters, queue depth, cache
-    /// economics. Cheap: never triggers an analysis.
+    /// economics, and per-method latency quantiles. Cheap: never
+    /// triggers an analysis.
     pub fn status_document(&self) -> serde_json::Value {
         let counters: serde_json::Map<String, serde_json::Value> = self
             .counters
@@ -492,12 +729,40 @@ impl Session {
             .into_iter()
             .map(|(k, v)| (k, serde_json::Value::from(v)))
             .collect();
+        let methods: serde_json::Map<String, serde_json::Value> = self
+            .method_quantiles()
+            .into_iter()
+            .map(|q| {
+                (
+                    q.method,
+                    serde_json::json!({
+                        "count": q.count,
+                        "p50_us": q.p50_us,
+                        "p95_us": q.p95_us,
+                        "p99_us": q.p99_us,
+                    }),
+                )
+            })
+            .collect();
         serde_json::json!({
             "uptime_us": self.uptime_us(),
             "paths": self.opts.paths,
             "queue_depth": self.counters.queue_depth(),
             "counters": counters,
+            "methods": methods,
         })
+    }
+
+    /// `trace`: the captured span tree of a completed request, looked up
+    /// by request id in the bounded recent/slowest rings. Cheap and
+    /// untracked, like `status` — fetching a trace never perturbs the
+    /// latency data it reports.
+    pub fn trace_document(&self, request_id: &str) -> Result<serde_json::Value, String> {
+        let json = self.live.trace_json(request_id).ok_or_else(|| {
+            format!("no captured trace for request id `{request_id}` (evicted or never seen)")
+        })?;
+        serde_json::from_str(&json)
+            .map_err(|e| format!("internal: captured trace is not valid JSON: {e}"))
     }
 }
 
@@ -561,12 +826,16 @@ void writer(struct m *b) { b->y = 1; smp_wmb(); b->init = 1; }\n";
         })
     }
 
+    fn ctx(session: &Session, method: &str) -> Arc<RequestCtx> {
+        session.begin_request(method, None)
+    }
+
     #[test]
     fn analyze_document_matches_engine_output() {
         let dir = tempdir("doc");
         std::fs::write(dir.join("m.c"), CLEAN).unwrap();
         let session = session_over(&dir);
-        let doc = session.analyze_document().unwrap();
+        let doc = session.analyze_document(&ctx(&session, "analyze")).unwrap();
         assert_eq!(doc["schema_version"], crate::json::SCHEMA_VERSION);
         assert_eq!(doc["sites"].as_array().unwrap().len(), 2);
         assert_eq!(doc["pairings"].as_array().unwrap().len(), 1);
@@ -654,12 +923,20 @@ void writer(struct m *b) { b->y = 1; smp_wmb(); b->init = 1; }\n";
         let dir = tempdir("methods");
         std::fs::write(dir.join("m.c"), CLEAN).unwrap();
         let session = session_over(&dir);
-        let explanation = session.explain_document("m.c", 2).unwrap();
+        let explanation = session
+            .explain_document(&ctx(&session, "explain"), "m.c", 2)
+            .unwrap();
         assert!(explanation["target"].is_object(), "{explanation}");
-        let slice = session.analyze_file_document("m.c").unwrap();
+        let slice = session
+            .analyze_file_document(&ctx(&session, "analyze-file"), "m.c")
+            .unwrap();
         assert_eq!(slice["barriers"], 2);
-        assert!(session.explain_document("m.c", 999).is_err());
-        assert!(session.analyze_file_document("nope.c").is_err());
+        assert!(session
+            .explain_document(&ctx(&session, "explain"), "m.c", 999)
+            .is_err());
+        assert!(session
+            .analyze_file_document(&ctx(&session, "analyze-file"), "nope.c")
+            .is_err());
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -685,7 +962,9 @@ void decode(struct rpc *req) {{ smp_rmb(); if (!req->recd) return; g(req->len); 
         );
         std::fs::write(corpus.join("m.c"), buggy).unwrap();
         let b = session.current_run().unwrap().result.run_id.clone();
-        let report = session.diff_document(&a, &b).unwrap();
+        let report = session
+            .diff_document(&ctx(&session, "diff"), &a, &b)
+            .unwrap();
         assert_eq!(report["summary"]["new"], 1, "{report}");
         assert_eq!(report["summary"]["fixed"], 0, "{report}");
         let _ = std::fs::remove_dir_all(&dir);
@@ -702,13 +981,21 @@ void decode(struct rpc *req) { smp_rmb(); if (!req->recd) return; g(req->len); }
         // Empty baseline: the finding is new, the gate fails.
         let empty = serde_json::json!({ "findings": [] });
         let out = session
-            .baseline_gate_document(&empty, crate::diffing::FailOn::New)
+            .baseline_gate_document(
+                &ctx(&session, "baseline-gate"),
+                &empty,
+                crate::diffing::FailOn::New,
+            )
             .unwrap();
         assert_eq!(out["pass"], false, "{out}");
         // Baseline = current findings: nothing new, the gate passes.
-        let doc = session.analyze_document().unwrap();
+        let doc = session.analyze_document(&ctx(&session, "analyze")).unwrap();
         let out = session
-            .baseline_gate_document(&doc, crate::diffing::FailOn::New)
+            .baseline_gate_document(
+                &ctx(&session, "baseline-gate"),
+                &doc,
+                crate::diffing::FailOn::New,
+            )
             .unwrap();
         assert_eq!(out["pass"], true, "{out}");
         let _ = std::fs::remove_dir_all(&dir);
@@ -788,11 +1075,19 @@ void decode(struct rpc *req) { smp_rmb(); if (!req->recd) return; g(req->len); }
         let dir = tempdir("errcount");
         std::fs::write(dir.join("m.c"), CLEAN).unwrap();
         let session = session_over(&dir);
-        assert!(session.analyze_file_document("nope.c").is_err());
-        assert!(session.explain_document("m.c", 999).is_err());
+        assert!(session
+            .analyze_file_document(&ctx(&session, "analyze-file"), "nope.c")
+            .is_err());
+        assert!(session
+            .explain_document(&ctx(&session, "explain"), "m.c", 999)
+            .is_err());
         let bad = serde_json::json!({ "findings": "not-a-list" });
         assert!(session
-            .baseline_gate_document(&bad, crate::diffing::FailOn::New)
+            .baseline_gate_document(
+                &ctx(&session, "baseline-gate"),
+                &bad,
+                crate::diffing::FailOn::New
+            )
             .is_err());
         // Each failed request counted exactly once — including failures
         // that happen *after* the underlying analysis succeeded.
@@ -809,6 +1104,133 @@ void decode(struct rpc *req) { smp_rmb(); if (!req->recd) return; g(req->len); }
         let status = session.status_document();
         assert_eq!(status["queue_depth"], 0);
         assert_eq!(SessionCounters::get(&session.counters.runs), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn completed_requests_leave_fetchable_traces() {
+        let dir = tempdir("trace");
+        std::fs::write(dir.join("m.c"), CLEAN).unwrap();
+        let session = session_over(&dir);
+        let handle = session.current_run().unwrap();
+        // The first server-assigned id is r000001; its trace carries the
+        // leader's run id and a tree with the request + serve_run spans.
+        let doc = session.trace_document("r000001").unwrap();
+        assert_eq!(doc["method"], "analyze");
+        assert_eq!(doc["outcome"], "ok");
+        assert_eq!(doc["coalesced"], false);
+        assert_eq!(doc["run_id"], handle.result.run_id.as_str());
+        assert!(doc["span_count"].as_u64().unwrap() >= 2, "{doc}");
+        let root = &doc["spans"][0];
+        assert_eq!(root["name"], "request");
+        assert_eq!(root["attrs"]["request_id"], "r000001");
+        let children = root["children"].as_array().unwrap();
+        assert!(children.iter().any(|c| c["name"] == "serve_run"), "{doc}");
+        // Total tree time fits inside the reported latency.
+        let latency = doc["latency_us"].as_u64().unwrap();
+        assert!(root["dur_us"].as_u64().unwrap() <= latency, "{doc}");
+        // Unknown ids fail cleanly, without counting a request.
+        assert!(session.trace_document("nope").is_err());
+        assert_eq!(SessionCounters::get(&session.counters.requests), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn client_supplied_request_ids_are_preserved() {
+        let dir = tempdir("client-id");
+        std::fs::write(dir.join("m.c"), CLEAN).unwrap();
+        let session = session_over(&dir);
+        let ctx = session.begin_request("analyze", Some("ci-42".to_string()));
+        assert_eq!(ctx.request_id(), "ci-42");
+        session.analyze_document(&ctx).unwrap();
+        let doc = session.trace_document("ci-42").unwrap();
+        assert_eq!(doc["request_id"], "ci-42");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn coalesced_joiners_record_the_leader_run() {
+        let dir = tempdir("join-attr");
+        for i in 0..24 {
+            std::fs::write(dir.join(format!("f{i:02}.c")), CLEAN).unwrap();
+        }
+        let session = Arc::new(session_over(&dir));
+        let run_ids: Vec<String> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let session = session.clone();
+                    scope.spawn(move || session.current_run().unwrap().result.run_id.clone())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let summary: serde_json::Value =
+            serde_json::from_str(&session.live().traces_summary_json()).unwrap();
+        let recent = summary["recent"].as_array().unwrap();
+        assert_eq!(recent.len(), 8);
+        let coalesced = SessionCounters::get(&session.counters.coalesced);
+        let marked = recent.iter().filter(|t| t["coalesced"] == true).count() as u64;
+        assert_eq!(marked, coalesced, "{summary}");
+        for t in recent {
+            // Every trace — joiner or leader — names the run it returned,
+            // and that run really happened.
+            let run_id = t["run_id"].as_str().expect("run_id recorded");
+            assert!(run_ids.iter().any(|r| r == run_id), "{summary}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn status_reports_per_method_quantiles() {
+        let dir = tempdir("quantiles");
+        std::fs::write(dir.join("m.c"), CLEAN).unwrap();
+        let session = session_over(&dir);
+        session.analyze_document(&ctx(&session, "analyze")).unwrap();
+        session
+            .explain_document(&ctx(&session, "explain"), "m.c", 2)
+            .unwrap();
+        let status = session.status_document();
+        for method in ["analyze", "explain"] {
+            let q = &status["methods"][method];
+            assert_eq!(q["count"], 1, "{status}");
+            assert!(q["p50_us"].as_u64().unwrap() <= q["p99_us"].as_u64().unwrap());
+        }
+        // The live endpoint carries the same quantiles.
+        let metrics = session.live().metrics_text();
+        assert!(
+            metrics
+                .contains("ofence_serve_method_duration_us{method=\"analyze\",quantile=\"0.99\"}"),
+            "{metrics}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn requests_ledger_records_every_completed_request() {
+        let dir = tempdir("req-ledger");
+        let corpus = dir.join("src");
+        std::fs::create_dir_all(&corpus).unwrap();
+        std::fs::write(corpus.join("m.c"), CLEAN).unwrap();
+        let ledger = dir.join("ledger");
+        let session = Session::new(SessionOptions {
+            config: AnalysisConfig::default(),
+            paths: vec![corpus.display().to_string()],
+            cache_dir: None,
+            history_dir: Some(ledger.clone()),
+        });
+        session.analyze_document(&ctx(&session, "analyze")).unwrap();
+        assert!(session
+            .analyze_file_document(&ctx(&session, "analyze-file"), "nope.c")
+            .is_err());
+        let (records, skipped) = crate::perf::load_requests(&ledger).unwrap();
+        assert_eq!(skipped, 0);
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].method, "analyze");
+        assert!(records[0].ok);
+        assert!(records[0].run_id.is_some());
+        assert_eq!(records[1].method, "analyze-file");
+        assert!(!records[1].ok);
+        assert!(!records[0].request_id.is_empty());
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -28,9 +28,11 @@
 //! ```
 
 mod event;
+pub mod request;
 pub mod serve;
 
 pub use event::{Event, EventSink, NdjsonSink, RingSink};
+pub use request::{quantiles_us, MethodQuantiles, RequestTrace, TraceStore};
 pub use serve::{Live, MetricsServer};
 
 use std::collections::{BTreeMap, HashMap};
@@ -519,7 +521,7 @@ pub(crate) fn json_string(s: &str) -> String {
 }
 
 /// Prometheus metric names allow `[a-zA-Z0-9_:]`.
-fn sanitize_metric_name(name: &str) -> String {
+pub(crate) fn sanitize_metric_name(name: &str) -> String {
     name.chars()
         .map(|c| {
             if c.is_ascii_alphanumeric() || c == ':' {

@@ -17,7 +17,9 @@
 //! scrapers (`curl`, Prometheus) hitting it a few times a minute. No
 //! external crates, no async runtime.
 
-use crate::Snapshot;
+use crate::request::{MethodQuantiles, RequestTrace, TraceStore};
+use crate::{json_string, Snapshot};
+use std::collections::BTreeMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -40,6 +42,14 @@ struct LiveState {
     /// Daemon-mode request stats ([`Live::set_server_stats`]); `None`
     /// outside `ofence serve`, and the `/health` body omits them then.
     server: Option<ServerStats>,
+    /// Point-in-time gauges ([`Live::set_gauge`], e.g.
+    /// `serve_connections_active`). Rendered into `/metrics` and `/health`
+    /// only once set, so drivers that never set one (watch, one-shot
+    /// analyze) keep byte-identical output.
+    gauges: BTreeMap<String, u64>,
+    /// Per-method latency quantiles ([`Live::set_method_quantiles`]);
+    /// empty outside the daemon, and omitted from all bodies then.
+    method_quantiles: Vec<MethodQuantiles>,
 }
 
 #[derive(Clone, Copy, Debug, Default)]
@@ -58,6 +68,9 @@ struct ServerStats {
 #[derive(Debug, Default)]
 pub struct Live {
     inner: Mutex<LiveState>,
+    /// Completed request traces, behind their own lock so recording a
+    /// trace never contends with a concurrent scrape.
+    traces: Mutex<TraceStore>,
 }
 
 impl Live {
@@ -90,18 +103,72 @@ impl Live {
         });
     }
 
+    /// Publish a point-in-time gauge (e.g. `serve_connections_active`).
+    /// Gauges render into `/metrics` and `/health` from the first call
+    /// on; drivers that never set one see unchanged output.
+    pub fn set_gauge(&self, name: &str, value: u64) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.gauges.insert(name.to_string(), value);
+    }
+
+    /// Publish per-method request-latency quantiles; they render into
+    /// `/metrics` (summary lines) and `/health` (a `methods` object)
+    /// once non-empty.
+    pub fn set_method_quantiles(&self, quantiles: Vec<MethodQuantiles>) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.method_quantiles = quantiles;
+    }
+
+    /// Retain a completed request trace in the bounded recent/slowest
+    /// rings behind `/debug/requests` and `/debug/trace/<id>`.
+    pub fn record_trace(&self, trace: RequestTrace) {
+        let mut traces = self.traces.lock().unwrap_or_else(|e| e.into_inner());
+        traces.record(Arc::new(trace));
+    }
+
+    /// The full span tree of a captured trace, as JSON; `None` when the
+    /// id is unknown or already evicted from both rings.
+    pub fn trace_json(&self, request_id: &str) -> Option<String> {
+        let traces = self.traces.lock().unwrap_or_else(|e| e.into_inner());
+        traces.find(request_id).map(|t| t.tree_json())
+    }
+
+    /// The `/debug/requests` body: recent + slowest summaries.
+    pub fn traces_summary_json(&self) -> String {
+        let traces = self.traces.lock().unwrap_or_else(|e| e.into_inner());
+        traces.summaries_json()
+    }
+
     /// Runs published so far.
     pub fn runs(&self) -> u64 {
         self.inner.lock().unwrap_or_else(|e| e.into_inner()).runs
     }
 
-    /// The latest `/metrics` body (empty before the first publish).
+    /// The latest `/metrics` body (empty before the first publish),
+    /// plus any gauges and per-method quantile summaries set since.
     pub fn metrics_text(&self) -> String {
-        self.inner
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .metrics_text
-            .clone()
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out = inner.metrics_text.clone();
+        for (name, value) in &inner.gauges {
+            let metric = crate::sanitize_metric_name(&format!("ofence_{name}"));
+            out.push_str(&format!("# TYPE {metric} gauge\n{metric} {value}\n"));
+        }
+        if !inner.method_quantiles.is_empty() {
+            out.push_str("# TYPE ofence_serve_method_duration_us summary\n");
+            for q in &inner.method_quantiles {
+                let method = json_string(&q.method);
+                for (label, value) in [("0.5", q.p50_us), ("0.95", q.p95_us), ("0.99", q.p99_us)] {
+                    out.push_str(&format!(
+                        "ofence_serve_method_duration_us{{method={method},quantile=\"{label}\"}} {value}\n"
+                    ));
+                }
+                out.push_str(&format!(
+                    "ofence_serve_method_duration_us_count{{method={method}}} {}\n",
+                    q.count
+                ));
+            }
+        }
+        out
     }
 
     /// The `/health` body: one flat JSON object.
@@ -120,8 +187,29 @@ impl Live {
             ),
             None => String::new(),
         };
+        let mut extra = String::new();
+        for (name, value) in &s.gauges {
+            extra.push_str(&format!(",{}:{value}", json_string(name)));
+        }
+        if !s.method_quantiles.is_empty() {
+            extra.push_str(",\"methods\":{");
+            for (i, q) in s.method_quantiles.iter().enumerate() {
+                if i > 0 {
+                    extra.push(',');
+                }
+                extra.push_str(&format!(
+                    "{}:{{\"count\":{},\"p50_us\":{},\"p95_us\":{},\"p99_us\":{}}}",
+                    json_string(&q.method),
+                    q.count,
+                    q.p50_us,
+                    q.p95_us,
+                    q.p99_us
+                ));
+            }
+            extra.push('}');
+        }
         format!(
-            "{{\"status\":\"{}\",\"runs\":{},\"last_iteration_us\":{},\"cache_hit_rate\":{:.4},\"deviations_total\":{}{server}}}",
+            "{{\"status\":\"{}\",\"runs\":{},\"last_iteration_us\":{},\"cache_hit_rate\":{:.4},\"deviations_total\":{}{server}{extra}}}",
             if s.runs > 0 { "ok" } else { "starting" },
             s.runs,
             s.last_iteration_us,
@@ -203,36 +291,61 @@ pub fn serve(addr: &str, live: Arc<Live>) -> Result<MetricsServer, String> {
     })
 }
 
+const ROUTES_HINT: &str = "/metrics, /health, /debug/requests, or /debug/trace/<request-id>";
+
 fn handle_connection(mut stream: TcpStream, live: &Live) {
     let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
-    let Some(path) = read_request_path(&mut stream) else {
-        return;
+    let Some((method, path)) = read_request_line(&mut stream) else {
+        return; // malformed head: nothing sensible to answer
     };
-    let (status, content_type, body) = match path.as_str() {
-        "/metrics" => (
-            "200 OK",
-            "text/plain; version=0.0.4; charset=utf-8",
-            live.metrics_text(),
-        ),
-        "/health" => ("200 OK", "application/json", live.health_json()),
-        _ => (
-            "404 Not Found",
+    let mut allow_header = "";
+    let (status, content_type, body) = if method != "GET" {
+        allow_header = "Allow: GET\r\n";
+        (
+            "405 Method Not Allowed",
             "text/plain; charset=utf-8",
-            "not found; try /metrics or /health\n".to_string(),
-        ),
+            format!("method {method} not allowed; this endpoint is GET-only\n"),
+        )
+    } else {
+        match path.as_str() {
+            "/metrics" => (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                live.metrics_text(),
+            ),
+            "/health" => ("200 OK", "application/json", live.health_json()),
+            "/debug/requests" => ("200 OK", "application/json", live.traces_summary_json()),
+            p if p.starts_with("/debug/trace/") => {
+                let id = &p["/debug/trace/".len()..];
+                match live.trace_json(id) {
+                    Some(json) => ("200 OK", "application/json", json),
+                    None => (
+                        "404 Not Found",
+                        "text/plain; charset=utf-8",
+                        format!("no captured trace for request id `{id}`; see /debug/requests\n"),
+                    ),
+                }
+            }
+            _ => (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                format!("not found; try {ROUTES_HINT}\n"),
+            ),
+        }
     };
     let response = format!(
-        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n{allow_header}Connection: close\r\n\r\n{body}",
         body.len()
     );
     let _ = stream.write_all(response.as_bytes());
     let _ = stream.flush();
 }
 
-/// Read the request head (up to 8 KiB) and return the path of the
-/// request line. `None` on malformed or non-GET requests.
-fn read_request_path(stream: &mut TcpStream) -> Option<String> {
+/// Read the request head (up to 8 KiB) and return the method and path of
+/// the request line. `None` only on malformed requests — non-GET methods
+/// are returned to the caller so it can answer `405`.
+fn read_request_line(stream: &mut TcpStream) -> Option<(String, String)> {
     let mut buf = [0u8; 8192];
     let mut filled = 0usize;
     loop {
@@ -255,11 +368,9 @@ fn read_request_path(stream: &mut TcpStream) -> Option<String> {
     let mut parts = request_line.split_whitespace();
     let method = parts.next()?;
     let path = parts.next()?;
-    if method != "GET" {
-        return None;
-    }
     // Ignore any query string; scrapers sometimes add one.
-    Some(path.split('?').next().unwrap_or(path).to_string())
+    let path = path.split('?').next().unwrap_or(path).to_string();
+    Some((method.to_string(), path))
 }
 
 #[cfg(test)]
@@ -310,12 +421,111 @@ mod tests {
     }
 
     #[test]
-    fn unknown_route_is_404() {
+    fn unknown_route_is_404_and_lists_routes() {
         let live = Arc::new(Live::new());
         let server = serve("127.0.0.1:0", live).unwrap();
-        let (head, _) = get(server.addr(), "/nope");
+        let (head, body) = get(server.addr(), "/nope");
         assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+        for route in ["/metrics", "/health", "/debug/requests", "/debug/trace/"] {
+            assert!(body.contains(route), "404 body should list {route}: {body}");
+        }
         server.shutdown();
+    }
+
+    #[test]
+    fn non_get_method_is_405_with_allow_header() {
+        let live = Arc::new(Live::new());
+        let server = serve("127.0.0.1:0", live).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream
+            .write_all(b"POST /metrics HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\r\n")
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let (head, _) = response.split_once("\r\n\r\n").unwrap();
+        assert!(head.starts_with("HTTP/1.1 405"), "{head}");
+        assert!(head.contains("Allow: GET"), "{head}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn debug_routes_serve_captured_traces() {
+        let live = Arc::new(Live::new());
+        let server = serve("127.0.0.1:0", live.clone()).unwrap();
+        // Before any trace: empty rings, and trace lookup 404s.
+        let (head, body) = get(server.addr(), "/debug/requests");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert_eq!(body, "{\"recent\":[],\"slowest\":[]}");
+        let (head, _) = get(server.addr(), "/debug/trace/nope");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+        live.record_trace(crate::RequestTrace {
+            request_id: "r-7".into(),
+            method: "analyze".into(),
+            latency_us: 4200,
+            outcome: "ok".into(),
+            coalesced: false,
+            run_id: Some("run-1".into()),
+            spans: vec![],
+        });
+        let (_, body) = get(server.addr(), "/debug/requests");
+        assert!(body.contains("\"request_id\":\"r-7\""), "{body}");
+        assert!(body.contains("\"latency_us\":4200"), "{body}");
+        let (head, body) = get(server.addr(), "/debug/trace/r-7");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(body.contains("\"span_count\":0"), "{body}");
+        assert!(body.contains("\"run_id\":\"run-1\""), "{body}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn gauges_and_quantiles_render_only_when_set() {
+        let live = Live::new();
+        live.publish(&sample_snapshot(), 0, 10);
+        let before_metrics = live.metrics_text();
+        let before_health = live.health_json();
+        assert!(!before_metrics.contains("serve_connections_active"));
+        assert!(!before_metrics.contains("quantile"));
+        assert!(!before_health.contains("methods"));
+        live.set_gauge("serve_connections_active", 3);
+        live.set_method_quantiles(vec![crate::MethodQuantiles {
+            method: "analyze".into(),
+            count: 12,
+            p50_us: 100,
+            p95_us: 900,
+            p99_us: 2000,
+        }]);
+        let metrics = live.metrics_text();
+        assert!(
+            metrics.contains("# TYPE ofence_serve_connections_active gauge"),
+            "{metrics}"
+        );
+        assert!(
+            metrics.contains("ofence_serve_connections_active 3"),
+            "{metrics}"
+        );
+        assert!(
+            metrics.contains(
+                "ofence_serve_method_duration_us{method=\"analyze\",quantile=\"0.99\"} 2000"
+            ),
+            "{metrics}"
+        );
+        assert!(
+            metrics.contains("ofence_serve_method_duration_us_count{method=\"analyze\"} 12"),
+            "{metrics}"
+        );
+        let health = live.health_json();
+        assert!(
+            health.contains("\"serve_connections_active\":3"),
+            "{health}"
+        );
+        assert!(
+            health.contains(
+                "\"analyze\":{\"count\":12,\"p50_us\":100,\"p95_us\":900,\"p99_us\":2000}"
+            ),
+            "{health}"
+        );
+        // Everything published before the daemon set these is untouched.
+        assert!(live.metrics_text().starts_with(&before_metrics));
     }
 
     #[test]

@@ -71,12 +71,29 @@ fn rewrite_file_atomic(dir: &Path, name: &str, content: &str) {
 struct Daemon {
     child: Child,
     addr: String,
+    /// Bound address of the `--metrics` HTTP endpoint, when enabled.
+    metrics_addr: Option<String>,
 }
 
 impl Daemon {
     fn spawn(corpus_dir: &Path, cache_dir: &Path, history_dir: &Path) -> Daemon {
-        let mut child = Command::new(env!("CARGO_BIN_EXE_ofence"))
-            .arg("serve")
+        Daemon::spawn_inner(corpus_dir, cache_dir, history_dir, false)
+    }
+
+    /// Spawn with `--metrics 127.0.0.1:0`, parsing the bound HTTP address
+    /// off the same stdout contract scripts use (`ci/serve-soak.sh`).
+    fn spawn_with_metrics(corpus_dir: &Path, cache_dir: &Path, history_dir: &Path) -> Daemon {
+        Daemon::spawn_inner(corpus_dir, cache_dir, history_dir, true)
+    }
+
+    fn spawn_inner(
+        corpus_dir: &Path,
+        cache_dir: &Path,
+        history_dir: &Path,
+        metrics: bool,
+    ) -> Daemon {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_ofence"));
+        cmd.arg("serve")
             .arg(corpus_dir)
             .args(["--addr", "127.0.0.1:0"])
             .arg("--cache-dir")
@@ -84,27 +101,45 @@ impl Daemon {
             .arg("--history-dir")
             .arg(history_dir)
             .stdout(Stdio::piped())
-            .stderr(Stdio::piped())
-            .spawn()
-            .expect("spawn ofence serve");
+            .stderr(Stdio::piped());
+        if metrics {
+            cmd.args(["--metrics", "127.0.0.1:0"]);
+        }
+        let mut child = cmd.spawn().expect("spawn ofence serve");
         let stdout = child.stdout.take().unwrap();
         let mut reader = BufReader::new(stdout);
         let mut addr = None;
+        let mut metrics_addr = None;
         let mut line = String::new();
         while reader.read_line(&mut line).unwrap_or(0) > 0 {
-            if let Some(rest) = line.trim_end().strip_prefix("serve: listening on ") {
+            let trimmed = line.trim_end();
+            if let Some(rest) =
+                trimmed.strip_prefix("serve: serving /metrics and /health on http://")
+            {
+                metrics_addr = Some(rest.to_string());
+            }
+            if let Some(rest) = trimmed.strip_prefix("serve: listening on ") {
                 addr = Some(rest.to_string());
                 break;
             }
             line.clear();
         }
         let addr = addr.expect("daemon printed its listen address");
+        assert_eq!(
+            metrics_addr.is_some(),
+            metrics,
+            "daemon printed its metrics address iff --metrics was given"
+        );
         // Keep draining stdout so the child never blocks on a full pipe.
         std::thread::spawn(move || {
             let mut sink = String::new();
             let _ = reader.read_to_string(&mut sink);
         });
-        Daemon { child, addr }
+        Daemon {
+            child,
+            addr,
+            metrics_addr,
+        }
     }
 
     fn client(&self) -> Client {
@@ -690,6 +725,214 @@ fn protocol_fuzz_yields_structured_errors_and_no_thread_leak() {
         );
         std::thread::sleep(Duration::from_millis(50));
     }
+
+    daemon.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// PR 10 tentpole: request ids and captured traces round-trip end to end —
+// wire `trace` method, `/debug/*` HTTP routes, and the `ofence trace` CLI.
+// ---------------------------------------------------------------------------
+
+/// Minimal HTTP GET against the daemon's `--metrics` endpoint; returns
+/// (status line, body).
+fn http_get(addr: &str, path: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to metrics endpoint");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    write!(stream, "GET {path} HTTP/1.0\r\n\r\n").unwrap();
+    let mut raw = String::new();
+    BufReader::new(stream).read_to_string(&mut raw).unwrap();
+    let (head, body) = raw.split_once("\r\n\r\n").expect("HTTP header terminator");
+    let status = head.lines().next().unwrap_or("").to_string();
+    (status, body.to_string())
+}
+
+/// Nodes in a `/debug/trace` span tree, counted recursively.
+fn count_trace_nodes(nodes: &[Value]) -> u64 {
+    nodes
+        .iter()
+        .map(|n| 1 + count_trace_nodes(n["children"].as_array().unwrap_or(&[])))
+        .sum()
+}
+
+#[test]
+fn trace_round_trips_from_wire_to_debug_routes_to_cli() {
+    let corpus_dir = temp_dir("trace-corpus");
+    let cache_dir = temp_dir("trace-cache");
+    let history_dir = temp_dir("trace-history");
+    // Large enough that a concurrent barrage overlaps in flight, so the
+    // coalesced-joiner assertions below have something to bite on.
+    let spec = CorpusSpec {
+        files: 24,
+        ..CorpusSpec::small(31)
+    };
+    write_corpus(&corpus_dir, &generate(&spec));
+
+    let mut daemon = Daemon::spawn_with_metrics(&corpus_dir, &cache_dir, &history_dir);
+    let metrics_addr = daemon.metrics_addr.clone().unwrap();
+    let mut client = daemon.client();
+
+    // A request under a client-supplied id: the envelope echoes it.
+    let response = client.call(serde_json::json!({
+        "id": 1,
+        "request_id": "want-this-trace",
+        "method": "analyze",
+    }));
+    assert_eq!(response["ok"], true);
+    assert_eq!(
+        response["request_id"], "want-this-trace",
+        "the envelope echoes the client-supplied request id"
+    );
+
+    // A coalescing barrage, every request under a distinct client id.
+    const THREADS: usize = 8;
+    const ROUNDS: usize = 2;
+    let barrier = std::sync::Barrier::new(THREADS);
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let addr = daemon.addr.clone();
+            let barrier = &barrier;
+            scope.spawn(move || {
+                let mut client = Client::connect(&addr);
+                for round in 0..ROUNDS {
+                    barrier.wait();
+                    let response = client.call(serde_json::json!({
+                        "id": format!("{t}-{round}"),
+                        "request_id": format!("barrage-{t}-{round}"),
+                        "method": "analyze",
+                    }));
+                    assert_eq!(response["ok"], true);
+                }
+            });
+        }
+    });
+
+    // Wire `trace`: the captured span tree of the first request.
+    let doc = client.ok(serde_json::json!({
+        "id": 2,
+        "method": "trace",
+        "params": {"request_id": "want-this-trace"},
+    }));
+    assert_eq!(doc["request_id"], "want-this-trace");
+    assert_eq!(doc["method"], "analyze");
+    assert_eq!(doc["outcome"], "ok");
+    assert_eq!(doc["coalesced"], false);
+    assert!(
+        doc["run_id"].as_str().is_some(),
+        "a led analyze records its run id"
+    );
+    // The tree is balanced: every recorded span appears exactly once.
+    let roots = doc["spans"].as_array().unwrap();
+    let counted = count_trace_nodes(roots);
+    assert_eq!(
+        counted,
+        doc["span_count"].as_u64().unwrap(),
+        "span tree nodes equal span_count"
+    );
+    assert!(counted >= 2, "at least the request and serve_run spans");
+    // The root is the request span and its time fits the recorded latency.
+    assert_eq!(roots[0]["name"], "request");
+    assert_eq!(roots[0]["attrs"]["request_id"], "want-this-trace");
+    assert!(
+        roots[0]["dur_us"].as_u64().unwrap() <= doc["latency_us"].as_u64().unwrap(),
+        "root span duration fits inside the recorded request latency"
+    );
+
+    // Unknown ids are a structured `failed` error, not a hang or panic.
+    let missing = client.call(serde_json::json!({
+        "id": 3,
+        "method": "trace",
+        "params": {"request_id": "never-seen"},
+    }));
+    assert_eq!(missing["ok"], false);
+    assert_eq!(missing["error"]["code"], "failed");
+
+    // `/debug/requests` lists the captured summaries; coalesced joiners
+    // reference the run they joined, which some leader also reports.
+    let (status, body) = http_get(&metrics_addr, "/debug/requests");
+    assert!(status.contains("200"), "{status}");
+    let listing: Value = serde_json::from_str(&body).unwrap();
+    let summaries: Vec<&Value> = listing["recent"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .chain(listing["slowest"].as_array().unwrap())
+        .collect();
+    assert!(
+        summaries
+            .iter()
+            .any(|s| s["request_id"] == "want-this-trace"),
+        "/debug/requests lists the traced request: {body}"
+    );
+    let leader_runs: HashSet<&str> = summaries
+        .iter()
+        .filter(|s| s["coalesced"] == false)
+        .filter_map(|s| s["run_id"].as_str())
+        .collect();
+    let joiners: Vec<&&Value> = summaries
+        .iter()
+        .filter(|s| s["coalesced"] == true)
+        .collect();
+    assert!(
+        !joiners.is_empty(),
+        "the barrage must exercise coalescing: {body}"
+    );
+    for joiner in joiners {
+        let run = joiner["run_id"].as_str().expect("joiners record a run id");
+        assert!(
+            leader_runs.contains(run),
+            "joiner {} references run {run}, which no leader reports",
+            joiner["request_id"]
+        );
+    }
+
+    // `/debug/trace/<id>` serves the same document the wire method does.
+    let (status, body) = http_get(&metrics_addr, "/debug/trace/want-this-trace");
+    assert!(status.contains("200"), "{status}");
+    assert_eq!(serde_json::from_str::<Value>(&body).unwrap(), doc);
+    let (status, _) = http_get(&metrics_addr, "/debug/trace/never-seen");
+    assert!(status.contains("404"), "{status}");
+
+    // `ofence trace` CLI round-trip: `--json` is the wire document, the
+    // default rendering names the request and shows the span tree.
+    let cli_json = run_cli(&["trace", &daemon.addr, "want-this-trace", "--json"]);
+    assert_eq!(serde_json::from_str::<Value>(&cli_json).unwrap(), doc);
+    let rendered = run_cli(&["trace", &daemon.addr, "want-this-trace"]);
+    assert!(
+        rendered.starts_with("request want-this-trace (analyze): ok in "),
+        "{rendered}"
+    );
+    assert!(rendered.contains("run: "), "{rendered}");
+    assert!(rendered.contains("\n  request "), "{rendered}");
+    assert!(rendered.contains("serve_run"), "{rendered}");
+
+    // `/metrics` publishes per-method latency quantiles and the live
+    // connection gauge alongside the counters.
+    let (status, metrics) = http_get(&metrics_addr, "/metrics");
+    assert!(status.contains("200"), "{status}");
+    for quantile in ["0.5", "0.95", "0.99"] {
+        assert!(
+            metrics.contains(&format!(
+                "ofence_serve_method_duration_us{{method=\"analyze\",quantile=\"{quantile}\"}}"
+            )),
+            "missing analyze p{quantile} in metrics:\n{metrics}"
+        );
+    }
+    assert!(
+        metrics.contains("ofence_serve_connections_active"),
+        "missing connection gauge:\n{metrics}"
+    );
+
+    // The request ledger recorded every completed request.
+    let (records, skipped) = ofence::perf::load_requests(&history_dir).unwrap();
+    assert_eq!(skipped, 0);
+    let ids: HashSet<&str> = records.iter().map(|r| r.request_id.as_str()).collect();
+    assert!(ids.contains("want-this-trace"));
+    assert!(ids.contains("barrage-0-0"));
+    let trends = ofence::perf::render_request_trends(&records, records.len());
+    assert!(trends.contains("analyze"), "{trends}");
 
     daemon.shutdown();
 }

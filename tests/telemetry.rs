@@ -242,3 +242,143 @@ fn concurrent_scrape_during_reanalysis_never_tears() {
     assert_eq!(live.runs(), iterations);
     server.shutdown();
 }
+
+// ---------------------------------------------------------------------------
+// PR 10 satellites: RingSink overflow accounting under concurrent load,
+// and span trees of interleaved daemon requests staying balanced and
+// correctly attributed.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn ring_sink_overflow_accounting_is_exact_under_concurrency() {
+    use ofence::obs::EventSink;
+
+    const CAPACITY: usize = 64;
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 100;
+    let ring = Arc::new(RingSink::new(CAPACITY));
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let ring = ring.clone();
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    ring.emit(&Event::Counter {
+                        name: format!("t{t}-{i}"),
+                        delta: 1,
+                        ts_us: t * PER_THREAD + i,
+                    });
+                }
+            });
+        }
+    });
+    // Nothing lost from the books even though most events were evicted:
+    // total emitted, buffered, and dropped always reconcile.
+    assert_eq!(ring.total(), THREADS * PER_THREAD);
+    assert_eq!(ring.len(), CAPACITY);
+    assert_eq!(ring.dropped(), THREADS * PER_THREAD - CAPACITY as u64);
+
+    // Sequential overflow past a full ring keeps the newest events, in
+    // emission order.
+    for i in 0..10u64 {
+        ring.emit(&Event::Counter {
+            name: format!("tail-{i}"),
+            delta: 1,
+            ts_us: 10_000 + i,
+        });
+    }
+    assert_eq!(ring.len(), CAPACITY);
+    let names: Vec<String> = ring
+        .events()
+        .iter()
+        .map(|e| match e {
+            Event::Counter { name, .. } => name.clone(),
+            other => panic!("unexpected event {other:?}"),
+        })
+        .collect();
+    let tail: Vec<String> = (0..10).map(|i| format!("tail-{i}")).collect();
+    assert_eq!(&names[CAPACITY - 10..], &tail[..], "newest events survive");
+}
+
+/// Nodes in a `/debug/trace` span tree, counted recursively.
+fn count_trace_nodes(nodes: &[serde_json::Value]) -> u64 {
+    nodes
+        .iter()
+        .map(|n| 1 + count_trace_nodes(n["children"].as_array().unwrap_or(&[])))
+        .sum()
+}
+
+/// Every `request_id` attribute anywhere in the tree (root span plus any
+/// coalesce spans must name the owning request, never the other one).
+fn collect_request_id_attrs(nodes: &[serde_json::Value], into: &mut Vec<String>) {
+    for n in nodes {
+        if let Some(id) = n["attrs"]["request_id"].as_str() {
+            into.push(id.to_string());
+        }
+        if let Some(children) = n["children"].as_array() {
+            collect_request_id_attrs(children, into);
+        }
+    }
+}
+
+#[test]
+fn interleaved_requests_keep_their_span_trees_balanced_and_attributed() {
+    let dir = std::env::temp_dir().join(format!(
+        "ofence-telemetry-interleave-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    for f in &generate(&CorpusSpec::small(41)).files {
+        let path = dir.join(&f.name);
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent).unwrap();
+        }
+        std::fs::write(path, &f.content).unwrap();
+    }
+
+    let session = Arc::new(ofence::Session::new(ofence::SessionOptions {
+        config: AnalysisConfig::default(),
+        paths: vec![dir.display().to_string()],
+        cache_dir: None,
+        history_dir: None,
+    }));
+
+    // Two requests in flight at once, spans recorded concurrently.
+    const REQUESTS: usize = 2;
+    let barrier = std::sync::Barrier::new(REQUESTS);
+    std::thread::scope(|scope| {
+        for t in 0..REQUESTS {
+            let session = session.clone();
+            let barrier = &barrier;
+            scope.spawn(move || {
+                let ctx = session.begin_request("analyze", Some(format!("interleaved-{t}")));
+                barrier.wait();
+                session.analyze_document(&ctx).unwrap();
+            });
+        }
+    });
+
+    let live = session.live();
+    for t in 0..REQUESTS {
+        let id = format!("interleaved-{t}");
+        let tree: serde_json::Value =
+            serde_json::from_str(&live.trace_json(&id).expect("trace captured")).unwrap();
+        assert_eq!(tree["request_id"].as_str(), Some(id.as_str()));
+        assert_eq!(tree["method"], "analyze");
+        assert_eq!(tree["outcome"], "ok");
+        // Balanced: the reconstructed tree holds every recorded span.
+        let roots = tree["spans"].as_array().unwrap();
+        let counted = count_trace_nodes(roots);
+        assert_eq!(counted, tree["span_count"].as_u64().unwrap());
+        assert!(counted >= 2, "request plus the run/coalesce span: {tree}");
+        assert_eq!(roots[0]["name"], "request");
+        // Attributed: no span in this request's tree names the other
+        // request, however the two runs interleaved.
+        let mut ids = Vec::new();
+        collect_request_id_attrs(roots, &mut ids);
+        assert!(!ids.is_empty());
+        for seen in ids {
+            assert_eq!(seen, id, "foreign span attributed to {id}");
+        }
+    }
+}
